@@ -1,0 +1,90 @@
+// Ablation E9 — migration batching (DESIGN.md §5 items 2 and 4).
+//
+// The relaxed-mode advantage comes from batching remote puts in the remote
+// MemTable and migrating them per owner in bulk (§2.4).  The batch
+// granularity is the remote MemTable threshold.  This ablation sweeps it
+// from "tiny" (≈ per-op messages — approaching sequential mode's behavior)
+// to large, against a put-heavy all-remote workload, and reports put
+// throughput, fence cost, and the message count that actually crossed the
+// interconnect.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/db_shard.h"
+
+using namespace papyrus;
+using namespace papyrus::bench;
+
+namespace {
+
+void RunCase(const Flags& flags, const char* label, int mode,
+             size_t memtable_bytes, size_t vallen, int iters, Table* table) {
+  const std::string repo = "nvme:" + flags.repo + "/abl_mig";
+  RankStats put_t, fence_t;
+  uint64_t messages = 0;
+  RunKvJob(flags.ranks, /*ranks_per_node=*/2, repo,
+           [&](net::RankContext& ctx) {
+             papyruskv_option_t opt;
+             papyruskv_option_init(&opt);
+             opt.consistency = mode;
+             opt.memtable_size = memtable_bytes;
+             papyruskv_db_t db;
+             if (papyruskv_open("mig", PAPYRUSKV_CREATE | PAPYRUSKV_RDWR,
+                                &opt, &db) != PAPYRUSKV_SUCCESS) {
+               throw std::runtime_error("open failed");
+             }
+             const uint64_t msgs_before = ctx.world->interconnect().messages();
+             const auto keys = MakeKeys(ctx.rank,
+                                        static_cast<size_t>(iters),
+                                        flags.keylen);
+             const std::string& value = ValueBlob(vallen);
+             Stopwatch sw;
+             for (const auto& k : keys) {
+               papyruskv_put(db, k.data(), k.size(), value.data(),
+                             value.size());
+             }
+             const double put_s = sw.ElapsedSeconds();
+             Stopwatch fence_sw;
+             papyruskv_fence(db);
+             const double fence_s = fence_sw.ElapsedSeconds();
+             put_t = GatherStats(ctx.comm, put_s);
+             fence_t = GatherStats(ctx.comm, fence_s);
+             ctx.comm.Barrier();
+             if (ctx.rank == 0) {
+               messages = ctx.world->interconnect().messages() - msgs_before;
+             }
+             papyruskv_close(db);
+           });
+  CleanupRepo(repo);
+  const uint64_t total_ops =
+      static_cast<uint64_t>(iters) * static_cast<uint64_t>(flags.ranks);
+  table->AddRow({label, Table::Num(Krps(total_ops, put_t.max), 2),
+                 Table::Num(fence_t.max * 1e3, 2), std::to_string(messages)});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags = Flags::Parse(argc, argv);
+  ApplyScale(flags, 10.0);
+  const int iters = flags.iters > 0 ? flags.iters : 128;
+  const size_t vallen = flags.vallen > 0 ? flags.vallen : 16 * 1024;
+
+  printf("Ablation: migration batching, %d ranks, %d puts/rank, value %s\n",
+         flags.ranks, iters, HumanSize(vallen).c_str());
+
+  Table table("Ablation E9 — batch granularity (remote MemTable threshold)",
+              {"config", "put KRPS", "fence ms", "network msgs"});
+  RunCase(flags, "sequential (per-op sync)", PAPYRUSKV_SEQUENTIAL, 4 << 20,
+          vallen, iters, &table);
+  RunCase(flags, "relaxed, memtable 32K", PAPYRUSKV_RELAXED, 32 << 10,
+          vallen, iters, &table);
+  RunCase(flags, "relaxed, memtable 256K", PAPYRUSKV_RELAXED, 256 << 10,
+          vallen, iters, &table);
+  RunCase(flags, "relaxed, memtable 2M", PAPYRUSKV_RELAXED, 2 << 20, vallen,
+          iters, &table);
+  RunCase(flags, "relaxed, memtable 16M (one batch)", PAPYRUSKV_RELAXED,
+          16 << 20, vallen, iters, &table);
+  table.Print();
+  return 0;
+}

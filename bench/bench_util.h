@@ -1,0 +1,64 @@
+// Shared plumbing for the figure benches: job launch bracketed by
+// papyruskv_init/finalize, scratch-directory hygiene, and device time-scale
+// setup.
+#pragma once
+
+#include <functional>
+#include <stdexcept>
+#include <string>
+
+#include "benchlib/flags.h"
+#include "benchlib/report.h"
+#include "benchlib/workload.h"
+#include "core/layout.h"
+#include "core/papyruskv.h"
+#include "net/runtime.h"
+#include "sim/device_model.h"
+#include "common/timer.h"
+#include "common/random.h"
+#include "sim/storage.h"
+
+namespace papyrus::bench {
+
+// Runs `fn` on an emulated job of `nranks` ranks (ranks_per_node per node)
+// with PapyrusKV initialized on repository `repo_spec` ("nvme:/path" etc.).
+// The repository directory is wiped before the job so runs are independent.
+inline void RunKvJob(int nranks, int ranks_per_node,
+                     const std::string& repo_spec,
+                     const std::function<void(net::RankContext&)>& fn) {
+  sim::DeviceClass cls;
+  std::string root;
+  core::ParseRepositorySpec(repo_spec, &cls, &root);
+  sim::Storage::RemoveDirRecursive(root);
+
+  sim::Topology topo;
+  topo.nranks = nranks;
+  topo.ranks_per_node = ranks_per_node > 0 ? ranks_per_node : nranks;
+  net::RunRanks(topo, [&](net::RankContext& ctx) {
+    int rc = papyruskv_init(nullptr, nullptr, repo_spec.c_str());
+    if (rc != PAPYRUSKV_SUCCESS) {
+      throw std::runtime_error(std::string("papyruskv_init: ") +
+                               ErrorName(rc));
+    }
+    fn(ctx);
+    rc = papyruskv_finalize();
+    if (rc != PAPYRUSKV_SUCCESS) {
+      throw std::runtime_error(std::string("papyruskv_finalize: ") +
+                               ErrorName(rc));
+    }
+  });
+}
+
+// Wipes the scratch root after a sweep (keeps disk use bounded).
+inline void CleanupRepo(const std::string& repo_spec) {
+  sim::DeviceClass cls;
+  std::string root;
+  core::ParseRepositorySpec(repo_spec, &cls, &root);
+  sim::Storage::RemoveDirRecursive(root);
+}
+
+inline void ApplyScale(const Flags& flags, double bench_default) {
+  sim::SetTimeScale(flags.scale >= 0 ? flags.scale : bench_default);
+}
+
+}  // namespace papyrus::bench

@@ -1,0 +1,74 @@
+// Figure 6 — basic operation performance (put / barrier / get) per storage
+// type, single node.
+//
+// Paper setup: one node, ranks = physical cores (20/68/32); each rank runs
+// the `basic` app — N puts of 16 B keys with values 256 B…1 MB, a
+// barrier(PAPYRUSKV_SSTABLE), then N gets — against the node-local NVM and
+// against Lustre.  Metrics: KRPS for small values, MBPS for large.
+//
+// Reproduction: one emulated node, four storage models.  Expected shape
+// (paper §5.2):
+//   * put throughput is storage-independent (memory only; flushing hidden);
+//   * barrier (flush) bandwidth: local NVM wins at small values, the
+//     striped targets (Lustre, burst buffer) catch up or win at large
+//     values;
+//   * get: local NVM beats Lustre by orders of magnitude (random reads).
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace papyrus;
+using namespace papyrus::bench;
+
+int main(int argc, char** argv) {
+  Flags flags = Flags::Parse(argc, argv);
+  ApplyScale(flags, 10.0);
+  const int iters = flags.iters > 0 ? flags.iters : 24;
+  const size_t vallens[] = {256, 4096, 65536, 262144, 1048576};
+  const char* storages[] = {"nvme", "ssd", "bb", "lustre"};
+
+  printf("Figure 6: basic ops, %d ranks (1 node), %d ops/rank, key %zuB\n",
+         flags.ranks, iters, flags.keylen);
+
+  Table table("Figure 6 — put / barrier(SSTABLE) / get by storage",
+              {"storage", "vallen", "put KRPS", "put MBPS", "barrier MBPS",
+               "get KRPS", "get MBPS"});
+
+  for (const char* storage : storages) {
+    for (size_t vallen : vallens) {
+      const std::string repo =
+          std::string(storage) + ":" + flags.repo + "/fig06_" + storage;
+      BasicResult local{};
+      RankStats put_t, bar_t, get_t;
+      RunKvJob(flags.ranks, flags.ranks, repo, [&](net::RankContext& ctx) {
+        papyruskv_db_t db;
+        papyruskv_option_t opt;
+        papyruskv_option_init(&opt);
+        opt.consistency = PAPYRUSKV_RELAXED;  // the paper's Fig. 6 mode
+        if (papyruskv_open("fig06", PAPYRUSKV_CREATE | PAPYRUSKV_RDWR, &opt,
+                           &db) != PAPYRUSKV_SUCCESS) {
+          throw std::runtime_error("open failed");
+        }
+        const BasicResult r =
+            RunBasic(db, ctx.rank, flags.keylen, vallen, iters);
+        put_t = GatherStats(ctx.comm, r.put_seconds);
+        bar_t = GatherStats(ctx.comm, r.barrier_seconds);
+        get_t = GatherStats(ctx.comm, r.get_seconds);
+        if (ctx.rank == 0) local = r;
+        papyruskv_close(db);
+      });
+      const uint64_t total_ops =
+          static_cast<uint64_t>(iters) * static_cast<uint64_t>(flags.ranks);
+      const uint64_t total_bytes = total_ops * vallen;
+      table.AddRow({storage, HumanSize(vallen),
+                    Table::Num(Krps(total_ops, put_t.max)),
+                    Table::Num(Mbps(total_bytes, put_t.max)),
+                    Table::Num(Mbps(total_bytes, bar_t.max)),
+                    Table::Num(Krps(total_ops, get_t.max)),
+                    Table::Num(Mbps(total_bytes, get_t.max))});
+      CleanupRepo(repo);
+    }
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Figure 8 — get-path optimizations: storage group (SG) and SSTable binary
+// search (B).
+//
+// Paper setup: the `basic` app's get phase after data has been flushed to
+// SSTables, in four configurations — Default (no sharing, linear SSData
+// scan), Def+SG, Def+B, Def+SG+B — controlled by PAPYRUSKV_GROUP_SIZE and
+// PAPYRUSKV_BIN_SEARCH in the artifact.
+//
+// Expected shape (§5.2): both techniques help; the combination is best.
+// Binary search is the bigger lever (O(log n) random reads instead of a
+// sequential scan); the storage group removes the value transfer for
+// remote keys owned by co-located ranks.
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace papyrus;
+using namespace papyrus::bench;
+
+namespace {
+
+double RunConfig(const Flags& flags, int nranks, bool storage_group,
+                 bool bin_search, size_t vallen, int iters) {
+  const std::string repo = "nvme:" + flags.repo + "/fig08";
+  // group_size=1 disables sharing (every rank its own group), like the
+  // artifact's PAPYRUSKV_GROUP_SIZE=1.
+  setenv("PAPYRUSKV_GROUP_SIZE", storage_group ? "4" : "1", 1);
+  RankStats get_t;
+  RunKvJob(nranks, /*ranks_per_node=*/4, repo, [&](net::RankContext& ctx) {
+    papyruskv_option_t opt;
+    papyruskv_option_init(&opt);
+    opt.bin_search = bin_search ? 1 : 0;
+    opt.memtable_size = 256 * 1024;  // ensure data reaches SSTables
+    opt.cache_local = 0;             // measure the SSTable path itself
+    papyruskv_db_t db;
+    if (papyruskv_open("fig08", PAPYRUSKV_CREATE | PAPYRUSKV_RDWR, &opt,
+                       &db) != PAPYRUSKV_SUCCESS) {
+      throw std::runtime_error("open failed");
+    }
+    const BasicResult r = RunBasic(db, ctx.rank, flags.keylen, vallen, iters);
+    get_t = GatherStats(ctx.comm, r.get_seconds);
+    papyruskv_close(db);
+  });
+  unsetenv("PAPYRUSKV_GROUP_SIZE");
+  CleanupRepo(repo);
+  const uint64_t total_ops =
+      static_cast<uint64_t>(iters) * static_cast<uint64_t>(nranks);
+  return Krps(total_ops, get_t.max);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags = Flags::Parse(argc, argv);
+  ApplyScale(flags, 10.0);
+  const int iters = flags.iters > 0 ? flags.iters : 64;
+  const size_t vallen = flags.vallen > 0 ? flags.vallen : 128 * 1024;
+
+  printf("Figure 8: get optimizations, value %s, %d ops/rank\n",
+         HumanSize(vallen).c_str(), iters);
+
+  Table table("Figure 8 — get throughput (KRPS): storage group & binary "
+              "search",
+              {"ranks", "Def", "Def+SG", "Def+B", "Def+SG+B"});
+  for (int nranks = 2; nranks <= flags.ranks; nranks *= 2) {
+    table.AddRow(
+        {std::to_string(nranks),
+         Table::Num(RunConfig(flags, nranks, false, false, vallen, iters), 2),
+         Table::Num(RunConfig(flags, nranks, true, false, vallen, iters), 2),
+         Table::Num(RunConfig(flags, nranks, false, true, vallen, iters), 2),
+         Table::Num(RunConfig(flags, nranks, true, true, vallen, iters), 2)});
+  }
+  table.Print();
+  return 0;
+}

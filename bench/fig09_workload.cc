@@ -1,0 +1,98 @@
+// Figure 9 — mixed workloads and remote caching under read-only
+// protection.
+//
+// Paper setup: the `workload` app — an init phase of puts, then a
+// read/update phase at ratios 50/50, 95/5 and 100/0, in sequential
+// consistency mode; plus "100/0+P", where the database is protected
+// PAPYRUSKV_RDONLY so the remote cache serves repeated remote gets
+// (artifact: PAPYRUSKV_CACHE_REMOTE=1).
+//
+// Expected shape (§5.2): on a fast-get system throughput rises with read
+// ratio; with protection, 100/0+P beats 100/0 because remote values are
+// cached after the first fetch.
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace papyrus;
+using namespace papyrus::bench;
+
+namespace {
+
+double RunRatio(const Flags& flags, int nranks, int update_pct, bool protect,
+                size_t vallen, int iters) {
+  const std::string repo = "nvme:" + flags.repo + "/fig09";
+  if (protect) setenv("PAPYRUSKV_CACHE_REMOTE", "1", 1);
+  RankStats phase_t;
+  RunKvJob(nranks, /*ranks_per_node=*/4, repo, [&](net::RankContext& ctx) {
+    papyruskv_option_t opt;
+    papyruskv_option_init(&opt);
+    opt.consistency = PAPYRUSKV_SEQUENTIAL;  // the paper's Fig. 9 mode
+    papyruskv_db_t db;
+    if (papyruskv_open("fig09", PAPYRUSKV_CREATE | PAPYRUSKV_RDWR, &opt,
+                       &db) != PAPYRUSKV_SUCCESS) {
+      throw std::runtime_error("open failed");
+    }
+
+    const auto keys = MakeKeys(ctx.rank, static_cast<size_t>(iters),
+                               flags.keylen);
+    const std::string& value = ValueBlob(vallen);
+    for (const auto& k : keys) {
+      papyruskv_put(db, k.data(), k.size(), value.data(), value.size());
+    }
+    papyruskv_barrier(db, PAPYRUSKV_MEMTABLE);
+    if (protect) papyruskv_protect(db, PAPYRUSKV_RDONLY);
+
+    Rng rng(17 + static_cast<uint64_t>(ctx.rank));
+    Stopwatch sw;
+    for (int i = 0; i < iters; ++i) {
+      const std::string& k = keys[rng.Uniform(keys.size())];
+      if (static_cast<int>(rng.Uniform(100)) < update_pct) {
+        papyruskv_put(db, k.data(), k.size(), value.data(), value.size());
+      } else {
+        char* v = nullptr;
+        size_t n = 0;
+        if (papyruskv_get(db, k.data(), k.size(), &v, &n) ==
+            PAPYRUSKV_SUCCESS) {
+          papyruskv_free(db, v);
+        }
+      }
+    }
+    phase_t = GatherStats(ctx.comm, sw.ElapsedSeconds());
+    if (protect) papyruskv_protect(db, PAPYRUSKV_RDWR);
+    papyruskv_close(db);
+  });
+  if (protect) unsetenv("PAPYRUSKV_CACHE_REMOTE");
+  CleanupRepo(repo);
+  const uint64_t total_ops =
+      static_cast<uint64_t>(iters) * static_cast<uint64_t>(nranks);
+  return Krps(total_ops, phase_t.max);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags = Flags::Parse(argc, argv);
+  ApplyScale(flags, 10.0);
+  const int iters = flags.iters > 0 ? flags.iters : 64;
+  const size_t vallen = flags.vallen > 0 ? flags.vallen : 128 * 1024;
+
+  printf("Figure 9: read/update workloads, value %s, %d ops/rank, "
+         "sequential mode\n",
+         HumanSize(vallen).c_str(), iters);
+
+  Table table(
+      "Figure 9 — read/update phase throughput (KRPS); P = RDONLY "
+      "protection (remote cache)",
+      {"ranks", "50/50", "95/5", "100/0", "100/0+P"});
+  for (int nranks = 1; nranks <= flags.ranks; nranks *= 2) {
+    table.AddRow(
+        {std::to_string(nranks),
+         Table::Num(RunRatio(flags, nranks, 50, false, vallen, iters), 2),
+         Table::Num(RunRatio(flags, nranks, 5, false, vallen, iters), 2),
+         Table::Num(RunRatio(flags, nranks, 0, false, vallen, iters), 2),
+         Table::Num(RunRatio(flags, nranks, 0, true, vallen, iters), 2)});
+  }
+  table.Print();
+  return 0;
+}

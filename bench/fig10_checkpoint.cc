@@ -1,0 +1,116 @@
+// Figure 10 — checkpoint, restart, and restart with redistribution.
+//
+// Paper setup: the `cr` app — N puts of 128 KB values, then (1) a
+// checkpoint to Lustre, (2) a restart from that snapshot, (3) a restart
+// with PAPYRUSKV_FORCE_REDISTRIBUTE=1, across a rank sweep.  Reported:
+// total times and bandwidths.
+//
+// Expected shape (§5.2): checkpoint and restart track the NVM↔Lustre
+// parallel copy bandwidth (growing with ranks until the striped target
+// saturates); redistribution costs extra — it replays every pair through
+// the put path instead of copying files.
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace papyrus;
+using namespace papyrus::bench;
+
+namespace {
+
+struct CrTimes {
+  double ckpt = 0, restart = 0, restart_rd = 0;
+  uint64_t bytes = 0;  // snapshot payload
+};
+
+CrTimes RunCr(const Flags& flags, int nranks, size_t vallen, int iters) {
+  const std::string repo = "nvme:" + flags.repo + "/fig10_nvm";
+  const std::string lustre = "lustre:" + flags.repo + "/fig10_lustre";
+  CleanupRepo(lustre);
+  CrTimes out;
+  out.bytes = static_cast<uint64_t>(iters) * vallen *
+              static_cast<uint64_t>(nranks);
+
+  RankStats ckpt_t, restart_t, rd_t;
+  RunKvJob(nranks, /*ranks_per_node=*/4, repo, [&](net::RankContext& ctx) {
+    papyruskv_db_t db;
+    if (papyruskv_open("cr", PAPYRUSKV_CREATE | PAPYRUSKV_RDWR, nullptr,
+                       &db) != PAPYRUSKV_SUCCESS) {
+      throw std::runtime_error("open failed");
+    }
+    const auto keys = MakeKeys(ctx.rank, static_cast<size_t>(iters),
+                               flags.keylen);
+    const std::string& value = ValueBlob(vallen);
+    for (const auto& k : keys) {
+      papyruskv_put(db, k.data(), k.size(), value.data(), value.size());
+    }
+
+    // Checkpoint.
+    Stopwatch sw;
+    papyruskv_event_t ev;
+    if (papyruskv_checkpoint(db, lustre.c_str(), &ev) != PAPYRUSKV_SUCCESS ||
+        papyruskv_wait(db, ev) != PAPYRUSKV_SUCCESS) {
+      throw std::runtime_error("checkpoint failed");
+    }
+    ckpt_t = GatherStats(ctx.comm, sw.ElapsedSeconds());
+    papyruskv_destroy(db, nullptr);
+
+    // Restart (same rank count → file copy path).
+    sw.Reset();
+    papyruskv_db_t db2;
+    if (papyruskv_restart(lustre.c_str(), "cr", PAPYRUSKV_RDWR, nullptr,
+                          &db2, &ev) != PAPYRUSKV_SUCCESS ||
+        papyruskv_wait(db2, ev) != PAPYRUSKV_SUCCESS) {
+      throw std::runtime_error("restart failed");
+    }
+    restart_t = GatherStats(ctx.comm, sw.ElapsedSeconds());
+    papyruskv_destroy(db2, nullptr);
+
+    // Restart with forced redistribution (the paper forces it even though
+    // the rank count matches).
+    setenv("PAPYRUSKV_FORCE_REDISTRIBUTE", "1", 1);
+    sw.Reset();
+    papyruskv_db_t db3;
+    if (papyruskv_restart(lustre.c_str(), "cr", PAPYRUSKV_RDWR, nullptr,
+                          &db3, &ev) != PAPYRUSKV_SUCCESS ||
+        papyruskv_wait(db3, ev) != PAPYRUSKV_SUCCESS) {
+      throw std::runtime_error("restart-rd failed");
+    }
+    rd_t = GatherStats(ctx.comm, sw.ElapsedSeconds());
+    unsetenv("PAPYRUSKV_FORCE_REDISTRIBUTE");
+    papyruskv_destroy(db3, nullptr);
+  });
+  CleanupRepo(repo);
+  CleanupRepo(lustre);
+  out.ckpt = ckpt_t.max;
+  out.restart = restart_t.max;
+  out.restart_rd = rd_t.max;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags = Flags::Parse(argc, argv);
+  ApplyScale(flags, 10.0);
+  const int iters = flags.iters > 0 ? flags.iters : 24;
+  const size_t vallen = flags.vallen > 0 ? flags.vallen : 128 * 1024;
+
+  printf("Figure 10: checkpoint/restart, value %s, %d ops/rank\n",
+         HumanSize(vallen).c_str(), iters);
+
+  Table table("Figure 10 — checkpoint / restart / restart+redistribution",
+              {"ranks", "ckpt s", "ckpt MBPS", "restart s", "restart MBPS",
+               "restart-RD s", "RD MBPS"});
+  for (int nranks = 2; nranks <= flags.ranks; nranks *= 2) {
+    const CrTimes t = RunCr(flags, nranks, vallen, iters);
+    table.AddRow({std::to_string(nranks), Table::Num(t.ckpt, 3),
+                  Table::Num(Mbps(t.bytes, t.ckpt)),
+                  Table::Num(t.restart, 3),
+                  Table::Num(Mbps(t.bytes, t.restart)),
+                  Table::Num(t.restart_rd, 3),
+                  Table::Num(Mbps(t.bytes, t.restart_rd))});
+  }
+  table.Print();
+  return 0;
+}

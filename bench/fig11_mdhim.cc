@@ -1,0 +1,118 @@
+// Figure 11 — PapyrusKV vs MDHIM on NVMe and Lustre.
+//
+// Paper setup: the Fig. 9 workload at a 50/50 update/read ratio, 16 B keys,
+// 8 B and 128 KB values, rank sweep; MDHIM runs with LevelDB as its local
+// store, on the same storage targets.
+//
+// Expected shape (§5.2):
+//   * 8 B values: everything stays in DRAM, so storage choice is
+//     irrelevant; PapyrusKV beats MDHIM because MDHIM pays its two-layer
+//     marshaling and a synchronous round trip per op;
+//   * 128 KB values: SSTables are involved; NVMe beats Lustre for both
+//     systems; PapyrusKV additionally shares SSTables within the storage
+//     group, widening the gap.
+#include <cstdio>
+
+#include "baseline/mdhim.h"
+#include "bench_util.h"
+
+using namespace papyrus;
+using namespace papyrus::bench;
+
+namespace {
+
+double RunPkv(const Flags& flags, int nranks, const char* storage,
+              size_t vallen, int iters) {
+  const std::string repo =
+      std::string(storage) + ":" + flags.repo + "/fig11_pkv";
+  RankStats phase_t;
+  RunKvJob(nranks, /*ranks_per_node=*/4, repo, [&](net::RankContext& ctx) {
+    papyruskv_option_t opt;
+    papyruskv_option_init(&opt);
+    opt.consistency = PAPYRUSKV_SEQUENTIAL;
+    papyruskv_db_t db;
+    if (papyruskv_open("fig11", PAPYRUSKV_CREATE | PAPYRUSKV_RDWR, &opt,
+                       &db) != PAPYRUSKV_SUCCESS) {
+      throw std::runtime_error("open failed");
+    }
+    const WorkloadResult r =
+        RunWorkload(db, ctx.rank, flags.keylen, vallen, iters, 50);
+    phase_t = GatherStats(ctx.comm, r.phase_seconds);
+    papyruskv_close(db);
+  });
+  CleanupRepo(repo);
+  const uint64_t total_ops =
+      static_cast<uint64_t>(iters) * static_cast<uint64_t>(nranks);
+  return Krps(total_ops, phase_t.max);
+}
+
+double RunMdhim(const Flags& flags, int nranks, const char* storage,
+                size_t vallen, int iters) {
+  const std::string repo =
+      std::string(storage) + ":" + flags.repo + "/fig11_mdhim";
+  sim::DeviceClass cls;
+  std::string root;
+  core::ParseRepositorySpec(repo, &cls, &root);
+  sim::Storage::RemoveDirRecursive(root);
+
+  RankStats phase_t;
+  sim::Topology topo;
+  topo.nranks = nranks;
+  topo.ranks_per_node = 4;
+  net::RunRanks(topo, [&](net::RankContext& ctx) {
+    std::unique_ptr<baseline::Mdhim> db;
+    baseline::MdhimOptions mopt;
+    if (!baseline::Mdhim::Open(ctx, repo, mopt, &db).ok()) {
+      throw std::runtime_error("mdhim open failed");
+    }
+    const auto keys = MakeKeys(ctx.rank, static_cast<size_t>(iters),
+                               flags.keylen);
+    const std::string& value = ValueBlob(vallen);
+    for (const auto& k : keys) db->Put(k, value);
+    ctx.comm.Barrier();
+
+    Rng rng(0xbadc0de + static_cast<uint64_t>(ctx.rank));
+    Stopwatch sw;
+    for (int i = 0; i < iters; ++i) {
+      const std::string& k = keys[rng.Uniform(keys.size())];
+      if (rng.Uniform(100) < 50) {
+        db->Put(k, value);
+      } else {
+        std::string v;
+        db->Get(k, &v);
+      }
+    }
+    phase_t = GatherStats(ctx.comm, sw.ElapsedSeconds());
+    db->Close();
+  });
+  sim::Storage::RemoveDirRecursive(root);
+  const uint64_t total_ops =
+      static_cast<uint64_t>(iters) * static_cast<uint64_t>(nranks);
+  return Krps(total_ops, phase_t.max);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags = Flags::Parse(argc, argv);
+  ApplyScale(flags, 10.0);
+  const int iters = flags.iters > 0 ? flags.iters : 64;
+
+  printf("Figure 11: PapyrusKV vs MDHIM, 50/50 update/read, %d ops/rank\n",
+         iters);
+
+  for (size_t vallen : {size_t{8}, size_t{128 * 1024}}) {
+    Table table("Figure 11 — throughput (KRPS), value " + HumanSize(vallen),
+                {"ranks", "PKV-N", "PKV-L", "MDHIM-N", "MDHIM-L"});
+    for (int nranks = 1; nranks <= flags.ranks; nranks *= 2) {
+      table.AddRow(
+          {std::to_string(nranks),
+           Table::Num(RunPkv(flags, nranks, "nvme", vallen, iters), 2),
+           Table::Num(RunPkv(flags, nranks, "lustre", vallen, iters), 2),
+           Table::Num(RunMdhim(flags, nranks, "nvme", vallen, iters), 2),
+           Table::Num(RunMdhim(flags, nranks, "lustre", vallen, iters), 2)});
+    }
+    table.Print();
+  }
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Asynchronous checkpoint/restart with redistribution (paper §4.2,
+// Figure 5b–c).
+//
+//   $ ./build/examples/checkpoint_restart
+//
+// Job 1 (4 ranks): a "solver" fills a database, checkpoints it to the
+// Lustre model *asynchronously* — it keeps iterating while the compaction
+// thread drains the snapshot — then "crashes".
+// Job 2 (3 ranks — the replacement allocation is smaller): restarts from
+// the snapshot; because the rank count changed, the runtime redistributes
+// every pair by replaying puts in parallel.
+#include <cstdio>
+#include <string>
+
+#include "core/papyruskv.h"
+#include "net/runtime.h"
+
+namespace {
+
+constexpr int kItems = 120;
+const char* kSnapshot = "lustre:/tmp/papyrus_cr_snapshot";
+
+std::string Key(int i) { return "particle/" + std::to_string(i); }
+std::string Value(int i, int step) {
+  return "pos=" + std::to_string(i * 3 + step) + ",vel=" +
+         std::to_string(i % 7);
+}
+
+void Job1(papyrus::net::RankContext& ctx) {
+  papyruskv_init(nullptr, nullptr, "nvme:/tmp/papyrus_cr_job1");
+  papyruskv_db_t db;
+  papyruskv_open("particles", PAPYRUSKV_CREATE | PAPYRUSKV_RDWR, nullptr,
+                 &db);
+
+  // Step 0: each rank owns a contiguous block of particles.
+  for (int i = ctx.rank; i < kItems; i += ctx.size()) {
+    const std::string k = Key(i), v = Value(i, 0);
+    papyruskv_put(db, k.data(), k.size(), v.data(), v.size());
+  }
+
+  // Asynchronous checkpoint: returns an event immediately.
+  papyruskv_event_t ev;
+  papyruskv_checkpoint(db, kSnapshot, &ev);
+
+  // The solver keeps working while the snapshot drains in the background —
+  // these step-1 updates are NOT part of the snapshot.
+  for (int i = ctx.rank; i < kItems; i += ctx.size()) {
+    const std::string k = Key(i), v = Value(i, 1);
+    papyruskv_put(db, k.data(), k.size(), v.data(), v.size());
+  }
+
+  papyruskv_wait(db, ev);
+  if (ctx.rank == 0) {
+    printf("[job1] checkpoint complete; simulating a crash now\n");
+  }
+  // "Crash": tear down without another checkpoint.
+  papyruskv_close(db);
+  papyruskv_finalize();
+}
+
+void Job2(papyrus::net::RankContext& ctx) {
+  papyruskv_init(nullptr, nullptr, "nvme:/tmp/papyrus_cr_job2");
+
+  papyruskv_db_t db;
+  papyruskv_event_t ev;
+  // 3 ranks now vs 4 in the snapshot: the runtime detects the mismatch and
+  // redistributes by replaying every pair through the put path, hashed
+  // over the *new* rank count.
+  papyruskv_restart(kSnapshot, "particles", PAPYRUSKV_RDWR, nullptr, &db,
+                    &ev);
+  papyruskv_wait(db, ev);
+
+  int restored = 0, stale = 0;
+  for (int i = ctx.rank; i < kItems; i += ctx.size()) {
+    const std::string k = Key(i);
+    char* value = nullptr;
+    size_t vallen = 0;
+    if (papyruskv_get(db, k.data(), k.size(), &value, &vallen) ==
+        PAPYRUSKV_SUCCESS) {
+      ++restored;
+      // The snapshot must hold step-0 state: step-1 ran after the barrier.
+      if (std::string(value, vallen) != Value(i, 0)) ++stale;
+      papyruskv_free(db, value);
+    }
+  }
+  printf("[job2 rank %d of %d] restored %d particles (%d stale)\n", ctx.rank,
+         ctx.size(), restored, stale);
+
+  papyruskv_close(db);
+  papyruskv_finalize();
+}
+
+}  // namespace
+
+int main() {
+  printf("job 1: 4 ranks, checkpoint to %s\n", kSnapshot);
+  papyrus::net::RunRanks(4, Job1);
+  printf("job 2: 3 ranks, restart with redistribution\n");
+  papyrus::net::RunRanks(3, Job2);
+  printf("checkpoint/restart done\n");
+  return 0;
+}

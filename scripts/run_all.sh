@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Builds everything, runs the full test suite, all examples, and every
+# figure/ablation bench, capturing outputs at the repo root — the
+# reproduction equivalent of the paper artifact's experiment workflow
+# (appendix A.4).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+echo "== tests =="
+ctest --test-dir build -j "$(nproc)" 2>&1 | tee test_output.txt | tail -2
+
+echo "== examples =="
+for e in quickstart coupled_workflow checkpoint_restart kmer_analysis; do
+  echo "--- $e ---"
+  ./build/examples/"$e"
+done
+
+echo "== benches (figures + ablations + micro) =="
+: > bench_output.txt
+for b in fig06_basic fig07_consistency fig08_get_opt fig09_workload \
+         fig10_checkpoint fig11_mdhim fig13_meraculous \
+         abl_lsm_knobs abl_migration abl_custom_hash micro_store; do
+  echo "===== build/bench/$b =====" | tee -a bench_output.txt
+  ./build/bench/"$b" "$@" 2>&1 | tee -a bench_output.txt
+  echo | tee -a bench_output.txt
+done
+
+echo "done: see test_output.txt, bench_output.txt, EXPERIMENTS.md"

@@ -1,0 +1,88 @@
+#include "apps/genome.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/random.h"
+
+namespace papyrus::apps {
+
+namespace {
+constexpr char kBases[] = "ACGT";
+}
+
+SyntheticGenome GenerateGenome(const GenomeSpec& spec) {
+  SyntheticGenome g;
+  g.k = spec.k;
+  Rng rng(spec.seed);
+
+  std::unordered_set<std::string> seen_kmers;
+  g.segments.reserve(static_cast<size_t>(spec.contigs));
+
+  for (int c = 0; c < spec.contigs; ++c) {
+    // Draw segments until one has no k-mer collision with the genome so
+    // far; grow base-by-base, redrawing a base when it would repeat a
+    // k-mer (bounded retries, then restart the segment).
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      std::string seg;
+      seg.reserve(static_cast<size_t>(spec.contig_len));
+      std::vector<std::string> added;
+      bool dead_end = false;
+      while (static_cast<int>(seg.size()) < spec.contig_len) {
+        bool placed = false;
+        for (int tries = 0; tries < 8 && !placed; ++tries) {
+          const char base = kBases[rng.Uniform(4)];
+          seg.push_back(base);
+          if (static_cast<int>(seg.size()) >= spec.k) {
+            std::string kmer = seg.substr(seg.size() - spec.k);
+            if (seen_kmers.count(kmer)) {
+              seg.pop_back();
+              continue;
+            }
+            seen_kmers.insert(kmer);
+            added.push_back(std::move(kmer));
+          }
+          placed = true;
+        }
+        if (!placed) {
+          dead_end = true;
+          break;
+        }
+      }
+      if (!dead_end) {
+        g.segments.push_back(std::move(seg));
+        break;
+      }
+      for (const auto& kmer : added) seen_kmers.erase(kmer);
+    }
+  }
+
+  // Emit UFX records.
+  for (const std::string& seg : g.segments) {
+    const int n = static_cast<int>(seg.size()) - spec.k + 1;
+    for (int i = 0; i < n; ++i) {
+      UfxRecord rec;
+      rec.kmer = seg.substr(static_cast<size_t>(i), static_cast<size_t>(spec.k));
+      rec.left = i == 0 ? 'X' : seg[static_cast<size_t>(i - 1)];
+      rec.right = i == n - 1 ? 'X' : seg[static_cast<size_t>(i + spec.k)];
+      g.ufx.push_back(std::move(rec));
+    }
+  }
+
+  // Shuffle so ingestion order is uncorrelated with genome position (as in
+  // real UFX files produced from randomly ordered reads).
+  for (size_t i = g.ufx.size(); i > 1; --i) {
+    std::swap(g.ufx[i - 1], g.ufx[rng.Uniform(i)]);
+  }
+  return g;
+}
+
+std::vector<const UfxRecord*> SeedRecords(const SyntheticGenome& genome) {
+  std::vector<const UfxRecord*> seeds;
+  for (const UfxRecord& rec : genome.ufx) {
+    if (rec.left == 'X') seeds.push_back(&rec);
+  }
+  return seeds;
+}
+
+}  // namespace papyrus::apps

@@ -1,0 +1,57 @@
+// Synthetic genome / UFX dataset generator for the Meraculous reproduction.
+//
+// The paper's Figure 13 experiment uses the human chr14 dataset from the
+// NERSC APEX Meraculous benchmark (a .ufx.bin file: k-mers with two-letter
+// extension codes).  That dataset is not available offline, so this module
+// generates a synthetic equivalent with the same structure (DESIGN.md §1):
+//
+//   * a random reference "genome" over the ACGT alphabet, assembled from
+//     `contigs` independent segments (real assemblies have many contigs
+//     separated by coverage gaps);
+//   * its UFX set: every k-length substring (k-mer) of each segment, paired
+//     with a two-letter [ACGT or X] code — the predecessor and successor
+//     bases.  X marks a segment boundary (no extension), exactly the
+//     convention Meraculous uses for contig ends;
+//   * the UFX records are what the assembler ingests; the original segments
+//     are kept as ground truth so tests can verify that de Bruijn traversal
+//     reconstructs every contig byte-for-byte.
+//
+// The generator avoids repeated k-mers across the genome (it rejects and
+// redraws segments containing duplicates) so the de Bruijn graph is a clean
+// set of disjoint paths — the property the Meraculous contig-generation
+// phase relies on after its UU-filtering step.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace papyrus::apps {
+
+struct UfxRecord {
+  std::string kmer;  // length k, over ACGT
+  char left;         // preceding base, or 'X' at a contig start
+  char right;        // following base, or 'X' at a contig end
+};
+
+struct SyntheticGenome {
+  int k = 0;
+  std::vector<std::string> segments;  // ground-truth contigs
+  std::vector<UfxRecord> ufx;        // the k-mer set, shuffled
+};
+
+struct GenomeSpec {
+  int k = 21;             // k-mer length
+  int contigs = 16;       // number of independent segments
+  int contig_len = 2000;  // bases per segment
+  uint64_t seed = 1;
+};
+
+// Generates a genome whose k-mers are globally unique.
+SyntheticGenome GenerateGenome(const GenomeSpec& spec);
+
+// The subset of `ufx` records whose k-mer starts a contig (left == 'X') —
+// the traversal seeds.
+std::vector<const UfxRecord*> SeedRecords(const SyntheticGenome& genome);
+
+}  // namespace papyrus::apps

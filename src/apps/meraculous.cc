@@ -1,0 +1,188 @@
+#include "apps/meraculous.h"
+
+#include <algorithm>
+
+#include "common/coding.h"
+#include "common/hash.h"
+#include "common/timer.h"
+
+namespace papyrus::apps {
+
+// ---------------------------------------------------------------------------
+// PapyrusKmerStore
+// ---------------------------------------------------------------------------
+
+namespace {
+// The UPC application's k-mer hash, installed into PapyrusKV as the custom
+// hash so both versions place a k-mer on the same rank (Fig. 12).
+uint64_t KmerAffinityHash(const char* key, size_t keylen) {
+  return Fnv1a64(key, keylen);
+}
+}  // namespace
+
+Status PapyrusKmerStore::Open(const std::string& db_name,
+                              std::unique_ptr<PapyrusKmerStore>* out) {
+  papyruskv_option_t opt;
+  papyruskv_option_init(&opt);
+  opt.hash = KmerAffinityHash;
+  opt.keylen = 32;
+  opt.vallen = 2;
+  std::unique_ptr<PapyrusKmerStore> store(new PapyrusKmerStore);
+  const int rc = papyruskv_open(db_name.c_str(),
+                                PAPYRUSKV_CREATE | PAPYRUSKV_RDWR, &opt,
+                                &store->db_);
+  if (rc != PAPYRUSKV_SUCCESS) return Status(rc, "open kmer db");
+  *out = std::move(store);
+  return Status::OK();
+}
+
+PapyrusKmerStore::~PapyrusKmerStore() {
+  if (!closed_) papyruskv_close(db_);
+}
+
+Status PapyrusKmerStore::Insert(const Slice& kmer, char left, char right) {
+  const char ext[2] = {left, right};
+  const int rc = papyruskv_put(db_, kmer.data(), kmer.size(), ext, 2);
+  return Status(rc);
+}
+
+Status PapyrusKmerStore::Lookup(const Slice& kmer, char* left, char* right) {
+  char buf[2];
+  char* bufp = buf;
+  size_t len = sizeof(buf);
+  const int rc = papyruskv_get(db_, kmer.data(), kmer.size(), &bufp, &len);
+  if (rc != PAPYRUSKV_SUCCESS) return Status(rc);
+  if (len != 2) return Status::Corrupted("kmer value size");
+  *left = buf[0];
+  *right = buf[1];
+  return Status::OK();
+}
+
+Status PapyrusKmerStore::ClaimSeed(const Slice&, bool* won) {
+  // PapyrusKV offers no remote atomic (the gap the paper notes); the
+  // caller's deterministic seed partition already guarantees exactly-once.
+  *won = true;
+  return Status::OK();
+}
+
+Status PapyrusKmerStore::Barrier() {
+  return Status(papyruskv_barrier(db_, PAPYRUSKV_MEMTABLE));
+}
+
+// ---------------------------------------------------------------------------
+// DsmKmerStore
+// ---------------------------------------------------------------------------
+
+Status DsmKmerStore::Open(net::RankContext& ctx,
+                          std::unique_ptr<DsmKmerStore>* out) {
+  std::unique_ptr<DsmKmerStore> store(new DsmKmerStore(ctx));
+  Status s = baseline::DsmHashTable::Open(ctx, &store->table_);
+  if (!s.ok()) return s;
+  *out = std::move(store);
+  return Status::OK();
+}
+
+Status DsmKmerStore::Insert(const Slice& kmer, char left, char right) {
+  const char ext[2] = {left, right};
+  return table_->Insert(kmer, Slice(ext, 2));
+}
+
+Status DsmKmerStore::Lookup(const Slice& kmer, char* left, char* right) {
+  std::string value;
+  Status s = table_->Lookup(kmer, &value);
+  if (!s.ok()) return s;
+  if (value.size() != 2) return Status::Corrupted("kmer value size");
+  *left = value[0];
+  *right = value[1];
+  return Status::OK();
+}
+
+Status DsmKmerStore::ClaimSeed(const Slice& kmer, bool* won) {
+  // The UPC remote atomic: flag 0 → 1 claims the seed.
+  return table_->CompareAndSwapFlag(kmer, 0, 1, won);
+}
+
+Status DsmKmerStore::Barrier() {
+  // upc_fence + upc_barrier: drain this rank's one-sided stores, then
+  // synchronize globally so every insert is visible everywhere.
+  Status s = table_->Quiet();
+  if (!s.ok()) return s;
+  ctx_.comm.Barrier();
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// The assembler
+// ---------------------------------------------------------------------------
+
+Status AssembleRank(net::RankContext& ctx, KmerStore& store,
+                    const SyntheticGenome& genome, AssemblyResult* out) {
+  *out = AssemblyResult{};
+  const int nranks = ctx.size();
+
+  // --- Construction: ingest my partition of the UFX records.
+  Stopwatch construct;
+  for (size_t i = static_cast<size_t>(ctx.rank); i < genome.ufx.size();
+       i += static_cast<size_t>(nranks)) {
+    const UfxRecord& rec = genome.ufx[i];
+    Status s = store.Insert(rec.kmer, rec.left, rec.right);
+    if (!s.ok()) return s;
+    ++out->kmers_inserted;
+  }
+  Status s = store.Barrier();
+  if (!s.ok()) return s;
+  out->construct_seconds = construct.ElapsedSeconds();
+
+  // --- Traversal: walk right from my partition of the seeds.
+  Stopwatch traverse;
+  const auto seeds = SeedRecords(genome);
+  for (size_t i = static_cast<size_t>(ctx.rank); i < seeds.size();
+       i += static_cast<size_t>(nranks)) {
+    const UfxRecord* seed = seeds[i];
+    bool won = false;
+    s = store.ClaimSeed(seed->kmer, &won);
+    if (!s.ok()) return s;
+    if (!won) continue;  // another rank claimed it (UPC path)
+
+    std::string contig = seed->kmer;
+    std::string cur = seed->kmer;
+    char left = 0, right = seed->right;
+    while (right != 'X') {
+      // Next k-mer: shift left one base, append the right extension.
+      cur.erase(0, 1);
+      cur.push_back(right);
+      contig.push_back(right);
+      s = store.Lookup(cur, &left, &right);
+      if (!s.ok()) {
+        return Status::Corrupted("traversal fell off the graph at " + cur);
+      }
+      ++out->lookups;
+    }
+    out->contigs.push_back(std::move(contig));
+  }
+  s = store.Barrier();
+  if (!s.ok()) return s;
+  out->traverse_seconds = traverse.ElapsedSeconds();
+  return Status::OK();
+}
+
+bool VerifyAssembly(net::RankContext& ctx, const SyntheticGenome& genome,
+                    const std::vector<std::string>& my_contigs) {
+  std::string packed;
+  for (const auto& c : my_contigs) PutLengthPrefixed(&packed, c);
+  std::vector<std::string> all;
+  ctx.comm.Allgather(packed, &all);
+
+  std::vector<std::string> contigs;
+  for (const auto& blob : all) {
+    Slice in(blob);
+    Slice one;
+    while (GetLengthPrefixed(&in, &one)) contigs.push_back(one.ToString());
+  }
+  std::vector<std::string> truth = genome.segments;
+  std::sort(contigs.begin(), contigs.end());
+  std::sort(truth.begin(), truth.end());
+  return contigs == truth;
+}
+
+}  // namespace papyrus::apps

@@ -1,0 +1,109 @@
+// Meraculous-style de Bruijn graph construction and traversal (paper §5.2,
+// Figures 12–13; Georganas et al., SC '14).
+//
+// The de Bruijn graph is a distributed hash table whose keys are k-mers and
+// whose values are two-letter extension codes [ACGTX][ACGTX] — exactly
+// Figure 12.  The assembler runs in two phases:
+//
+//   construction — every rank ingests its partition of the UFX records,
+//     inserting kmer → extensions into the distributed table.  With
+//     PapyrusKV this is the put-heavy phase whose asynchronous migration
+//     the paper credits for the UPC gap on Cori;
+//   traversal — every rank takes its partition of the seed k-mers (left
+//     extension 'X' = contig start) and walks right, looking up each
+//     successor k-mer, until the right extension is 'X', emitting the
+//     contig.  The UPC backend additionally claims each seed with a remote
+//     atomic compare-and-swap, the mechanism the paper names.
+//
+// KmerStore abstracts the two data substrates so the identical algorithm
+// runs on PapyrusKV and on the UPC-like DSM baseline.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/genome.h"
+#include "baseline/dsm.h"
+#include "common/status.h"
+#include "core/papyruskv.h"
+#include "net/runtime.h"
+
+namespace papyrus::apps {
+
+// The distributed k-mer table interface shared by both backends.
+class KmerStore {
+ public:
+  virtual ~KmerStore() = default;
+  // kmer → two-byte extension code {left, right}.
+  virtual Status Insert(const Slice& kmer, char left, char right) = 0;
+  virtual Status Lookup(const Slice& kmer, char* left, char* right) = 0;
+  // Claims a contig seed; *won says whether this rank got it.  Backends
+  // without remote atomics may implement this as always-won (the caller
+  // partitions seeds deterministically anyway).
+  virtual Status ClaimSeed(const Slice& kmer, bool* won) = 0;
+  // Synchronization point after construction: all inserts visible.
+  virtual Status Barrier() = 0;
+  virtual const char* name() const = 0;
+};
+
+// PapyrusKV-backed table.  Uses the paper's porting approach: the same hash
+// function as the UPC version is installed as the custom hash, so
+// thread-data affinities match (Fig. 12).
+class PapyrusKmerStore : public KmerStore {
+ public:
+  // Collective; call inside an initialized PapyrusKV rank.
+  static Status Open(const std::string& db_name,
+                     std::unique_ptr<PapyrusKmerStore>* out);
+  ~PapyrusKmerStore() override;
+
+  Status Insert(const Slice& kmer, char left, char right) override;
+  Status Lookup(const Slice& kmer, char* left, char* right) override;
+  Status ClaimSeed(const Slice& kmer, bool* won) override;
+  Status Barrier() override;
+  const char* name() const override { return "papyruskv"; }
+
+ private:
+  papyruskv_db_t db_ = -1;
+  bool closed_ = false;
+};
+
+// UPC-like DSM-backed table with one-sided ops and remote atomics.
+class DsmKmerStore : public KmerStore {
+ public:
+  static Status Open(net::RankContext& ctx,
+                     std::unique_ptr<DsmKmerStore>* out);
+
+  Status Insert(const Slice& kmer, char left, char right) override;
+  Status Lookup(const Slice& kmer, char* left, char* right) override;
+  Status ClaimSeed(const Slice& kmer, bool* won) override;
+  Status Barrier() override;
+  const char* name() const override { return "upc-dsm"; }
+
+ private:
+  explicit DsmKmerStore(net::RankContext& ctx) : ctx_(ctx) {}
+  net::RankContext& ctx_;
+  std::unique_ptr<baseline::DsmHashTable> table_;
+};
+
+struct AssemblyResult {
+  std::vector<std::string> contigs;  // contigs this rank produced
+  double construct_seconds = 0;
+  double traverse_seconds = 0;
+  uint64_t kmers_inserted = 0;
+  uint64_t lookups = 0;
+};
+
+// Runs the full assembler on this rank: ingests ufx records with index ≡
+// rank (mod nranks), barriers, then traverses the seeds with index ≡ rank
+// (mod nranks).  Collective.
+Status AssembleRank(net::RankContext& ctx, KmerStore& store,
+                    const SyntheticGenome& genome, AssemblyResult* out);
+
+// Collectively gathers every rank's contigs to all ranks and checks them
+// against the genome's ground-truth segments (same multiset).  Returns
+// true on an exact match.
+bool VerifyAssembly(net::RankContext& ctx, const SyntheticGenome& genome,
+                    const std::vector<std::string>& my_contigs);
+
+}  // namespace papyrus::apps

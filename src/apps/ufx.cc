@@ -1,0 +1,129 @@
+#include "apps/ufx.h"
+
+#include <unordered_map>
+
+#include "common/coding.h"
+#include "common/crc32.h"
+#include "sim/storage.h"
+
+namespace papyrus::apps {
+
+namespace {
+
+bool ValidExt(char c) {
+  return c == 'A' || c == 'C' || c == 'G' || c == 'T' || c == 'X';
+}
+
+// Rebuilds contig segments from UFX records by seed traversal (used when
+// loading a dataset file without its generator's ground truth).
+Status ReconstructSegments(int k, const std::vector<UfxRecord>& records,
+                           std::vector<std::string>* segments) {
+  std::unordered_map<std::string, const UfxRecord*> table;
+  table.reserve(records.size());
+  for (const auto& rec : records) table[rec.kmer] = &rec;
+  segments->clear();
+  for (const auto& rec : records) {
+    if (rec.left != 'X') continue;
+    std::string contig = rec.kmer;
+    std::string cur = rec.kmer;
+    char right = rec.right;
+    while (right != 'X') {
+      cur.erase(0, 1);
+      cur.push_back(right);
+      contig.push_back(right);
+      auto it = table.find(cur);
+      if (it == table.end()) {
+        return Status::Corrupted("ufx: broken k-mer chain at " + cur);
+      }
+      right = it->second->right;
+    }
+    if (static_cast<int>(contig.size()) < k) {
+      return Status::Corrupted("ufx: contig shorter than k");
+    }
+    segments->push_back(std::move(contig));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteUfx(const std::string& path, int k,
+                const std::vector<UfxRecord>& records) {
+  if (k <= 0 || k > 255) return Status::InvalidArg("ufx: bad k");
+  std::string out;
+  out.reserve(16 + records.size() * (static_cast<size_t>(k) + 2) + 4);
+  PutFixed32(&out, kUfxMagic);
+  PutFixed32(&out, static_cast<uint32_t>(k));
+  PutFixed64(&out, records.size());
+  for (const UfxRecord& rec : records) {
+    if (static_cast<int>(rec.kmer.size()) != k) {
+      return Status::InvalidArg("ufx: k-mer length mismatch");
+    }
+    if (!ValidExt(rec.left) || !ValidExt(rec.right)) {
+      return Status::InvalidArg("ufx: bad extension code");
+    }
+    out.append(rec.kmer);
+    out.push_back(rec.left);
+    out.push_back(rec.right);
+  }
+  PutFixed32(&out, MaskCrc(Crc32c(out.data(), out.size())));
+  return sim::Storage::WriteStringToFile(path, out);
+}
+
+Status ReadUfx(const std::string& path, int* k,
+               std::vector<UfxRecord>* records) {
+  std::string data;
+  Status s = sim::Storage::ReadFileToString(path, &data);
+  if (!s.ok()) return s;
+  if (data.size() < 20) return Status::Corrupted("ufx: file too small");
+
+  const uint32_t stored =
+      UnmaskCrc(DecodeFixed32(data.data() + data.size() - 4));
+  if (Crc32c(data.data(), data.size() - 4) != stored) {
+    return Status::Corrupted("ufx: crc mismatch");
+  }
+
+  Slice in(data.data(), data.size() - 4);
+  uint32_t magic = 0, kk = 0;
+  uint64_t count = 0;
+  GetFixed32(&in, &magic);
+  GetFixed32(&in, &kk);
+  GetFixed64(&in, &count);
+  if (magic != kUfxMagic) return Status::Corrupted("ufx: bad magic");
+  if (kk == 0 || kk > 255) return Status::Corrupted("ufx: bad k");
+  if (in.size() != count * (kk + 2)) {
+    return Status::Corrupted("ufx: size mismatch");
+  }
+
+  records->clear();
+  records->reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    UfxRecord rec;
+    rec.kmer.assign(in.data(), kk);
+    in.remove_prefix(kk);
+    rec.left = in[0];
+    rec.right = in[1];
+    in.remove_prefix(2);
+    if (!ValidExt(rec.left) || !ValidExt(rec.right)) {
+      return Status::Corrupted("ufx: bad extension code in record");
+    }
+    records->push_back(std::move(rec));
+  }
+  *k = static_cast<int>(kk);
+  return Status::OK();
+}
+
+Status LoadOrGenerateUfx(const std::string& path, const GenomeSpec& spec,
+                         SyntheticGenome* out) {
+  if (sim::Storage::FileExists(path)) {
+    out->segments.clear();
+    out->ufx.clear();
+    Status s = ReadUfx(path, &out->k, &out->ufx);
+    if (!s.ok()) return s;
+    return ReconstructSegments(out->k, out->ufx, &out->segments);
+  }
+  *out = GenerateGenome(spec);
+  return WriteUfx(path, out->k, out->ufx);
+}
+
+}  // namespace papyrus::apps

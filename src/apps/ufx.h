@@ -1,0 +1,46 @@
+// UFX dataset files.
+//
+// The Meraculous APEX benchmark distributes its input as a UFX file
+// (e.g. human-chr14.txt.ufx.bin): the k-mer set with two-letter extension
+// codes, produced by the upstream k-mer analysis stage.  This module reads
+// and writes this reproduction's equivalent binary format, so generated
+// datasets can be saved once and shared by examples, benches, and tests —
+// and so the assembler's input path is a real file, as in the paper's
+// artifact.
+//
+// File layout (little-endian):
+//   [u32 magic "UFXB"][u32 k][u64 record count]
+//   count × [k bytes kmer][1 byte left ext][1 byte right ext]
+//   [u32 masked CRC-32C of everything above]
+//
+// Extensions are 'A','C','G','T' or 'X' (no extension / contig boundary).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "apps/genome.h"
+#include "common/status.h"
+
+namespace papyrus::apps {
+
+inline constexpr uint32_t kUfxMagic = 0x55465842;  // "UFXB"
+
+// Writes records (all k-mers must have length k) to `path` via the
+// simulated storage layer (the file is charged to its device).
+Status WriteUfx(const std::string& path, int k,
+                const std::vector<UfxRecord>& records);
+
+// Reads and CRC-verifies a UFX file.
+Status ReadUfx(const std::string& path, int* k,
+               std::vector<UfxRecord>* records);
+
+// Convenience: generate-or-load.  If `path` exists it is read; otherwise
+// the genome is generated from `spec`, its UFX set written to `path`, and
+// the records returned.  The ground-truth segments are only available when
+// freshly generated (loading a file yields segments reconstructed by
+// traversal — sufficient for verification, since traversal is exact).
+Status LoadOrGenerateUfx(const std::string& path, const GenomeSpec& spec,
+                         SyntheticGenome* out);
+
+}  // namespace papyrus::apps

@@ -1,0 +1,86 @@
+// A UPC-style distributed shared-memory hash table.
+//
+// The Meraculous comparison (paper §5.2, Figures 12–13) pits PapyrusKV
+// against the original UPC implementation, whose de Bruijn graph is "a
+// distributed hash table ... leverag[ing] the one-sided communication in
+// UPC" plus "built-in remote atomic operations during the graph traversal".
+//
+// This baseline reproduces that substrate with *true one-sided* semantics:
+// each rank hosts a shard of the table in DRAM, and remote operations are
+// performed directly by the initiating thread against the target shard —
+// no target-side thread is involved, exactly like RDMA (the NIC performs
+// the access).  Costs are charged to the interconnect model:
+//   * Insert (remote store): fire-and-forget — the sender pays injection +
+//     NIC occupancy and returns; upc_fence (Quiet) orders them;
+//   * Lookup (remote read) and CompareAndSwapFlag (remote atomic): the
+//     initiator blocks for the full round trip (2x propagation latency).
+//
+// There is no staging, batching, persistence, or storage I/O — which is
+// why UPC outruns PapyrusKV on this workload (Fig. 13), and why it offers
+// none of the KVS's capacity or fault-tolerance properties.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "net/runtime.h"
+
+namespace papyrus::baseline {
+
+class DsmHashTable {
+ public:
+  // Collective: exchanges shard addresses (the "registered memory"
+  // handshake) so every rank can address every shard one-sidedly.
+  static Status Open(net::RankContext& ctx,
+                     std::unique_ptr<DsmHashTable>* out);
+  ~DsmHashTable();
+
+  // One-sided put: returns after injection; ordered by Quiet().
+  Status Insert(const Slice& key, const Slice& value);
+  // Completion fence for this rank's outstanding Inserts (upc_fence).
+  Status Quiet();
+  // One-sided get; blocks for the round trip.  NOT_FOUND when absent.
+  Status Lookup(const Slice& key, std::string* value);
+  // Remote atomic on the entry's flag word: if flag == expected, set to
+  // desired; *swapped reports success.  NOT_FOUND when the key is absent.
+  Status CompareAndSwapFlag(const Slice& key, uint64_t expected,
+                            uint64_t desired, bool* swapped);
+
+  // Collective close (quiesces and unregisters the shard).
+  Status Close();
+
+  int OwnerOf(const Slice& key) const;
+  size_t LocalShardSize() const;
+
+ private:
+  explicit DsmHashTable(net::RankContext& ctx);
+
+  struct Entry {
+    std::string value;
+    uint64_t flag = 0;
+  };
+
+  // The local shard, directly accessed by remote initiator threads.
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, Entry> map;
+  };
+
+  Shard& TargetShard(int owner) const { return *peers_[size_t(owner)]; }
+  // Charges a one-sided transfer toward `owner`; `round_trip` makes the
+  // initiator also wait out 2x the propagation latency.
+  void ChargeOneSided(int owner, uint64_t bytes, bool round_trip) const;
+
+  net::RankContext& ctx_;
+  std::shared_ptr<Shard> shard_;
+  std::vector<Shard*> peers_;  // shard address table, indexed by rank
+  bool closed_ = false;
+};
+
+}  // namespace papyrus::baseline

@@ -1,0 +1,72 @@
+// MDHIM-style baseline: a communication/distribution layer stacked on a
+// per-rank local store (MiniDb ≈ LevelDB).
+//
+// Models the comparator of paper §5.2 / Figure 11 (Greenberg et al.,
+// HotStorage '15): an embedded, serverless, parallel KVS where each rank
+// doubles as a *range server* for its hash partition.  The properties the
+// paper attributes MDHIM's slowdown to are reproduced structurally:
+//
+//   * two discrete layers: the comm layer marshals every record into its
+//     own buffers, the range server unmarshals into fresh allocations, and
+//     the local store copies again into its MemTable — "duplicated memory
+//     allocation and data transfer between the two layers";
+//   * every put and get is a synchronous request/response round trip (no
+//     relaxed staging, no migration batching);
+//   * one LevelDB instance per rank with no sharing: co-located ranks
+//     cannot read each other's SSTables ("MDHIM cannot share the SSTables
+//     between multiple independent LevelDB instances").
+//
+// Local operations short-circuit the network but still cross the layer
+// boundary (marshal → unmarshal → store), as in the real stack.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "baseline/minidb.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "net/runtime.h"
+
+namespace papyrus::baseline {
+
+struct MdhimOptions {
+  MiniDbOptions store;
+};
+
+class Mdhim {
+ public:
+  // Collective: every rank opens, spinning up its embedded range server.
+  // `dir_spec` may carry a device-class prefix ("nvme:/tmp/x").
+  static Status Open(net::RankContext& ctx, const std::string& dir_spec,
+                     const MdhimOptions& opt, std::unique_ptr<Mdhim>* out);
+
+  ~Mdhim();
+
+  // Synchronous single-record operations (mdhim_put / mdhim_get flavor).
+  Status Put(const Slice& key, const Slice& value);
+  Status Delete(const Slice& key);
+  Status Get(const Slice& key, std::string* value);
+
+  // Collective close: flush, stop the range server.
+  Status Close();
+
+  int OwnerOf(const Slice& key) const;
+
+ private:
+  Mdhim(net::RankContext& ctx);
+
+  void RangeServerLoop();
+  Status RoundTrip(int owner, int op, const Slice& key, const Slice& value,
+                   std::string* result);
+
+  net::RankContext& ctx_;
+  net::Communicator req_comm_;
+  net::Communicator resp_comm_;
+  std::unique_ptr<MiniDb> store_;
+  std::thread server_;
+  bool closed_ = false;
+};
+
+}  // namespace papyrus::baseline

@@ -1,0 +1,103 @@
+#include "baseline/minidb.h"
+
+#include "store/compactor.h"
+#include "store/format.h"
+#include "store/sstable.h"
+
+namespace papyrus::baseline {
+
+MiniDb::MiniDb(const std::string& dir, const MiniDbOptions& opt)
+    : opt_(opt), manifest_(dir) {}
+
+Status MiniDb::Open(const std::string& dir, const MiniDbOptions& opt,
+                    std::unique_ptr<MiniDb>* out) {
+  std::unique_ptr<MiniDb> db(new MiniDb(dir, opt));
+  Status s = db->manifest_.Open();
+  if (!s.ok()) return s;
+  *out = std::move(db);
+  return Status::OK();
+}
+
+Status MiniDb::Put(const Slice& key, const Slice& value) {
+  return PutInternal(key, value, false);
+}
+
+Status MiniDb::Delete(const Slice& key) {
+  return PutInternal(key, Slice(), true);
+}
+
+Status MiniDb::PutInternal(const Slice& key, const Slice& value,
+                           bool tombstone) {
+  if (key.empty()) return Status::InvalidArg("empty key");
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = mem_.find(key.ToString());
+  if (it != mem_.end()) {
+    mem_bytes_ -= it->first.size() + it->second.value.size();
+    it->second.value = value.ToString();
+    it->second.tombstone = tombstone;
+  } else {
+    mem_.emplace(key.ToString(), Entry{value.ToString(), tombstone});
+  }
+  mem_bytes_ += key.size() + value.size();
+  if (mem_bytes_ >= opt_.memtable_bytes) {
+    // LevelDB-style write stall: flush on the writer's thread.
+    return FlushLocked();
+  }
+  return Status::OK();
+}
+
+Status MiniDb::Get(const Slice& key, std::string* value) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = mem_.find(key.ToString());
+    if (it != mem_.end()) {
+      if (it->second.tombstone) return Status::NotFound();
+      *value = it->second.value;
+      return Status::OK();
+    }
+  }
+  for (uint64_t ssid : manifest_.LiveSsids()) {
+    store::SSTablePtr reader;
+    Status s = manifest_.GetReader(ssid, &reader);
+    if (s.IsNotFound()) continue;
+    if (!s.ok()) return s;
+    if (!reader->MayContain(key)) continue;
+    bool tombstone = false, found = false;
+    s = reader->Get(key, store::SearchMode::kBinary, value, &tombstone,
+                    &found);
+    if (!s.ok()) return s;
+    if (found) return tombstone ? Status::NotFound() : Status::OK();
+  }
+  return Status::NotFound();
+}
+
+Status MiniDb::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FlushLocked();
+}
+
+Status MiniDb::FlushLocked() {
+  if (mem_.empty()) return Status::OK();
+  const uint64_t ssid = manifest_.NextSsid();
+  store::SSTableBuilder builder(manifest_.dir(), ssid, mem_.size(),
+                                opt_.bloom_bits_per_key);
+  for (const auto& [k, e] : mem_) {
+    Status s =
+        builder.Add(k, e.value, e.tombstone ? store::kFlagTombstone : 0);
+    if (!s.ok()) return s;
+  }
+  Status s = builder.Finish();
+  if (!s.ok()) return s;
+  manifest_.AddTable(ssid);
+  mem_.clear();
+  mem_bytes_ = 0;
+  return store::MaybeCompact(manifest_, ssid, opt_.compaction_trigger,
+                             opt_.bloom_bits_per_key);
+}
+
+size_t MiniDb::MemTableBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return mem_bytes_;
+}
+
+}  // namespace papyrus::baseline

@@ -1,0 +1,70 @@
+// MiniDB: a single-node LSM key-value store in the LevelDB mold.
+//
+// This is the "local data store" layer of the MDHIM baseline (paper §5.2,
+// Figure 11: "We used LevelDB as the local data store of MDHIM").  It is a
+// deliberately *separate* implementation from the PapyrusKV store: MDHIM's
+// measured disadvantage comes from maintaining "two discrete memory data
+// structures in the communication/distribution layer (MDHIM) and local data
+// storage layer (LevelDB)", so the baseline must actually have its own
+// MemTable and its own buffering, with data copied across the layer
+// boundary.
+//
+// Like LevelDB (and unlike PapyrusKV), MiniDB flushes synchronously on the
+// writer's thread when the MemTable fills — a write stall instead of
+// PapyrusKV's background compaction thread.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "store/manifest.h"
+
+namespace papyrus::baseline {
+
+struct MiniDbOptions {
+  size_t memtable_bytes = 4u << 20;
+  uint64_t compaction_trigger = 4;
+  int bloom_bits_per_key = 10;
+};
+
+class MiniDb {
+ public:
+  static Status Open(const std::string& dir, const MiniDbOptions& opt,
+                     std::unique_ptr<MiniDb>* out);
+
+  // Inserts or updates.  May stall to flush the MemTable and compact.
+  Status Put(const Slice& key, const Slice& value);
+  Status Delete(const Slice& key);
+  // NOT_FOUND for absent/deleted keys.
+  Status Get(const Slice& key, std::string* value);
+
+  // Flushes the MemTable to an SSTable (no-op when empty).
+  Status Flush();
+
+  size_t MemTableBytes() const;
+  size_t TableCount() const { return manifest_.TableCount(); }
+
+ private:
+  MiniDb(const std::string& dir, const MiniDbOptions& opt);
+
+  struct Entry {
+    std::string value;
+    bool tombstone = false;
+  };
+
+  Status PutInternal(const Slice& key, const Slice& value, bool tombstone);
+  Status FlushLocked();
+
+  MiniDbOptions opt_;
+  store::Manifest manifest_;
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> mem_;
+  size_t mem_bytes_ = 0;
+};
+
+}  // namespace papyrus::baseline

@@ -1,0 +1,56 @@
+// Reporting helpers for the figure-reproduction benches.
+//
+// The paper's artifact reports "the average, minimum, and maximum of total
+// execution times for all MPI ranks"; its figures plot KRPS (kilo requests
+// per second) and MBPS (megabytes per second).  This module computes those
+// aggregates across emulated ranks and prints aligned tables, one bench
+// binary per paper figure (see bench/).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/comm.h"
+
+namespace papyrus::bench {
+
+// avg/min/max of a per-rank scalar, identical result on every rank.
+struct RankStats {
+  double avg = 0;
+  double min = 0;
+  double max = 0;
+};
+RankStats GatherStats(const net::Communicator& comm, double mine);
+
+// Figure metrics.  Throughput uses the *maximum* rank time (the paper
+// measures total execution time of the parallel phase — the slowest rank
+// defines it).
+inline double Krps(uint64_t total_ops, double seconds) {
+  return seconds > 0 ? static_cast<double>(total_ops) / seconds / 1e3 : 0;
+}
+inline double Mbps(uint64_t total_bytes, double seconds) {
+  return seconds > 0 ? static_cast<double>(total_bytes) / seconds / 1e6 : 0;
+}
+
+// Pretty size for row labels: "256B", "128KB", "1MB".
+std::string HumanSize(uint64_t bytes);
+
+// Minimal fixed-width table printer (rank 0 only prints).
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> headers);
+  void AddRow(const std::vector<std::string>& cells);
+  // Renders to stdout.
+  void Print() const;
+
+  // Cell formatting helpers.
+  static std::string Num(double v, int precision = 1);
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace papyrus::bench

@@ -1,0 +1,107 @@
+#include "benchlib/workload.h"
+
+#include <map>
+#include <mutex>
+#include <stdexcept>
+
+#include "common/random.h"
+#include "common/timer.h"
+
+namespace papyrus::bench {
+
+namespace {
+void Check(int rc, const char* what) {
+  if (rc != PAPYRUSKV_SUCCESS && rc != PAPYRUSKV_NOT_FOUND) {
+    throw std::runtime_error(std::string(what) + " failed: " +
+                             ErrorName(rc));
+  }
+}
+}  // namespace
+
+std::vector<std::string> MakeKeys(int rank, size_t count, size_t keylen,
+                                  uint64_t seed) {
+  Rng rng(seed * 1000003 + static_cast<uint64_t>(rank));
+  std::vector<std::string> keys;
+  keys.reserve(count);
+  for (size_t i = 0; i < count; ++i) keys.push_back(RandomKey(rng, keylen));
+  return keys;
+}
+
+const std::string& ValueBlob(size_t vallen) {
+  static std::mutex mu;
+  static std::map<size_t, std::string> blobs;
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = blobs.find(vallen);
+  if (it == blobs.end()) {
+    it = blobs.emplace(vallen, PatternValue(vallen, vallen)).first;
+  }
+  return it->second;
+}
+
+BasicResult RunBasic(papyruskv_db_t db, int rank, size_t keylen,
+                     size_t vallen, int iters) {
+  BasicResult out;
+  out.ops = static_cast<uint64_t>(iters);
+  out.value_bytes = out.ops * vallen;
+  const auto keys = MakeKeys(rank, static_cast<size_t>(iters), keylen);
+  const std::string& value = ValueBlob(vallen);
+
+  Stopwatch put_sw;
+  for (const auto& k : keys) {
+    Check(papyruskv_put(db, k.data(), k.size(), value.data(), value.size()),
+          "put");
+  }
+  out.put_seconds = put_sw.ElapsedSeconds();
+
+  Stopwatch bar_sw;
+  Check(papyruskv_barrier(db, PAPYRUSKV_SSTABLE), "barrier");
+  out.barrier_seconds = bar_sw.ElapsedSeconds();
+
+  Stopwatch get_sw;
+  for (const auto& k : keys) {
+    char* v = nullptr;
+    size_t n = 0;
+    const int rc = papyruskv_get(db, k.data(), k.size(), &v, &n);
+    Check(rc, "get");
+    if (rc == PAPYRUSKV_SUCCESS) papyruskv_free(db, v);
+  }
+  out.get_seconds = get_sw.ElapsedSeconds();
+  return out;
+}
+
+WorkloadResult RunWorkload(papyruskv_db_t db, int rank, size_t keylen,
+                           size_t vallen, int iters, int update_pct) {
+  WorkloadResult out;
+  const auto keys = MakeKeys(rank, static_cast<size_t>(iters), keylen);
+  const std::string& value = ValueBlob(vallen);
+
+  Stopwatch init_sw;
+  for (const auto& k : keys) {
+    Check(papyruskv_put(db, k.data(), k.size(), value.data(), value.size()),
+          "init put");
+  }
+  Check(papyruskv_barrier(db, PAPYRUSKV_MEMTABLE), "init barrier");
+  out.init_seconds = init_sw.ElapsedSeconds();
+
+  Rng rng(0xbadc0de + static_cast<uint64_t>(rank));
+  Stopwatch phase_sw;
+  for (int i = 0; i < iters; ++i) {
+    const std::string& k = keys[rng.Uniform(keys.size())];
+    if (static_cast<int>(rng.Uniform(100)) < update_pct) {
+      Check(papyruskv_put(db, k.data(), k.size(), value.data(),
+                          value.size()),
+            "update");
+    } else {
+      char* v = nullptr;
+      size_t n = 0;
+      const int rc = papyruskv_get(db, k.data(), k.size(), &v, &n);
+      Check(rc, "read");
+      if (rc == PAPYRUSKV_SUCCESS) papyruskv_free(db, v);
+    }
+    ++out.phase_ops;
+  }
+  out.phase_seconds = phase_sw.ElapsedSeconds();
+  return out;
+}
+
+}  // namespace papyrus::bench

@@ -1,0 +1,62 @@
+// Workload drivers replicating the paper's three microbenchmark
+// applications (artifact appendix A.4):
+//
+//   basic    — N puts of (keylen, vallen) random pairs, a barrier with the
+//              PAPYRUSKV_SSTABLE level, then N gets of the same keys.
+//              Used by Figures 6, 7, 8.
+//   workload — an initialization phase of N puts followed by a read/update
+//              phase of N ops with a given update percentage, in sequential
+//              consistency mode.  Used by Figures 9 and 11.
+//   cr       — N puts, then checkpoint / restart / restart-with-
+//              redistribution against a parallel-filesystem target.
+//              Used by Figure 10.
+//
+// Every driver runs inside one emulated rank and reports per-phase wall
+// times; the bench binaries aggregate them across ranks (report.h) into the
+// figures' KRPS/MBPS series.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/papyruskv.h"
+#include "net/runtime.h"
+
+namespace papyrus::bench {
+
+// Deterministic per-rank key set (16 B alphanumeric by default, the
+// paper's format).
+std::vector<std::string> MakeKeys(int rank, size_t count, size_t keylen,
+                                  uint64_t seed = 0x5eed);
+
+struct BasicResult {
+  double put_seconds = 0;
+  double barrier_seconds = 0;
+  double get_seconds = 0;
+  uint64_t ops = 0;          // per phase, this rank
+  uint64_t value_bytes = 0;  // vallen * ops
+};
+
+// The `basic` app body for one rank: put → barrier(SSTABLE) → get.
+// `db` must be open; keys are the rank's deterministic set.
+BasicResult RunBasic(papyruskv_db_t db, int rank, size_t keylen,
+                     size_t vallen, int iters);
+
+struct WorkloadResult {
+  double init_seconds = 0;
+  double phase_seconds = 0;
+  uint64_t phase_ops = 0;
+};
+
+// The `workload` app body: init puts, barrier, then a read/update phase
+// where each op updates with probability update_pct/100 and reads
+// otherwise (keys drawn uniformly from the init set).
+WorkloadResult RunWorkload(papyruskv_db_t db, int rank, size_t keylen,
+                           size_t vallen, int iters, int update_pct);
+
+// Shared value payload (constant content keeps the focus on data-path
+// cost, as in the artifact's apps).
+const std::string& ValueBlob(size_t vallen);
+
+}  // namespace papyrus::bench

@@ -1,0 +1,83 @@
+// Little-endian fixed-width and varint encodings for on-disk formats and
+// network messages.  Byte-order independent: always stores little-endian
+// regardless of host.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "common/slice.h"
+
+namespace papyrus {
+
+inline void EncodeFixed32(char* dst, uint32_t v) {
+  dst[0] = static_cast<char>(v & 0xff);
+  dst[1] = static_cast<char>((v >> 8) & 0xff);
+  dst[2] = static_cast<char>((v >> 16) & 0xff);
+  dst[3] = static_cast<char>((v >> 24) & 0xff);
+}
+
+inline void EncodeFixed64(char* dst, uint64_t v) {
+  for (int i = 0; i < 8; ++i) dst[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+}
+
+inline uint32_t DecodeFixed32(const char* p) {
+  const auto* u = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<uint32_t>(u[0]) | (static_cast<uint32_t>(u[1]) << 8) |
+         (static_cast<uint32_t>(u[2]) << 16) |
+         (static_cast<uint32_t>(u[3]) << 24);
+}
+
+inline uint64_t DecodeFixed64(const char* p) {
+  const auto* u = reinterpret_cast<const unsigned char*>(p);
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(u[i]) << (8 * i);
+  return v;
+}
+
+inline void PutFixed32(std::string* dst, uint32_t v) {
+  char buf[4];
+  EncodeFixed32(buf, v);
+  dst->append(buf, 4);
+}
+
+inline void PutFixed64(std::string* dst, uint64_t v) {
+  char buf[8];
+  EncodeFixed64(buf, v);
+  dst->append(buf, 8);
+}
+
+// Length-prefixed byte string: fixed32 length then raw bytes.
+inline void PutLengthPrefixed(std::string* dst, const Slice& s) {
+  PutFixed32(dst, static_cast<uint32_t>(s.size()));
+  dst->append(s.data(), s.size());
+}
+
+// Reads a length-prefixed string from *input, advancing it.  Returns false
+// on truncation.
+inline bool GetLengthPrefixed(Slice* input, Slice* out) {
+  if (input->size() < 4) return false;
+  uint32_t len = DecodeFixed32(input->data());
+  input->remove_prefix(4);
+  if (input->size() < len) return false;
+  *out = Slice(input->data(), len);
+  input->remove_prefix(len);
+  return true;
+}
+
+inline bool GetFixed32(Slice* input, uint32_t* v) {
+  if (input->size() < 4) return false;
+  *v = DecodeFixed32(input->data());
+  input->remove_prefix(4);
+  return true;
+}
+
+inline bool GetFixed64(Slice* input, uint64_t* v) {
+  if (input->size() < 8) return false;
+  *v = DecodeFixed64(input->data());
+  input->remove_prefix(8);
+  return true;
+}
+
+}  // namespace papyrus

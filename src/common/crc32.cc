@@ -1,0 +1,36 @@
+#include "common/crc32.h"
+
+#include <array>
+
+namespace papyrus {
+namespace {
+
+// Reflected CRC-32C polynomial.
+constexpr uint32_t kPoly = 0x82f63b78u;
+
+constexpr std::array<uint32_t, 256> MakeTable() {
+  std::array<uint32_t, 256> t{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? (kPoly ^ (c >> 1)) : (c >> 1);
+    }
+    t[i] = c;
+  }
+  return t;
+}
+
+constexpr std::array<uint32_t, 256> kTable = MakeTable();
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t n, uint32_t init) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint32_t c = init ^ 0xffffffffu;
+  for (size_t i = 0; i < n; ++i) {
+    c = kTable[(c ^ p[i]) & 0xff] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+}  // namespace papyrus

@@ -1,0 +1,41 @@
+#include "common/env.h"
+
+#include <cstdlib>
+
+namespace papyrus {
+
+std::optional<std::string> EnvString(const char* name) {
+  const char* v = std::getenv(name);
+  if (!v || !*v) return std::nullopt;
+  return std::string(v);
+}
+
+std::optional<int64_t> EnvInt(const char* name) {
+  auto s = EnvString(name);
+  if (!s) return std::nullopt;
+  char* end = nullptr;
+  long long v = strtoll(s->c_str(), &end, 10);
+  if (end == s->c_str() || *end != '\0') return std::nullopt;
+  return static_cast<int64_t>(v);
+}
+
+std::optional<bool> EnvBool(const char* name) {
+  auto v = EnvInt(name);
+  if (!v) return std::nullopt;
+  return *v != 0;
+}
+
+EnvConfig EnvConfig::Load() {
+  EnvConfig c;
+  c.repository = EnvString("PAPYRUSKV_REPOSITORY").value_or("");
+  c.group_size = EnvInt("PAPYRUSKV_GROUP_SIZE");
+  c.consistency = EnvInt("PAPYRUSKV_CONSISTENCY");
+  c.bin_search = EnvInt("PAPYRUSKV_BIN_SEARCH");
+  c.cache_remote = EnvBool("PAPYRUSKV_CACHE_REMOTE");
+  c.force_redistribute = EnvBool("PAPYRUSKV_FORCE_REDISTRIBUTE");
+  c.memtable_bytes = EnvInt("PAPYRUSKV_MEMTABLE_SIZE");
+  c.lustre_path = EnvString("PAPYRUSKV_LUSTRE");
+  return c;
+}
+
+}  // namespace papyrus

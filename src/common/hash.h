@@ -1,0 +1,49 @@
+// Hash functions.
+//
+// PapyrusKV determines the owner rank of a key by hashing it and taking the
+// remainder modulo the number of ranks (paper §2.4).  Applications may
+// install a custom hash for load balancing (§2.4 "Load balancing"); the
+// built-in default is the 64-bit FNV-1a below.  Murmur-style finalization is
+// provided for the bloom filter's double hashing.
+#pragma once
+
+#include <cstdint>
+
+#include "common/slice.h"
+
+namespace papyrus {
+
+// 64-bit FNV-1a over an arbitrary byte array.  The library's built-in key
+// hash: simple, endian-independent, good avalanche for short string keys.
+inline uint64_t Fnv1a64(const char* data, size_t n) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+inline uint64_t Fnv1a64(const Slice& s) { return Fnv1a64(s.data(), s.size()); }
+
+// Murmur3-style 64-bit finalizer; used to derive independent bloom probes
+// from one base hash (Kirsch–Mitzenmacher double hashing).
+inline uint64_t Mix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdull;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ull;
+  x ^= x >> 33;
+  return x;
+}
+
+// Signature of an application-supplied key hash (paper: papyruskv_option_t
+// carries a custom hash used to pick the owner rank).
+using KeyHashFn = uint64_t (*)(const char* key, size_t keylen);
+
+// Built-in hash with the KeyHashFn signature.
+inline uint64_t BuiltinKeyHash(const char* key, size_t keylen) {
+  return Fnv1a64(key, keylen);
+}
+
+}  // namespace papyrus

@@ -1,0 +1,60 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+#include "common/env.h"
+
+namespace papyrus {
+
+// Set by the rank runtime (net/runtime.cc) for each emulated rank thread so
+// log lines can be attributed; -1 outside any rank.
+thread_local int tls_log_rank = -1;
+
+namespace {
+
+std::atomic<int> g_level{-1};
+
+int LoadLevel() {
+  int lvl = g_level.load(std::memory_order_relaxed);
+  if (lvl >= 0) return lvl;
+  int from_env = static_cast<int>(EnvInt("PAPYRUS_LOG").value_or(2));
+  g_level.store(from_env, std::memory_order_relaxed);
+  return from_env;
+}
+
+std::mutex& LogMutex() {
+  static std::mutex m;
+  return m;
+}
+
+const char* LevelTag(LogLevel lvl) {
+  switch (lvl) {
+    case LogLevel::kError: return "E";
+    case LogLevel::kWarn: return "W";
+    case LogLevel::kInfo: return "I";
+    case LogLevel::kDebug: return "D";
+    default: return "?";
+  }
+}
+
+}  // namespace
+
+LogLevel GlobalLogLevel() { return static_cast<LogLevel>(LoadLevel()); }
+
+void SetGlobalLogLevel(LogLevel lvl) {
+  g_level.store(static_cast<int>(lvl), std::memory_order_relaxed);
+}
+
+void LogLine(LogLevel lvl, const std::string& msg) {
+  std::lock_guard<std::mutex> lock(LogMutex());
+  if (tls_log_rank >= 0) {
+    fprintf(stderr, "[%s rank %d] %s\n", LevelTag(lvl), tls_log_rank,
+            msg.c_str());
+  } else {
+    fprintf(stderr, "[%s] %s\n", LevelTag(lvl), msg.c_str());
+  }
+}
+
+}  // namespace papyrus

@@ -1,0 +1,43 @@
+// Minimal thread-safe leveled logging.  Per-rank prefixes keep interleaved
+// output from the emulated ranks readable.  Level is controlled by
+// PAPYRUS_LOG (0=off, 1=error, 2=warn, 3=info, 4=debug); default warn.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace papyrus {
+
+enum class LogLevel : int { kOff = 0, kError = 1, kWarn = 2, kInfo = 3, kDebug = 4 };
+
+LogLevel GlobalLogLevel();
+void SetGlobalLogLevel(LogLevel lvl);
+
+// Emits a single line, atomically, tagged with the level and the calling
+// emulated rank (if any).
+void LogLine(LogLevel lvl, const std::string& msg);
+
+namespace detail {
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel lvl) : lvl_(lvl) {}
+  ~LogMessage() { LogLine(lvl_, ss_.str()); }
+  std::ostringstream& stream() { return ss_; }
+
+ private:
+  LogLevel lvl_;
+  std::ostringstream ss_;
+};
+}  // namespace detail
+
+#define PAPYRUS_LOG(level)                                        \
+  if (static_cast<int>(::papyrus::GlobalLogLevel()) >=            \
+      static_cast<int>(::papyrus::LogLevel::level))               \
+  ::papyrus::detail::LogMessage(::papyrus::LogLevel::level).stream()
+
+#define PLOG_ERROR PAPYRUS_LOG(kError)
+#define PLOG_WARN PAPYRUS_LOG(kWarn)
+#define PLOG_INFO PAPYRUS_LOG(kInfo)
+#define PLOG_DEBUG PAPYRUS_LOG(kDebug)
+
+}  // namespace papyrus

@@ -1,0 +1,121 @@
+// Deterministic RNG and workload key/value generators.
+//
+// The paper's microbenchmarks use 16-byte random string keys "containing
+// letters (a-Z) and digits (0-9) ... generated in a uniformly distributed
+// manner" (§5.2).  RandomKey reproduces that alphabet.  The generator is a
+// SplitMix64/xoshiro combination: fast, seedable, reproducible across runs
+// so tests and benches are stable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace papyrus {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) {
+    // SplitMix64 to spread the seed into four xoshiro256** words.
+    uint64_t x = seed;
+    for (auto& w : s_) {
+      x += 0x9e3779b97f4a7c15ull;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      w = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, n).  n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  // True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  uint64_t s_[4];
+};
+
+// Zipfian-distributed integers over [0, n) — the standard skewed-workload
+// model (YCSB uses the same construction).  Rank 0 is the hottest item.
+// Uses the Gray et al. quantile method: draw u ∈ [0,1), invert the
+// generalized harmonic CDF via precomputed constants.
+class Zipfian {
+ public:
+  // theta ∈ (0,1): skew (0.99 = YCSB default, higher = more skew).
+  Zipfian(uint64_t n, double theta = 0.99) : n_(n), theta_(theta) {
+    double zeta = 0;
+    for (uint64_t i = 1; i <= n_; ++i) {
+      zeta += 1.0 / Pow(static_cast<double>(i), theta_);
+    }
+    zetan_ = zeta;
+    double zeta2 = 0;
+    for (uint64_t i = 1; i <= 2 && i <= n_; ++i) {
+      zeta2 += 1.0 / Pow(static_cast<double>(i), theta_);
+    }
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - Pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2 / zetan_);
+  }
+
+  uint64_t Next(Rng& rng) const {
+    const double u = rng.NextDouble();
+    const double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + Pow(0.5, theta_)) return 1;
+    const uint64_t v = static_cast<uint64_t>(
+        static_cast<double>(n_) * Pow(eta_ * u - eta_ + 1.0, alpha_));
+    return v >= n_ ? n_ - 1 : v;
+  }
+
+ private:
+  static double Pow(double base, double exp) {
+    return __builtin_pow(base, exp);
+  }
+  uint64_t n_;
+  double theta_;
+  double zetan_, alpha_, eta_;
+};
+
+// Random string over [a-zA-Z0-9], the paper's key alphabet.
+inline std::string RandomKey(Rng& rng, size_t len) {
+  static constexpr char kAlphabet[] =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+  std::string s(len, '\0');
+  for (size_t i = 0; i < len; ++i) {
+    s[i] = kAlphabet[rng.Uniform(sizeof(kAlphabet) - 1)];
+  }
+  return s;
+}
+
+// Value payload: repeating pattern derived from the seed so corruption is
+// detectable byte-by-byte in tests.
+inline std::string PatternValue(uint64_t seed, size_t len) {
+  std::string s(len, '\0');
+  uint64_t x = seed | 1;
+  for (size_t i = 0; i < len; ++i) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    s[i] = static_cast<char>('A' + ((x >> 33) % 26));
+  }
+  return s;
+}
+
+}  // namespace papyrus

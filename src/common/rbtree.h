@@ -1,0 +1,384 @@
+// A from-scratch red-black tree.
+//
+// The paper states (§2.4): "The MemTable is implemented as a red-black tree
+// indexed by key.  A red-black tree is a self-balancing binary tree.  Thus,
+// insert, lookup, and delete operations take O(log n) time."  This is that
+// structure, implemented per CLRS with a shared nil sentinel, rather than an
+// alias for std::map, so the reproduction contains the data structure the
+// paper names and its invariants can be property-tested directly
+// (tests/common/rbtree_test.cc).
+//
+// RbTree<K, V, Compare> is an ordered map: unique keys, insert-or-assign,
+// erase, lower_bound, in-order forward iteration.  Not thread-safe; MemTable
+// provides the locking.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <functional>
+#include <utility>
+
+namespace papyrus {
+
+template <typename K, typename V, typename Compare = std::less<K>>
+class RbTree {
+ private:
+  enum Color : unsigned char { kRed, kBlack };
+
+  struct Node {
+    K key;
+    V value;
+    Node* left;
+    Node* right;
+    Node* parent;
+    Color color;
+  };
+
+ public:
+  RbTree() : RbTree(Compare()) {}
+  explicit RbTree(Compare cmp) : cmp_(std::move(cmp)) {
+    nil_ = new Node{K{}, V{}, nullptr, nullptr, nullptr, kBlack};
+    nil_->left = nil_->right = nil_->parent = nil_;
+    root_ = nil_;
+  }
+
+  ~RbTree() {
+    clear();
+    delete nil_;
+  }
+
+  RbTree(const RbTree&) = delete;
+  RbTree& operator=(const RbTree&) = delete;
+
+  RbTree(RbTree&& o) noexcept
+      : cmp_(std::move(o.cmp_)), nil_(o.nil_), root_(o.root_), size_(o.size_) {
+    o.nil_ = new Node{K{}, V{}, nullptr, nullptr, nullptr, kBlack};
+    o.nil_->left = o.nil_->right = o.nil_->parent = o.nil_;
+    o.root_ = o.nil_;
+    o.size_ = 0;
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void clear() {
+    DestroySubtree(root_);
+    root_ = nil_;
+    size_ = 0;
+  }
+
+  // Inserts key→value; if key exists, replaces the value (the paper: "If
+  // another key-value pair that has the same key already exists ...
+  // PapyrusKV deletes the old one before it inserts the new one").
+  // Returns true if a new node was created, false on replacement.
+  bool InsertOrAssign(const K& key, V value) {
+    Node* parent = nil_;
+    Node* cur = root_;
+    while (cur != nil_) {
+      parent = cur;
+      if (cmp_(key, cur->key)) {
+        cur = cur->left;
+      } else if (cmp_(cur->key, key)) {
+        cur = cur->right;
+      } else {
+        cur->value = std::move(value);
+        return false;
+      }
+    }
+    Node* n = new Node{key, std::move(value), nil_, nil_, parent, kRed};
+    if (parent == nil_) {
+      root_ = n;
+    } else if (cmp_(key, parent->key)) {
+      parent->left = n;
+    } else {
+      parent->right = n;
+    }
+    InsertFixup(n);
+    ++size_;
+    return true;
+  }
+
+  // Returns the value for key, or nullptr if absent.  The pointer is valid
+  // until the node is erased or reassigned.
+  V* Find(const K& key) {
+    Node* n = FindNode(key);
+    return n == nil_ ? nullptr : &n->value;
+  }
+  const V* Find(const K& key) const {
+    return const_cast<RbTree*>(this)->Find(key);
+  }
+
+  // Removes key.  Returns true if it was present.
+  bool Erase(const K& key) {
+    Node* z = FindNode(key);
+    if (z == nil_) return false;
+    EraseNode(z);
+    --size_;
+    return true;
+  }
+
+  // Minimal in-order iterator (forward only) so callers can walk entries in
+  // sorted key order — exactly what flushing a MemTable to a sorted SSTable
+  // needs.
+  class Iterator {
+   public:
+    Iterator(const RbTree* tree, Node* n) : tree_(tree), node_(n) {}
+
+    bool Valid() const { return node_ != tree_->nil_; }
+    const K& key() const { return node_->key; }
+    const V& value() const { return node_->value; }
+    V& mutable_value() { return node_->value; }
+
+    void Next() {
+      assert(Valid());
+      node_ = tree_->Successor(node_);
+    }
+
+   private:
+    const RbTree* tree_;
+    Node* node_;
+  };
+
+  Iterator Begin() const {
+    return Iterator(this, root_ == nil_ ? nil_ : Minimum(root_));
+  }
+
+  // First entry with key >= target, or an invalid iterator.
+  Iterator LowerBound(const K& target) const {
+    Node* best = nil_;
+    Node* cur = root_;
+    while (cur != nil_) {
+      if (!cmp_(cur->key, target)) {  // cur->key >= target
+        best = cur;
+        cur = cur->left;
+      } else {
+        cur = cur->right;
+      }
+    }
+    return Iterator(this, best);
+  }
+
+  // --- Invariant checking (for property tests) -----------------------------
+  // Verifies: root is black; no red node has a red child; every root→leaf
+  // path has the same black height; BST ordering holds.  Returns the black
+  // height, or -1 on violation.
+  int CheckInvariants() const {
+    if (root_->color != kBlack) return -1;
+    return CheckSubtree(root_, nullptr, nullptr);
+  }
+
+ private:
+  Node* FindNode(const K& key) const {
+    Node* cur = root_;
+    while (cur != nil_) {
+      if (cmp_(key, cur->key)) {
+        cur = cur->left;
+      } else if (cmp_(cur->key, key)) {
+        cur = cur->right;
+      } else {
+        return cur;
+      }
+    }
+    return nil_;
+  }
+
+  void DestroySubtree(Node* n) {
+    if (n == nil_) return;
+    DestroySubtree(n->left);
+    DestroySubtree(n->right);
+    delete n;
+  }
+
+  Node* Minimum(Node* n) const {
+    while (n->left != nil_) n = n->left;
+    return n;
+  }
+
+  Node* Successor(Node* n) const {
+    if (n->right != nil_) return Minimum(n->right);
+    Node* p = n->parent;
+    while (p != nil_ && n == p->right) {
+      n = p;
+      p = p->parent;
+    }
+    return p;
+  }
+
+  void LeftRotate(Node* x) {
+    Node* y = x->right;
+    x->right = y->left;
+    if (y->left != nil_) y->left->parent = x;
+    y->parent = x->parent;
+    if (x->parent == nil_) root_ = y;
+    else if (x == x->parent->left) x->parent->left = y;
+    else x->parent->right = y;
+    y->left = x;
+    x->parent = y;
+  }
+
+  void RightRotate(Node* x) {
+    Node* y = x->left;
+    x->left = y->right;
+    if (y->right != nil_) y->right->parent = x;
+    y->parent = x->parent;
+    if (x->parent == nil_) root_ = y;
+    else if (x == x->parent->right) x->parent->right = y;
+    else x->parent->left = y;
+    y->right = x;
+    x->parent = y;
+  }
+
+  void InsertFixup(Node* z) {
+    while (z->parent->color == kRed) {
+      if (z->parent == z->parent->parent->left) {
+        Node* uncle = z->parent->parent->right;
+        if (uncle->color == kRed) {
+          z->parent->color = kBlack;
+          uncle->color = kBlack;
+          z->parent->parent->color = kRed;
+          z = z->parent->parent;
+        } else {
+          if (z == z->parent->right) {
+            z = z->parent;
+            LeftRotate(z);
+          }
+          z->parent->color = kBlack;
+          z->parent->parent->color = kRed;
+          RightRotate(z->parent->parent);
+        }
+      } else {
+        Node* uncle = z->parent->parent->left;
+        if (uncle->color == kRed) {
+          z->parent->color = kBlack;
+          uncle->color = kBlack;
+          z->parent->parent->color = kRed;
+          z = z->parent->parent;
+        } else {
+          if (z == z->parent->left) {
+            z = z->parent;
+            RightRotate(z);
+          }
+          z->parent->color = kBlack;
+          z->parent->parent->color = kRed;
+          LeftRotate(z->parent->parent);
+        }
+      }
+    }
+    root_->color = kBlack;
+  }
+
+  void Transplant(Node* u, Node* v) {
+    if (u->parent == nil_) root_ = v;
+    else if (u == u->parent->left) u->parent->left = v;
+    else u->parent->right = v;
+    v->parent = u->parent;
+  }
+
+  void EraseNode(Node* z) {
+    Node* y = z;
+    Color y_original = y->color;
+    Node* x;
+    if (z->left == nil_) {
+      x = z->right;
+      Transplant(z, z->right);
+    } else if (z->right == nil_) {
+      x = z->left;
+      Transplant(z, z->left);
+    } else {
+      y = Minimum(z->right);
+      y_original = y->color;
+      x = y->right;
+      if (y->parent == z) {
+        x->parent = y;  // x may be nil_; its parent is read in EraseFixup
+      } else {
+        Transplant(y, y->right);
+        y->right = z->right;
+        y->right->parent = y;
+      }
+      Transplant(z, y);
+      y->left = z->left;
+      y->left->parent = y;
+      y->color = z->color;
+    }
+    delete z;
+    if (y_original == kBlack) EraseFixup(x);
+  }
+
+  void EraseFixup(Node* x) {
+    while (x != root_ && x->color == kBlack) {
+      if (x == x->parent->left) {
+        Node* w = x->parent->right;
+        if (w->color == kRed) {
+          w->color = kBlack;
+          x->parent->color = kRed;
+          LeftRotate(x->parent);
+          w = x->parent->right;
+        }
+        if (w->left->color == kBlack && w->right->color == kBlack) {
+          w->color = kRed;
+          x = x->parent;
+        } else {
+          if (w->right->color == kBlack) {
+            w->left->color = kBlack;
+            w->color = kRed;
+            RightRotate(w);
+            w = x->parent->right;
+          }
+          w->color = x->parent->color;
+          x->parent->color = kBlack;
+          w->right->color = kBlack;
+          LeftRotate(x->parent);
+          x = root_;
+        }
+      } else {
+        Node* w = x->parent->left;
+        if (w->color == kRed) {
+          w->color = kBlack;
+          x->parent->color = kRed;
+          RightRotate(x->parent);
+          w = x->parent->left;
+        }
+        if (w->right->color == kBlack && w->left->color == kBlack) {
+          w->color = kRed;
+          x = x->parent;
+        } else {
+          if (w->left->color == kBlack) {
+            w->right->color = kBlack;
+            w->color = kRed;
+            LeftRotate(w);
+            w = x->parent->left;
+          }
+          w->color = x->parent->color;
+          x->parent->color = kBlack;
+          w->left->color = kBlack;
+          RightRotate(x->parent);
+          x = root_;
+        }
+      }
+    }
+    x->color = kBlack;
+  }
+
+  // Returns black height of subtree, or -1 on violation.  min/max bound the
+  // allowed key range (null = unbounded).
+  int CheckSubtree(Node* n, const K* min, const K* max) const {
+    if (n == nil_) return 0;
+    if (min && !cmp_(*min, n->key)) return -1;  // key must be > *min
+    if (max && !cmp_(n->key, *max)) return -1;  // key must be < *max
+    if (n->color == kRed &&
+        (n->left->color == kRed || n->right->color == kRed)) {
+      return -1;
+    }
+    int lh = CheckSubtree(n->left, min, &n->key);
+    int rh = CheckSubtree(n->right, &n->key, max);
+    if (lh < 0 || rh < 0 || lh != rh) return -1;
+    return lh + (n->color == kBlack ? 1 : 0);
+  }
+
+  Compare cmp_;
+  Node* nil_;
+  Node* root_;
+  size_t size_ = 0;
+};
+
+}  // namespace papyrus

@@ -1,0 +1,33 @@
+#include "common/status.h"
+
+namespace papyrus {
+
+const char* ErrorName(int32_t code) {
+  switch (code) {
+    case PAPYRUSKV_SUCCESS: return "PAPYRUSKV_SUCCESS";
+    case PAPYRUSKV_ERR: return "PAPYRUSKV_ERR";
+    case PAPYRUSKV_NOT_FOUND: return "PAPYRUSKV_NOT_FOUND";
+    case PAPYRUSKV_INVALID_DB: return "PAPYRUSKV_INVALID_DB";
+    case PAPYRUSKV_INVALID_ARG: return "PAPYRUSKV_INVALID_ARG";
+    case PAPYRUSKV_OUT_OF_MEMORY: return "PAPYRUSKV_OUT_OF_MEMORY";
+    case PAPYRUSKV_IO_ERROR: return "PAPYRUSKV_IO_ERROR";
+    case PAPYRUSKV_NETWORK_ERROR: return "PAPYRUSKV_NETWORK_ERROR";
+    case PAPYRUSKV_PROTECTED: return "PAPYRUSKV_PROTECTED";
+    case PAPYRUSKV_INVALID_EVENT: return "PAPYRUSKV_INVALID_EVENT";
+    case PAPYRUSKV_CORRUPTED: return "PAPYRUSKV_CORRUPTED";
+    case PAPYRUSKV_TIMEOUT: return "PAPYRUSKV_TIMEOUT";
+    case PAPYRUSKV_CLOSED: return "PAPYRUSKV_CLOSED";
+    default: return "PAPYRUSKV_UNKNOWN";
+  }
+}
+
+std::string Status::ToString() const {
+  std::string out = ErrorName(code_);
+  if (!msg_.empty()) {
+    out += ": ";
+    out += msg_;
+  }
+  return out;
+}
+
+}  // namespace papyrus

@@ -1,0 +1,49 @@
+// Wall-clock helpers: microsecond timestamps and a Stopwatch, used by the
+// bench harness (the paper reports average/min/max total execution time
+// across ranks) and by the device/interconnect performance models.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+namespace papyrus {
+
+// Monotonic microseconds since an arbitrary epoch.
+inline uint64_t NowMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+inline double NowSeconds() { return static_cast<double>(NowMicros()) * 1e-6; }
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(NowMicros()) {}
+  void Reset() { start_ = NowMicros(); }
+  uint64_t ElapsedMicros() const { return NowMicros() - start_; }
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedMicros()) * 1e-6;
+  }
+
+ private:
+  uint64_t start_;
+};
+
+// Sleeps `us` microseconds.  Short waits (< 50us) are spun so the device
+// model stays accurate at NVMe-like latencies where OS sleep quantums are
+// too coarse; longer waits yield to the scheduler.
+inline void PreciseSleepMicros(uint64_t us) {
+  if (us == 0) return;
+  if (us >= 50) {
+    std::this_thread::sleep_for(std::chrono::microseconds(us - 20));
+  }
+  const uint64_t deadline = NowMicros() + (us >= 50 ? 20 : us);
+  while (NowMicros() < deadline) {
+    // spin
+  }
+}
+
+}  // namespace papyrus

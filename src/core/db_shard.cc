@@ -1,0 +1,656 @@
+#include "core/db_shard.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/env.h"
+#include "common/logging.h"
+#include "core/runtime.h"
+#include "store/compactor.h"
+
+namespace papyrus::core {
+
+namespace {
+
+// Layers the artifact appendix's PAPYRUSKV_* environment variables under
+// the programmatic options (env wins, matching how the paper's experiment
+// scripts drive configuration).
+Options ApplyEnvOverrides(Options opt) {
+  if (auto v = EnvInt("PAPYRUSKV_CONSISTENCY")) {
+    if (*v == PAPYRUSKV_SEQUENTIAL || *v == PAPYRUSKV_RELAXED) {
+      opt.consistency = static_cast<int>(*v);
+    }
+  }
+  // Artifact convention: PAPYRUSKV_BIN_SEARCH=1 → linear, 2 → binary.
+  if (auto v = EnvInt("PAPYRUSKV_BIN_SEARCH")) {
+    opt.sstable_binary_search = (*v >= 2);
+  }
+  if (auto v = EnvInt("PAPYRUSKV_MEMTABLE_SIZE"); v && *v > 0) {
+    opt.memtable_bytes = static_cast<size_t>(*v);
+  }
+  return opt;
+}
+
+bool RemoteCacheForcedByEnv() {
+  return EnvBool("PAPYRUSKV_CACHE_REMOTE").value_or(false);
+}
+
+}  // namespace
+
+DbShard::DbShard(KvRuntime& rt, uint32_t id, std::string name, Options opt)
+    : rt_(rt),
+      id_(id),
+      name_(std::move(name)),
+      opt_(ApplyEnvOverrides(std::move(opt))),
+      consistency_(opt_.consistency),
+      protection_(opt_.protection),
+      manifest_(rt.layout().RankDir(name_, rt.rank())),
+      local_(std::make_shared<store::MemTable>(store::MemTable::Kind::kLocal,
+                                               opt_.memtable_bytes)),
+      remote_(std::make_shared<store::MemTable>(store::MemTable::Kind::kRemote,
+                                                opt_.memtable_bytes)),
+      cache_local_(opt_.cache_local_bytes,
+                   opt_.cache_local_enabled &&
+                       opt_.protection != PAPYRUSKV_WRONLY),
+      cache_remote_(opt_.cache_remote_bytes,
+                    opt_.protection == PAPYRUSKV_RDONLY ||
+                        RemoteCacheForcedByEnv()) {}
+
+Status DbShard::Open() { return manifest_.Open(); }
+
+int DbShard::OwnerOf(const Slice& key) const {
+  const uint64_t h = opt_.hash ? opt_.hash(key.data(), key.size())
+                               : BuiltinKeyHash(key.data(), key.size());
+  return static_cast<int>(h % static_cast<uint64_t>(rt_.size()));
+}
+
+// ---------------------------------------------------------------------------
+// Put / Delete
+// ---------------------------------------------------------------------------
+
+Status DbShard::Put(const Slice& key, const Slice& value) {
+  if (key.empty()) return Status::InvalidArg("empty key");
+  if (protection_.load() == PAPYRUSKV_RDONLY) {
+    return Status::Protected("db is read-only");
+  }
+  const int owner = OwnerOf(key);
+  if (owner == rt_.rank()) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.puts_local;
+    }
+    return LocalPut(key, value, /*tombstone=*/false);
+  }
+  if (consistency_.load() == PAPYRUSKV_SEQUENTIAL) {
+    return SyncRemotePut(key, value, false, owner);
+  }
+  return StageRemotePut(key, value, false, owner);
+}
+
+Status DbShard::Delete(const Slice& key) {
+  // §2.5: a delete is a put with a zero-length value and the tombstone set.
+  if (key.empty()) return Status::InvalidArg("empty key");
+  if (protection_.load() == PAPYRUSKV_RDONLY) {
+    return Status::Protected("db is read-only");
+  }
+  const int owner = OwnerOf(key);
+  if (owner == rt_.rank()) return LocalPut(key, Slice(), true);
+  if (consistency_.load() == PAPYRUSKV_SEQUENTIAL) {
+    return SyncRemotePut(key, Slice(), true, owner);
+  }
+  return StageRemotePut(key, Slice(), true, owner);
+}
+
+Status DbShard::LocalPut(const Slice& key, const Slice& value,
+                         bool tombstone) {
+  bool need_rotate = false;
+  {
+    std::lock_guard<std::mutex> lock(local_mu_);
+    mutation_epoch_.fetch_add(1, std::memory_order_release);
+    const bool ok = local_->Put(key, value, tombstone, rt_.rank());
+    assert(ok && "mutable local MemTable must accept puts");
+    (void)ok;
+    // §2.4: a stale cache entry with this key is evicted from the local
+    // cache.
+    cache_local_.Erase(key);
+    need_rotate = local_->Full();
+  }
+  if (need_rotate) {
+    std::lock_guard<std::mutex> rotate(local_rotate_mu_);
+    std::unique_lock<std::mutex> lock(local_mu_);
+    if (local_->Full()) RotateLocalLocked(std::move(lock));
+  }
+  return Status::OK();
+}
+
+void DbShard::RotateLocalLocked(std::unique_lock<std::mutex> lock) {
+  // Caller holds local_rotate_mu_ (serializing rotations so flush-queue
+  // order matches seal order) and passes ownership of local_mu_.
+  store::MemTablePtr sealed = local_;
+  sealed->Seal();
+  imm_local_.push_front(sealed);
+  local_ = std::make_shared<store::MemTable>(store::MemTable::Kind::kLocal,
+                                             opt_.memtable_bytes);
+  lock.unlock();  // gets may proceed; the queue push below can block
+
+  {
+    std::lock_guard<std::mutex> d(drain_mu_);
+    ++pending_flushes_;
+  }
+  CompactionJob job;
+  job.db = shared_from_this();
+  job.mem = sealed;
+  rt_.EnqueueFlush(std::move(job));  // blocks while the queue is full (§2.4)
+}
+
+Status DbShard::StageRemotePut(const Slice& key, const Slice& value,
+                               bool tombstone, int owner) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.puts_remote_staged;
+  }
+  cache_remote_.Erase(key);
+  bool need_rotate = false;
+  {
+    std::lock_guard<std::mutex> lock(remote_mu_);
+    const bool ok = remote_->Put(key, value, tombstone, owner);
+    assert(ok);
+    (void)ok;
+    need_rotate = remote_->Full();
+  }
+  if (need_rotate) {
+    std::lock_guard<std::mutex> rotate(remote_rotate_mu_);
+    std::unique_lock<std::mutex> lock(remote_mu_);
+    if (remote_->Full()) RotateRemoteLocked(std::move(lock));
+  }
+  return Status::OK();
+}
+
+void DbShard::RotateRemoteLocked(std::unique_lock<std::mutex> lock) {
+  store::MemTablePtr sealed = remote_;
+  sealed->Seal();
+  imm_remote_.push_front(sealed);
+  remote_ = std::make_shared<store::MemTable>(store::MemTable::Kind::kRemote,
+                                              opt_.memtable_bytes);
+  lock.unlock();
+
+  {
+    std::lock_guard<std::mutex> d(drain_mu_);
+    ++pending_migrations_;
+  }
+  MigrationJob job;
+  job.db = shared_from_this();
+  job.mem = sealed;
+  rt_.EnqueueMigration(std::move(job));
+}
+
+Status DbShard::SyncRemotePut(const Slice& key, const Slice& value,
+                              bool tombstone, int owner) {
+  // §3.1 sequential mode: the pair is migrated to the owner immediately and
+  // synchronously, without staging in the remote MemTable.
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.puts_remote_sync;
+  }
+  cache_remote_.Erase(key);
+  std::vector<KvRecord> one(1);
+  one[0].key = key.ToString();
+  one[0].value = value.ToString();
+  one[0].tombstone = tombstone;
+  rt_.SendRequest(owner, kOpPutSync,
+                  EncodeMigrateChunk(id_, kTagPutAck, one));
+  net::Message ack = rt_.RecvResponse(owner, kTagPutAck);
+  (void)ack;
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Get
+// ---------------------------------------------------------------------------
+
+Status DbShard::Get(const Slice& key, std::string* value) {
+  if (key.empty()) return Status::InvalidArg("empty key");
+  if (protection_.load() == PAPYRUSKV_WRONLY) {
+    return Status::Protected("db is write-only");
+  }
+  const int owner = OwnerOf(key);
+  if (owner == rt_.rank()) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.gets_local;
+    }
+    bool tombstone = false;
+    if (SearchLocalMemory(key, value, &tombstone)) {
+      return tombstone ? Status::NotFound() : Status::OK();
+    }
+    bool found = false;
+    Status s = SearchOwnSSTables(key, value, &tombstone, &found);
+    if (!s.ok()) return s;
+    if (!found || tombstone) return Status::NotFound();
+    return Status::OK();
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.gets_remote;
+  }
+  return RemoteGet(key, value);
+}
+
+bool DbShard::SearchLocalMemory(const Slice& key, std::string* value,
+                                bool* tombstone) {
+  // Search order per Figure 3: mutable local MemTable, then the immutable
+  // local MemTables newest first, then the local cache.
+  {
+    std::lock_guard<std::mutex> lock(local_mu_);
+    if (local_->Get(key, value, tombstone)) {
+      std::lock_guard<std::mutex> st(stats_mu_);
+      ++stats_.memtable_hits;
+      return true;
+    }
+    for (const auto& imm : imm_local_) {
+      if (imm->Get(key, value, tombstone)) {
+        std::lock_guard<std::mutex> st(stats_mu_);
+        ++stats_.memtable_hits;
+        return true;
+      }
+    }
+  }
+  if (cache_local_.Get(key, value, tombstone)) {
+    std::lock_guard<std::mutex> st(stats_mu_);
+    ++stats_.cache_local_hits;
+    return true;
+  }
+  return false;
+}
+
+Status DbShard::SearchOwnSSTables(const Slice& key, std::string* value,
+                                  bool* tombstone, bool* found) {
+  *found = false;
+  const uint64_t epoch_at_start =
+      mutation_epoch_.load(std::memory_order_acquire);
+  const store::SearchMode mode = opt_.sstable_binary_search
+                                     ? store::SearchMode::kBinary
+                                     : store::SearchMode::kLinear;
+  // Highest SSID first: more recent pairs live in higher-numbered tables.
+  for (uint64_t ssid : manifest_.LiveSsids()) {
+    store::SSTablePtr reader;
+    Status s = manifest_.GetReader(ssid, &reader);
+    if (s.IsNotFound()) continue;  // compacted away concurrently
+    if (!s.ok()) return s;
+    if (opt_.bloom_bits_per_key > 0 && !reader->MayContain(key)) {
+      std::lock_guard<std::mutex> st(stats_mu_);
+      ++stats_.bloom_negatives;
+      continue;
+    }
+    s = reader->Get(key, mode, value, tombstone, found);
+    if (!s.ok()) return s;
+    if (*found) {
+      {
+        std::lock_guard<std::mutex> st(stats_mu_);
+        ++stats_.sstable_hits;
+      }
+      // §2.6: a pair found in an SSData file is inserted into the local
+      // cache (tombstones cached too — a known-deleted key should not
+      // walk every table again).  Skipped if any put/delete landed while
+      // we searched: our find may already be stale, and the writer's
+      // cache eviction may already have happened.
+      if (mutation_epoch_.load(std::memory_order_acquire) ==
+          epoch_at_start) {
+        cache_local_.Put(key, *value, *tombstone);
+      }
+      return Status::OK();
+    }
+  }
+  return Status::OK();
+}
+
+Status DbShard::RemoteGet(const Slice& key, std::string* value) {
+  // Figure 3 remote path: remote MemTable, immutable remote MemTables in
+  // the migration queue (newest first), remote cache, then the network.
+  bool tombstone = false;
+  {
+    std::lock_guard<std::mutex> lock(remote_mu_);
+    if (remote_->Get(key, value, &tombstone)) {
+      return tombstone ? Status::NotFound() : Status::OK();
+    }
+    for (const auto& imm : imm_remote_) {
+      if (imm->Get(key, value, &tombstone)) {
+        return tombstone ? Status::NotFound() : Status::OK();
+      }
+    }
+  }
+  if (cache_remote_.Get(key, value, &tombstone)) {
+    std::lock_guard<std::mutex> st(stats_mu_);
+    ++stats_.cache_remote_hits;
+    return tombstone ? Status::NotFound() : Status::OK();
+  }
+
+  const int owner = OwnerOf(key);
+  const uint32_t my_group =
+      static_cast<uint32_t>(rt_.layout().GroupOf(rt_.rank()));
+  rt_.SendRequest(owner, kOpGetReq,
+                  EncodeGetReq(id_, kTagGetResp, my_group, key));
+  net::Message msg = rt_.RecvResponse(owner, kTagGetResp);
+  GetResp resp;
+  if (!DecodeGetResp(msg.payload, &resp)) {
+    return Status::Corrupted("bad get response");
+  }
+
+  if (resp.found) {
+    if (resp.tombstone) {
+      cache_remote_.Put(key, Slice(), true);
+      return Status::NotFound();
+    }
+    {
+      std::lock_guard<std::mutex> st(stats_mu_);
+      ++stats_.remote_value_transfers;
+    }
+    cache_remote_.Put(key, resp.value, false);
+    *value = std::move(resp.value);
+    return Status::OK();
+  }
+
+  if (resp.same_group && !resp.ssids.empty()) {
+    // §2.7: the pair is not in the owner's memory, but may be in its
+    // SSTables on the shared NVM — read them directly, no value transfer.
+    bool found = false;
+    Status s = SearchForeignSSTables(owner, resp.ssids, key, value,
+                                     &tombstone, &found);
+    if (!s.ok()) {
+      // Shared reads are an optimization; any failure (e.g. races with the
+      // owner's compaction) falls back to the authoritative owner query.
+      PLOG_DEBUG << "foreign sstable search failed: " << s.ToString();
+      found = false;
+    }
+    if (found) {
+      cache_remote_.Put(key, tombstone ? Slice() : Slice(*value), tombstone);
+      return tombstone ? Status::NotFound() : Status::OK();
+    }
+    // The owner may have compacted the advertised tables away between its
+    // response and our shared read; fall back to a full search at the
+    // owner to keep the result authoritative.
+    rt_.SendRequest(owner, kOpGetReq,
+                    EncodeGetReq(id_, kTagGetResp,
+                                 /*caller_group=*/0xffffffffu, key));
+    net::Message retry = rt_.RecvResponse(owner, kTagGetResp);
+    GetResp r2;
+    if (!DecodeGetResp(retry.payload, &r2)) {
+      return Status::Corrupted("bad get response");
+    }
+    if (r2.found && !r2.tombstone) {
+      {
+        std::lock_guard<std::mutex> st(stats_mu_);
+        ++stats_.remote_value_transfers;
+      }
+      cache_remote_.Put(key, r2.value, false);
+      *value = std::move(r2.value);
+      return Status::OK();
+    }
+    cache_remote_.Put(key, Slice(), true);
+    return Status::NotFound();
+  }
+
+  cache_remote_.Put(key, Slice(), true);
+  return Status::NotFound();
+}
+
+Status DbShard::SearchForeignSSTables(int owner,
+                                      const std::vector<uint64_t>& ssids,
+                                      const Slice& key, std::string* value,
+                                      bool* tombstone, bool* found) {
+  *found = false;
+  const std::string dir = rt_.layout().RankDir(name_, owner);
+  const store::SearchMode mode = opt_.sstable_binary_search
+                                     ? store::SearchMode::kBinary
+                                     : store::SearchMode::kLinear;
+  // Only the owner-advertised live list is consulted (newest first): a
+  // reader cached from a table the owner has since compacted away must
+  // never serve purged data.
+  for (uint64_t ssid : ssids) {
+    store::SSTablePtr reader;
+    {
+      std::lock_guard<std::mutex> lock(foreign_mu_);
+      auto it = foreign_readers_.find({owner, ssid});
+      if (it != foreign_readers_.end()) reader = it->second;
+    }
+    if (!reader) {
+      Status s = store::Manifest::OpenForeign(dir, ssid, &reader);
+      if (s.IsNotFound()) continue;  // gap: compacted or never existed
+      if (!s.ok()) return s;
+      std::lock_guard<std::mutex> lock(foreign_mu_);
+      foreign_readers_[{owner, ssid}] = reader;
+    }
+    if (opt_.bloom_bits_per_key > 0 && !reader->MayContain(key)) {
+      std::lock_guard<std::mutex> st(stats_mu_);
+      ++stats_.bloom_negatives;
+      continue;
+    }
+    Status s = reader->Get(key, mode, value, tombstone, found);
+    if (!s.ok()) return s;
+    if (*found) {
+      std::lock_guard<std::mutex> st(stats_mu_);
+      ++stats_.foreign_sstable_hits;
+      return Status::OK();
+    }
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Handler-side entry points
+// ---------------------------------------------------------------------------
+
+Status DbShard::ApplyRecords(const std::vector<KvRecord>& records) {
+  for (const KvRecord& r : records) {
+    Status s = LocalPut(r.key, r.value, r.tombstone);
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+GetResp DbShard::HandleRemoteGet(const Slice& key, uint32_t caller_group) {
+  GetResp resp;
+  resp.same_group =
+      caller_group == static_cast<uint32_t>(rt_.layout().GroupOf(rt_.rank()));
+
+  std::string value;
+  bool tombstone = false;
+  if (SearchLocalMemory(key, &value, &tombstone)) {
+    resp.found = true;
+    resp.tombstone = tombstone;
+    if (!tombstone) resp.value = std::move(value);
+    resp.latest_ssid = manifest_.LatestSsid();
+    return resp;
+  }
+
+  if (resp.same_group) {
+    // §2.7: stop here; the caller reads our SSTables from shared storage.
+    // Advertise the exact live set so the caller cannot consult a table a
+    // concurrent compaction retires.
+    resp.ssids = manifest_.LiveSsids();
+    resp.latest_ssid = resp.ssids.empty() ? 0 : resp.ssids.front();
+    return resp;
+  }
+
+  bool found = false;
+  Status s = SearchOwnSSTables(key, &value, &tombstone, &found);
+  if (s.ok() && found) {
+    resp.found = true;
+    resp.tombstone = tombstone;
+    if (!tombstone) resp.value = std::move(value);
+  }
+  resp.latest_ssid = manifest_.LatestSsid();
+  return resp;
+}
+
+// ---------------------------------------------------------------------------
+// Background-thread entry points
+// ---------------------------------------------------------------------------
+
+Status DbShard::FlushImmutable(const store::MemTablePtr& mem) {
+  // The SSID is allocated here, on the compaction thread: flushes and
+  // compaction merges are serialized on this thread and the flush queue
+  // preserves seal order (the rotate mutex), so on-NVM SSID order always
+  // matches data recency — including relative to merged outputs.
+  const uint64_t ssid = manifest_.NextSsid();
+  Status s = Status::OK();
+  if (mem->Count() > 0) {
+    s = store::FlushMemTable(manifest_.dir(), ssid, *mem,
+                             std::max(1, opt_.bloom_bits_per_key));
+    if (s.ok()) {
+      manifest_.AddTable(ssid);
+      {
+        std::lock_guard<std::mutex> st(stats_mu_);
+        ++stats_.flushes;
+      }
+    }
+  }
+  // Retire from the in-memory registry regardless, so gets stop consulting
+  // a table that is now on NVM (or was empty).
+  {
+    std::lock_guard<std::mutex> lock(local_mu_);
+    auto it = std::find(imm_local_.begin(), imm_local_.end(), mem);
+    if (it != imm_local_.end()) imm_local_.erase(it);
+  }
+  if (s.ok()) {
+    store::CompactionStats cstats;
+    const size_t before = manifest_.TableCount();
+    s = store::MaybeCompact(manifest_, ssid, opt_.compaction_trigger,
+                            std::max(1, opt_.bloom_bits_per_key), &cstats);
+    if (s.ok() && manifest_.TableCount() < before) {
+      std::lock_guard<std::mutex> st(stats_mu_);
+      ++stats_.compactions;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> d(drain_mu_);
+    --pending_flushes_;
+  }
+  drain_cv_.notify_all();
+  return s;
+}
+
+std::map<int, std::vector<KvRecord>> DbShard::CollectOwnerChunks(
+    const store::MemTable& mem) const {
+  std::map<int, std::vector<KvRecord>> chunks;
+  mem.ForEachSorted([&](const Slice& key, const store::MemTable::Entry& e) {
+    KvRecord r;
+    r.key = key.ToString();
+    r.value = e.value;
+    r.tombstone = e.tombstone;
+    chunks[e.owner].push_back(std::move(r));
+  });
+  return chunks;
+}
+
+void DbShard::MigrationFinished(const store::MemTablePtr& mem) {
+  {
+    std::lock_guard<std::mutex> lock(remote_mu_);
+    auto it = std::find(imm_remote_.begin(), imm_remote_.end(), mem);
+    if (it != imm_remote_.end()) imm_remote_.erase(it);
+  }
+  {
+    std::lock_guard<std::mutex> st(stats_mu_);
+    ++stats_.migrations;
+  }
+  {
+    std::lock_guard<std::mutex> d(drain_mu_);
+    --pending_migrations_;
+  }
+  drain_cv_.notify_all();
+}
+
+// ---------------------------------------------------------------------------
+// Consistency / synchronization
+// ---------------------------------------------------------------------------
+
+Status DbShard::Fence() {
+  {
+    std::lock_guard<std::mutex> rotate(remote_rotate_mu_);
+    std::unique_lock<std::mutex> lock(remote_mu_);
+    if (remote_->Count() > 0) RotateRemoteLocked(std::move(lock));
+  }
+  WaitMigrationsDrained();
+  return Status::OK();
+}
+
+Status DbShard::Barrier(int level) {
+  Status s = Fence();
+  if (!s.ok()) return s;
+  // After every rank's fence, all migrated records have been *applied* at
+  // their owners (migration chunks are acked after application), so this
+  // collective point establishes the paper's guarantee: all ranks now see
+  // the same latest data.
+  rt_.CollectiveBarrier();
+  if (level == PAPYRUSKV_SSTABLE) {
+    {
+      std::lock_guard<std::mutex> rotate(local_rotate_mu_);
+      std::unique_lock<std::mutex> lock(local_mu_);
+      if (local_->Count() > 0) RotateLocalLocked(std::move(lock));
+    }
+    WaitFlushesDrained();
+    rt_.CollectiveBarrier();
+  }
+  return Status::OK();
+}
+
+Status DbShard::SetConsistency(int mode) {
+  if (mode != PAPYRUSKV_SEQUENTIAL && mode != PAPYRUSKV_RELAXED) {
+    return Status::InvalidArg("bad consistency mode");
+  }
+  // Collective (§3.1).  Drain staged remote data first so the mode switch
+  // is a clean synchronization point.
+  Status s = Fence();
+  if (!s.ok()) return s;
+  rt_.CollectiveBarrier();
+  consistency_.store(mode);
+  return Status::OK();
+}
+
+Status DbShard::SetProtection(int prot) {
+  if (prot != PAPYRUSKV_RDWR && prot != PAPYRUSKV_WRONLY &&
+      prot != PAPYRUSKV_RDONLY) {
+    return Status::InvalidArg("bad protection attribute");
+  }
+  protection_.store(prot);
+  // §3.2: WRONLY invalidates and disables the local cache; RDONLY enables
+  // the remote cache; leaving RDONLY evicts and disables it.
+  cache_local_.set_enabled(opt_.cache_local_enabled &&
+                           prot != PAPYRUSKV_WRONLY);
+  cache_remote_.set_enabled(prot == PAPYRUSKV_RDONLY ||
+                            RemoteCacheForcedByEnv());
+  rt_.CollectiveBarrier();
+  return Status::OK();
+}
+
+Status DbShard::FlushAll() { return Barrier(PAPYRUSKV_SSTABLE); }
+
+void DbShard::WaitFlushesDrained() {
+  std::unique_lock<std::mutex> lock(drain_mu_);
+  drain_cv_.wait(lock, [&] { return pending_flushes_ == 0; });
+}
+
+void DbShard::WaitMigrationsDrained() {
+  std::unique_lock<std::mutex> lock(drain_mu_);
+  drain_cv_.wait(lock, [&] { return pending_migrations_ == 0; });
+}
+
+DbStats DbShard::StatsSnapshot() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+size_t DbShard::MemTableBytes() const {
+  size_t total = 0;
+  {
+    std::lock_guard<std::mutex> lock(local_mu_);
+    total += local_->ApproxBytes();
+  }
+  {
+    std::lock_guard<std::mutex> lock(remote_mu_);
+    total += remote_->ApproxBytes();
+  }
+  return total;
+}
+
+}  // namespace papyrus::core

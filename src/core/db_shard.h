@@ -1,0 +1,219 @@
+// DbShard: one rank's view of one PapyrusKV database.
+//
+// Structure per the paper (§2.3, Figures 2–3).  Each rank holds:
+//   * a mutable *local MemTable* — pairs this rank owns;
+//   * *immutable local MemTables* — sealed tables queued for flushing by
+//     the compaction thread;
+//   * a mutable *remote MemTable* — pairs owned by other ranks, staged in
+//     relaxed consistency mode, each entry tagged with its owner rank;
+//   * *immutable remote MemTables* — sealed tables queued for migration by
+//     the message dispatcher;
+//   * a *local cache* — LRU over pairs fetched from this rank's SSTables;
+//   * a *remote cache* — LRU over pairs fetched from other ranks, active
+//     only while the database is read-only (§3.2);
+//   * a set of *SSTables* on (simulated) NVM, catalogued by the Manifest.
+//
+// Ownership: a key's owner rank is hash(key) % nranks (§2.4), with an
+// application-supplied hash honored when configured.
+//
+// Threading contract: one application thread per rank drives Put/Get/
+// Delete/Fence/Barrier (MPI style).  The runtime's handler thread calls
+// ApplyRecords/HandleRemoteGet concurrently; the compaction thread calls
+// FlushImmutable; the dispatcher calls TakeOwnerChunks/MigrationFinished.
+// Internal state is guarded accordingly.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "core/options.h"
+#include "core/wire.h"
+#include "store/cache.h"
+#include "store/manifest.h"
+#include "store/memtable.h"
+
+namespace papyrus::core {
+
+class KvRuntime;
+
+// Observable per-database counters (used by tests and the bench harness to
+// verify *mechanisms*, e.g. that storage-group gets bypass value transfer).
+struct DbStats {
+  uint64_t puts_local = 0;
+  uint64_t puts_remote_staged = 0;   // relaxed-mode remote puts
+  uint64_t puts_remote_sync = 0;     // sequential-mode remote puts
+  uint64_t gets_local = 0;
+  uint64_t gets_remote = 0;
+  uint64_t memtable_hits = 0;
+  uint64_t cache_local_hits = 0;
+  uint64_t cache_remote_hits = 0;
+  uint64_t sstable_hits = 0;
+  uint64_t bloom_negatives = 0;      // tables skipped via bloom filter
+  uint64_t foreign_sstable_hits = 0; // storage-group shared reads (§2.7)
+  uint64_t remote_value_transfers = 0;  // values that crossed the network
+  uint64_t flushes = 0;
+  uint64_t migrations = 0;
+  uint64_t compactions = 0;
+};
+
+class DbShard : public std::enable_shared_from_this<DbShard> {
+ public:
+  DbShard(KvRuntime& rt, uint32_t id, std::string name, Options opt);
+
+  // Recovers/creates on-NVM state.  Zero-copy reopen (§4.1): any SSTables
+  // already present in this rank's directory are adopted as-is.
+  Status Open();
+
+  uint32_t id() const { return id_; }
+  const std::string& name() const { return name_; }
+  const Options& options() const { return opt_; }
+  const std::string& dir() const { return manifest_.dir(); }
+  store::Manifest& manifest() { return manifest_; }
+
+  // ---- Basic operations (application thread) ----
+  Status Put(const Slice& key, const Slice& value);
+  Status Delete(const Slice& key);
+  // On success fills *value.  NOT_FOUND for absent or tombstoned keys.
+  Status Get(const Slice& key, std::string* value);
+
+  // ---- Consistency (§3) ----
+  // Migrates the remote MemTable and queued immutable remote MemTables to
+  // their owners immediately; returns when every record has been applied
+  // at its owner (acked).
+  Status Fence();
+  // Collective fence; level PAPYRUSKV_SSTABLE additionally flushes all
+  // MemTables to SSTables on every rank.
+  Status Barrier(int level);
+  Status SetConsistency(int mode);  // collective
+  Status SetProtection(int prot);   // collective
+  int consistency() const { return consistency_.load(); }
+  int protection() const { return protection_.load(); }
+
+  // Fence + flush everything (used by close / checkpoint / destroy).
+  Status FlushAll();
+
+  // ---- Handler-side entry points (runtime handler thread) ----
+  // Applies migrated records to the local MemTable (paper: the handler
+  // "extracts the keys and their values from the messages and inserts them
+  // into the local MemTable").
+  Status ApplyRecords(const std::vector<KvRecord>& records);
+  // Serves a remote get request (§2.6–2.7).
+  GetResp HandleRemoteGet(const Slice& key, uint32_t caller_group);
+
+  // ---- Compaction-thread entry point ----
+  // Flushes a sealed local MemTable to a fresh SSTable.  Must only be
+  // called from the compaction thread: SSID allocation relies on flushes
+  // and merges being serialized there.
+  Status FlushImmutable(const store::MemTablePtr& mem);
+
+  // ---- Dispatcher entry points ----
+  // Sorts a sealed remote MemTable's records per owner rank (§2.4: "it
+  // sorts the key-value pairs in the MemTable by the owner rank number ...
+  // accumulates the key-value pairs per rank").
+  std::map<int, std::vector<KvRecord>> CollectOwnerChunks(
+      const store::MemTable& mem) const;
+  void MigrationFinished(const store::MemTablePtr& mem);
+
+  // Owner rank of a key: hash % nranks.
+  int OwnerOf(const Slice& key) const;
+
+  DbStats StatsSnapshot() const;
+  // Bytes in the mutable local + remote MemTables (diagnostics).
+  size_t MemTableBytes() const;
+
+ private:
+  // The local put path shared by the app thread (local puts) and the
+  // handler thread (migrated records).
+  Status LocalPut(const Slice& key, const Slice& value, bool tombstone);
+  // Stages a remote put in the remote MemTable (relaxed mode).
+  Status StageRemotePut(const Slice& key, const Slice& value, bool tombstone,
+                        int owner);
+  // Sends a single synchronous put to the owner (sequential mode).
+  Status SyncRemotePut(const Slice& key, const Slice& value, bool tombstone,
+                       int owner);
+
+  // Seals the mutable local MemTable and hands it to the compaction
+  // thread.  Caller holds local_rotate_mu_ and passes ownership of
+  // local_mu_ (released before the possibly-blocking queue push).
+  void RotateLocalLocked(std::unique_lock<std::mutex> lock);
+  void RotateRemoteLocked(std::unique_lock<std::mutex> lock);
+
+  // Memory-resident part of the local search: mutable MemTable, queued
+  // immutable MemTables, local cache.  Returns true when the key's fate is
+  // decided (found or tombstoned).
+  bool SearchLocalMemory(const Slice& key, std::string* value,
+                         bool* tombstone);
+  // SSTable part of the local search; fills *found.
+  Status SearchOwnSSTables(const Slice& key, std::string* value,
+                           bool* tombstone, bool* found);
+  // Storage-group shared read of another rank's SSTables (§2.7), limited
+  // to the owner-advertised live SSID list.
+  Status SearchForeignSSTables(int owner, const std::vector<uint64_t>& ssids,
+                               const Slice& key, std::string* value,
+                               bool* tombstone, bool* found);
+
+  Status RemoteGet(const Slice& key, std::string* value);
+
+  void WaitFlushesDrained();
+  void WaitMigrationsDrained();
+
+  KvRuntime& rt_;
+  const uint32_t id_;
+  const std::string name_;
+  Options opt_;
+
+  std::atomic<int> consistency_;
+  std::atomic<int> protection_;
+
+  store::Manifest manifest_;
+
+  // Mutable tables + sealed-table registries.  imm_* are ordered newest
+  // first (search order §2.6).  The *_rotate_mu_ mutexes serialize
+  // seal+enqueue so queue order always matches seal order; they are
+  // acquired before (never while holding) the corresponding table mutex.
+  std::mutex local_rotate_mu_;
+  mutable std::mutex local_mu_;
+  store::MemTablePtr local_;
+  std::deque<store::MemTablePtr> imm_local_;
+
+  std::mutex remote_rotate_mu_;
+  mutable std::mutex remote_mu_;
+  store::MemTablePtr remote_;
+  std::deque<store::MemTablePtr> imm_remote_;
+
+  store::LruCache cache_local_;
+  store::LruCache cache_remote_;
+
+  // Incremented by every LocalPut.  An SSTable search captures it on entry
+  // and only fills the local cache if no mutation intervened — otherwise a
+  // slow reader could insert a value that a concurrent put/delete had
+  // already superseded (and, once the tombstone is compacted away, nothing
+  // would ever evict the stale entry).
+  std::atomic<uint64_t> mutation_epoch_{0};
+
+  // Readers for other group members' SSTables, keyed by (rank, ssid).
+  std::mutex foreign_mu_;
+  std::map<std::pair<int, uint64_t>, store::SSTablePtr> foreign_readers_;
+
+  // Outstanding background work counters.
+  std::mutex drain_mu_;
+  std::condition_variable drain_cv_;
+  int pending_flushes_ = 0;
+  int pending_migrations_ = 0;
+
+  mutable std::mutex stats_mu_;
+  DbStats stats_;
+};
+
+using DbShardPtr = std::shared_ptr<DbShard>;
+
+}  // namespace papyrus::core

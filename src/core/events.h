@@ -1,0 +1,92 @@
+// Event handles for asynchronous operations.
+//
+// Paper §4.2: papyruskv_checkpoint / restart / destroy return a
+// papyruskv_event_t identifying the pending background operation;
+// papyruskv_wait blocks until it completes.  Events are per-rank (each rank
+// waits on its own share of the collective operation).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/status.h"
+
+namespace papyrus::core {
+
+class EventState {
+ public:
+  void Complete(Status s) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      status_ = std::move(s);
+      done_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  // Blocks until Complete(); returns the operation's status.
+  Status Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return done_; });
+    return status_;
+  }
+
+  bool done() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return done_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool done_ = false;
+  Status status_;
+};
+
+using EventPtr = std::shared_ptr<EventState>;
+
+// Allocates integer handles for EventStates (the C API's papyruskv_event_t).
+class EventRegistry {
+ public:
+  int Create(EventPtr* out) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const int id = next_id_++;
+    auto ev = std::make_shared<EventState>();
+    events_[id] = ev;
+    *out = ev;
+    return id;
+  }
+
+  EventPtr Find(int id) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = events_.find(id);
+    return it == events_.end() ? nullptr : it->second;
+  }
+
+  // Waits and releases the handle.
+  Status WaitAndErase(int id) {
+    EventPtr ev;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = events_.find(id);
+      if (it == events_.end()) return Status(PAPYRUSKV_INVALID_EVENT);
+      ev = it->second;
+    }
+    Status s = ev->Wait();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      events_.erase(id);
+    }
+    return s;
+  }
+
+ private:
+  std::mutex mu_;
+  int next_id_ = 1;
+  std::unordered_map<int, EventPtr> events_;
+};
+
+}  // namespace papyrus::core

@@ -1,0 +1,216 @@
+// Modern C++ wrapper over the PapyrusKV C API.
+//
+// The paper's interface (Table 1) is C, matching MPI-era HPC codebases.
+// This header layers zero-cost RAII types over it for C++ applications:
+//
+//   papyrus::kv::Runtime rt("nvme:/tmp/repo");            // init/finalize
+//   auto db = papyrus::kv::Database::Open("mydb");        // open/close
+//   db.Put("key", "value");
+//   if (auto v = db.Get("key")) use(*v);                  // optional<string>
+//   db.Barrier(PAPYRUSKV_SSTABLE);
+//
+// Properties:
+//   * Runtime and Database release their resources in reverse order of
+//     acquisition; both are move-only.
+//   * Get returns std::optional — absent/tombstoned keys are nullopt, real
+//     errors throw papyrus::kv::Error (code preserved).
+//   * All collective-call requirements of the C API carry over unchanged.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "core/papyruskv.h"
+
+namespace papyrus::kv {
+
+// Exception carrying a PAPYRUSKV_* error code.
+class Error : public std::runtime_error {
+ public:
+  Error(int code, const std::string& what)
+      : std::runtime_error(what + ": " + ErrorName(code)), code_(code) {}
+  int code() const { return code_; }
+
+ private:
+  int code_;
+};
+
+inline void Check(int rc, const char* what) {
+  if (rc != PAPYRUSKV_SUCCESS) throw Error(rc, what);
+}
+
+// RAII handle for an asynchronous checkpoint/restart/destroy operation.
+class Event {
+ public:
+  Event() = default;
+  Event(papyruskv_db_t db, papyruskv_event_t ev) : db_(db), ev_(ev) {}
+  Event(Event&& o) noexcept { *this = std::move(o); }
+  Event& operator=(Event&& o) noexcept {
+    std::swap(db_, o.db_);
+    std::swap(ev_, o.ev_);
+    return *this;
+  }
+  Event(const Event&) = delete;
+  Event& operator=(const Event&) = delete;
+
+  ~Event() {
+    // An unwaited event is drained silently: the operation still ran; the
+    // caller just never observed its completion code.
+    if (ev_ >= 0) papyruskv_wait(db_, ev_);
+  }
+
+  // Blocks until the operation completes; throws on failure.  Idempotent.
+  void Wait() {
+    if (ev_ < 0) return;
+    const int rc = papyruskv_wait(db_, ev_);
+    ev_ = -1;
+    Check(rc, "papyruskv_wait");
+  }
+
+  bool valid() const { return ev_ >= 0; }
+
+ private:
+  papyruskv_db_t db_ = -1;
+  papyruskv_event_t ev_ = -1;
+};
+
+// Per-rank runtime scope: papyruskv_init on construction,
+// papyruskv_finalize on destruction.  Collective.
+class Runtime {
+ public:
+  explicit Runtime(const std::string& repository) {
+    Check(papyruskv_init(nullptr, nullptr, repository.c_str()),
+          "papyruskv_init");
+  }
+  ~Runtime() { papyruskv_finalize(); }
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+};
+
+// A database handle; closes on destruction.  Move-only.  Collective
+// operations are marked in comments.
+class Database {
+ public:
+  // Collective.  opt may be customized via papyruskv_option_init first.
+  static Database Open(const std::string& name,
+                       int flags = PAPYRUSKV_CREATE | PAPYRUSKV_RDWR,
+                       papyruskv_option_t* opt = nullptr) {
+    papyruskv_db_t db = -1;
+    Check(papyruskv_open(name.c_str(), flags, opt, &db), "papyruskv_open");
+    return Database(db);
+  }
+
+  // Collective: reverts `name` from a snapshot at `path`; the returned
+  // event completes when the data is restored (and redistributed if the
+  // rank count changed).
+  static std::pair<Database, Event> Restart(
+      const std::string& path, const std::string& name,
+      int flags = PAPYRUSKV_RDWR, papyruskv_option_t* opt = nullptr) {
+    papyruskv_db_t db = -1;
+    papyruskv_event_t ev = -1;
+    Check(papyruskv_restart(path.c_str(), name.c_str(), flags, opt, &db, &ev),
+          "papyruskv_restart");
+    return {Database(db), Event(db, ev)};
+  }
+
+  Database(Database&& o) noexcept : db_(o.db_) { o.db_ = -1; }
+  Database& operator=(Database&& o) noexcept {
+    std::swap(db_, o.db_);
+    return *this;
+  }
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  ~Database() {
+    if (db_ >= 0) papyruskv_close(db_);
+  }
+
+  // Collective.  Explicit close (flushes all MemTables to SSTables).
+  void Close() {
+    if (db_ >= 0) {
+      const int id = db_;
+      db_ = -1;
+      Check(papyruskv_close(id), "papyruskv_close");
+    }
+  }
+
+  void Put(std::string_view key, std::string_view value) {
+    Check(papyruskv_put(db_, key.data(), key.size(), value.data(),
+                        value.size()),
+          "papyruskv_put");
+  }
+
+  // nullopt when absent or deleted; throws on real errors.
+  std::optional<std::string> Get(std::string_view key) {
+    char* value = nullptr;
+    size_t vallen = 0;
+    const int rc = papyruskv_get(db_, key.data(), key.size(), &value,
+                                 &vallen);
+    if (rc == PAPYRUSKV_NOT_FOUND) return std::nullopt;
+    Check(rc, "papyruskv_get");
+    std::string out(value, vallen);
+    papyruskv_free(db_, value);
+    return out;
+  }
+
+  // True if the key had a live value.
+  bool Contains(std::string_view key) { return Get(key).has_value(); }
+
+  void Delete(std::string_view key) {
+    Check(papyruskv_delete(db_, key.data(), key.size()), "papyruskv_delete");
+  }
+
+  // Migrates this rank's staged remote writes to their owners.
+  void Fence() { Check(papyruskv_fence(db_), "papyruskv_fence"); }
+
+  // Collective (level: PAPYRUSKV_MEMTABLE or PAPYRUSKV_SSTABLE).
+  void Barrier(int level = PAPYRUSKV_MEMTABLE) {
+    Check(papyruskv_barrier(db_, level), "papyruskv_barrier");
+  }
+
+  // Collective.
+  void SetConsistency(int mode) {
+    Check(papyruskv_consistency(db_, mode), "papyruskv_consistency");
+  }
+  // Collective.
+  void Protect(int prot) {
+    Check(papyruskv_protect(db_, prot), "papyruskv_protect");
+  }
+
+  // Collective.  Asynchronous snapshot to `path`.
+  Event Checkpoint(const std::string& path) {
+    papyruskv_event_t ev = -1;
+    Check(papyruskv_checkpoint(db_, path.c_str(), &ev),
+          "papyruskv_checkpoint");
+    return Event(db_, ev);
+  }
+
+  // Collective.  Removes the database and its NVM data; invalidates this
+  // handle.
+  Event Destroy() {
+    papyruskv_event_t ev = -1;
+    const int id = db_;
+    db_ = -1;
+    Check(papyruskv_destroy(id, &ev), "papyruskv_destroy");
+    return Event(id, ev);
+  }
+
+  // Owner rank of `key` under this database's hash.
+  int OwnerOf(std::string_view key) const {
+    int rank = -1;
+    Check(papyruskv_hash(db_, key.data(), key.size(), &rank),
+          "papyruskv_hash");
+    return rank;
+  }
+
+  papyruskv_db_t handle() const { return db_; }
+
+ private:
+  explicit Database(papyruskv_db_t db) : db_(db) {}
+  papyruskv_db_t db_ = -1;
+};
+
+}  // namespace papyrus::kv

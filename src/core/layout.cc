@@ -1,0 +1,65 @@
+#include "core/layout.h"
+
+#include "common/env.h"
+#include "sim/storage.h"
+
+namespace papyrus::core {
+
+void ParseRepositorySpec(const std::string& spec, sim::DeviceClass* cls,
+                         std::string* path) {
+  const size_t colon = spec.find(':');
+  // A one-letter "class" is more likely a Windows-style path; and an
+  // unknown class name falls back to DRAM with the full spec as path.
+  if (colon != std::string::npos && colon >= 2) {
+    const std::string head = spec.substr(0, colon);
+    if (head == "nvme" || head == "ssd" || head == "bb" ||
+        head == "burstbuffer" || head == "lustre" || head == "dram") {
+      *cls = sim::ParseDeviceClass(head);
+      *path = spec.substr(colon + 1);
+      return;
+    }
+  }
+  *cls = sim::DeviceClass::kDram;
+  *path = spec;
+}
+
+StorageLayout::StorageLayout(const std::string& repository_spec,
+                             const sim::Topology& topo, int group_size) {
+  ParseRepositorySpec(repository_spec, &dev_class_, &repo_);
+  if (group_size > 0) {
+    group_size_ = group_size;
+  } else if (auto env = EnvInt("PAPYRUSKV_GROUP_SIZE"); env && *env > 0) {
+    group_size_ = static_cast<int>(*env);
+  } else if (dev_class_ == sim::DeviceClass::kBurstBuffer ||
+             dev_class_ == sim::DeviceClass::kLustre) {
+    // Dedicated NVM architecture: all ranks form one storage group (§2.7).
+    group_size_ = topo.nranks;
+  } else {
+    // Local NVM architecture: ranks on one node form a group.
+    group_size_ = topo.ranks_per_node;
+  }
+  if (group_size_ < 1) group_size_ = 1;
+  if (group_size_ > topo.nranks) group_size_ = topo.nranks;
+}
+
+std::string StorageLayout::GroupRoot(int group) const {
+  return repo_ + "/group" + std::to_string(group);
+}
+
+std::string StorageLayout::RankDir(const std::string& db_name,
+                                   int rank) const {
+  return GroupRoot(GroupOf(rank)) + "/" + db_name + "/rank" +
+         std::to_string(rank);
+}
+
+Status StorageLayout::Prepare(int nranks) {
+  for (int g = 0; g < NumGroups(nranks); ++g) {
+    const std::string root = GroupRoot(g);
+    Status s = sim::Storage::CreateDirs(root);
+    if (!s.ok()) return s;
+    sim::DeviceRegistry::Instance().GetOrCreate(root, dev_class_);
+  }
+  return Status::OK();
+}
+
+}  // namespace papyrus::core

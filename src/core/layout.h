@@ -1,0 +1,70 @@
+// Storage layout: where each rank's SSTables live, and which ranks share a
+// storage group.
+//
+// Paper §2.7: a storage group is a set of ranks that share NVM storage and
+// can read each other's SSTables directly.  On local-NVM machines
+// (Summitdev, Stampede) the group is the node; on dedicated-NVM machines
+// (Cori's burst buffer) it is the whole job.  The artifact appendix controls
+// this with PAPYRUSKV_GROUP_SIZE.
+//
+// In this reproduction a group g owns the directory <repository>/group<g>,
+// registered with the device model as one simulated device, so co-located
+// ranks really do contend for — and can read from — the same storage target.
+// Rank r's database directory is  <group root>/<db name>/rank<r>.
+//
+// The repository string may carry a device-class prefix, mirroring how the
+// artifact switches NVM vs Lustre by changing PAPYRUSKV_REPOSITORY:
+//     "nvme:/tmp/repo"   → local NVMe model
+//     "ssd:/tmp/repo"    → local SATA SSD model
+//     "bb:/tmp/repo"     → burst-buffer model (striped, network-attached)
+//     "lustre:/tmp/repo" → Lustre model
+// No prefix = no injected delays (plain directory).
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "sim/device_model.h"
+#include "sim/interconnect.h"
+
+namespace papyrus::core {
+
+class StorageLayout {
+ public:
+  // Parses the repository spec and fixes group size.  group_size <= 0
+  // derives it: PAPYRUSKV_GROUP_SIZE env if set, else ranks-per-node for
+  // local device classes, else all ranks for dedicated classes (bb/lustre).
+  StorageLayout(const std::string& repository_spec, const sim::Topology& topo,
+                int group_size);
+
+  const std::string& repository() const { return repo_; }
+  sim::DeviceClass device_class() const { return dev_class_; }
+  int group_size() const { return group_size_; }
+
+  int GroupOf(int rank) const { return rank / group_size_; }
+  bool SameGroup(int a, int b) const { return GroupOf(a) == GroupOf(b); }
+  int NumGroups(int nranks) const {
+    return (nranks + group_size_ - 1) / group_size_;
+  }
+
+  // Root directory of a group's storage target (registered as one device).
+  std::string GroupRoot(int group) const;
+
+  // Directory holding rank `rank`'s SSTables for database `db_name`.
+  std::string RankDir(const std::string& db_name, int rank) const;
+
+  // Creates group roots and registers their devices.  Collective-safe:
+  // idempotent, every rank may call it.
+  Status Prepare(int nranks);
+
+ private:
+  std::string repo_;
+  sim::DeviceClass dev_class_ = sim::DeviceClass::kDram;
+  int group_size_ = 1;
+};
+
+// Splits "class:path" into device class and path ("" class = kDram).
+void ParseRepositorySpec(const std::string& spec, sim::DeviceClass* cls,
+                         std::string* path);
+
+}  // namespace papyrus::core

@@ -1,0 +1,161 @@
+// PapyrusKV public API — the functions of Table 1 in the paper.
+//
+// An embedded, parallel key-value store for distributed (simulated) NVM
+// architectures.  Every rank of the emulated SPMD job links this library;
+// calls marked "collective" below must be made by all ranks, in the same
+// order (MPI collective contract).  Every function returns a 32-bit error
+// code: PAPYRUSKV_SUCCESS (0) or a negative PAPYRUSKV_* code (common/
+// status.h).
+//
+// Typical use (see examples/quickstart.cpp):
+//
+//   papyrus::net::RunRanks(8, [](papyrus::net::RankContext&) {
+//     papyruskv_init(nullptr, nullptr, "nvme:/tmp/repo");
+//     papyruskv_db_t db;
+//     papyruskv_open("mydb", PAPYRUSKV_CREATE | PAPYRUSKV_RDWR, nullptr, &db);
+//     papyruskv_put(db, key, keylen, val, vallen);
+//     papyruskv_barrier(db, PAPYRUSKV_SSTABLE);
+//     char* out = nullptr; size_t outlen = 0;
+//     papyruskv_get(db, key, keylen, &out, &outlen);
+//     papyruskv_free(db, out);
+//     papyruskv_close(db);
+//     papyruskv_finalize();
+//   });
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "common/status.h"  // error codes
+#include "core/options.h"   // flags, consistency modes, barrier levels
+
+extern "C" {
+
+typedef int papyruskv_db_t;
+typedef int papyruskv_event_t;
+
+// Per-database options passed to papyruskv_open / papyruskv_restart.
+// Initialize with papyruskv_option_init, then override fields.
+typedef struct papyruskv_option_struct {
+  size_t keylen;    // expected key length (hint; 0 = unknown)
+  size_t vallen;    // expected value length (hint)
+  uint64_t (*hash)(const char* key, size_t keylen);  // custom owner hash
+  int consistency;            // PAPYRUSKV_SEQUENTIAL / PAPYRUSKV_RELAXED
+  int protection;             // PAPYRUSKV_RDWR / _WRONLY / _RDONLY
+  size_t memtable_size;       // MemTable capacity limit in bytes
+  size_t queue_depth;         // flushing/migration queue slots (unused: v1
+                              // uses the runtime-wide queues)
+  int cache_local;            // local cache on/off
+  size_t cache_local_size;    // bytes
+  size_t cache_remote_size;   // bytes (active under PAPYRUSKV_RDONLY)
+  uint64_t compaction_trigger;  // merge every N SSTables (<=1 disables)
+  int bloom_bits_per_key;
+  int bin_search;             // 1 = SSData binary search, 0 = linear scan
+  int group_size;             // storage-group size in ranks (-1 = derive)
+} papyruskv_option_t;
+
+// Fills *opt with the library defaults.
+int papyruskv_option_init(papyruskv_option_t* opt);
+
+// ---- (a) Environment -------------------------------------------------------
+
+// Initializes the per-rank execution environment using the repository path
+// (nullptr/"" = $PAPYRUSKV_REPOSITORY).  The spec may carry a device-class
+// prefix: "nvme:", "ssd:", "bb:", "lustre:" (see core/layout.h).
+// Collective.
+int papyruskv_init(int* argc, char*** argv, const char* repository);
+// Terminates the environment, closing any open databases.  Collective.
+int papyruskv_finalize();
+
+// ---- (b) Basic -------------------------------------------------------------
+
+// Opens or creates database `name`.  Collective; all ranks receive the same
+// descriptor.  opt == nullptr uses defaults (+PAPYRUSKV_* env overrides).
+int papyruskv_open(const char* name, int flags, papyruskv_option_t* opt,
+                   papyruskv_db_t* db);
+// Flushes all MemTables to SSTables and closes.  Collective.
+int papyruskv_close(papyruskv_db_t db);
+
+// Inserts or updates one pair.  Local puts land in the local MemTable;
+// remote puts stage in the remote MemTable (relaxed) or migrate
+// synchronously (sequential).
+int papyruskv_put(papyruskv_db_t db, const char* key, size_t keylen,
+                  const char* value, size_t vallen);
+
+// Retrieves the value for key.  If *value is NULL, a buffer is allocated
+// from the PapyrusKV memory pool (release with papyruskv_free); otherwise
+// *vallen must hold the caller buffer's capacity and the data is copied in.
+// On return *vallen is the value's actual length.
+int papyruskv_get(papyruskv_db_t db, const char* key, size_t keylen,
+                  char** value, size_t* vallen);
+
+// Deletes the pair (internally: a put of a zero-length value with the
+// tombstone bit set).
+int papyruskv_delete(papyruskv_db_t db, const char* key, size_t keylen);
+
+// Releases a buffer allocated by papyruskv_get from the memory pool.
+int papyruskv_free(papyruskv_db_t db, char* val);
+
+// ---- (c) Consistency -------------------------------------------------------
+
+// Sends signal `signum` to each listed rank / waits for it from each.
+int papyruskv_signal_notify(int signum, int* ranks, int count);
+int papyruskv_signal_wait(int signum, int* ranks, int count);
+
+// Migrates this rank's remote MemTable (and queued immutable remote
+// MemTables) to the owner ranks immediately; returns once applied there.
+int papyruskv_fence(papyruskv_db_t db);
+
+// Collective fence.  level PAPYRUSKV_MEMTABLE: all ranks see the same
+// latest data; PAPYRUSKV_SSTABLE: additionally every MemTable is flushed
+// to SSTables.
+int papyruskv_barrier(papyruskv_db_t db, int level);
+
+// Sets the memory consistency mode (PAPYRUSKV_SEQUENTIAL / _RELAXED).
+// Collective.
+int papyruskv_consistency(papyruskv_db_t db, int mode);
+
+// Sets the protection attribute (PAPYRUSKV_RDWR / _WRONLY / _RDONLY).
+// Collective.  WRONLY disables the local cache; RDONLY enables the remote
+// cache (§3.2).
+int papyruskv_protect(papyruskv_db_t db, int prot);
+
+// ---- (d) Persistence -------------------------------------------------------
+
+// Creates a snapshot of db under `path` (may carry a device-class prefix,
+// e.g. "lustre:/scratch/ckpt").  Asynchronous if event != NULL; wait with
+// papyruskv_wait.  Collective.
+int papyruskv_checkpoint(papyruskv_db_t db, const char* path,
+                         papyruskv_event_t* event);
+
+// Reverts database `name` from the snapshot in `path`.  If the snapshot's
+// rank count differs from the current job's (or
+// PAPYRUSKV_FORCE_REDISTRIBUTE=1), the pairs are redistributed across the
+// running ranks by replaying puts in parallel.  Asynchronous if event !=
+// NULL.  Collective.
+int papyruskv_restart(const char* path, const char* name, int flags,
+                      papyruskv_option_t* opt, papyruskv_db_t* db,
+                      papyruskv_event_t* event);
+
+// Removes db and all of its data from NVM.  Asynchronous if event != NULL.
+// Collective.
+int papyruskv_destroy(papyruskv_db_t db, papyruskv_event_t* event);
+
+// Waits for an asynchronous operation to complete.
+int papyruskv_wait(papyruskv_db_t db, papyruskv_event_t event);
+
+// ---- Extensions (not in Table 1, used by benches/tests) --------------------
+
+// Owner rank for a key under db's hash (diagnostics, workload setup).
+int papyruskv_hash(papyruskv_db_t db, const char* key, size_t keylen,
+                   int* rank);
+
+}  // extern "C"
+
+namespace papyrus::core {
+class DbShard;
+// The C++ shard behind a descriptor (tests and benches read stats through
+// it).  Null if the descriptor is invalid.
+std::shared_ptr<DbShard> DbHandle(papyruskv_db_t db);
+}  // namespace papyrus::core

@@ -1,0 +1,356 @@
+#include "core/runtime.h"
+
+#include <cassert>
+#include <cstdlib>
+
+#include "common/env.h"
+#include "common/logging.h"
+
+namespace papyrus::core {
+
+namespace {
+thread_local KvRuntime* tls_runtime = nullptr;
+constexpr size_t kDefaultQueueDepth = 8;
+}  // namespace
+
+KvRuntime* KvRuntime::Current() { return tls_runtime; }
+
+Status KvRuntime::Init(const std::string& repository) {
+  if (tls_runtime) return Status(PAPYRUSKV_ERR, "already initialized");
+  net::RankContext* ctx = net::CurrentRankContext();
+  if (!ctx) {
+    return Status(PAPYRUSKV_ERR,
+                  "papyruskv_init must run inside an emulated rank "
+                  "(net::RunRanks)");
+  }
+  std::string repo = repository;
+  if (repo.empty()) {
+    repo = EnvString("PAPYRUSKV_REPOSITORY").value_or("");
+  }
+  if (repo.empty()) return Status::InvalidArg("no repository configured");
+
+  auto* rt = new KvRuntime(*ctx, repo);
+  Status s = rt->layout_.Prepare(ctx->size());
+  if (!s.ok()) {
+    delete rt;
+    return s;
+  }
+  rt->StartThreads();
+  tls_runtime = rt;
+  // Collective: nobody proceeds until every rank's runtime is up (its
+  // handler must be able to serve incoming requests).
+  ctx->comm.Barrier();
+  return Status::OK();
+}
+
+Status KvRuntime::Finalize() {
+  KvRuntime* rt = tls_runtime;
+  if (!rt) return Status(PAPYRUSKV_CLOSED, "not initialized");
+  // Close any databases left open (collective-consistent since every rank
+  // holds the same descriptor set).
+  std::vector<int> open_ids;
+  {
+    std::lock_guard<std::mutex> lock(rt->dbs_mu_);
+    for (const auto& [id, db] : rt->dbs_) open_ids.push_back(id);
+  }
+  for (int id : open_ids) rt->Close(id);
+  rt->ctx_.comm.Barrier();
+  rt->StopThreads();
+  rt->ctx_.comm.Barrier();
+  delete rt;
+  tls_runtime = nullptr;
+  return Status::OK();
+}
+
+KvRuntime::KvRuntime(net::RankContext& ctx, const std::string& repository)
+    : ctx_(ctx),
+      layout_(repository, ctx.topo, /*group_size=*/-1),
+      req_comm_(ctx.comm.Dup()),
+      resp_comm_(ctx.comm.Dup()),
+      barrier_comm_(ctx.comm.Dup()),
+      restart_comm_(ctx.comm.Dup()),
+      signal_comm_(ctx.comm.Dup()),
+      flush_queue_(kDefaultQueueDepth),
+      migration_queue_(kDefaultQueueDepth) {}
+
+KvRuntime::~KvRuntime() {
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  for (char* p : pool_allocs_) free(p);
+}
+
+void KvRuntime::StartThreads() {
+  compaction_thread_ = std::thread([this] { CompactionLoop(); });
+  dispatcher_thread_ = std::thread([this] { DispatcherLoop(); });
+  handler_thread_ = std::thread([this] { HandlerLoop(); });
+}
+
+void KvRuntime::StopThreads() {
+  // Auxiliary (restart) tasks may still need the dispatcher/handler/
+  // compaction threads; join them before tearing those down.
+  std::vector<std::thread> aux;
+  {
+    std::lock_guard<std::mutex> lock(aux_mu_);
+    aux.swap(aux_threads_);
+  }
+  for (auto& t : aux) t.join();
+
+  CompactionJob stop_flush;
+  stop_flush.shutdown = true;
+  flush_queue_.Push(std::move(stop_flush));
+  MigrationJob stop_mig;
+  stop_mig.shutdown = true;
+  migration_queue_.Push(std::move(stop_mig));
+  // The handler exits on a self-addressed shutdown request.
+  req_comm_.Send(ctx_.rank, kOpShutdown, Slice());
+  compaction_thread_.join();
+  dispatcher_thread_.join();
+  handler_thread_.join();
+}
+
+void KvRuntime::RunAsync(std::function<void()> task) {
+  std::lock_guard<std::mutex> lock(aux_mu_);
+  aux_threads_.emplace_back(std::move(task));
+}
+
+// ---------------------------------------------------------------------------
+// Background threads
+// ---------------------------------------------------------------------------
+
+void KvRuntime::CompactionLoop() {
+  for (;;) {
+    CompactionJob job = flush_queue_.Pop();
+    if (job.shutdown) return;
+    if (job.task) {
+      job.task();
+      continue;
+    }
+    if (job.db && job.mem) {
+      Status s = job.db->FlushImmutable(job.mem);
+      if (!s.ok()) {
+        PLOG_ERROR << "flush failed: " << s.ToString();
+      }
+    }
+  }
+}
+
+void KvRuntime::DispatcherLoop() {
+  for (;;) {
+    MigrationJob job = migration_queue_.Pop();
+    if (job.shutdown) return;
+    if (!job.db || !job.mem) continue;
+
+    // §2.4 migration: sort by owner, accumulate per rank, send one chunk
+    // per owner, then wait for the acks confirming application.
+    auto chunks = job.db->CollectOwnerChunks(*job.mem);
+    int outstanding = 0;
+    for (auto& [owner, records] : chunks) {
+      assert(owner != ctx_.rank &&
+             "remote MemTable must not hold self-owned pairs");
+      SendRequest(owner, kOpMigrateChunk,
+                  EncodeMigrateChunk(job.db->id(), kTagMigrateAck, records));
+      ++outstanding;
+    }
+    for (int i = 0; i < outstanding; ++i) {
+      RecvResponse(net::kAnySource, kTagMigrateAck);
+    }
+    job.db->MigrationFinished(job.mem);
+  }
+}
+
+void KvRuntime::HandlerLoop() {
+  for (;;) {
+    net::Message m = req_comm_.Recv(net::kAnySource, net::kAnyTag);
+    switch (m.tag) {
+      case kOpMigrateChunk:
+        HandleMigrateChunk(m, /*sync_put=*/false);
+        break;
+      case kOpPutSync:
+        HandleMigrateChunk(m, /*sync_put=*/true);
+        break;
+      case kOpGetReq:
+        HandleGetReq(m);
+        break;
+      case kOpShutdown:
+        return;
+      default:
+        PLOG_WARN << "handler: unknown opcode " << m.tag;
+        break;
+    }
+  }
+}
+
+void KvRuntime::HandleMigrateChunk(const net::Message& m, bool sync_put) {
+  uint32_t dbid = 0, resp_tag = 0;
+  std::vector<KvRecord> records;
+  if (!DecodeMigrateChunk(m.payload, &dbid, &resp_tag, &records)) {
+    PLOG_ERROR << "handler: malformed migrate chunk from rank " << m.src;
+    return;
+  }
+  DbShardPtr db = Find(static_cast<int>(dbid));
+  if (db) {
+    Status s = db->ApplyRecords(records);
+    if (!s.ok()) {
+      PLOG_ERROR << "handler: apply failed: " << s.ToString();
+    }
+  } else {
+    PLOG_WARN << "handler: " << (sync_put ? "put" : "migration")
+              << " for unknown db " << dbid;
+  }
+  // Ack after application — fences rely on this ordering.
+  SendResponse(m.src, static_cast<int>(resp_tag), Slice());
+}
+
+void KvRuntime::HandleGetReq(const net::Message& m) {
+  uint32_t dbid = 0, resp_tag = 0, caller_group = 0;
+  std::string key;
+  if (!DecodeGetReq(m.payload, &dbid, &resp_tag, &caller_group, &key)) {
+    PLOG_ERROR << "handler: malformed get request from rank " << m.src;
+    return;
+  }
+  GetResp resp;
+  DbShardPtr db = Find(static_cast<int>(dbid));
+  if (db) resp = db->HandleRemoteGet(key, caller_group);
+  SendResponse(m.src, static_cast<int>(resp_tag), EncodeGetResp(resp));
+}
+
+// ---------------------------------------------------------------------------
+// Transport helpers
+// ---------------------------------------------------------------------------
+
+void KvRuntime::SendRequest(int dst, int op, const Slice& payload) {
+  req_comm_.Send(dst, op, payload);
+}
+
+void KvRuntime::SendResponse(int dst, int tag, const Slice& payload) {
+  resp_comm_.Send(dst, tag, payload);
+}
+
+net::Message KvRuntime::RecvResponse(int src, int tag) {
+  return resp_comm_.Recv(src, tag);
+}
+
+// ---------------------------------------------------------------------------
+// Database lifecycle
+// ---------------------------------------------------------------------------
+
+Status KvRuntime::Open(const std::string& name, int flags, const Options& opt,
+                       int* db_out) {
+  if (name.empty() || !db_out) return Status::InvalidArg("open");
+  (void)flags;  // creation is implicit; flags carry protection hints below
+
+  Options effective = opt;
+  // RDWR is WRONLY|RDONLY, so match the masked value exactly.
+  switch (flags & PAPYRUSKV_RDWR) {
+    case PAPYRUSKV_RDONLY:
+      effective.protection = PAPYRUSKV_RDONLY;
+      break;
+    case PAPYRUSKV_WRONLY:
+      effective.protection = PAPYRUSKV_WRONLY;
+      break;
+    case PAPYRUSKV_RDWR:
+      effective.protection = PAPYRUSKV_RDWR;
+      break;
+    default:
+      break;  // no protection bits: keep the option block's setting
+  }
+
+  int id;
+  DbShardPtr db;
+  {
+    std::lock_guard<std::mutex> lock(dbs_mu_);
+    id = next_db_id_++;
+    db = std::make_shared<DbShard>(*this, static_cast<uint32_t>(id), name,
+                                   effective);
+    dbs_.emplace(id, db);
+  }
+  Status s = db->Open();
+  if (!s.ok()) {
+    std::lock_guard<std::mutex> lock(dbs_mu_);
+    dbs_.erase(id);
+    return s;
+  }
+  // Collective: every rank allocates ids in open order, so descriptors are
+  // identical across ranks (§2.3), and nobody touches the database before
+  // all ranks have it registered (remote requests would find no shard).
+  CollectiveBarrier();
+  *db_out = id;
+  return Status::OK();
+}
+
+Status KvRuntime::Close(int id) {
+  DbShardPtr db = Find(id);
+  if (!db) return Status(PAPYRUSKV_INVALID_DB);
+  // Collective.  Flush everything so the SSTables on NVM form a complete
+  // image — this is what the zero-copy workflow (§4.1) reopens.
+  Status s = db->FlushAll();
+  {
+    std::lock_guard<std::mutex> lock(dbs_mu_);
+    dbs_.erase(id);
+  }
+  CollectiveBarrier();
+  return s;
+}
+
+DbShardPtr KvRuntime::Find(int id) {
+  std::lock_guard<std::mutex> lock(dbs_mu_);
+  auto it = dbs_.find(id);
+  return it == dbs_.end() ? nullptr : it->second;
+}
+
+// ---------------------------------------------------------------------------
+// Signals (§3.1)
+// ---------------------------------------------------------------------------
+
+Status KvRuntime::SignalNotify(int signum, const int* ranks, int count) {
+  if (signum < 0 || (count > 0 && !ranks)) {
+    return Status::InvalidArg("signal_notify");
+  }
+  for (int i = 0; i < count; ++i) {
+    if (ranks[i] < 0 || ranks[i] >= size()) {
+      return Status::InvalidArg("signal_notify: bad rank");
+    }
+    signal_comm_.Send(ranks[i], signum, Slice());
+  }
+  return Status::OK();
+}
+
+Status KvRuntime::SignalWait(int signum, const int* ranks, int count) {
+  if (signum < 0 || (count > 0 && !ranks)) {
+    return Status::InvalidArg("signal_wait");
+  }
+  for (int i = 0; i < count; ++i) {
+    if (ranks[i] < 0 || ranks[i] >= size()) {
+      return Status::InvalidArg("signal_wait: bad rank");
+    }
+    signal_comm_.Recv(ranks[i], signum);
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Value pool
+// ---------------------------------------------------------------------------
+
+char* KvRuntime::AllocValue(size_t n) {
+  char* p = static_cast<char*>(malloc(n ? n : 1));
+  if (!p) return nullptr;
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  pool_allocs_.insert(p);
+  return p;
+}
+
+Status KvRuntime::FreeValue(char* p) {
+  if (!p) return Status::OK();
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  auto it = pool_allocs_.find(p);
+  if (it == pool_allocs_.end()) {
+    return Status::InvalidArg("papyruskv_free: pointer not from pool");
+  }
+  pool_allocs_.erase(it);
+  free(p);
+  return Status::OK();
+}
+
+Status KvRuntime::WaitEvent(int event) { return events_.WaitAndErase(event); }
+
+}  // namespace papyrus::core

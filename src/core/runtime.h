@@ -1,0 +1,166 @@
+// KvRuntime: the per-rank PapyrusKV runtime.
+//
+// One instance lives in each rank between papyruskv_init and
+// papyruskv_finalize.  It owns (paper §2.4):
+//   * the *compaction thread* — drains the flushing queue (immutable local
+//     MemTables → SSTables), runs merge compaction, and executes
+//     checkpoint/restart file transfers (§4.2: "the compaction thread in
+//     each rank starts to transfer the SSTables");
+//   * the *message dispatcher* — drains the migration queue, sorting and
+//     batching records per owner and sending them over the interconnect;
+//   * the *message handler* — receives requests from other ranks and
+//     applies/serves them;
+//   * the flushing and migration queues themselves — lock-free, fixed
+//     size, FIFO; producers block while full (back-pressure, §2.4);
+//   * communicators dup'ed from the application's (§2.4: "the runtime
+//     creates new independent MPI communicators"), so runtime traffic can
+//     never interfere with application messages;
+//   * the database registry, event registry, signal endpoint, and the
+//     value memory pool backing papyruskv_get allocations.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_set>
+
+#include "common/ring_queue.h"
+#include "common/status.h"
+#include "core/db_shard.h"
+#include "core/events.h"
+#include "core/layout.h"
+#include "core/options.h"
+#include "net/runtime.h"
+
+namespace papyrus::core {
+
+// Work item for the compaction thread: either an immutable local MemTable
+// to flush, or a deferred task (checkpoint/restart transfer).
+struct CompactionJob {
+  DbShardPtr db;
+  store::MemTablePtr mem;
+  std::function<void()> task;
+  bool shutdown = false;
+};
+
+// Work item for the message dispatcher: an immutable remote MemTable to
+// migrate.
+struct MigrationJob {
+  DbShardPtr db;
+  store::MemTablePtr mem;
+  bool shutdown = false;
+};
+
+class KvRuntime {
+ public:
+  // The calling rank-thread's runtime (null before Init/after Finalize).
+  static KvRuntime* Current();
+
+  // Collective: every rank calls Init with the same repository spec (empty
+  // = $PAPYRUSKV_REPOSITORY).  Must run inside net::RunRanks.
+  static Status Init(const std::string& repository);
+  static Status Finalize();
+
+  net::RankContext& ctx() { return ctx_; }
+  int rank() const { return ctx_.rank; }
+  int size() const { return ctx_.size(); }
+  const StorageLayout& layout() const { return layout_; }
+  EventRegistry& events() { return events_; }
+
+  // ---- Database lifecycle (collective) ----
+  Status Open(const std::string& name, int flags, const Options& opt,
+              int* db_out);
+  Status Close(int db);
+  DbShardPtr Find(int db);
+
+  // ---- Queues (called from DbShard; block while full) ----
+  void EnqueueFlush(CompactionJob job) { flush_queue_.Push(std::move(job)); }
+  void EnqueueMigration(MigrationJob job) {
+    migration_queue_.Push(std::move(job));
+  }
+  // Runs `task` on the compaction thread after currently queued jobs
+  // (checkpoint transfers: never enqueue flush work from inside).
+  void EnqueueTask(std::function<void()> task) {
+    CompactionJob job;
+    job.task = std::move(task);
+    flush_queue_.Push(std::move(job));
+  }
+  // Runs `task` on a dedicated auxiliary thread (restart/redistribution:
+  // these replay puts, which may themselves enqueue flush jobs — running
+  // them on the compaction thread would deadlock against a full queue).
+  void RunAsync(std::function<void()> task);
+
+  // ---- Transport helpers ----
+  void SendRequest(int dst, int op, const Slice& payload);
+  void SendResponse(int dst, int tag, const Slice& payload);
+  net::Message RecvResponse(int src, int tag);
+
+  // Collective barrier for application-thread collectives (papyruskv
+  // barrier/consistency/protect/open/close).
+  void CollectiveBarrier() { barrier_comm_.Barrier(); }
+  // Collective barrier usable from compaction-thread tasks (restart).
+  void RestartBarrier() { restart_comm_.Barrier(); }
+  net::Communicator& barrier_comm() { return barrier_comm_; }
+
+  // ---- Signals (§3.1) ----
+  Status SignalNotify(int signum, const int* ranks, int count);
+  Status SignalWait(int signum, const int* ranks, int count);
+
+  // ---- Persistence (§4; implemented in checkpoint.cc) ----
+  Status Checkpoint(int db, const std::string& path, int* event_out);
+  Status Restart(const std::string& path, const std::string& name, int flags,
+                 const Options& opt, int* db_out, int* event_out);
+  Status Destroy(int db, int* event_out);
+  Status WaitEvent(int event);
+
+  // ---- Value pool (papyruskv_get allocations / papyruskv_free) ----
+  char* AllocValue(size_t n);
+  Status FreeValue(char* p);
+
+ private:
+  KvRuntime(net::RankContext& ctx, const std::string& repository);
+  ~KvRuntime();
+
+  void StartThreads();
+  void StopThreads();
+
+  void CompactionLoop();
+  void DispatcherLoop();
+  void HandlerLoop();
+
+  void HandleMigrateChunk(const net::Message& m, bool sync_put);
+  void HandleGetReq(const net::Message& m);
+
+  net::RankContext& ctx_;
+  StorageLayout layout_;
+  EventRegistry events_;
+
+  net::Communicator req_comm_;      // requests → handler threads
+  net::Communicator resp_comm_;     // handler → requester threads
+  net::Communicator barrier_comm_;  // app-thread collectives
+  net::Communicator restart_comm_;  // compaction-thread collectives
+  net::Communicator signal_comm_;   // papyruskv_signal_*
+
+  BlockingRingQueue<CompactionJob> flush_queue_;
+  BlockingRingQueue<MigrationJob> migration_queue_;
+
+  std::thread compaction_thread_;
+  std::thread dispatcher_thread_;
+  std::thread handler_thread_;
+  std::mutex aux_mu_;
+  std::vector<std::thread> aux_threads_;
+
+  std::mutex dbs_mu_;
+  std::map<int, DbShardPtr> dbs_;
+  int next_db_id_ = 1;
+
+  std::mutex pool_mu_;
+  std::unordered_set<char*> pool_allocs_;
+};
+
+}  // namespace papyrus::core

@@ -1,0 +1,100 @@
+#include "core/wire.h"
+
+namespace papyrus::core {
+
+std::string EncodeMigrateChunk(uint32_t dbid, uint32_t resp_tag,
+                               const std::vector<KvRecord>& records) {
+  std::string out;
+  PutFixed32(&out, dbid);
+  PutFixed32(&out, resp_tag);
+  PutFixed32(&out, static_cast<uint32_t>(records.size()));
+  for (const KvRecord& r : records) {
+    PutLengthPrefixed(&out, r.key);
+    PutLengthPrefixed(&out, r.value);
+    out.push_back(r.tombstone ? 1 : 0);
+  }
+  return out;
+}
+
+bool DecodeMigrateChunk(const Slice& payload, uint32_t* dbid,
+                        uint32_t* resp_tag, std::vector<KvRecord>* records) {
+  Slice in = payload;
+  uint32_t count = 0;
+  if (!GetFixed32(&in, dbid) || !GetFixed32(&in, resp_tag) ||
+      !GetFixed32(&in, &count)) {
+    return false;
+  }
+  records->clear();
+  records->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    Slice key, value;
+    if (!GetLengthPrefixed(&in, &key) || !GetLengthPrefixed(&in, &value) ||
+        in.empty()) {
+      return false;
+    }
+    KvRecord r;
+    r.key = key.ToString();
+    r.value = value.ToString();
+    r.tombstone = in[0] != 0;
+    in.remove_prefix(1);
+    records->push_back(std::move(r));
+  }
+  return in.empty();
+}
+
+std::string EncodeGetReq(uint32_t dbid, uint32_t resp_tag,
+                         uint32_t caller_group, const Slice& key) {
+  std::string out;
+  PutFixed32(&out, dbid);
+  PutFixed32(&out, resp_tag);
+  PutFixed32(&out, caller_group);
+  PutLengthPrefixed(&out, key);
+  return out;
+}
+
+bool DecodeGetReq(const Slice& payload, uint32_t* dbid, uint32_t* resp_tag,
+                  uint32_t* caller_group, std::string* key) {
+  Slice in = payload;
+  Slice k;
+  if (!GetFixed32(&in, dbid) || !GetFixed32(&in, resp_tag) ||
+      !GetFixed32(&in, caller_group) || !GetLengthPrefixed(&in, &k)) {
+    return false;
+  }
+  *key = k.ToString();
+  return in.empty();
+}
+
+std::string EncodeGetResp(const GetResp& r) {
+  std::string out;
+  out.push_back(r.found ? 1 : 0);
+  out.push_back(r.tombstone ? 1 : 0);
+  out.push_back(r.same_group ? 1 : 0);
+  PutFixed64(&out, r.latest_ssid);
+  PutFixed32(&out, static_cast<uint32_t>(r.ssids.size()));
+  for (uint64_t ssid : r.ssids) PutFixed64(&out, ssid);
+  PutLengthPrefixed(&out, r.value);
+  return out;
+}
+
+bool DecodeGetResp(const Slice& payload, GetResp* r) {
+  Slice in = payload;
+  if (in.size() < 3) return false;
+  r->found = in[0] != 0;
+  r->tombstone = in[1] != 0;
+  r->same_group = in[2] != 0;
+  in.remove_prefix(3);
+  uint32_t nssids = 0;
+  if (!GetFixed64(&in, &r->latest_ssid) || !GetFixed32(&in, &nssids)) {
+    return false;
+  }
+  r->ssids.resize(nssids);
+  for (uint32_t i = 0; i < nssids; ++i) {
+    if (!GetFixed64(&in, &r->ssids[i])) return false;
+  }
+  Slice value;
+  if (!GetLengthPrefixed(&in, &value)) return false;
+  r->value = value.ToString();
+  return in.empty();
+}
+
+}  // namespace papyrus::core

@@ -1,0 +1,90 @@
+// Wire protocol between rank runtimes.
+//
+// Paper §2.4/§2.6: the message dispatcher (sender side) and message handler
+// (receiver side) exchange request/response messages over communicators
+// private to the PapyrusKV runtime.  The message kinds:
+//
+//   kOpMigrateChunk — relaxed-mode migration: a batch of key-value pairs
+//       accumulated per owner from an immutable remote MemTable.  The
+//       handler applies the batch to its local MemTable, then acks (the ack
+//       is what lets fence/barrier know all data has *landed*, not merely
+//       been sent).
+//   kOpPutSync — sequential-mode put/delete: a single pair, applied
+//       synchronously; the caller blocks until the ack (§3.1).
+//   kOpGetReq / GetResp — remote get.  The request carries the caller's
+//       storage-group id; when it matches the owner's, the owner searches
+//       only its in-memory structures and returns `same_group` plus its
+//       latest flushed SSID so the caller can search the shared SSTables
+//       itself (§2.7).
+//   kOpShutdown — runtime teardown for the handler loop.
+//
+// Requests travel on the request communicator with tag = opcode; responses
+// on the response communicator with the tag the requester wrote into the
+// request header, so concurrent requesting threads (app thread, dispatcher,
+// restart task) never steal each other's replies.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/coding.h"
+#include "common/slice.h"
+
+namespace papyrus::core {
+
+enum WireOp : int {
+  kOpMigrateChunk = 1,
+  kOpPutSync = 2,
+  kOpGetReq = 3,
+  kOpShutdown = 4,
+};
+
+// Response-communicator tags, one per requester role within a rank.
+enum RespTag : int {
+  kTagGetResp = 1,      // application thread gets
+  kTagPutAck = 2,       // application thread sequential puts
+  kTagMigrateAck = 3,   // dispatcher chunk acks
+  kTagRedistAck = 4,    // restart-with-redistribution task
+};
+
+struct KvRecord {
+  std::string key;
+  std::string value;
+  bool tombstone = false;
+};
+
+// ---- MigrateChunk / PutSync ------------------------------------------------
+// [u32 dbid][u32 resp_tag][u32 count] count × ([lp key][lp value][u8 tomb])
+std::string EncodeMigrateChunk(uint32_t dbid, uint32_t resp_tag,
+                               const std::vector<KvRecord>& records);
+bool DecodeMigrateChunk(const Slice& payload, uint32_t* dbid,
+                        uint32_t* resp_tag, std::vector<KvRecord>* records);
+
+// ---- GetReq ----------------------------------------------------------------
+// [u32 dbid][u32 resp_tag][u32 caller_group][lp key]
+std::string EncodeGetReq(uint32_t dbid, uint32_t resp_tag,
+                         uint32_t caller_group, const Slice& key);
+bool DecodeGetReq(const Slice& payload, uint32_t* dbid, uint32_t* resp_tag,
+                  uint32_t* caller_group, std::string* key);
+
+// ---- GetResp ---------------------------------------------------------------
+// [u8 found][u8 tombstone][u8 same_group][u64 latest_ssid]
+// [u32 nssids][u64 ...][lp value]
+//
+// `ssids` is the owner's exact live SSTable list (newest first) at response
+// time, filled on a same-group memory miss.  The caller searches only these
+// tables on the shared NVM: a stale reader cached from before an owner
+// compaction can never be consulted, so purged tombstones cannot resurrect.
+struct GetResp {
+  bool found = false;
+  bool tombstone = false;
+  bool same_group = false;
+  uint64_t latest_ssid = 0;
+  std::vector<uint64_t> ssids;
+  std::string value;
+};
+std::string EncodeGetResp(const GetResp& r);
+bool DecodeGetResp(const Slice& payload, GetResp* r);
+
+}  // namespace papyrus::core

@@ -1,0 +1,213 @@
+#include "net/comm.h"
+
+#include <cassert>
+#include <chrono>
+
+#include "common/timer.h"
+
+#include "common/coding.h"
+
+namespace papyrus::net {
+
+namespace {
+// Internal collective tags (channel 1 only, so they can never collide with
+// user traffic even though values overlap).
+constexpr int kTagBarrierIn = 1;
+constexpr int kTagBarrierOut = 2;
+constexpr int kTagGather = 3;
+constexpr int kTagBcast = 4;
+}  // namespace
+
+void Mailbox::Deliver(Message msg) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(msg));
+  }
+  cv_.notify_all();
+}
+
+Message Mailbox::Recv(int src, int tag) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    const uint64_t now = NowMicros();
+    uint64_t next_visible = UINT64_MAX;
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (!Matches(*it, src, tag)) continue;
+      if (it->visible_at_us > now) {
+        // In flight (simulated propagation): wait for it below unless a
+        // later, already-visible match exists — non-overtaking per
+        // (src, tag) means no later match from the same source can be
+        // visible earlier, so stopping at the first match is correct.
+        next_visible = std::min(next_visible, it->visible_at_us);
+        continue;
+      }
+      Message out = std::move(*it);
+      queue_.erase(it);
+      return out;
+    }
+    if (next_visible != UINT64_MAX) {
+      cv_.wait_for(lock, std::chrono::microseconds(next_visible - now));
+    } else {
+      cv_.wait(lock);
+    }
+  }
+}
+
+bool Mailbox::TryRecv(int src, int tag, Message* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t now = NowMicros();
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (Matches(*it, src, tag) && it->visible_at_us <= now) {
+      *out = std::move(*it);
+      queue_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+World::World(const sim::Topology& topo) : topo_(topo), net_(topo) {}
+
+Communicator World::world_comm(int rank) {
+  return Communicator(this, /*comm_id=*/0, rank);
+}
+
+Mailbox& World::mailbox(uint64_t comm_id, int rank, int channel) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& boxes = mailboxes_[comm_id];
+  if (boxes.empty()) {
+    boxes.resize(static_cast<size_t>(topo_.nranks) * 2);
+    for (auto& b : boxes) b = std::make_unique<Mailbox>();
+  }
+  return *boxes[static_cast<size_t>(rank) * 2 + static_cast<size_t>(channel)];
+}
+
+uint64_t World::DerivedComm(uint64_t parent, uint64_t seq) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto key = std::make_pair(parent, seq);
+  auto it = derived_.find(key);
+  if (it != derived_.end()) return it->second;
+  uint64_t id = next_comm_id_++;
+  derived_.emplace(key, id);
+  return id;
+}
+
+int Communicator::size() const { return world_->size(); }
+
+void Communicator::Send(int dst, int tag, const Slice& payload) const {
+  assert(tag >= 0 && "negative tags are reserved");
+  assert(dst >= 0 && dst < world_->size());
+  const uint64_t delay =
+      world_->interconnect().Charge(rank_, dst, payload.size());
+  world_->mailbox(comm_id_, dst, /*channel=*/0)
+      .Deliver(Message{rank_, tag, payload.ToString(),
+                       delay ? NowMicros() + delay : 0});
+}
+
+Message Communicator::Recv(int src, int tag) const {
+  return world_->mailbox(comm_id_, rank_, 0).Recv(src, tag);
+}
+
+bool Communicator::TryRecv(int src, int tag, Message* out) const {
+  return world_->mailbox(comm_id_, rank_, 0).TryRecv(src, tag, out);
+}
+
+void Communicator::SendInternal(int dst, int tag, const Slice& payload) const {
+  const uint64_t delay =
+      world_->interconnect().Charge(rank_, dst, payload.size());
+  world_->mailbox(comm_id_, dst, /*channel=*/1)
+      .Deliver(Message{rank_, tag, payload.ToString(),
+                       delay ? NowMicros() + delay : 0});
+}
+
+Message Communicator::RecvInternal(int src, int tag) const {
+  return world_->mailbox(comm_id_, rank_, 1).Recv(src, tag);
+}
+
+Communicator Communicator::Dup() const {
+  const uint64_t seq = (*dup_seq_)++;
+  const uint64_t id = world_->DerivedComm(comm_id_, seq);
+  return Communicator(world_, id, rank_);
+}
+
+void Communicator::Barrier() const {
+  const int n = size();
+  if (n == 1) return;
+  if (rank_ == 0) {
+    for (int r = 1; r < n; ++r) RecvInternal(kAnySource, kTagBarrierIn);
+    for (int r = 1; r < n; ++r) SendInternal(r, kTagBarrierOut, Slice());
+  } else {
+    SendInternal(0, kTagBarrierIn, Slice());
+    RecvInternal(0, kTagBarrierOut);
+  }
+}
+
+void Communicator::Allgather(const Slice& mine,
+                             std::vector<std::string>* out) const {
+  const int n = size();
+  out->assign(static_cast<size_t>(n), {});
+  if (n == 1) {
+    (*out)[0] = mine.ToString();
+    return;
+  }
+  if (rank_ == 0) {
+    (*out)[0] = mine.ToString();
+    for (int i = 1; i < n; ++i) {
+      Message m = RecvInternal(kAnySource, kTagGather);
+      (*out)[static_cast<size_t>(m.src)] = std::move(m.payload);
+    }
+    // Serialize all contributions and broadcast.
+    std::string packed;
+    for (const auto& s : *out) PutLengthPrefixed(&packed, s);
+    for (int r = 1; r < n; ++r) SendInternal(r, kTagBcast, packed);
+  } else {
+    SendInternal(0, kTagGather, mine);
+    Message m = RecvInternal(0, kTagBcast);
+    Slice in(m.payload);
+    for (int i = 0; i < n; ++i) {
+      Slice part;
+      bool ok = GetLengthPrefixed(&in, &part);
+      assert(ok);
+      (void)ok;
+      (*out)[static_cast<size_t>(i)] = part.ToString();
+    }
+  }
+}
+
+void Communicator::Bcast(std::string* data, int root) const {
+  const int n = size();
+  if (n == 1) return;
+  if (rank_ == root) {
+    for (int r = 0; r < n; ++r) {
+      if (r != root) SendInternal(r, kTagBcast, *data);
+    }
+  } else {
+    Message m = RecvInternal(root, kTagBcast);
+    *data = std::move(m.payload);
+  }
+}
+
+uint64_t Communicator::AllreduceSum(uint64_t v) const {
+  char buf[8];
+  EncodeFixed64(buf, v);
+  std::vector<std::string> all;
+  Allgather(Slice(buf, 8), &all);
+  uint64_t sum = 0;
+  for (const auto& s : all) sum += DecodeFixed64(s.data());
+  return sum;
+}
+
+uint64_t Communicator::AllreduceMax(uint64_t v) const {
+  char buf[8];
+  EncodeFixed64(buf, v);
+  std::vector<std::string> all;
+  Allgather(Slice(buf, 8), &all);
+  uint64_t mx = 0;
+  for (const auto& s : all) {
+    uint64_t x = DecodeFixed64(s.data());
+    if (x > mx) mx = x;
+  }
+  return mx;
+}
+
+}  // namespace papyrus::net

@@ -1,0 +1,162 @@
+// In-process multi-rank message passing — the substitution for MPI.
+//
+// The paper's runtime is "a user-level library using MPI" needing
+// MPI_THREAD_MULTIPLE and *independent communicators* for its internal
+// dispatcher/handler traffic (§2.4: "the runtime creates new independent MPI
+// communicators and uses them in the message dispatcher and message
+// handler").  This module reproduces exactly the slice of MPI semantics that
+// PapyrusKV requires:
+//
+//   * N ranks = N threads (launched by net/runtime.h), each with a mailbox
+//     per communicator;
+//   * tagged point-to-point Send/Recv with MPI matching rules: receive by
+//     (source | ANY_SOURCE, tag | ANY_TAG), non-overtaking per (src, tag);
+//   * Dup() to derive independent communicators — messages on one can never
+//     match receives on another (the interoperability guarantee that lets
+//     the KVS runtime share the network with the application);
+//   * the collectives the KVS needs: Barrier, Bcast, Allgather, Allreduce.
+//
+// Every Send is charged against the simulated interconnect (sim/), so
+// message timing reflects the modelled fabric.  All operations are
+// thread-safe: a rank's main thread, dispatcher, and handler may use their
+// communicators concurrently (MPI_THREAD_MULTIPLE).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "sim/interconnect.h"
+
+namespace papyrus::net {
+
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+struct Message {
+  int src = -1;
+  int tag = 0;
+  std::string payload;
+  // Simulated propagation: the message may be matched by receives only
+  // once NowMicros() >= visible_at_us (0 = immediately).  The sender's own
+  // cost (injection + NIC occupancy) was already paid in Send.
+  uint64_t visible_at_us = 0;
+};
+
+// One rank's receive queue on one communicator.  FIFO per (src, tag);
+// receives take the earliest matching *visible* message.
+class Mailbox {
+ public:
+  void Deliver(Message msg);
+  // Blocks until a message matching (src, tag) is available and visible.
+  Message Recv(int src, int tag);
+  // Non-blocking variant; returns false if nothing matches (a matching
+  // but not-yet-visible message counts as absent).
+  bool TryRecv(int src, int tag, Message* out);
+
+ private:
+  bool Matches(const Message& m, int src, int tag) const {
+    return (src == kAnySource || m.src == src) &&
+           (tag == kAnyTag || m.tag == tag);
+  }
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+};
+
+class World;
+
+// A per-rank handle onto one communicator.  Cheap to copy; safe to use from
+// any thread belonging to the owning rank.
+class Communicator {
+ public:
+  Communicator() = default;
+
+  int rank() const { return rank_; }
+  int size() const;
+
+  // Sends payload to dst with tag (tag must be >= 0; negative tags are
+  // reserved for collectives).  Charges the interconnect model, then
+  // delivers — the emulated eager protocol, like MPI_Send of a buffered
+  // message.
+  void Send(int dst, int tag, const Slice& payload) const;
+
+  // Blocking receive with MPI matching rules.
+  Message Recv(int src = kAnySource, int tag = kAnyTag) const;
+  // Non-blocking probe+receive.
+  bool TryRecv(int src, int tag, Message* out) const;
+
+  // Collective: returns a new communicator with the same group but a
+  // disjoint message-matching space.  Must be called by all ranks in the
+  // same order (standard MPI collective contract).
+  Communicator Dup() const;
+
+  // Collectives (all ranks must call; implemented over internal tags so
+  // they never interfere with user point-to-point traffic).
+  void Barrier() const;
+  void Bcast(std::string* data, int root) const;
+  // Gathers each rank's contribution into out (indexed by rank) on all
+  // ranks.
+  void Allgather(const Slice& mine, std::vector<std::string>* out) const;
+  uint64_t AllreduceSum(uint64_t v) const;
+  uint64_t AllreduceMax(uint64_t v) const;
+
+  World* world() const { return world_; }
+  bool valid() const { return world_ != nullptr; }
+
+ private:
+  friend class World;
+  Communicator(World* world, uint64_t comm_id, int rank)
+      : world_(world), comm_id_(comm_id), rank_(rank) {}
+
+  void SendInternal(int dst, int tag, const Slice& payload) const;
+  Message RecvInternal(int src, int tag) const;
+
+  World* world_ = nullptr;
+  uint64_t comm_id_ = 0;
+  int rank_ = 0;
+  // Per-rank count of Dup() calls on this communicator: SPMD programs call
+  // collectives in the same order everywhere, so this sequence number is
+  // identical across ranks and names the derived communicator uniquely.
+  mutable std::shared_ptr<uint64_t> dup_seq_ = std::make_shared<uint64_t>(0);
+};
+
+// The shared state of one emulated job: topology, interconnect model, and
+// mailboxes for every (communicator, rank).
+class World {
+ public:
+  explicit World(const sim::Topology& topo);
+
+  const sim::Topology& topology() const { return topo_; }
+  sim::Interconnect& interconnect() { return net_; }
+  int size() const { return topo_.nranks; }
+
+  // The primordial communicator (MPI_COMM_WORLD analogue) for `rank`.
+  Communicator world_comm(int rank);
+
+ private:
+  friend class Communicator;
+
+  // Mailbox for (comm, rank), channel 0 = user, 1 = collectives.
+  Mailbox& mailbox(uint64_t comm_id, int rank, int channel);
+  // Registers/looks up the communicator derived from (parent, seq).
+  uint64_t DerivedComm(uint64_t parent, uint64_t seq);
+
+  sim::Topology topo_;
+  sim::Interconnect net_;
+
+  std::mutex mu_;
+  // comm_id -> per-rank mailboxes (two channels each).
+  std::map<uint64_t, std::vector<std::unique_ptr<Mailbox>>> mailboxes_;
+  std::map<std::pair<uint64_t, uint64_t>, uint64_t> derived_;
+  uint64_t next_comm_id_ = 1;
+};
+
+}  // namespace papyrus::net

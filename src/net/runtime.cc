@@ -1,0 +1,62 @@
+#include "net/runtime.h"
+
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace papyrus {
+// Defined in common/logging.cc; tags log lines with the emulated rank.
+extern thread_local int tls_log_rank;
+}  // namespace papyrus
+
+namespace papyrus::net {
+
+namespace {
+thread_local RankContext* tls_ctx = nullptr;
+}
+
+RankContext* CurrentRankContext() { return tls_ctx; }
+void SetCurrentRankContext(RankContext* ctx) {
+  tls_ctx = ctx;
+  tls_log_rank = ctx ? ctx->rank : -1;
+}
+
+void RunRanks(const sim::Topology& topo,
+              const std::function<void(RankContext&)>& fn) {
+  World world(topo);
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(topo.nranks));
+
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+
+  for (int r = 0; r < topo.nranks; ++r) {
+    threads.emplace_back([&, r] {
+      RankContext ctx;
+      ctx.rank = r;
+      ctx.topo = topo;
+      ctx.world = &world;
+      ctx.comm = world.world_comm(r);
+      SetCurrentRankContext(&ctx);
+      try {
+        fn(ctx);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(err_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+      SetCurrentRankContext(nullptr);
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void RunRanks(int nranks, const std::function<void(RankContext&)>& fn) {
+  sim::Topology topo;
+  topo.nranks = nranks;
+  topo.ranks_per_node = nranks;
+  RunRanks(topo, fn);
+}
+
+}  // namespace papyrus::net

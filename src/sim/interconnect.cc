@@ -1,0 +1,75 @@
+#include "sim/interconnect.h"
+
+#include <algorithm>
+
+#include "common/timer.h"
+#include "sim/device_model.h"
+
+namespace papyrus::sim {
+
+Interconnect::Interconnect(const Topology& topo, LinkPerf inter,
+                           LinkPerf intra)
+    : topo_(topo),
+      inter_(inter),
+      intra_(intra),
+      nic_busy_until_(static_cast<size_t>(std::max(1, topo.NumNodes()))) {
+  for (auto& n : nic_busy_until_) n.store(0);
+}
+
+namespace {
+
+// Reserves xfer_us on the serial channel `busy` and returns the completion
+// timestamp.
+uint64_t Reserve(std::atomic<uint64_t>& busy, uint64_t now, uint64_t xfer_us) {
+  uint64_t prev = busy.load(std::memory_order_relaxed);
+  uint64_t start, done;
+  do {
+    start = std::max(now, prev);
+    done = start + xfer_us;
+  } while (!busy.compare_exchange_weak(prev, done,
+                                       std::memory_order_relaxed));
+  return done;
+}
+
+}  // namespace
+
+uint64_t Interconnect::Charge(int src, int dst, uint64_t bytes) {
+  messages_.fetch_add(1, std::memory_order_relaxed);
+  bytes_.fetch_add(bytes, std::memory_order_relaxed);
+
+  const double scale = TimeScale();
+  if (scale <= 0 || src == dst) return 0;
+
+  const bool same_node = topo_.SameNode(src, dst);
+  const LinkPerf& link = same_node ? intra_ : inter_;
+  const uint64_t lat_us = static_cast<uint64_t>(link.latency_us * scale);
+  const uint64_t inj_us = static_cast<uint64_t>(link.injection_us * scale);
+  const uint64_t xfer_us = static_cast<uint64_t>(
+      link.bw_mbps > 0 ? (static_cast<double>(bytes) / link.bw_mbps) * scale
+                       : 0);
+
+  uint64_t send_done;
+  const uint64_t now = NowMicros();
+  if (same_node) {
+    // Shared-memory copy: no NIC involvement; the sender performs the copy.
+    send_done = now + inj_us + xfer_us;
+  } else {
+    // The payload must pass through both endpoints' NICs; congestion on
+    // either serializes.  The sender blocks until its payload has cleared
+    // both (occupancy), but NOT for the propagation latency.
+    const size_t sn = static_cast<size_t>(topo_.NodeOf(src));
+    const size_t dn = static_cast<size_t>(topo_.NodeOf(dst));
+    const uint64_t d1 = Reserve(nic_busy_until_[sn], now, xfer_us);
+    const uint64_t d2 = Reserve(nic_busy_until_[dn], now, xfer_us);
+    send_done = std::max(d1, d2) + inj_us;
+  }
+  if (send_done > now) PreciseSleepMicros(send_done - now);
+  return lat_us;
+}
+
+void Interconnect::ResetCounters() {
+  messages_ = 0;
+  bytes_ = 0;
+}
+
+}  // namespace papyrus::sim

@@ -1,0 +1,79 @@
+// Simulated interconnection network.
+//
+// Substitutes for the machines' fabrics (Summitdev: EDR InfiniBand,
+// Stampede: Omni-Path, Cori: Aries Dragonfly).  The rank runtime charges
+// every message against this model before delivery.
+//
+// What the model must capture for the paper's results to hold their shape:
+//   * a synchronous remote put in sequential mode pays a full round trip
+//     per operation, while relaxed-mode migration batches many pairs per
+//     message (Fig. 7: Rel ≫ Seq for puts);
+//   * all-to-all bursts (papyruskv_barrier) congest: each node's NIC is a
+//     serial resource, so a flood of simultaneous messages queues on it
+//     (Fig. 7: Rel+B loses its advantage because the big deferred migration
+//     happens all at once);
+//   * intra-node transfers are much cheaper than inter-node ones (storage
+//     groups, Fig. 8).
+//
+// Like the device model, all delays scale with the global TimeScale(); at
+// scale 0 the interconnect is free (functional tests).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace papyrus::sim {
+
+// Maps ranks onto simulated nodes: ranks [k*ranks_per_node, ...) share node
+// k, its storage, and its NIC.
+struct Topology {
+  int nranks = 1;
+  int ranks_per_node = 1;
+
+  int NumNodes() const {
+    return (nranks + ranks_per_node - 1) / ranks_per_node;
+  }
+  int NodeOf(int rank) const { return rank / ranks_per_node; }
+  bool SameNode(int a, int b) const { return NodeOf(a) == NodeOf(b); }
+};
+
+struct LinkPerf {
+  double latency_us = 0;    // one-way propagation latency (delivery delay)
+  double bw_mbps = 0;       // per-NIC bandwidth
+  double injection_us = 0;  // sender-side per-message injection overhead
+};
+
+class Interconnect {
+ public:
+  // Defaults calibrated to a 2017 EDR-class fabric: ~1.5us one-way latency,
+  // ~10 GB/s per NIC, ~0.3us injection; intra-node via shared memory:
+  // ~0.3us latency, ~20 GB/s, ~0.1us injection.
+  Interconnect(const Topology& topo,
+               LinkPerf inter = {1.5, 10000, 0.3},
+               LinkPerf intra = {0.3, 20000, 0.1});
+
+  // Charges the transfer of `bytes` from rank src to rank dst.  The SENDER
+  // sleeps for its share — injection overhead plus NIC occupancy (queued
+  // behind concurrent transfers) — exactly like a fire-and-forget one-sided
+  // store: the call returns when the payload has left the NIC.  The
+  // returned value is the additional *delivery* delay (propagation
+  // latency) the receiver must wait before the message becomes visible, in
+  // microseconds; round trips therefore pay 2x latency at the receivers.
+  uint64_t Charge(int src, int dst, uint64_t bytes);
+
+  uint64_t messages() const { return messages_.load(); }
+  uint64_t bytes() const { return bytes_.load(); }
+  void ResetCounters();
+
+ private:
+  Topology topo_;
+  LinkPerf inter_, intra_;
+  // One serial channel per node NIC; inter-node transfers reserve time on
+  // both endpoints' NICs, which is what produces all-to-all congestion.
+  std::vector<std::atomic<uint64_t>> nic_busy_until_;
+  std::atomic<uint64_t> messages_{0};
+  std::atomic<uint64_t> bytes_{0};
+};
+
+}  // namespace papyrus::sim

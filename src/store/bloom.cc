@@ -1,0 +1,74 @@
+#include "store/bloom.h"
+
+#include <algorithm>
+
+#include "common/coding.h"
+#include "common/crc32.h"
+#include "common/hash.h"
+#include "store/format.h"
+
+namespace papyrus::store {
+
+BloomFilter::BloomFilter(size_t expected_keys, int bits_per_key) {
+  num_bits_ = std::max<uint64_t>(64, expected_keys *
+                                         static_cast<uint64_t>(bits_per_key));
+  // k = ln2 * bits/key, clamped to a sane range.
+  num_hashes_ = std::clamp(static_cast<int>(bits_per_key * 0.69), 1, 30);
+  bits_.assign((num_bits_ + 7) / 8, 0);
+}
+
+void BloomFilter::Add(const Slice& key) {
+  const uint64_t h1 = Fnv1a64(key);
+  const uint64_t h2 = Mix64(h1);
+  for (int i = 0; i < num_hashes_; ++i) {
+    const uint64_t bit = (h1 + static_cast<uint64_t>(i) * h2) % num_bits_;
+    bits_[bit >> 3] |= static_cast<uint8_t>(1u << (bit & 7));
+  }
+}
+
+bool BloomFilter::MayContain(const Slice& key) const {
+  if (num_bits_ == 0) return true;  // degenerate filter rejects nothing
+  const uint64_t h1 = Fnv1a64(key);
+  const uint64_t h2 = Mix64(h1);
+  for (int i = 0; i < num_hashes_; ++i) {
+    const uint64_t bit = (h1 + static_cast<uint64_t>(i) * h2) % num_bits_;
+    if ((bits_[bit >> 3] & (1u << (bit & 7))) == 0) return false;
+  }
+  return true;
+}
+
+std::string BloomFilter::Serialize() const {
+  std::string out;
+  out.reserve(16 + bits_.size() + 4);
+  PutFixed32(&out, kBloomMagic);
+  PutFixed32(&out, static_cast<uint32_t>(num_hashes_));
+  PutFixed64(&out, num_bits_);
+  out.append(reinterpret_cast<const char*>(bits_.data()), bits_.size());
+  PutFixed32(&out, MaskCrc(Crc32c(out.data(), out.size())));
+  return out;
+}
+
+Status BloomFilter::Parse(const Slice& data, BloomFilter* out) {
+  if (data.size() < 20) return Status::Corrupted("bloom file too small");
+  const uint32_t stored_crc = UnmaskCrc(DecodeFixed32(
+      data.data() + data.size() - 4));
+  if (Crc32c(data.data(), data.size() - 4) != stored_crc) {
+    return Status::Corrupted("bloom crc mismatch");
+  }
+  Slice in = data;
+  uint32_t magic = 0, hashes = 0;
+  uint64_t bits = 0;
+  GetFixed32(&in, &magic);
+  GetFixed32(&in, &hashes);
+  GetFixed64(&in, &bits);
+  if (magic != kBloomMagic) return Status::Corrupted("bloom bad magic");
+  const size_t nbytes = (bits + 7) / 8;
+  if (in.size() < nbytes + 4) return Status::Corrupted("bloom truncated");
+  out->num_bits_ = bits;
+  out->num_hashes_ = static_cast<int>(hashes);
+  out->bits_.assign(reinterpret_cast<const uint8_t*>(in.data()),
+                    reinterpret_cast<const uint8_t*>(in.data()) + nbytes);
+  return Status::OK();
+}
+
+}  // namespace papyrus::store

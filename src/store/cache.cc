@@ -1,0 +1,92 @@
+#include "store/cache.h"
+
+namespace papyrus::store {
+
+namespace {
+size_t ChargeOf(const Slice& key, const Slice& value) {
+  return key.size() + value.size() + 64;  // 64 ≈ bookkeeping overhead
+}
+}  // namespace
+
+void LruCache::Put(const Slice& key, const Slice& value, bool tombstone) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!enabled_) return;
+  auto it = map_.find(key.ToString());
+  if (it != map_.end()) {
+    bytes_ -= ChargeOf(it->second->key, it->second->value);
+    lru_.erase(it->second);
+    map_.erase(it);
+  }
+  lru_.push_front(Entry{key.ToString(), value.ToString(), tombstone});
+  map_[key.ToString()] = lru_.begin();
+  bytes_ += ChargeOf(key, value);
+  EvictLocked();
+}
+
+bool LruCache::Get(const Slice& key, std::string* value, bool* tombstone) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!enabled_) return false;
+  auto it = map_.find(key.ToString());
+  if (it == map_.end()) {
+    ++misses_;
+    return false;
+  }
+  ++hits_;
+  // Promote to MRU.
+  lru_.splice(lru_.begin(), lru_, it->second);
+  if (value) *value = it->second->value;
+  if (tombstone) *tombstone = it->second->tombstone;
+  return true;
+}
+
+void LruCache::Erase(const Slice& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key.ToString());
+  if (it == map_.end()) return;
+  bytes_ -= ChargeOf(it->second->key, it->second->value);
+  lru_.erase(it->second);
+  map_.erase(it);
+}
+
+void LruCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  map_.clear();
+  bytes_ = 0;
+}
+
+void LruCache::set_enabled(bool on) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!on) {
+    lru_.clear();
+    map_.clear();
+    bytes_ = 0;
+  }
+  enabled_ = on;
+}
+
+bool LruCache::enabled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return enabled_;
+}
+
+size_t LruCache::bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
+size_t LruCache::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
+}
+
+void LruCache::EvictLocked() {
+  while (bytes_ > capacity_ && !lru_.empty()) {
+    const Entry& victim = lru_.back();
+    bytes_ -= ChargeOf(victim.key, victim.value);
+    map_.erase(victim.key);
+    lru_.pop_back();
+  }
+}
+
+}  // namespace papyrus::store

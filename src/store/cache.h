@@ -1,0 +1,74 @@
+// LRU key-value cache.
+//
+// Paper §2.3: "The cache is a kind of MemTable, and it is managed in a LRU
+// fashion.  The local and remote caches store key-value pairs fetched from
+// SSTables and other remote MPI ranks, respectively."
+//
+// Semantics used by the DB:
+//   * local cache — filled on SSTable hits; an entry is invalidated when a
+//     newer pair with the same key enters the local MemTable (§2.4);
+//     disabled entirely under PAPYRUSKV_WRONLY protection (§3.2).
+//   * remote cache — enabled only while the DB is PAPYRUSKV_RDONLY (§3.2),
+//     filled from remote get responses, flushed when the DB becomes
+//     writable again.
+//
+// Entries may be negative (tombstone=true): caching a known-deleted key
+// avoids repeating a miss that walked every SSTable.  Thread-safe.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/slice.h"
+
+namespace papyrus::store {
+
+class LruCache {
+ public:
+  explicit LruCache(size_t capacity_bytes, bool enabled = true)
+      : capacity_(capacity_bytes), enabled_(enabled) {}
+
+  // Inserts/refreshes key → (value, tombstone); evicts LRU entries over
+  // capacity.  No-op while disabled.
+  void Put(const Slice& key, const Slice& value, bool tombstone);
+
+  // On hit, promotes the entry and fills outputs.
+  bool Get(const Slice& key, std::string* value, bool* tombstone);
+
+  // Drops one key (the §2.4 stale-entry invalidation on local puts).
+  void Erase(const Slice& key);
+
+  // Drops everything (protection-mode transitions).
+  void Clear();
+
+  void set_enabled(bool on);
+  bool enabled() const;
+
+  size_t bytes() const;
+  size_t count() const;
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  struct Entry {
+    std::string key;
+    std::string value;
+    bool tombstone;
+  };
+  using List = std::list<Entry>;
+
+  void EvictLocked();
+
+  mutable std::mutex mu_;
+  size_t capacity_;
+  bool enabled_;
+  size_t bytes_ = 0;
+  List lru_;  // front = most recent
+  std::unordered_map<std::string, List::iterator> map_;
+  uint64_t hits_ = 0, misses_ = 0;
+};
+
+}  // namespace papyrus::store

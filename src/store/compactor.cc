@@ -1,0 +1,115 @@
+#include "store/compactor.h"
+
+#include <queue>
+
+#include "store/format.h"
+#include "store/sstable.h"
+
+namespace papyrus::store {
+
+namespace {
+
+// A sequential cursor over one input table.
+struct Cursor {
+  SSTablePtr table;
+  size_t pos = 0;
+  std::string key;
+  std::string value;
+  uint8_t flags = 0;
+
+  bool exhausted() const { return pos >= table->count(); }
+
+  Status Load() {
+    return table->ReadEntry(pos, &key, &value, &flags);
+  }
+};
+
+// Heap order: smallest key first; among equal keys, highest SSID first so
+// the newest version pops first and older ones are skipped.
+struct HeapCmp {
+  bool operator()(const Cursor* a, const Cursor* b) const {
+    const int c = Slice(a->key).compare(Slice(b->key));
+    if (c != 0) return c > 0;
+    return a->table->ssid() < b->table->ssid();
+  }
+};
+
+}  // namespace
+
+Status MergeTables(Manifest& manifest,
+                   const std::vector<uint64_t>& input_ssids,
+                   bool drop_tombstones, int bloom_bits_per_key,
+                   CompactionStats* stats) {
+  CompactionStats local;
+  local.input_tables = input_ssids.size();
+
+  std::vector<Cursor> cursors(input_ssids.size());
+  size_t expected = 0;
+  for (size_t i = 0; i < input_ssids.size(); ++i) {
+    Status s = manifest.GetReader(input_ssids[i], &cursors[i].table);
+    if (!s.ok()) return s;
+    expected += cursors[i].table->count();
+    local.input_entries += cursors[i].table->count();
+  }
+
+  std::priority_queue<Cursor*, std::vector<Cursor*>, HeapCmp> heap;
+  for (auto& c : cursors) {
+    if (c.exhausted()) continue;
+    Status s = c.Load();
+    if (!s.ok()) return s;
+    heap.push(&c);
+  }
+
+  const uint64_t out_ssid = manifest.NextSsid();
+  SSTableBuilder builder(manifest.dir(), out_ssid, expected,
+                         bloom_bits_per_key);
+
+  std::string last_emitted_key;
+  bool any_emitted = false;
+  while (!heap.empty()) {
+    Cursor* c = heap.top();
+    heap.pop();
+
+    const bool duplicate = any_emitted && c->key == last_emitted_key;
+    if (duplicate) {
+      ++local.dropped_stale;
+    } else if (drop_tombstones && (c->flags & kFlagTombstone)) {
+      ++local.dropped_tombstones;
+      // Still record the key so older versions of it are dropped as stale.
+      last_emitted_key = c->key;
+      any_emitted = true;
+    } else {
+      Status s = builder.Add(c->key, c->value, c->flags);
+      if (!s.ok()) return s;
+      last_emitted_key = c->key;
+      any_emitted = true;
+      ++local.output_entries;
+    }
+
+    ++c->pos;
+    if (!c->exhausted()) {
+      Status s = c->Load();
+      if (!s.ok()) return s;
+      heap.push(c);
+    }
+  }
+
+  Status s = builder.Finish();
+  if (!s.ok()) return s;
+  s = manifest.ReplaceTables(input_ssids, {out_ssid});
+  if (!s.ok()) return s;
+  if (stats) *stats = local;
+  return Status::OK();
+}
+
+Status MaybeCompact(Manifest& manifest, uint64_t new_ssid, uint64_t trigger,
+                    int bloom_bits_per_key, CompactionStats* stats) {
+  if (trigger <= 1 || new_ssid % trigger != 0) return Status::OK();
+  std::vector<uint64_t> live = manifest.LiveSsids();  // descending
+  if (live.size() < 2) return Status::OK();
+  // Full-set merge: tombstones can be purged.
+  return MergeTables(manifest, live, /*drop_tombstones=*/true,
+                     bloom_bits_per_key, stats);
+}
+
+}  // namespace papyrus::store

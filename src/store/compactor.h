@@ -1,0 +1,48 @@
+// SSTable merge compaction (paper §2.5).
+//
+// "PapyrusKV merges the data in a set of SSTables by the compaction thread
+// whenever the SSID of a new SSTable is multiples of the predefined number.
+// ... if there are multiple key-value pairs with the same key, the key-value
+// pair in the newest SSTable that has the highest SSID is inserted in the
+// new merged SSTable.  When the compaction is finished, the old SSTables
+// are deleted."
+//
+// MergeTables performs the k-way merge: inputs are read sequentially (the
+// paper: "compaction needs sequential file read because the key-value pairs
+// in each SSTable are sorted"), duplicate keys resolve newest-wins, and —
+// when the merge covers the complete live set — tombstones are purged, since
+// no older table can resurrect the key.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "store/manifest.h"
+
+namespace papyrus::store {
+
+struct CompactionStats {
+  uint64_t input_tables = 0;
+  uint64_t input_entries = 0;
+  uint64_t output_entries = 0;
+  uint64_t dropped_stale = 0;      // older duplicates
+  uint64_t dropped_tombstones = 0; // purged deletions
+};
+
+// Merges the given live tables of `manifest` into one new table with a
+// fresh SSID, commits the replacement, and deletes the inputs.
+// `input_ssids` must all be live; `drop_tombstones` is safe only when the
+// inputs are the complete live set.
+Status MergeTables(Manifest& manifest, const std::vector<uint64_t>& input_ssids,
+                   bool drop_tombstones, int bloom_bits_per_key,
+                   CompactionStats* stats = nullptr);
+
+// The paper's trigger: run a full-set merge when `new_ssid` is a multiple
+// of `trigger` (trigger <= 1 disables compaction; fewer than 2 live tables
+// is a no-op).
+Status MaybeCompact(Manifest& manifest, uint64_t new_ssid, uint64_t trigger,
+                    int bloom_bits_per_key, CompactionStats* stats = nullptr);
+
+}  // namespace papyrus::store

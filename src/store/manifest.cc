@@ -1,0 +1,121 @@
+#include "store/manifest.h"
+
+#include <algorithm>
+#include <mutex>
+
+#include "sim/storage.h"
+#include "store/format.h"
+
+namespace papyrus::store {
+
+Status Manifest::Open() {
+  Status s = sim::Storage::CreateDirs(dir_);
+  if (!s.ok()) return s;
+  std::vector<std::string> entries;
+  s = sim::Storage::ListDir(dir_, &entries);
+  if (!s.ok()) return s;
+
+  std::unique_lock lock(mu_);
+  live_.clear();
+  for (const auto& name : entries) {
+    // Recover from sst_<ssid>.data (the file published last by the
+    // builder, so its presence implies a complete table).
+    if (name.rfind("sst_", 0) == 0 && name.size() > 9 &&
+        name.compare(name.size() - 5, 5, ".data") == 0) {
+      const std::string num = name.substr(4, name.size() - 9);
+      char* end = nullptr;
+      const uint64_t ssid = strtoull(num.c_str(), &end, 10);
+      if (end && *end == '\0' && ssid > 0) live_.push_back(ssid);
+    }
+  }
+  std::sort(live_.begin(), live_.end());
+  next_ssid_ = live_.empty() ? 1 : live_.back() + 1;
+  return Status::OK();
+}
+
+uint64_t Manifest::NextSsid() {
+  std::unique_lock lock(mu_);
+  return next_ssid_++;
+}
+
+void Manifest::AddTable(uint64_t ssid) {
+  std::unique_lock lock(mu_);
+  live_.push_back(ssid);
+  std::sort(live_.begin(), live_.end());
+}
+
+Status Manifest::ReplaceTables(const std::vector<uint64_t>& removed,
+                               const std::vector<uint64_t>& added) {
+  {
+    std::unique_lock lock(mu_);
+    for (uint64_t ssid : removed) {
+      live_.erase(std::remove(live_.begin(), live_.end(), ssid), live_.end());
+      readers_.erase(ssid);
+    }
+    for (uint64_t ssid : added) live_.push_back(ssid);
+    std::sort(live_.begin(), live_.end());
+  }
+  // Delete old files outside the lock; open readers keep their fds valid.
+  Status first_err = Status::OK();
+  for (uint64_t ssid : removed) {
+    for (const auto& name :
+         {SsDataName(ssid), SsIndexName(ssid), BloomName(ssid)}) {
+      Status s = sim::Storage::RemoveFile(dir_ + "/" + name);
+      if (!s.ok() && first_err.ok()) first_err = s;
+    }
+  }
+  return first_err;
+}
+
+std::vector<uint64_t> Manifest::LiveSsids() const {
+  std::shared_lock lock(mu_);
+  std::vector<uint64_t> out(live_.rbegin(), live_.rend());
+  return out;
+}
+
+uint64_t Manifest::LatestSsid() const {
+  std::shared_lock lock(mu_);
+  return live_.empty() ? 0 : live_.back();
+}
+
+size_t Manifest::TableCount() const {
+  std::shared_lock lock(mu_);
+  return live_.size();
+}
+
+Status Manifest::GetReader(uint64_t ssid, SSTablePtr* out) {
+  {
+    std::shared_lock lock(mu_);
+    auto it = readers_.find(ssid);
+    if (it != readers_.end()) {
+      *out = it->second;
+      return Status::OK();
+    }
+    if (std::find(live_.begin(), live_.end(), ssid) == live_.end()) {
+      return Status::NotFound("ssid not live");
+    }
+  }
+  SSTablePtr reader;
+  Status s = SSTableReader::Open(dir_, ssid, &reader);
+  if (!s.ok()) return s;
+  std::unique_lock lock(mu_);
+  auto [it, inserted] = readers_.emplace(ssid, reader);
+  *out = it->second;
+  return Status::OK();
+}
+
+Status Manifest::OpenForeign(const std::string& dir, uint64_t ssid,
+                             SSTablePtr* out) {
+  if (!sim::Storage::FileExists(dir + "/" + SsDataName(ssid))) {
+    return Status::NotFound("foreign sstable absent");
+  }
+  Status s = SSTableReader::Open(dir, ssid, out);
+  if (!s.ok() && !sim::Storage::FileExists(dir + "/" + SsDataName(ssid))) {
+    // The owner compacted the table away between our existence check and
+    // the open — a benign race; callers fall back to asking the owner.
+    return Status::NotFound("foreign sstable deleted concurrently");
+  }
+  return s;
+}
+
+}  // namespace papyrus::store

@@ -1,0 +1,73 @@
+// Manifest: one rank's catalog of live SSTables for one database.
+//
+// Tracks the set of live SSIDs, allocates the next SSID (per-database,
+// per-rank, unique, increasing, starting at one — paper §2.4), and caches
+// open SSTableReaders.  On open it recovers state by scanning the rank's
+// directory for sst_<ssid>.data files — this is what makes the zero-copy
+// workflow (§4.1) work: a new application run re-composes the database
+// purely from the SSTables retained on NVM, no data movement.
+//
+// Thread safety: the get path snapshots the table list (newest first) under
+// a shared lock while the compaction thread installs flush results and
+// compaction replacements under an exclusive lock.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "store/sstable.h"
+
+namespace papyrus::store {
+
+class Manifest {
+ public:
+  explicit Manifest(std::string dir) : dir_(std::move(dir)) {}
+
+  const std::string& dir() const { return dir_; }
+
+  // Creates the directory if needed and recovers live SSIDs from it.
+  Status Open();
+
+  // Allocates the next SSID (monotonic, never reused within a run).
+  uint64_t NextSsid();
+
+  // Registers a freshly built SSTable.
+  void AddTable(uint64_t ssid);
+
+  // Atomically replaces `removed` with `added` (compaction commit), then
+  // deletes the removed tables' files.
+  Status ReplaceTables(const std::vector<uint64_t>& removed,
+                       const std::vector<uint64_t>& added);
+
+  // Live SSIDs, descending (newest first — the paper's search order).
+  std::vector<uint64_t> LiveSsids() const;
+
+  // Highest SSID that has been flushed and registered, 0 if none.  Sent in
+  // storage-group get responses (§2.7).
+  uint64_t LatestSsid() const;
+
+  size_t TableCount() const;
+
+  // Opens (or returns the cached) reader for ssid.  NOT_FOUND if the table
+  // is not live.
+  Status GetReader(uint64_t ssid, SSTablePtr* out);
+
+  // Opens a reader for a table owned by *another* rank's directory without
+  // registering it (storage-group shared reads).  Failures to open a
+  // vanished table (compacted away) surface as NOT_FOUND.
+  static Status OpenForeign(const std::string& dir, uint64_t ssid,
+                            SSTablePtr* out);
+
+ private:
+  std::string dir_;
+  mutable std::shared_mutex mu_;
+  std::vector<uint64_t> live_;  // ascending
+  std::unordered_map<uint64_t, SSTablePtr> readers_;
+  uint64_t next_ssid_ = 1;
+};
+
+}  // namespace papyrus::store

@@ -1,0 +1,69 @@
+#include "store/memtable.h"
+
+#include <cassert>
+#include <mutex>
+
+namespace papyrus::store {
+
+bool MemTable::Put(const Slice& key, const Slice& value, bool tombstone,
+                   int owner) {
+  std::unique_lock lock(mu_);
+  if (sealed_) return false;
+  Entry e;
+  e.value = value.ToString();
+  e.tombstone = tombstone;
+  e.owner = owner;
+  const size_t new_charge = key.size() + value.size() + sizeof(Entry);
+  std::string k = key.ToString();
+  if (Entry* old = tree_.Find(k)) {
+    // Replace in place (the paper: the old pair is deleted first).
+    bytes_ -= k.size() + old->value.size() + sizeof(Entry);
+    *old = std::move(e);
+  } else {
+    tree_.InsertOrAssign(k, std::move(e));
+  }
+  bytes_ += new_charge;
+  return true;
+}
+
+bool MemTable::Get(const Slice& key, std::string* value, bool* tombstone,
+                   int* owner) const {
+  std::shared_lock lock(mu_);
+  const Entry* e = tree_.Find(key.ToString());
+  if (!e) return false;
+  if (value) *value = e->value;
+  if (tombstone) *tombstone = e->tombstone;
+  if (owner) *owner = e->owner;
+  return true;
+}
+
+void MemTable::Seal() {
+  std::unique_lock lock(mu_);
+  sealed_ = true;
+}
+
+bool MemTable::sealed() const {
+  std::shared_lock lock(mu_);
+  return sealed_;
+}
+
+size_t MemTable::ApproxBytes() const {
+  std::shared_lock lock(mu_);
+  return bytes_;
+}
+
+size_t MemTable::Count() const {
+  std::shared_lock lock(mu_);
+  return tree_.size();
+}
+
+void MemTable::ForEachSorted(
+    const std::function<void(const Slice&, const Entry&)>& fn) const {
+  std::shared_lock lock(mu_);
+  assert(sealed_ && "sorted iteration requires a sealed MemTable");
+  for (auto it = tree_.Begin(); it.Valid(); it.Next()) {
+    fn(Slice(it.key()), it.value());
+  }
+}
+
+}  // namespace papyrus::store

@@ -1,0 +1,106 @@
+#include "apps/genome.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace papyrus::apps {
+namespace {
+
+TEST(GenomeTest, GeneratesRequestedShape) {
+  GenomeSpec spec;
+  spec.k = 15;
+  spec.contigs = 8;
+  spec.contig_len = 300;
+  const SyntheticGenome g = GenerateGenome(spec);
+  EXPECT_EQ(g.k, 15);
+  EXPECT_EQ(g.segments.size(), 8u);
+  for (const auto& seg : g.segments) {
+    EXPECT_EQ(seg.size(), 300u);
+    for (char c : seg) {
+      EXPECT_TRUE(c == 'A' || c == 'C' || c == 'G' || c == 'T') << c;
+    }
+  }
+  // One UFX record per k-mer position.
+  EXPECT_EQ(g.ufx.size(), 8u * (300 - 15 + 1));
+}
+
+TEST(GenomeTest, KmersAreGloballyUnique) {
+  GenomeSpec spec;
+  spec.k = 17;
+  spec.contigs = 10;
+  spec.contig_len = 400;
+  const SyntheticGenome g = GenerateGenome(spec);
+  std::unordered_set<std::string> seen;
+  for (const auto& rec : g.ufx) {
+    EXPECT_EQ(rec.kmer.size(), 17u);
+    EXPECT_TRUE(seen.insert(rec.kmer).second) << "duplicate " << rec.kmer;
+  }
+}
+
+TEST(GenomeTest, ExtensionCodesLinkTheGraph) {
+  GenomeSpec spec;
+  spec.k = 13;
+  spec.contigs = 4;
+  spec.contig_len = 200;
+  const SyntheticGenome g = GenerateGenome(spec);
+  std::unordered_map<std::string, const UfxRecord*> table;
+  for (const auto& rec : g.ufx) table[rec.kmer] = &rec;
+
+  // Exactly one seed ('X' left extension) per contig, and walking right
+  // from each seed must reproduce the segment.
+  const auto seeds = SeedRecords(g);
+  ASSERT_EQ(seeds.size(), g.segments.size());
+  std::unordered_set<std::string> truth(g.segments.begin(),
+                                        g.segments.end());
+  for (const UfxRecord* seed : seeds) {
+    std::string contig = seed->kmer;
+    std::string cur = seed->kmer;
+    char right = seed->right;
+    while (right != 'X') {
+      cur.erase(0, 1);
+      cur.push_back(right);
+      contig.push_back(right);
+      auto it = table.find(cur);
+      ASSERT_NE(it, table.end()) << "broken chain at " << cur;
+      right = it->second->right;
+    }
+    EXPECT_TRUE(truth.count(contig)) << "assembled contig not in genome";
+  }
+}
+
+TEST(GenomeTest, DeterministicPerSeed) {
+  GenomeSpec spec;
+  spec.seed = 5;
+  const SyntheticGenome a = GenerateGenome(spec);
+  const SyntheticGenome b = GenerateGenome(spec);
+  ASSERT_EQ(a.segments.size(), b.segments.size());
+  for (size_t i = 0; i < a.segments.size(); ++i) {
+    EXPECT_EQ(a.segments[i], b.segments[i]);
+  }
+  spec.seed = 6;
+  const SyntheticGenome c = GenerateGenome(spec);
+  EXPECT_NE(a.segments[0], c.segments[0]);
+}
+
+TEST(GenomeTest, UfxIsShuffled) {
+  GenomeSpec spec;
+  spec.contigs = 2;
+  spec.contig_len = 500;
+  const SyntheticGenome g = GenerateGenome(spec);
+  // If records were in genome order, every consecutive pair would chain;
+  // after shuffling only a tiny fraction should.
+  int chained = 0;
+  for (size_t i = 1; i < g.ufx.size(); ++i) {
+    if (g.ufx[i].kmer.compare(0, g.ufx[i].kmer.size() - 1,
+                              g.ufx[i - 1].kmer, 1,
+                              g.ufx[i - 1].kmer.size() - 1) == 0) {
+      ++chained;
+    }
+  }
+  EXPECT_LT(chained, static_cast<int>(g.ufx.size() / 10));
+}
+
+}  // namespace
+}  // namespace papyrus::apps

@@ -1,0 +1,112 @@
+#include "apps/meraculous.h"
+
+#include <gtest/gtest.h>
+
+#include "../util/temp_dir.h"
+#include "core/papyruskv.h"
+#include "net/runtime.h"
+#include "sim/device_model.h"
+
+namespace papyrus::apps {
+namespace {
+
+using papyrus::testutil::TempDir;
+
+SyntheticGenome SmallGenome(uint64_t seed = 3) {
+  GenomeSpec spec;
+  spec.k = 15;
+  spec.contigs = 6;
+  spec.contig_len = 250;
+  spec.seed = seed;
+  return GenerateGenome(spec);
+}
+
+class MeraculousTest : public ::testing::Test {
+ protected:
+  void SetUp() override { sim::SetTimeScale(0.0); }
+  void TearDown() override { sim::DeviceRegistry::Instance().Clear(); }
+};
+
+TEST_F(MeraculousTest, AssemblesExactlyOnPapyrusKv) {
+  TempDir tmp{"meraculous_pkv"};
+  const SyntheticGenome genome = SmallGenome();
+  net::RunRanks(4, [&](net::RankContext& ctx) {
+    ASSERT_EQ(papyruskv_init(nullptr, nullptr, tmp.path().c_str()),
+              PAPYRUSKV_SUCCESS);
+    std::unique_ptr<PapyrusKmerStore> store;
+    ASSERT_TRUE(PapyrusKmerStore::Open("kmers", &store).ok());
+    AssemblyResult result;
+    ASSERT_TRUE(AssembleRank(ctx, *store, genome, &result).ok());
+    EXPECT_GT(result.kmers_inserted, 0u);
+    EXPECT_TRUE(VerifyAssembly(ctx, genome, result.contigs));
+    store.reset();
+    ASSERT_EQ(papyruskv_finalize(), PAPYRUSKV_SUCCESS);
+  });
+}
+
+TEST_F(MeraculousTest, AssemblesExactlyOnDsm) {
+  const SyntheticGenome genome = SmallGenome(8);
+  net::RunRanks(4, [&](net::RankContext& ctx) {
+    std::unique_ptr<DsmKmerStore> store;
+    ASSERT_TRUE(DsmKmerStore::Open(ctx, &store).ok());
+    AssemblyResult result;
+    ASSERT_TRUE(AssembleRank(ctx, *store, genome, &result).ok());
+    EXPECT_TRUE(VerifyAssembly(ctx, genome, result.contigs));
+  });
+}
+
+TEST_F(MeraculousTest, BothBackendsProduceIdenticalContigSets) {
+  TempDir tmp{"meraculous_both"};
+  const SyntheticGenome genome = SmallGenome(11);
+  std::vector<std::string> pkv_contigs, dsm_contigs;
+  std::mutex mu;
+
+  net::RunRanks(3, [&](net::RankContext& ctx) {
+    ASSERT_EQ(papyruskv_init(nullptr, nullptr, tmp.path().c_str()),
+              PAPYRUSKV_SUCCESS);
+    std::unique_ptr<PapyrusKmerStore> pkv;
+    ASSERT_TRUE(PapyrusKmerStore::Open("kmers2", &pkv).ok());
+    AssemblyResult r1;
+    ASSERT_TRUE(AssembleRank(ctx, *pkv, genome, &r1).ok());
+    pkv.reset();
+
+    std::unique_ptr<DsmKmerStore> dsm;
+    ASSERT_TRUE(DsmKmerStore::Open(ctx, &dsm).ok());
+    AssemblyResult r2;
+    ASSERT_TRUE(AssembleRank(ctx, *dsm, genome, &r2).ok());
+
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      pkv_contigs.insert(pkv_contigs.end(), r1.contigs.begin(),
+                         r1.contigs.end());
+      dsm_contigs.insert(dsm_contigs.end(), r2.contigs.begin(),
+                         r2.contigs.end());
+    }
+    ASSERT_EQ(papyruskv_finalize(), PAPYRUSKV_SUCCESS);
+  });
+
+  std::sort(pkv_contigs.begin(), pkv_contigs.end());
+  std::sort(dsm_contigs.begin(), dsm_contigs.end());
+  EXPECT_EQ(pkv_contigs, dsm_contigs);
+  EXPECT_EQ(pkv_contigs.size(), genome.segments.size());
+}
+
+TEST_F(MeraculousTest, SingleRankAssembly) {
+  TempDir tmp{"meraculous_single"};
+  const SyntheticGenome genome = SmallGenome(13);
+  net::RunRanks(1, [&](net::RankContext& ctx) {
+    ASSERT_EQ(papyruskv_init(nullptr, nullptr, tmp.path().c_str()),
+              PAPYRUSKV_SUCCESS);
+    std::unique_ptr<PapyrusKmerStore> store;
+    ASSERT_TRUE(PapyrusKmerStore::Open("kmers3", &store).ok());
+    AssemblyResult result;
+    ASSERT_TRUE(AssembleRank(ctx, *store, genome, &result).ok());
+    EXPECT_EQ(result.contigs.size(), genome.segments.size());
+    EXPECT_TRUE(VerifyAssembly(ctx, genome, result.contigs));
+    store.reset();
+    ASSERT_EQ(papyruskv_finalize(), PAPYRUSKV_SUCCESS);
+  });
+}
+
+}  // namespace
+}  // namespace papyrus::apps

@@ -1,0 +1,88 @@
+#include "baseline/dsm.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "net/runtime.h"
+
+namespace papyrus::baseline {
+namespace {
+
+TEST(DsmTest, InsertQuietLookup) {
+  net::RunRanks(4, [](net::RankContext& ctx) {
+    std::unique_ptr<DsmHashTable> t;
+    ASSERT_TRUE(DsmHashTable::Open(ctx, &t).ok());
+    for (int i = 0; i < 25; ++i) {
+      const std::string k =
+          "r" + std::to_string(ctx.rank) + "i" + std::to_string(i);
+      ASSERT_TRUE(t->Insert(k, "v_" + k).ok());
+    }
+    // One-sided stores complete at the target only after the fence.
+    ASSERT_TRUE(t->Quiet().ok());
+    ctx.comm.Barrier();
+    for (int r = 0; r < 4; ++r) {
+      for (int i = 0; i < 25; ++i) {
+        const std::string k =
+            "r" + std::to_string(r) + "i" + std::to_string(i);
+        std::string out;
+        ASSERT_TRUE(t->Lookup(k, &out).ok()) << k;
+        EXPECT_EQ(out, "v_" + k);
+      }
+    }
+    std::string out;
+    EXPECT_TRUE(t->Lookup("missing", &out).IsNotFound());
+    ASSERT_TRUE(t->Close().ok());
+  });
+}
+
+TEST(DsmTest, RemoteAtomicCasClaimsExactlyOnce) {
+  // All ranks race to claim the same keys; exactly one winner per key.
+  std::atomic<int> total_wins{0};
+  net::RunRanks(4, [&](net::RankContext& ctx) {
+    std::unique_ptr<DsmHashTable> t;
+    ASSERT_TRUE(DsmHashTable::Open(ctx, &t).ok());
+    if (ctx.rank == 0) {
+      for (int i = 0; i < 10; ++i) {
+        ASSERT_TRUE(t->Insert("seed" + std::to_string(i), "x").ok());
+      }
+      ASSERT_TRUE(t->Quiet().ok());
+    }
+    ctx.comm.Barrier();
+    int wins = 0;
+    for (int i = 0; i < 10; ++i) {
+      bool swapped = false;
+      ASSERT_TRUE(
+          t->CompareAndSwapFlag("seed" + std::to_string(i), 0, 1, &swapped)
+              .ok());
+      if (swapped) ++wins;
+    }
+    total_wins.fetch_add(wins);
+    ctx.comm.Barrier();
+    // CAS on an absent key reports NOT_FOUND.
+    bool swapped;
+    EXPECT_TRUE(t->CompareAndSwapFlag("ghost", 0, 1, &swapped).IsNotFound());
+    ASSERT_TRUE(t->Close().ok());
+  });
+  EXPECT_EQ(total_wins.load(), 10);
+}
+
+TEST(DsmTest, InsertOverwrites) {
+  net::RunRanks(2, [](net::RankContext& ctx) {
+    std::unique_ptr<DsmHashTable> t;
+    ASSERT_TRUE(DsmHashTable::Open(ctx, &t).ok());
+    if (ctx.rank == 0) {
+      ASSERT_TRUE(t->Insert("k", "old").ok());
+      ASSERT_TRUE(t->Insert("k", "new").ok());
+      ASSERT_TRUE(t->Quiet().ok());
+    }
+    ctx.comm.Barrier();
+    std::string out;
+    ASSERT_TRUE(t->Lookup("k", &out).ok());
+    EXPECT_EQ(out, "new");
+    ASSERT_TRUE(t->Close().ok());
+  });
+}
+
+}  // namespace
+}  // namespace papyrus::baseline

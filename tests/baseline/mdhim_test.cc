@@ -1,0 +1,101 @@
+#include "baseline/mdhim.h"
+
+#include <gtest/gtest.h>
+
+#include "../util/temp_dir.h"
+#include "net/runtime.h"
+
+namespace papyrus::baseline {
+namespace {
+
+using papyrus::testutil::TempDir;
+
+TEST(MdhimTest, DistributedPutGet) {
+  TempDir tmp;
+  net::RunRanks(4, [&](net::RankContext& ctx) {
+    std::unique_ptr<Mdhim> db;
+    ASSERT_TRUE(Mdhim::Open(ctx, tmp.path(), MdhimOptions{}, &db).ok());
+    // Every rank writes, synchronously (MDHIM semantics): immediately
+    // visible to all ranks, no fence needed.
+    for (int i = 0; i < 20; ++i) {
+      const std::string k =
+          "r" + std::to_string(ctx.rank) + "k" + std::to_string(i);
+      ASSERT_TRUE(db->Put(k, "v_" + k).ok());
+    }
+    ctx.comm.Barrier();
+    for (int r = 0; r < 4; ++r) {
+      for (int i = 0; i < 20; ++i) {
+        const std::string k =
+            "r" + std::to_string(r) + "k" + std::to_string(i);
+        std::string out;
+        ASSERT_TRUE(db->Get(k, &out).ok()) << k;
+        EXPECT_EQ(out, "v_" + k);
+      }
+    }
+    ASSERT_TRUE(db->Close().ok());
+  });
+}
+
+TEST(MdhimTest, SequentialVisibilityPerOp) {
+  TempDir tmp;
+  net::RunRanks(2, [&](net::RankContext& ctx) {
+    std::unique_ptr<Mdhim> db;
+    ASSERT_TRUE(Mdhim::Open(ctx, tmp.path(), MdhimOptions{}, &db).ok());
+    if (ctx.rank == 0) {
+      ASSERT_TRUE(db->Put("sync", "now").ok());
+      ctx.comm.Send(1, 1, Slice("go"));
+    } else {
+      ctx.comm.Recv(0, 1);
+      std::string out;
+      ASSERT_TRUE(db->Get("sync", &out).ok());
+      EXPECT_EQ(out, "now");
+    }
+    ASSERT_TRUE(db->Close().ok());
+  });
+}
+
+TEST(MdhimTest, DeleteAndMiss) {
+  TempDir tmp;
+  net::RunRanks(3, [&](net::RankContext& ctx) {
+    std::unique_ptr<Mdhim> db;
+    ASSERT_TRUE(Mdhim::Open(ctx, tmp.path(), MdhimOptions{}, &db).ok());
+    const std::string k = "shared_key";
+    if (ctx.rank == 0) {
+      ASSERT_TRUE(db->Put(k, "v").ok());
+      ASSERT_TRUE(db->Delete(k).ok());
+    }
+    ctx.comm.Barrier();
+    std::string out;
+    EXPECT_TRUE(db->Get(k, &out).IsNotFound());
+    EXPECT_TRUE(db->Get("never_written", &out).IsNotFound());
+    ASSERT_TRUE(db->Close().ok());
+  });
+}
+
+TEST(MdhimTest, StoresSpillToDiskUnderPressure) {
+  TempDir tmp;
+  net::RunRanks(2, [&](net::RankContext& ctx) {
+    MdhimOptions opt;
+    opt.store.memtable_bytes = 2048;
+    std::unique_ptr<Mdhim> db;
+    ASSERT_TRUE(Mdhim::Open(ctx, tmp.path(), opt, &db).ok());
+    const std::string big(512, 'x');
+    for (int i = 0; i < 40; ++i) {
+      const std::string k =
+          "big" + std::to_string(ctx.rank) + "_" + std::to_string(i);
+      ASSERT_TRUE(db->Put(k, big).ok());
+    }
+    ctx.comm.Barrier();
+    for (int i = 0; i < 40; ++i) {
+      const std::string k =
+          "big" + std::to_string(1 - ctx.rank) + "_" + std::to_string(i);
+      std::string out;
+      ASSERT_TRUE(db->Get(k, &out).ok()) << k;
+      EXPECT_EQ(out, big);
+    }
+    ASSERT_TRUE(db->Close().ok());
+  });
+}
+
+}  // namespace
+}  // namespace papyrus::baseline

@@ -1,0 +1,100 @@
+#include "baseline/minidb.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "../util/temp_dir.h"
+#include "common/random.h"
+
+namespace papyrus::baseline {
+namespace {
+
+using papyrus::testutil::TempDir;
+
+TEST(MiniDbTest, PutGetDelete) {
+  TempDir tmp;
+  std::unique_ptr<MiniDb> db;
+  ASSERT_TRUE(MiniDb::Open(tmp.path(), MiniDbOptions{}, &db).ok());
+  ASSERT_TRUE(db->Put("k", "v").ok());
+  std::string out;
+  ASSERT_TRUE(db->Get("k", &out).ok());
+  EXPECT_EQ(out, "v");
+  ASSERT_TRUE(db->Delete("k").ok());
+  EXPECT_TRUE(db->Get("k", &out).IsNotFound());
+  EXPECT_TRUE(db->Get("absent", &out).IsNotFound());
+  EXPECT_EQ(db->Put("", "v").code(), PAPYRUSKV_INVALID_ARG);
+}
+
+TEST(MiniDbTest, WriteStallFlushesAtThreshold) {
+  TempDir tmp;
+  MiniDbOptions opt;
+  opt.memtable_bytes = 1024;
+  std::unique_ptr<MiniDb> db;
+  ASSERT_TRUE(MiniDb::Open(tmp.path(), opt, &db).ok());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(
+        db->Put("key" + std::to_string(i), std::string(64, 'v')).ok());
+  }
+  EXPECT_GT(db->TableCount(), 0u);
+  EXPECT_LT(db->MemTableBytes(), 1024u);
+  // Everything still readable through the LSM.
+  for (int i = 0; i < 100; ++i) {
+    std::string out;
+    ASSERT_TRUE(db->Get("key" + std::to_string(i), &out).ok()) << i;
+    EXPECT_EQ(out, std::string(64, 'v'));
+  }
+}
+
+TEST(MiniDbTest, PersistsAcrossReopen) {
+  TempDir tmp;
+  {
+    std::unique_ptr<MiniDb> db;
+    ASSERT_TRUE(MiniDb::Open(tmp.path(), MiniDbOptions{}, &db).ok());
+    ASSERT_TRUE(db->Put("persist", "me").ok());
+    ASSERT_TRUE(db->Flush().ok());
+  }
+  std::unique_ptr<MiniDb> db;
+  ASSERT_TRUE(MiniDb::Open(tmp.path(), MiniDbOptions{}, &db).ok());
+  std::string out;
+  ASSERT_TRUE(db->Get("persist", &out).ok());
+  EXPECT_EQ(out, "me");
+}
+
+TEST(MiniDbTest, CompactionPreservesLatestState) {
+  TempDir tmp;
+  MiniDbOptions opt;
+  opt.memtable_bytes = 512;
+  opt.compaction_trigger = 2;
+  std::unique_ptr<MiniDb> db;
+  ASSERT_TRUE(MiniDb::Open(tmp.path(), opt, &db).ok());
+
+  Rng rng(99);
+  std::map<std::string, std::string> ref;
+  for (int i = 0; i < 400; ++i) {
+    const std::string k = "k" + std::to_string(rng.Uniform(50));
+    if (rng.Bernoulli(0.3)) {
+      ASSERT_TRUE(db->Delete(k).ok());
+      ref.erase(k);
+    } else {
+      const std::string v = PatternValue(rng.Next(), 32);
+      ASSERT_TRUE(db->Put(k, v).ok());
+      ref[k] = v;
+    }
+  }
+  for (int i = 0; i < 50; ++i) {
+    const std::string k = "k" + std::to_string(i);
+    std::string out;
+    const Status s = db->Get(k, &out);
+    auto it = ref.find(k);
+    if (it == ref.end()) {
+      EXPECT_TRUE(s.IsNotFound()) << k;
+    } else {
+      ASSERT_TRUE(s.ok()) << k;
+      EXPECT_EQ(out, it->second);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace papyrus::baseline

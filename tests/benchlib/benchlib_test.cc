@@ -1,0 +1,59 @@
+#include <gtest/gtest.h>
+
+#include "benchlib/report.h"
+#include "benchlib/workload.h"
+#include "net/runtime.h"
+
+namespace papyrus::bench {
+namespace {
+
+TEST(ReportTest, KrpsAndMbps) {
+  EXPECT_DOUBLE_EQ(Krps(10000, 2.0), 5.0);
+  EXPECT_DOUBLE_EQ(Mbps(10'000'000, 2.0), 5.0);
+  EXPECT_DOUBLE_EQ(Krps(100, 0.0), 0.0);  // no division by zero
+}
+
+TEST(ReportTest, HumanSize) {
+  EXPECT_EQ(HumanSize(256), "256B");
+  EXPECT_EQ(HumanSize(4096), "4KB");
+  EXPECT_EQ(HumanSize(128 * 1024), "128KB");
+  EXPECT_EQ(HumanSize(1 << 20), "1MB");
+  EXPECT_EQ(HumanSize(1000), "1000B");  // not a whole KB
+}
+
+TEST(ReportTest, GatherStatsAcrossRanks) {
+  net::RunRanks(4, [](net::RankContext& ctx) {
+    // rank r contributes r+1.0; avg 2.5, min 1, max 4, same on all ranks.
+    const RankStats s =
+        GatherStats(ctx.comm, static_cast<double>(ctx.rank) + 1.0);
+    EXPECT_DOUBLE_EQ(s.avg, 2.5);
+    EXPECT_DOUBLE_EQ(s.min, 1.0);
+    EXPECT_DOUBLE_EQ(s.max, 4.0);
+  });
+}
+
+TEST(WorkloadTest, MakeKeysDeterministicPerRank) {
+  const auto a = MakeKeys(0, 10, 16);
+  const auto b = MakeKeys(0, 10, 16);
+  const auto c = MakeKeys(1, 10, 16);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  ASSERT_EQ(a.size(), 10u);
+  EXPECT_EQ(a[0].size(), 16u);
+}
+
+TEST(WorkloadTest, ValueBlobCachedBySize) {
+  const std::string& a = ValueBlob(1024);
+  const std::string& b = ValueBlob(1024);
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(a.size(), 1024u);
+  EXPECT_EQ(ValueBlob(64).size(), 64u);
+}
+
+TEST(TableTest, NumFormatting) {
+  EXPECT_EQ(Table::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::Num(10.0, 0), "10");
+}
+
+}  // namespace
+}  // namespace papyrus::bench

@@ -1,0 +1,78 @@
+#include "common/coding.h"
+
+#include <gtest/gtest.h>
+
+namespace papyrus {
+namespace {
+
+TEST(CodingTest, Fixed32RoundTrip) {
+  for (uint32_t v : {0u, 1u, 0x12345678u, 0xffffffffu}) {
+    char buf[4];
+    EncodeFixed32(buf, v);
+    EXPECT_EQ(DecodeFixed32(buf), v);
+  }
+}
+
+TEST(CodingTest, Fixed32IsLittleEndian) {
+  char buf[4];
+  EncodeFixed32(buf, 0x01020304u);
+  EXPECT_EQ(buf[0], 0x04);
+  EXPECT_EQ(buf[1], 0x03);
+  EXPECT_EQ(buf[2], 0x02);
+  EXPECT_EQ(buf[3], 0x01);
+}
+
+TEST(CodingTest, Fixed64RoundTrip) {
+  for (uint64_t v : {0ull, 1ull, 0x123456789abcdef0ull, ~0ull}) {
+    char buf[8];
+    EncodeFixed64(buf, v);
+    EXPECT_EQ(DecodeFixed64(buf), v);
+  }
+}
+
+TEST(CodingTest, LengthPrefixedRoundTrip) {
+  std::string buf;
+  PutLengthPrefixed(&buf, Slice("alpha"));
+  PutLengthPrefixed(&buf, Slice(""));
+  PutLengthPrefixed(&buf, Slice("b\0c", 3));
+
+  Slice in(buf);
+  Slice a, b, c;
+  ASSERT_TRUE(GetLengthPrefixed(&in, &a));
+  ASSERT_TRUE(GetLengthPrefixed(&in, &b));
+  ASSERT_TRUE(GetLengthPrefixed(&in, &c));
+  EXPECT_EQ(a.ToString(), "alpha");
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(c.ToString(), std::string("b\0c", 3));
+  EXPECT_TRUE(in.empty());
+  EXPECT_FALSE(GetLengthPrefixed(&in, &a));  // exhausted
+}
+
+TEST(CodingTest, TruncationDetected) {
+  std::string buf;
+  PutLengthPrefixed(&buf, Slice("payload"));
+  // Chop the payload: the reader must reject, not over-read.
+  Slice in(buf.data(), buf.size() - 3);
+  Slice out;
+  EXPECT_FALSE(GetLengthPrefixed(&in, &out));
+  // Chop inside the length header.
+  Slice in2(buf.data(), 2);
+  EXPECT_FALSE(GetLengthPrefixed(&in2, &out));
+}
+
+TEST(CodingTest, GetFixedAdvances) {
+  std::string buf;
+  PutFixed32(&buf, 7);
+  PutFixed64(&buf, 9);
+  Slice in(buf);
+  uint32_t a = 0;
+  uint64_t b = 0;
+  ASSERT_TRUE(GetFixed32(&in, &a));
+  ASSERT_TRUE(GetFixed64(&in, &b));
+  EXPECT_EQ(a, 7u);
+  EXPECT_EQ(b, 9u);
+  EXPECT_TRUE(in.empty());
+}
+
+}  // namespace
+}  // namespace papyrus

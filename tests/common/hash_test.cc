@@ -1,0 +1,55 @@
+#include "common/hash.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/random.h"
+
+namespace papyrus {
+namespace {
+
+TEST(HashTest, Fnv1aKnownVector) {
+  // FNV-1a 64 of empty input is the offset basis.
+  EXPECT_EQ(Fnv1a64("", 0), 0xcbf29ce484222325ull);
+  // Deterministic and input-sensitive.
+  EXPECT_EQ(Fnv1a64("a", 1), Fnv1a64("a", 1));
+  EXPECT_NE(Fnv1a64("a", 1), Fnv1a64("b", 1));
+  EXPECT_NE(Fnv1a64("ab", 2), Fnv1a64("ba", 2));
+}
+
+TEST(HashTest, Mix64IsBijectiveLooking) {
+  // Distinct inputs should stay distinct after mixing (spot check).
+  std::set<uint64_t> outs;
+  for (uint64_t i = 0; i < 1000; ++i) outs.insert(Mix64(i));
+  EXPECT_EQ(outs.size(), 1000u);
+}
+
+TEST(HashTest, OwnerDistributionIsRoughlyUniform) {
+  // Owner-rank assignment (hash % nranks) should spread random 16B keys
+  // evenly — the paper's load-balance premise for uniform keys.
+  constexpr int kRanks = 16;
+  constexpr int kKeys = 16000;
+  int counts[kRanks] = {};
+  Rng rng(42);
+  for (int i = 0; i < kKeys; ++i) {
+    std::string key = RandomKey(rng, 16);
+    counts[BuiltinKeyHash(key.data(), key.size()) % kRanks]++;
+  }
+  const double expected = static_cast<double>(kKeys) / kRanks;
+  for (int r = 0; r < kRanks; ++r) {
+    EXPECT_GT(counts[r], expected * 0.8) << "rank " << r;
+    EXPECT_LT(counts[r], expected * 1.2) << "rank " << r;
+  }
+}
+
+TEST(HashTest, CustomHashSignatureIsUsable) {
+  KeyHashFn fn = +[](const char* key, size_t keylen) -> uint64_t {
+    // A "first byte" affinity hash like an application might install.
+    return keylen == 0 ? 0 : static_cast<uint64_t>(key[0]);
+  };
+  EXPECT_EQ(fn("A", 1), 65u);
+}
+
+}  // namespace
+}  // namespace papyrus

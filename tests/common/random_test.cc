@@ -1,0 +1,102 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <set>
+#include <vector>
+
+namespace papyrus {
+namespace {
+
+TEST(RandomTest, DeterministicPerSeed) {
+  Rng a(7), b(7), c(8);
+  for (int i = 0; i < 100; ++i) {
+    const uint64_t va = a.Next();
+    EXPECT_EQ(va, b.Next());
+    EXPECT_NE(va, c.Next());  // overwhelmingly likely
+  }
+}
+
+TEST(RandomTest, UniformStaysInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval) {
+  Rng rng(2);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RandomTest, BernoulliFrequency) {
+  Rng rng(3);
+  int hits = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.02);
+}
+
+TEST(RandomTest, RandomKeyAlphabetMatchesPaper) {
+  // §5.2: random strings of letters and digits.
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i) {
+    const std::string key = RandomKey(rng, 16);
+    ASSERT_EQ(key.size(), 16u);
+    for (char c : key) {
+      EXPECT_TRUE(isalnum(static_cast<unsigned char>(c))) << c;
+    }
+  }
+}
+
+TEST(RandomTest, RandomKeysMostlyDistinct) {
+  Rng rng(5);
+  std::set<std::string> keys;
+  for (int i = 0; i < 1000; ++i) keys.insert(RandomKey(rng, 16));
+  EXPECT_EQ(keys.size(), 1000u);
+}
+
+TEST(RandomTest, PatternValueDeterministic) {
+  EXPECT_EQ(PatternValue(9, 64), PatternValue(9, 64));
+  EXPECT_NE(PatternValue(9, 64), PatternValue(10, 64));
+  EXPECT_EQ(PatternValue(9, 64).size(), 64u);
+  EXPECT_EQ(PatternValue(9, 0).size(), 0u);
+}
+
+
+TEST(RandomTest, ZipfianRangeAndSkew) {
+  Rng rng(6);
+  Zipfian zipf(100, 0.99);
+  std::vector<int> counts(100, 0);
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) {
+    const uint64_t v = zipf.Next(rng);
+    ASSERT_LT(v, 100u);
+    counts[v]++;
+  }
+  // The hottest item dominates; the head outweighs the tail heavily.
+  EXPECT_GT(counts[0], counts[50] * 5);
+  int head = 0, tail = 0;
+  for (int i = 0; i < 10; ++i) head += counts[i];
+  for (int i = 90; i < 100; ++i) tail += counts[i];
+  EXPECT_GT(head, tail * 4);
+}
+
+TEST(RandomTest, ZipfianLowThetaIsFlatter) {
+  Rng rng(7);
+  Zipfian steep(50, 0.99), flat(50, 0.2);
+  int steep_top = 0, flat_top = 0;
+  for (int i = 0; i < 20000; ++i) {
+    if (steep.Next(rng) == 0) ++steep_top;
+    if (flat.Next(rng) == 0) ++flat_top;
+  }
+  EXPECT_GT(steep_top, flat_top);
+}
+
+}  // namespace
+}  // namespace papyrus

@@ -1,0 +1,152 @@
+// Property tests for the red-black tree backing the MemTable (paper §2.4).
+// Each random operation sequence is cross-checked against std::map and the
+// red-black invariants are re-verified.
+#include "common/rbtree.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "common/random.h"
+
+namespace papyrus {
+namespace {
+
+TEST(RbTreeTest, EmptyTree) {
+  RbTree<int, int> t;
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.Find(1), nullptr);
+  EXPECT_FALSE(t.Erase(1));
+  EXPECT_FALSE(t.Begin().Valid());
+  EXPECT_GE(t.CheckInvariants(), 0);
+}
+
+TEST(RbTreeTest, InsertFindErase) {
+  RbTree<int, std::string> t;
+  EXPECT_TRUE(t.InsertOrAssign(2, "two"));
+  EXPECT_TRUE(t.InsertOrAssign(1, "one"));
+  EXPECT_TRUE(t.InsertOrAssign(3, "three"));
+  EXPECT_EQ(t.size(), 3u);
+  ASSERT_NE(t.Find(2), nullptr);
+  EXPECT_EQ(*t.Find(2), "two");
+  EXPECT_TRUE(t.Erase(2));
+  EXPECT_EQ(t.Find(2), nullptr);
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_GE(t.CheckInvariants(), 0);
+}
+
+TEST(RbTreeTest, InsertOrAssignReplaces) {
+  RbTree<std::string, int> t;
+  EXPECT_TRUE(t.InsertOrAssign("k", 1));
+  EXPECT_FALSE(t.InsertOrAssign("k", 2));  // replacement, not insertion
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(*t.Find("k"), 2);
+}
+
+TEST(RbTreeTest, InOrderIterationIsSorted) {
+  RbTree<int, int> t;
+  for (int v : {5, 3, 8, 1, 4, 7, 9, 2, 6}) t.InsertOrAssign(v, v * 10);
+  int expect = 1;
+  for (auto it = t.Begin(); it.Valid(); it.Next()) {
+    EXPECT_EQ(it.key(), expect);
+    EXPECT_EQ(it.value(), expect * 10);
+    ++expect;
+  }
+  EXPECT_EQ(expect, 10);
+}
+
+TEST(RbTreeTest, LowerBound) {
+  RbTree<int, int> t;
+  for (int v : {10, 20, 30}) t.InsertOrAssign(v, v);
+  EXPECT_EQ(t.LowerBound(5).key(), 10);
+  EXPECT_EQ(t.LowerBound(10).key(), 10);
+  EXPECT_EQ(t.LowerBound(11).key(), 20);
+  EXPECT_EQ(t.LowerBound(30).key(), 30);
+  EXPECT_FALSE(t.LowerBound(31).Valid());
+}
+
+TEST(RbTreeTest, AscendingInsertStaysBalanced) {
+  // The classic degenerate case for unbalanced BSTs.
+  RbTree<int, int> t;
+  constexpr int kN = 4096;
+  for (int i = 0; i < kN; ++i) {
+    t.InsertOrAssign(i, i);
+  }
+  const int black_height = t.CheckInvariants();
+  ASSERT_GT(black_height, 0);
+  // Height of an RB tree is <= 2*log2(n+1); black height <= log2(n)+1.
+  EXPECT_LE(black_height, 14);
+}
+
+TEST(RbTreeTest, MoveConstructor) {
+  RbTree<int, int> a;
+  a.InsertOrAssign(1, 10);
+  a.InsertOrAssign(2, 20);
+  RbTree<int, int> b(std::move(a));
+  EXPECT_EQ(b.size(), 2u);
+  EXPECT_EQ(*b.Find(1), 10);
+  EXPECT_EQ(a.size(), 0u);  // NOLINT(bugprone-use-after-move): documented
+  EXPECT_GE(b.CheckInvariants(), 0);
+}
+
+// Randomized differential test against std::map, re-checking invariants.
+class RbTreeFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RbTreeFuzzTest, MatchesStdMapUnderRandomOps) {
+  Rng rng(GetParam());
+  RbTree<uint32_t, uint32_t> tree;
+  std::map<uint32_t, uint32_t> ref;
+  constexpr int kOps = 4000;
+  constexpr uint32_t kKeySpace = 512;  // small space → many collisions
+
+  for (int i = 0; i < kOps; ++i) {
+    const uint32_t key = static_cast<uint32_t>(rng.Uniform(kKeySpace));
+    const uint32_t val = static_cast<uint32_t>(rng.Next());
+    switch (rng.Uniform(3)) {
+      case 0: {  // insert/assign
+        const bool fresh = tree.InsertOrAssign(key, val);
+        const bool expect_fresh = ref.find(key) == ref.end();
+        ref[key] = val;
+        EXPECT_EQ(fresh, expect_fresh);
+        break;
+      }
+      case 1: {  // erase
+        EXPECT_EQ(tree.Erase(key), ref.erase(key) > 0);
+        break;
+      }
+      case 2: {  // lookup
+        auto it = ref.find(key);
+        uint32_t* got = tree.Find(key);
+        if (it == ref.end()) {
+          EXPECT_EQ(got, nullptr);
+        } else {
+          ASSERT_NE(got, nullptr);
+          EXPECT_EQ(*got, it->second);
+        }
+        break;
+      }
+    }
+    if (i % 500 == 0) {
+      ASSERT_GE(tree.CheckInvariants(), 0) << "violated at op " << i;
+    }
+  }
+
+  ASSERT_GE(tree.CheckInvariants(), 0);
+  EXPECT_EQ(tree.size(), ref.size());
+  // Full in-order comparison.
+  auto expect = ref.begin();
+  for (auto it = tree.Begin(); it.Valid(); it.Next(), ++expect) {
+    ASSERT_NE(expect, ref.end());
+    EXPECT_EQ(it.key(), expect->first);
+    EXPECT_EQ(it.value(), expect->second);
+  }
+  EXPECT_EQ(expect, ref.end());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RbTreeFuzzTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace papyrus

@@ -1,0 +1,145 @@
+#include "common/ring_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace papyrus {
+namespace {
+
+TEST(RingQueueTest, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(RingQueue<int>(1).capacity(), 1u);
+  EXPECT_EQ(RingQueue<int>(3).capacity(), 4u);
+  EXPECT_EQ(RingQueue<int>(8).capacity(), 8u);
+  EXPECT_EQ(RingQueue<int>(9).capacity(), 16u);
+}
+
+TEST(RingQueueTest, FifoOrder) {
+  RingQueue<int> q(8);
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(q.TryPush(i));
+  for (int i = 0; i < 8; ++i) {
+    auto v = q.TryPop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_FALSE(q.TryPop().has_value());
+}
+
+TEST(RingQueueTest, FullAndEmpty) {
+  RingQueue<int> q(2);
+  EXPECT_TRUE(q.TryPush(1));
+  EXPECT_TRUE(q.TryPush(2));
+  EXPECT_FALSE(q.TryPush(3));  // full: fixed size, paper §2.4
+  EXPECT_EQ(*q.TryPop(), 1);
+  EXPECT_TRUE(q.TryPush(3));   // slot freed
+  EXPECT_EQ(*q.TryPop(), 2);
+  EXPECT_EQ(*q.TryPop(), 3);
+  EXPECT_FALSE(q.TryPop().has_value());
+}
+
+TEST(RingQueueTest, WrapsAroundManyTimes) {
+  RingQueue<int> q(4);
+  for (int round = 0; round < 1000; ++round) {
+    EXPECT_TRUE(q.TryPush(round));
+    auto v = q.TryPop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, round);
+  }
+}
+
+TEST(RingQueueTest, MoveOnlyPayload) {
+  RingQueue<std::unique_ptr<int>> q(4);
+  EXPECT_TRUE(q.TryPush(std::make_unique<int>(42)));
+  auto v = q.TryPop();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(**v, 42);
+}
+
+TEST(RingQueueTest, ConcurrentProducersConsumers) {
+  // MPMC smoke test: every pushed value is popped exactly once.
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 20000;
+  RingQueue<uint64_t> q(64);
+  std::atomic<uint64_t> pop_sum{0};
+  std::atomic<int> popped{0};
+
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        const uint64_t v = static_cast<uint64_t>(p) * kPerProducer + i + 1;
+        while (!q.TryPush(v)) std::this_thread::yield();
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      for (;;) {
+        if (popped.load() >= kProducers * kPerProducer) break;
+        auto v = q.TryPop();
+        if (!v) {
+          std::this_thread::yield();
+          continue;
+        }
+        pop_sum.fetch_add(*v);
+        popped.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // Drain stragglers (consumers may exit early once the count is reached).
+  while (auto v = q.TryPop()) {
+    pop_sum.fetch_add(*v);
+    popped.fetch_add(1);
+  }
+
+  const uint64_t n = static_cast<uint64_t>(kProducers) * kPerProducer;
+  EXPECT_EQ(popped.load(), static_cast<int>(n));
+  EXPECT_EQ(pop_sum.load(), n * (n + 1) / 2);
+}
+
+TEST(BlockingRingQueueTest, PushBlocksUntilSlotFrees) {
+  BlockingRingQueue<int> q(1);
+  q.Push(1);
+  std::atomic<bool> second_pushed{false};
+  std::thread producer([&] {
+    q.Push(2);  // must block: capacity 1
+    second_pushed = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(second_pushed.load());
+  EXPECT_EQ(q.Pop(), 1);  // frees the slot
+  producer.join();
+  EXPECT_TRUE(second_pushed.load());
+  EXPECT_EQ(q.Pop(), 2);
+}
+
+TEST(BlockingRingQueueTest, PopForTimesOut) {
+  BlockingRingQueue<int> q(4);
+  auto v = q.PopFor(std::chrono::milliseconds(20));
+  EXPECT_FALSE(v.has_value());
+  q.Push(9);
+  v = q.PopFor(std::chrono::milliseconds(20));
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 9);
+}
+
+TEST(BlockingRingQueueTest, ProducerConsumerHandoff) {
+  BlockingRingQueue<int> q(4);
+  constexpr int kN = 10000;
+  std::thread consumer([&] {
+    for (int i = 0; i < kN; ++i) {
+      EXPECT_EQ(q.Pop(), i);
+    }
+  });
+  for (int i = 0; i < kN; ++i) q.Push(i);
+  consumer.join();
+}
+
+}  // namespace
+}  // namespace papyrus

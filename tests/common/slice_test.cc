@@ -1,0 +1,51 @@
+#include "common/slice.h"
+
+#include <gtest/gtest.h>
+
+namespace papyrus {
+namespace {
+
+TEST(SliceTest, ConstructionForms) {
+  EXPECT_EQ(Slice().size(), 0u);
+  EXPECT_TRUE(Slice().empty());
+  std::string s = "hello";
+  EXPECT_EQ(Slice(s).size(), 5u);
+  EXPECT_EQ(Slice("abc").size(), 3u);
+  EXPECT_EQ(Slice("abc\0def", 7).size(), 7u);  // embedded NULs preserved
+}
+
+TEST(SliceTest, CompareIsByteLexicographic) {
+  EXPECT_LT(Slice("a").compare(Slice("b")), 0);
+  EXPECT_GT(Slice("b").compare(Slice("a")), 0);
+  EXPECT_EQ(Slice("ab").compare(Slice("ab")), 0);
+  // Prefix sorts first.
+  EXPECT_LT(Slice("ab").compare(Slice("abc")), 0);
+  EXPECT_GT(Slice("abc").compare(Slice("ab")), 0);
+  // Unsigned byte comparison: 0xFF > 0x00.
+  const char hi[] = {static_cast<char>(0xff)};
+  const char lo[] = {0x01};
+  EXPECT_GT(Slice(hi, 1).compare(Slice(lo, 1)), 0);
+}
+
+TEST(SliceTest, EqualityAndOrdering) {
+  EXPECT_TRUE(Slice("x") == Slice("x"));
+  EXPECT_TRUE(Slice("x") != Slice("y"));
+  EXPECT_TRUE(Slice("a") < Slice("b"));
+}
+
+TEST(SliceTest, RemovePrefix) {
+  Slice s("abcdef");
+  s.remove_prefix(2);
+  EXPECT_EQ(s.ToString(), "cdef");
+  s.remove_prefix(4);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(SliceTest, StartsWith) {
+  EXPECT_TRUE(Slice("abcdef").starts_with(Slice("abc")));
+  EXPECT_TRUE(Slice("abc").starts_with(Slice("")));
+  EXPECT_FALSE(Slice("ab").starts_with(Slice("abc")));
+}
+
+}  // namespace
+}  // namespace papyrus

@@ -1,0 +1,43 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace papyrus {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), PAPYRUSKV_SUCCESS);
+  EXPECT_TRUE(s.message().empty());
+}
+
+TEST(StatusTest, NotFoundRoundTrip) {
+  Status s = Status::NotFound("key k");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.code(), PAPYRUSKV_NOT_FOUND);
+  EXPECT_EQ(s.ToString(), "PAPYRUSKV_NOT_FOUND: key k");
+}
+
+TEST(StatusTest, ToStringWithoutMessage) {
+  EXPECT_EQ(Status(PAPYRUSKV_IO_ERROR).ToString(), "PAPYRUSKV_IO_ERROR");
+}
+
+TEST(StatusTest, ErrorNameCoversAllCodes) {
+  for (int32_t code = -12; code <= 0; ++code) {
+    EXPECT_STRNE(ErrorName(code), "PAPYRUSKV_UNKNOWN") << code;
+  }
+  EXPECT_STREQ(ErrorName(-999), "PAPYRUSKV_UNKNOWN");
+}
+
+TEST(StatusTest, FactoryHelpersCarryCodes) {
+  EXPECT_EQ(Status::InvalidArg("x").code(), PAPYRUSKV_INVALID_ARG);
+  EXPECT_EQ(Status::IOError("x").code(), PAPYRUSKV_IO_ERROR);
+  EXPECT_EQ(Status::Corrupted("x").code(), PAPYRUSKV_CORRUPTED);
+  EXPECT_EQ(Status::Network("x").code(), PAPYRUSKV_NETWORK_ERROR);
+  EXPECT_EQ(Status::Protected("x").code(), PAPYRUSKV_PROTECTED);
+}
+
+}  // namespace
+}  // namespace papyrus

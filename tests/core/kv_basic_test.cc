@@ -1,0 +1,280 @@
+// Basic API behavior (Table 1 (a)-(b)): init/finalize, open/close,
+// put/get/delete, memory pool, descriptor semantics, env handling.
+#include <gtest/gtest.h>
+
+#include "core/db_shard.h"
+#include "kv_test_util.h"
+
+namespace papyrus::testutil {
+namespace {
+
+using Kv = KvTest;
+
+TEST_F(Kv, InitRequiresRepository) {
+  net::RunRanks(1, [](net::RankContext&) {
+    EXPECT_EQ(papyruskv_init(nullptr, nullptr, ""), PAPYRUSKV_INVALID_ARG);
+  });
+}
+
+TEST_F(Kv, InitOutsideRankFails) {
+  EXPECT_EQ(papyruskv_init(nullptr, nullptr, "/tmp/x"), PAPYRUSKV_ERR);
+}
+
+TEST_F(Kv, RepositoryFromEnv) {
+  setenv("PAPYRUSKV_REPOSITORY", tmp_.path().c_str(), 1);
+  net::RunRanks(1, [](net::RankContext&) {
+    ASSERT_EQ(papyruskv_init(nullptr, nullptr, nullptr), PAPYRUSKV_SUCCESS);
+    ASSERT_EQ(papyruskv_finalize(), PAPYRUSKV_SUCCESS);
+  });
+}
+
+TEST_F(Kv, CallsBeforeInitReturnClosed) {
+  net::RunRanks(1, [](net::RankContext&) {
+    papyruskv_db_t db;
+    EXPECT_EQ(papyruskv_open("d", PAPYRUSKV_CREATE, nullptr, &db),
+              PAPYRUSKV_CLOSED);
+    EXPECT_EQ(papyruskv_finalize(), PAPYRUSKV_CLOSED);
+  });
+}
+
+TEST_F(Kv, PutGetDeleteSingleRank) {
+  RunKv(1, tmp_.path(), [](net::RankContext&) {
+    papyruskv_db_t db;
+    ASSERT_EQ(papyruskv_open("basic", PAPYRUSKV_CREATE | PAPYRUSKV_RDWR,
+                             nullptr, &db),
+              PAPYRUSKV_SUCCESS);
+
+    ASSERT_EQ(PutStr(db, "alpha", "one"), PAPYRUSKV_SUCCESS);
+    std::string out;
+    ASSERT_EQ(GetStr(db, "alpha", &out), PAPYRUSKV_SUCCESS);
+    EXPECT_EQ(out, "one");
+
+    // Update in place.
+    ASSERT_EQ(PutStr(db, "alpha", "two"), PAPYRUSKV_SUCCESS);
+    ASSERT_EQ(GetStr(db, "alpha", &out), PAPYRUSKV_SUCCESS);
+    EXPECT_EQ(out, "two");
+
+    // Delete → NOT_FOUND.
+    ASSERT_EQ(papyruskv_delete(db, "alpha", 5), PAPYRUSKV_SUCCESS);
+    EXPECT_EQ(GetStr(db, "alpha", &out), PAPYRUSKV_NOT_FOUND);
+
+    // Absent key.
+    EXPECT_EQ(GetStr(db, "never", &out), PAPYRUSKV_NOT_FOUND);
+
+    ASSERT_EQ(papyruskv_close(db), PAPYRUSKV_SUCCESS);
+  });
+}
+
+TEST_F(Kv, MultiRankPutGetAllToAll) {
+  constexpr int kRanks = 4;
+  constexpr int kKeys = 40;
+  RunKv(kRanks, tmp_.path(), [](net::RankContext& ctx) {
+    papyruskv_db_t db;
+    ASSERT_EQ(papyruskv_open("a2a", PAPYRUSKV_CREATE, nullptr, &db),
+              PAPYRUSKV_SUCCESS);
+    // Every rank writes its own key set (keys hash to arbitrary owners).
+    for (int i = 0; i < kKeys; ++i) {
+      const std::string k =
+          "r" + std::to_string(ctx.rank) + "_k" + std::to_string(i);
+      ASSERT_EQ(PutStr(db, k, "val_" + k), PAPYRUSKV_SUCCESS);
+    }
+    ASSERT_EQ(papyruskv_barrier(db, PAPYRUSKV_MEMTABLE), PAPYRUSKV_SUCCESS);
+    // Every rank reads every rank's keys.
+    for (int r = 0; r < kRanks; ++r) {
+      for (int i = 0; i < kKeys; ++i) {
+        const std::string k =
+            "r" + std::to_string(r) + "_k" + std::to_string(i);
+        std::string out;
+        ASSERT_EQ(GetStr(db, k, &out), PAPYRUSKV_SUCCESS) << k;
+        EXPECT_EQ(out, "val_" + k);
+      }
+    }
+    ASSERT_EQ(papyruskv_close(db), PAPYRUSKV_SUCCESS);
+  });
+}
+
+TEST_F(Kv, ValuesSurviveFlushToSSTables) {
+  // Tiny MemTable forces flushing through the whole LSM path.
+  RunKv(2, tmp_.path(), [](net::RankContext&) {
+    papyruskv_option_t opt;
+    papyruskv_option_init(&opt);
+    opt.memtable_size = 2048;
+    papyruskv_db_t db;
+    ASSERT_EQ(papyruskv_open("flushy", PAPYRUSKV_CREATE, &opt, &db),
+              PAPYRUSKV_SUCCESS);
+    for (int i = 0; i < 200; ++i) {
+      ASSERT_EQ(PutStr(db, "key" + std::to_string(i),
+                       "value" + std::to_string(i) + std::string(64, 'x')),
+                PAPYRUSKV_SUCCESS);
+    }
+    ASSERT_EQ(papyruskv_barrier(db, PAPYRUSKV_SSTABLE), PAPYRUSKV_SUCCESS);
+    auto shard = papyrus::core::DbHandle(db);
+    ASSERT_NE(shard, nullptr);
+    EXPECT_GT(shard->manifest().TableCount(), 0u)
+        << "puts never reached SSTables";
+    for (int i = 0; i < 200; ++i) {
+      std::string out;
+      ASSERT_EQ(GetStr(db, "key" + std::to_string(i), &out),
+                PAPYRUSKV_SUCCESS)
+          << i;
+      EXPECT_EQ(out, "value" + std::to_string(i) + std::string(64, 'x'));
+    }
+    ASSERT_EQ(papyruskv_close(db), PAPYRUSKV_SUCCESS);
+  });
+}
+
+TEST_F(Kv, CallerProvidedBufferAndPool) {
+  RunKv(1, tmp_.path(), [](net::RankContext&) {
+    papyruskv_db_t db;
+    ASSERT_EQ(papyruskv_open("buf", PAPYRUSKV_CREATE, nullptr, &db),
+              PAPYRUSKV_SUCCESS);
+    ASSERT_EQ(PutStr(db, "k", "0123456789"), PAPYRUSKV_SUCCESS);
+
+    // Pool allocation path.
+    char* allocated = nullptr;
+    size_t len = 0;
+    ASSERT_EQ(papyruskv_get(db, "k", 1, &allocated, &len), PAPYRUSKV_SUCCESS);
+    EXPECT_EQ(std::string(allocated, len), "0123456789");
+    EXPECT_EQ(papyruskv_free(db, allocated), PAPYRUSKV_SUCCESS);
+    // Double free is rejected.
+    EXPECT_EQ(papyruskv_free(db, allocated), PAPYRUSKV_INVALID_ARG);
+
+    // Caller buffer path.
+    char buf[16];
+    char* bufp = buf;
+    len = sizeof(buf);
+    ASSERT_EQ(papyruskv_get(db, "k", 1, &bufp, &len), PAPYRUSKV_SUCCESS);
+    EXPECT_EQ(len, 10u);
+    EXPECT_EQ(std::string(buf, 10), "0123456789");
+
+    // Caller buffer too small.
+    char tiny[4];
+    char* tinyp = tiny;
+    len = sizeof(tiny);
+    EXPECT_EQ(papyruskv_get(db, "k", 1, &tinyp, &len), PAPYRUSKV_INVALID_ARG);
+
+    ASSERT_EQ(papyruskv_close(db), PAPYRUSKV_SUCCESS);
+  });
+}
+
+TEST_F(Kv, InvalidArgumentsRejected) {
+  RunKv(1, tmp_.path(), [](net::RankContext&) {
+    papyruskv_db_t db;
+    ASSERT_EQ(papyruskv_open("args", PAPYRUSKV_CREATE, nullptr, &db),
+              PAPYRUSKV_SUCCESS);
+    EXPECT_EQ(papyruskv_put(db, nullptr, 3, "v", 1), PAPYRUSKV_INVALID_ARG);
+    EXPECT_EQ(papyruskv_put(db, "k", 0, "v", 1), PAPYRUSKV_INVALID_ARG);
+    EXPECT_EQ(papyruskv_put(99, "k", 1, "v", 1), PAPYRUSKV_INVALID_DB);
+    char* v = nullptr;
+    size_t n = 0;
+    EXPECT_EQ(papyruskv_get(db, "k", 1, nullptr, &n), PAPYRUSKV_INVALID_ARG);
+    EXPECT_EQ(papyruskv_get(99, "k", 1, &v, &n), PAPYRUSKV_INVALID_DB);
+    EXPECT_EQ(papyruskv_delete(99, "k", 1), PAPYRUSKV_INVALID_DB);
+    EXPECT_EQ(papyruskv_barrier(db, 42), PAPYRUSKV_INVALID_ARG);
+    EXPECT_EQ(papyruskv_close(99), PAPYRUSKV_INVALID_DB);
+    ASSERT_EQ(papyruskv_close(db), PAPYRUSKV_SUCCESS);
+  });
+}
+
+TEST_F(Kv, DescriptorsIdenticalAcrossRanks) {
+  RunKv(3, tmp_.path(), [](net::RankContext& ctx) {
+    papyruskv_db_t db1, db2;
+    ASSERT_EQ(papyruskv_open("one", PAPYRUSKV_CREATE, nullptr, &db1),
+              PAPYRUSKV_SUCCESS);
+    ASSERT_EQ(papyruskv_open("two", PAPYRUSKV_CREATE, nullptr, &db2),
+              PAPYRUSKV_SUCCESS);
+    // §2.3: every rank holds the identical descriptor.
+    std::vector<std::string> all;
+    const std::string mine =
+        std::to_string(db1) + "," + std::to_string(db2);
+    ctx.comm.Allgather(mine, &all);
+    for (const auto& s : all) EXPECT_EQ(s, mine);
+    ASSERT_EQ(papyruskv_close(db2), PAPYRUSKV_SUCCESS);
+    ASSERT_EQ(papyruskv_close(db1), PAPYRUSKV_SUCCESS);
+  });
+}
+
+TEST_F(Kv, TwoDatabasesAreIndependent) {
+  RunKv(2, tmp_.path(), [](net::RankContext&) {
+    papyruskv_db_t a, b;
+    ASSERT_EQ(papyruskv_open("dba", PAPYRUSKV_CREATE, nullptr, &a),
+              PAPYRUSKV_SUCCESS);
+    ASSERT_EQ(papyruskv_open("dbb", PAPYRUSKV_CREATE, nullptr, &b),
+              PAPYRUSKV_SUCCESS);
+    ASSERT_EQ(PutStr(a, "k", "in_a"), PAPYRUSKV_SUCCESS);
+    ASSERT_EQ(papyruskv_barrier(a, PAPYRUSKV_MEMTABLE), PAPYRUSKV_SUCCESS);
+    ASSERT_EQ(papyruskv_barrier(b, PAPYRUSKV_MEMTABLE), PAPYRUSKV_SUCCESS);
+    std::string out;
+    EXPECT_EQ(GetStr(b, "k", &out), PAPYRUSKV_NOT_FOUND);
+    EXPECT_EQ(GetStr(a, "k", &out), PAPYRUSKV_SUCCESS);
+    ASSERT_EQ(papyruskv_close(a), PAPYRUSKV_SUCCESS);
+    ASSERT_EQ(papyruskv_close(b), PAPYRUSKV_SUCCESS);
+  });
+}
+
+TEST_F(Kv, ZeroCopyReopenWithinJob) {
+  // §4.1 / Fig. 5(a): SSTables persist across close/open in one job; the
+  // second "application" recomposes the database with no data movement.
+  RunKv(2, tmp_.path(), [](net::RankContext&) {
+    papyruskv_db_t db;
+    ASSERT_EQ(papyruskv_open("wf", PAPYRUSKV_CREATE, nullptr, &db),
+              PAPYRUSKV_SUCCESS);
+    for (int i = 0; i < 50; ++i) {
+      ASSERT_EQ(PutStr(db, "wfkey" + std::to_string(i), "wfval"),
+                PAPYRUSKV_SUCCESS);
+    }
+    ASSERT_EQ(papyruskv_close(db), PAPYRUSKV_SUCCESS);  // flushes all
+
+    papyruskv_db_t db2;
+    ASSERT_EQ(papyruskv_open("wf", PAPYRUSKV_RDWR, nullptr, &db2),
+              PAPYRUSKV_SUCCESS);
+    for (int i = 0; i < 50; ++i) {
+      std::string out;
+      ASSERT_EQ(GetStr(db2, "wfkey" + std::to_string(i), &out),
+                PAPYRUSKV_SUCCESS)
+          << i;
+      EXPECT_EQ(out, "wfval");
+    }
+    ASSERT_EQ(papyruskv_close(db2), PAPYRUSKV_SUCCESS);
+  });
+}
+
+TEST_F(Kv, CustomHashControlsPlacement) {
+  // §2.4 load balancing: an application hash dictates owner affinity.
+  RunKv(4, tmp_.path(), [](net::RankContext&) {
+    papyruskv_option_t opt;
+    papyruskv_option_init(&opt);
+    // All keys to rank 2.
+    opt.hash = +[](const char*, size_t) -> uint64_t { return 2; };
+    papyruskv_db_t db;
+    ASSERT_EQ(papyruskv_open("hashy", PAPYRUSKV_CREATE, &opt, &db),
+              PAPYRUSKV_SUCCESS);
+    int owner = -1;
+    ASSERT_EQ(papyruskv_hash(db, "anything", 8, &owner), PAPYRUSKV_SUCCESS);
+    EXPECT_EQ(owner, 2);
+
+    ASSERT_EQ(PutStr(db, "k", "v"), PAPYRUSKV_SUCCESS);
+    ASSERT_EQ(papyruskv_barrier(db, PAPYRUSKV_MEMTABLE), PAPYRUSKV_SUCCESS);
+    std::string out;
+    ASSERT_EQ(GetStr(db, "k", &out), PAPYRUSKV_SUCCESS);
+    EXPECT_EQ(out, "v");
+    ASSERT_EQ(papyruskv_close(db), PAPYRUSKV_SUCCESS);
+  });
+}
+
+TEST_F(Kv, EmptyValueRoundTrips) {
+  RunKv(2, tmp_.path(), [](net::RankContext&) {
+    papyruskv_db_t db;
+    ASSERT_EQ(papyruskv_open("empty", PAPYRUSKV_CREATE, nullptr, &db),
+              PAPYRUSKV_SUCCESS);
+    ASSERT_EQ(papyruskv_put(db, "nil", 3, nullptr, 0), PAPYRUSKV_SUCCESS);
+    ASSERT_EQ(papyruskv_barrier(db, PAPYRUSKV_MEMTABLE), PAPYRUSKV_SUCCESS);
+    std::string out = "sentinel";
+    ASSERT_EQ(GetStr(db, "nil", &out), PAPYRUSKV_SUCCESS);
+    EXPECT_TRUE(out.empty());
+    ASSERT_EQ(papyruskv_close(db), PAPYRUSKV_SUCCESS);
+  });
+}
+
+}  // namespace
+}  // namespace papyrus::testutil

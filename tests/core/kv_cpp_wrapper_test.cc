@@ -1,0 +1,130 @@
+// Tests for the C++ RAII wrapper (core/kv.hpp).
+#include "core/kv.hpp"
+
+#include <gtest/gtest.h>
+
+#include "kv_test_util.h"
+
+namespace papyrus::testutil {
+namespace {
+
+using Kv = KvTest;
+namespace pkv = papyrus::kv;
+
+TEST_F(Kv, WrapperPutGetDelete) {
+  net::RunRanks(2, [&](net::RankContext& ctx) {
+    pkv::Runtime rt(tmp_.path());
+    auto db = pkv::Database::Open("wrap");
+    if (ctx.rank == 0) db.Put("alpha", "one");
+    db.Barrier();
+    auto v = db.Get("alpha");
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, "one");
+    EXPECT_TRUE(db.Contains("alpha"));
+    // A barrier separates the read phase from the delete: under relaxed
+    // consistency a rank must not mutate shared keys while others may
+    // still be reading them (the paper's synchronization-point contract).
+    db.Barrier();
+    if (ctx.rank == 0) db.Delete("alpha");
+    db.Barrier();
+    EXPECT_FALSE(db.Get("alpha").has_value());
+    EXPECT_FALSE(db.Contains("alpha"));
+    db.Close();
+  });
+}
+
+TEST_F(Kv, WrapperRaiiClosesOnScopeExit) {
+  net::RunRanks(2, [&](net::RankContext&) {
+    pkv::Runtime rt(tmp_.path());
+    {
+      auto db = pkv::Database::Open("scoped");
+      db.Put("k", "v");
+    }  // destructor closes (collective on both ranks)
+    // Zero-copy reopen proves the close flushed to SSTables.
+    auto db = pkv::Database::Open("scoped", PAPYRUSKV_RDWR);
+    auto v = db.Get("k");
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, "v");
+  });
+}
+
+TEST_F(Kv, WrapperMoveSemantics) {
+  net::RunRanks(1, [&](net::RankContext&) {
+    pkv::Runtime rt(tmp_.path());
+    auto db = pkv::Database::Open("mv");
+    db.Put("k", "v");
+    pkv::Database moved = std::move(db);
+    EXPECT_TRUE(moved.Get("k").has_value());
+    moved.Close();
+  });
+}
+
+TEST_F(Kv, WrapperThrowsTypedErrors) {
+  net::RunRanks(1, [&](net::RankContext&) {
+    pkv::Runtime rt(tmp_.path());
+    auto db = pkv::Database::Open("err");
+    db.Protect(PAPYRUSKV_RDONLY);
+    try {
+      db.Put("k", "v");
+      FAIL() << "expected Error";
+    } catch (const pkv::Error& e) {
+      EXPECT_EQ(e.code(), PAPYRUSKV_PROTECTED);
+      EXPECT_NE(std::string(e.what()).find("PAPYRUSKV_PROTECTED"),
+                std::string::npos);
+    }
+    db.Protect(PAPYRUSKV_RDWR);
+    db.Close();
+  });
+}
+
+TEST_F(Kv, WrapperCheckpointRestartRoundTrip) {
+  TempDir snap{"wrapper_snap"};
+  net::RunRanks(2, [&](net::RankContext& ctx) {
+    pkv::Runtime rt(tmp_.path());
+    {
+      auto db = pkv::Database::Open("cw");
+      if (ctx.rank == 0) db.Put("persisted", "yes");
+      pkv::Event ev = db.Checkpoint(snap.path());
+      ev.Wait();
+      pkv::Event destroy = db.Destroy();
+      destroy.Wait();
+    }
+    {
+      auto [db, ev] = pkv::Database::Restart(snap.path(), "cw");
+      ev.Wait();
+      auto v = db.Get("persisted");
+      ASSERT_TRUE(v.has_value());
+      EXPECT_EQ(*v, "yes");
+      db.Destroy().Wait();
+    }
+  });
+}
+
+TEST_F(Kv, WrapperOwnerOf) {
+  net::RunRanks(4, [&](net::RankContext&) {
+    pkv::Runtime rt(tmp_.path());
+    auto db = pkv::Database::Open("own");
+    const int owner = db.OwnerOf("some-key");
+    EXPECT_GE(owner, 0);
+    EXPECT_LT(owner, 4);
+    db.Close();
+  });
+}
+
+TEST_F(Kv, WrapperUnwaitedEventDrainsInDtor) {
+  TempDir snap{"wrapper_snap2"};
+  net::RunRanks(2, [&](net::RankContext&) {
+    pkv::Runtime rt(tmp_.path());
+    auto db = pkv::Database::Open("ev");
+    db.Put("k", "v");
+    {
+      pkv::Event ev = db.Checkpoint(snap.path());
+      // Dropped without Wait(): the destructor must drain it so finalize
+      // doesn't race the background copy.
+    }
+    db.Close();
+  });
+}
+
+}  // namespace
+}  // namespace papyrus::testutil

@@ -1,0 +1,223 @@
+// Failure injection: on-NVM corruption and stray files must surface as
+// clean errors (PAPYRUSKV_CORRUPTED / PAPYRUSKV_IO_ERROR), never as wrong
+// data, and must not take the runtime down.
+#include <gtest/gtest.h>
+
+#include "core/db_shard.h"
+#include "kv_test_util.h"
+#include "store/format.h"
+
+namespace papyrus::testutil {
+namespace {
+
+using Kv = KvTest;
+
+// Key owned by rank 0 in a single-rank job: trivially any key.
+constexpr const char* kKey = "victim_key";
+constexpr const char* kValue = "precious payload that must not be mangled";
+
+// Populates a single-rank db, flushes to SSTables, and returns the rank
+// directory + the (single) live ssid.
+void PopulateFlushed(papyruskv_db_t* db, std::string* dir, uint64_t* ssid) {
+  ASSERT_EQ(papyruskv_open("fault", PAPYRUSKV_CREATE | PAPYRUSKV_RDWR,
+                           nullptr, db),
+            PAPYRUSKV_SUCCESS);
+  ASSERT_EQ(PutStr(*db, kKey, kValue), PAPYRUSKV_SUCCESS);
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_EQ(PutStr(*db, "filler" + std::to_string(i), "x"),
+              PAPYRUSKV_SUCCESS);
+  }
+  ASSERT_EQ(papyruskv_barrier(*db, PAPYRUSKV_SSTABLE), PAPYRUSKV_SUCCESS);
+  auto shard = papyrus::core::DbHandle(*db);
+  ASSERT_NE(shard, nullptr);
+  *dir = shard->dir();
+  const auto live = shard->manifest().LiveSsids();
+  ASSERT_EQ(live.size(), 1u);
+  *ssid = live[0];
+}
+
+void FlipByte(const std::string& path, size_t offset_from_end) {
+  std::string raw;
+  ASSERT_TRUE(sim::Storage::ReadFileToString(path, &raw).ok());
+  ASSERT_GT(raw.size(), offset_from_end);
+  raw[raw.size() - 1 - offset_from_end] ^= 0x55;
+  ASSERT_TRUE(sim::Storage::WriteStringToFile(path, raw).ok());
+}
+
+TEST_F(Kv, CorruptedSSDataSurfacesAsErrorNotWrongData) {
+  RunKv(1, tmp_.path(), [&](net::RankContext&) {
+    papyruskv_db_t db;
+    std::string dir;
+    uint64_t ssid;
+    PopulateFlushed(&db, &dir, &ssid);
+
+    // Flip a byte near the end of SSData (inside some record's payload).
+    FlipByte(dir + "/" + store::SsDataName(ssid), 3);
+
+    // Every key in the table either reads back intact or errors — a value
+    // is never silently mangled.  ("victim_key" sorts last, so the flipped
+    // tail byte lands in its record.)
+    int corrupted = 0;
+    std::vector<std::pair<std::string, std::string>> expect;
+    for (int i = 0; i < 20; ++i) {
+      expect.emplace_back("filler" + std::to_string(i), "x");
+    }
+    expect.emplace_back(kKey, kValue);
+    for (const auto& [k, want] : expect) {
+      char* v = nullptr;
+      size_t n = 0;
+      const int rc = papyruskv_get(db, k.data(), k.size(), &v, &n);
+      if (rc == PAPYRUSKV_SUCCESS) {
+        EXPECT_EQ(std::string(v, n), want) << k;
+        papyruskv_free(db, v);
+      } else {
+        EXPECT_EQ(rc, PAPYRUSKV_CORRUPTED) << k;
+        ++corrupted;
+      }
+    }
+    EXPECT_GE(corrupted, 1) << "the flipped byte was never detected";
+    ASSERT_EQ(papyruskv_close(db), PAPYRUSKV_SUCCESS);
+  });
+}
+
+TEST_F(Kv, CorruptedSSIndexDetected) {
+  RunKv(1, tmp_.path(), [&](net::RankContext&) {
+    papyruskv_db_t db;
+    std::string dir;
+    uint64_t ssid;
+    PopulateFlushed(&db, &dir, &ssid);
+    FlipByte(dir + "/" + store::SsIndexName(ssid), 10);
+
+    char* v = nullptr;
+    size_t n = 0;
+    EXPECT_EQ(papyruskv_get(db, kKey, strlen(kKey), &v, &n),
+              PAPYRUSKV_CORRUPTED);
+    ASSERT_EQ(papyruskv_close(db), PAPYRUSKV_SUCCESS);
+  });
+}
+
+TEST_F(Kv, CorruptedBloomDetected) {
+  RunKv(1, tmp_.path(), [&](net::RankContext&) {
+    papyruskv_db_t db;
+    std::string dir;
+    uint64_t ssid;
+    PopulateFlushed(&db, &dir, &ssid);
+    FlipByte(dir + "/" + store::BloomName(ssid), 8);
+
+    char* v = nullptr;
+    size_t n = 0;
+    EXPECT_EQ(papyruskv_get(db, kKey, strlen(kKey), &v, &n),
+              PAPYRUSKV_CORRUPTED);
+    ASSERT_EQ(papyruskv_close(db), PAPYRUSKV_SUCCESS);
+  });
+}
+
+TEST_F(Kv, MissingSSDataFileIsIoError) {
+  RunKv(1, tmp_.path(), [&](net::RankContext&) {
+    papyruskv_db_t db;
+    std::string dir;
+    uint64_t ssid;
+    PopulateFlushed(&db, &dir, &ssid);
+    ASSERT_TRUE(
+        sim::Storage::RemoveFile(dir + "/" + store::SsDataName(ssid)).ok());
+
+    char* v = nullptr;
+    size_t n = 0;
+    EXPECT_EQ(papyruskv_get(db, kKey, strlen(kKey), &v, &n),
+              PAPYRUSKV_IO_ERROR);
+    ASSERT_EQ(papyruskv_close(db), PAPYRUSKV_SUCCESS);
+  });
+}
+
+TEST_F(Kv, StrayTmpFilesIgnoredOnReopen) {
+  // A crash mid-flush leaves *.tmp files; recovery must skip them (only
+  // published tables count) and the database must reopen cleanly.
+  RunKv(1, tmp_.path(), [&](net::RankContext&) {
+    papyruskv_db_t db;
+    std::string dir;
+    uint64_t ssid;
+    PopulateFlushed(&db, &dir, &ssid);
+    ASSERT_EQ(papyruskv_close(db), PAPYRUSKV_SUCCESS);
+
+    // Simulate a torn flush: partial files with the next ssid.
+    const uint64_t torn = ssid + 1;
+    ASSERT_TRUE(sim::Storage::WriteStringToFile(
+                    dir + "/" + store::SsDataName(torn) + ".tmp", "garbage")
+                    .ok());
+    ASSERT_TRUE(sim::Storage::WriteStringToFile(
+                    dir + "/" + store::SsIndexName(torn) + ".tmp", "garbage")
+                    .ok());
+
+    papyruskv_db_t db2;
+    ASSERT_EQ(papyruskv_open("fault", PAPYRUSKV_RDWR, nullptr, &db2),
+              PAPYRUSKV_SUCCESS);
+    std::string out;
+    ASSERT_EQ(GetStr(db2, kKey, &out), PAPYRUSKV_SUCCESS);
+    EXPECT_EQ(out, kValue);
+    // New writes allocate SSIDs above the recovered ones without touching
+    // the stray temporaries.
+    ASSERT_EQ(PutStr(db2, "post_crash", "ok"), PAPYRUSKV_SUCCESS);
+    ASSERT_EQ(papyruskv_close(db2), PAPYRUSKV_SUCCESS);
+  });
+}
+
+TEST_F(Kv, CorruptSnapshotMetaFailsRestart) {
+  TempDir snap{"fault_snap"};
+  RunKv(2, tmp_.path(), [&](net::RankContext& ctx) {
+    papyruskv_db_t db;
+    ASSERT_EQ(papyruskv_open("snapdb", PAPYRUSKV_CREATE, nullptr, &db),
+              PAPYRUSKV_SUCCESS);
+    if (ctx.rank == 0) {
+      ASSERT_EQ(PutStr(db, "k", "v"), PAPYRUSKV_SUCCESS);
+    }
+    ASSERT_EQ(papyruskv_checkpoint(db, snap.path().c_str(), nullptr),
+              PAPYRUSKV_SUCCESS);
+    ASSERT_EQ(papyruskv_close(db), PAPYRUSKV_SUCCESS);
+
+    ctx.comm.Barrier();
+    if (ctx.rank == 0) {
+      ASSERT_TRUE(sim::Storage::WriteStringToFile(
+                      snap.path() + "/snapdb/snapshot.meta", "not a meta")
+                      .ok());
+    }
+    ctx.comm.Barrier();
+
+    papyruskv_db_t db2;
+    EXPECT_EQ(papyruskv_restart(snap.path().c_str(), "snapdb",
+                                PAPYRUSKV_RDWR, nullptr, &db2, nullptr),
+              PAPYRUSKV_CORRUPTED);
+  });
+}
+
+TEST_F(Kv, CorruptionDoesNotPoisonOtherTables) {
+  // A corrupt older table must not block reads served by newer tables.
+  RunKv(1, tmp_.path(), [&](net::RankContext&) {
+    papyruskv_option_t opt;
+    papyruskv_option_init(&opt);
+    opt.compaction_trigger = 0;  // keep generations separate
+    papyruskv_db_t db;
+    ASSERT_EQ(papyruskv_open("gen", PAPYRUSKV_CREATE, &opt, &db),
+              PAPYRUSKV_SUCCESS);
+    ASSERT_EQ(PutStr(db, "old_gen", "x"), PAPYRUSKV_SUCCESS);
+    ASSERT_EQ(papyruskv_barrier(db, PAPYRUSKV_SSTABLE), PAPYRUSKV_SUCCESS);
+    ASSERT_EQ(PutStr(db, "new_gen", "y"), PAPYRUSKV_SUCCESS);
+    ASSERT_EQ(papyruskv_barrier(db, PAPYRUSKV_SSTABLE), PAPYRUSKV_SUCCESS);
+
+    auto shard = papyrus::core::DbHandle(db);
+    const auto live = shard->manifest().LiveSsids();  // descending
+    ASSERT_EQ(live.size(), 2u);
+    // Corrupt the OLDER table's index.
+    FlipByte(shard->dir() + "/" + store::SsIndexName(live[1]), 6);
+
+    // new_gen lives in the newer table: readable.
+    std::string out;
+    ASSERT_EQ(GetStr(db, "new_gen", &out), PAPYRUSKV_SUCCESS);
+    EXPECT_EQ(out, "y");
+    // old_gen requires the corrupt table: a clean error.
+    EXPECT_EQ(GetStr(db, "old_gen", &out), PAPYRUSKV_CORRUPTED);
+    ASSERT_EQ(papyruskv_close(db), PAPYRUSKV_SUCCESS);
+  });
+}
+
+}  // namespace
+}  // namespace papyrus::testutil

@@ -1,0 +1,208 @@
+// Persistence (§4): asynchronous checkpoint/restart, restart with
+// redistribution, destroy, events.
+#include <gtest/gtest.h>
+
+#include "core/db_shard.h"
+#include "kv_test_util.h"
+
+namespace papyrus::testutil {
+namespace {
+
+using Kv = KvTest;
+
+TEST_F(Kv, CheckpointThenRestartSameRanks) {
+  TempDir ckpt{"papyruskv_ckpt"};
+  constexpr int kRanks = 3;
+  constexpr int kKeys = 60;
+
+  // Job 1: populate + checkpoint.
+  RunKv(kRanks, tmp_.path(), [&](net::RankContext& ctx) {
+    papyruskv_db_t db;
+    ASSERT_EQ(papyruskv_open("ck", PAPYRUSKV_CREATE, nullptr, &db),
+              PAPYRUSKV_SUCCESS);
+    for (int i = ctx.rank; i < kKeys; i += ctx.size()) {
+      ASSERT_EQ(PutStr(db, "ckkey" + std::to_string(i),
+                       "ckval" + std::to_string(i)),
+                PAPYRUSKV_SUCCESS);
+    }
+    papyruskv_event_t ev;
+    ASSERT_EQ(papyruskv_checkpoint(db, ckpt.path().c_str(), &ev),
+              PAPYRUSKV_SUCCESS);
+    // The application may keep updating while the transfer runs (§4.2).
+    ASSERT_EQ(PutStr(db, "after_ckpt", "not_in_snapshot"),
+              PAPYRUSKV_SUCCESS);
+    ASSERT_EQ(papyruskv_wait(db, ev), PAPYRUSKV_SUCCESS);
+    ASSERT_EQ(papyruskv_wait(db, ev), PAPYRUSKV_INVALID_EVENT);  // consumed
+    ASSERT_EQ(papyruskv_destroy(db, nullptr), PAPYRUSKV_SUCCESS);
+  });
+
+  // Job 2 (fresh repository): restart from the snapshot.
+  TempDir repo2{"papyruskv_repo2"};
+  RunKv(kRanks, repo2.path(), [&](net::RankContext&) {
+    papyruskv_db_t db;
+    papyruskv_event_t ev;
+    ASSERT_EQ(papyruskv_restart(ckpt.path().c_str(), "ck", PAPYRUSKV_RDWR,
+                                nullptr, &db, &ev),
+              PAPYRUSKV_SUCCESS);
+    ASSERT_EQ(papyruskv_wait(db, ev), PAPYRUSKV_SUCCESS);
+    for (int i = 0; i < kKeys; ++i) {
+      std::string out;
+      ASSERT_EQ(GetStr(db, "ckkey" + std::to_string(i), &out),
+                PAPYRUSKV_SUCCESS)
+          << i;
+      EXPECT_EQ(out, "ckval" + std::to_string(i));
+    }
+    // Post-checkpoint writes must not be in the snapshot.
+    std::string out;
+    EXPECT_EQ(GetStr(db, "after_ckpt", &out), PAPYRUSKV_NOT_FOUND);
+    ASSERT_EQ(papyruskv_close(db), PAPYRUSKV_SUCCESS);
+  });
+}
+
+TEST_F(Kv, RestartWithDifferentRankCountRedistributes) {
+  TempDir ckpt{"papyruskv_ckpt_rd"};
+  constexpr int kKeys = 50;
+
+  RunKv(4, tmp_.path(), [&](net::RankContext& ctx) {
+    papyruskv_db_t db;
+    ASSERT_EQ(papyruskv_open("rd", PAPYRUSKV_CREATE, nullptr, &db),
+              PAPYRUSKV_SUCCESS);
+    for (int i = ctx.rank; i < kKeys; i += ctx.size()) {
+      ASSERT_EQ(PutStr(db, "rdkey" + std::to_string(i),
+                       "rdval" + std::to_string(i)),
+                PAPYRUSKV_SUCCESS);
+    }
+    ASSERT_EQ(papyruskv_checkpoint(db, ckpt.path().c_str(), nullptr),
+              PAPYRUSKV_SUCCESS);
+    ASSERT_EQ(papyruskv_close(db), PAPYRUSKV_SUCCESS);
+  });
+
+  // Restart on 3 ranks: the hash partition changes, so the runtime must
+  // redistribute (Fig. 5c).
+  TempDir repo2{"papyruskv_repo_rd2"};
+  RunKv(3, repo2.path(), [&](net::RankContext&) {
+    papyruskv_db_t db;
+    ASSERT_EQ(papyruskv_restart(ckpt.path().c_str(), "rd", PAPYRUSKV_RDWR,
+                                nullptr, &db, nullptr),
+              PAPYRUSKV_SUCCESS);
+    for (int i = 0; i < kKeys; ++i) {
+      std::string out;
+      ASSERT_EQ(GetStr(db, "rdkey" + std::to_string(i), &out),
+                PAPYRUSKV_SUCCESS)
+          << i;
+      EXPECT_EQ(out, "rdval" + std::to_string(i));
+    }
+    ASSERT_EQ(papyruskv_close(db), PAPYRUSKV_SUCCESS);
+  });
+}
+
+TEST_F(Kv, ForcedRedistributionMatchesPlainRestart) {
+  // The artifact's PAPYRUSKV_FORCE_REDISTRIBUTE=1 case: same rank count,
+  // redistribution exercised anyway (Figure 10 "Restart-RD").
+  TempDir ckpt{"papyruskv_ckpt_frd"};
+  constexpr int kRanks = 2;
+
+  RunKv(kRanks, tmp_.path(), [&](net::RankContext& ctx) {
+    papyruskv_db_t db;
+    ASSERT_EQ(papyruskv_open("frd", PAPYRUSKV_CREATE, nullptr, &db),
+              PAPYRUSKV_SUCCESS);
+    if (ctx.rank == 0) {
+      for (int i = 0; i < 30; ++i) {
+        ASSERT_EQ(PutStr(db, "fk" + std::to_string(i), "fv"),
+                  PAPYRUSKV_SUCCESS);
+      }
+      // Include a deletion so tombstone replay is covered.
+      ASSERT_EQ(PutStr(db, "doomed", "x"), PAPYRUSKV_SUCCESS);
+      ASSERT_EQ(papyruskv_delete(db, "doomed", 6), PAPYRUSKV_SUCCESS);
+    }
+    ASSERT_EQ(papyruskv_checkpoint(db, ckpt.path().c_str(), nullptr),
+              PAPYRUSKV_SUCCESS);
+    ASSERT_EQ(papyruskv_close(db), PAPYRUSKV_SUCCESS);
+  });
+
+  setenv("PAPYRUSKV_FORCE_REDISTRIBUTE", "1", 1);
+  TempDir repo2{"papyruskv_repo_frd2"};
+  RunKv(kRanks, repo2.path(), [&](net::RankContext&) {
+    papyruskv_db_t db;
+    papyruskv_event_t ev;
+    ASSERT_EQ(papyruskv_restart(ckpt.path().c_str(), "frd", PAPYRUSKV_RDWR,
+                                nullptr, &db, &ev),
+              PAPYRUSKV_SUCCESS);
+    ASSERT_EQ(papyruskv_wait(db, ev), PAPYRUSKV_SUCCESS);
+    for (int i = 0; i < 30; ++i) {
+      std::string out;
+      ASSERT_EQ(GetStr(db, "fk" + std::to_string(i), &out),
+                PAPYRUSKV_SUCCESS);
+    }
+    std::string out;
+    EXPECT_EQ(GetStr(db, "doomed", &out), PAPYRUSKV_NOT_FOUND)
+        << "tombstone lost in redistribution";
+    ASSERT_EQ(papyruskv_close(db), PAPYRUSKV_SUCCESS);
+  });
+  unsetenv("PAPYRUSKV_FORCE_REDISTRIBUTE");
+}
+
+TEST_F(Kv, DestroyRemovesDataFromNvm) {
+  RunKv(2, tmp_.path(), [&](net::RankContext&) {
+    papyruskv_db_t db;
+    ASSERT_EQ(papyruskv_open("gone", PAPYRUSKV_CREATE, nullptr, &db),
+              PAPYRUSKV_SUCCESS);
+    ASSERT_EQ(PutStr(db, "k", "v"), PAPYRUSKV_SUCCESS);
+    ASSERT_EQ(papyruskv_barrier(db, PAPYRUSKV_SSTABLE), PAPYRUSKV_SUCCESS);
+    const std::string dir = papyrus::core::DbHandle(db)->dir();
+    EXPECT_TRUE(sim::Storage::FileExists(dir));
+
+    papyruskv_event_t ev;
+    ASSERT_EQ(papyruskv_destroy(db, &ev), PAPYRUSKV_SUCCESS);
+    ASSERT_EQ(papyruskv_wait(db, ev), PAPYRUSKV_SUCCESS);
+    EXPECT_FALSE(sim::Storage::FileExists(dir));
+    // Descriptor is dead.
+    EXPECT_EQ(PutStr(db, "k", "v"), PAPYRUSKV_INVALID_DB);
+  });
+}
+
+TEST_F(Kv, RestartFromMissingSnapshotFails) {
+  RunKv(1, tmp_.path(), [&](net::RankContext&) {
+    papyruskv_db_t db;
+    EXPECT_EQ(papyruskv_restart("/nonexistent/path", "nodb", PAPYRUSKV_RDWR,
+                                nullptr, &db, nullptr),
+              PAPYRUSKV_IO_ERROR);
+  });
+}
+
+TEST_F(Kv, CheckpointOfFlushedDataSurvivesMoreUpdates) {
+  // Snapshot isolation: updates after the checkpoint barrier never leak
+  // into the snapshot even while the copy is in flight.
+  TempDir ckpt{"papyruskv_ckpt_iso"};
+  RunKv(2, tmp_.path(), [&](net::RankContext& ctx) {
+    papyruskv_db_t db;
+    ASSERT_EQ(papyruskv_open("iso", PAPYRUSKV_CREATE, nullptr, &db),
+              PAPYRUSKV_SUCCESS);
+    if (ctx.rank == 0) {
+      ASSERT_EQ(PutStr(db, "stable", "before"), PAPYRUSKV_SUCCESS);
+    }
+    papyruskv_event_t ev;
+    ASSERT_EQ(papyruskv_checkpoint(db, ckpt.path().c_str(), &ev),
+              PAPYRUSKV_SUCCESS);
+    if (ctx.rank == 0) {
+      ASSERT_EQ(PutStr(db, "stable", "after"), PAPYRUSKV_SUCCESS);
+    }
+    ASSERT_EQ(papyruskv_wait(db, ev), PAPYRUSKV_SUCCESS);
+    ASSERT_EQ(papyruskv_close(db), PAPYRUSKV_SUCCESS);
+  });
+
+  TempDir repo2{"papyruskv_repo_iso2"};
+  RunKv(2, repo2.path(), [&](net::RankContext&) {
+    papyruskv_db_t db;
+    ASSERT_EQ(papyruskv_restart(ckpt.path().c_str(), "iso", PAPYRUSKV_RDWR,
+                                nullptr, &db, nullptr),
+              PAPYRUSKV_SUCCESS);
+    std::string out;
+    ASSERT_EQ(GetStr(db, "stable", &out), PAPYRUSKV_SUCCESS);
+    EXPECT_EQ(out, "before");
+    ASSERT_EQ(papyruskv_close(db), PAPYRUSKV_SUCCESS);
+  });
+}
+
+}  // namespace
+}  // namespace papyrus::testutil

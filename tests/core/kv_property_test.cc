@@ -1,0 +1,156 @@
+// Property-based tests: randomized multi-rank operation sequences checked
+// against a deterministic reference model, across a sweep of configurations
+// (consistency mode, MemTable size, compaction trigger, search mode).
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/random.h"
+#include "core/db_shard.h"
+#include "kv_test_util.h"
+
+namespace papyrus::testutil {
+namespace {
+
+struct FuzzConfig {
+  uint64_t seed;
+  int nranks;
+  int consistency;
+  size_t memtable_bytes;
+  uint64_t compaction_trigger;
+  int bin_search;
+  std::string label;
+};
+
+class KvFuzzTest : public KvTest,
+                   public ::testing::WithParamInterface<FuzzConfig> {};
+
+// Every rank applies a deterministic random op stream (same streams on all
+// ranks' reference models, since each rank derives all ranks' streams from
+// the shared seed).  After a barrier, every rank verifies the union.
+TEST_P(KvFuzzTest, RandomOpsMatchReferenceModel) {
+  const FuzzConfig cfg = GetParam();
+  constexpr int kOpsPerRank = 150;
+  constexpr int kKeySpace = 80;
+
+  RunKv(cfg.nranks, tmp_.path(), [&](net::RankContext& ctx) {
+    papyruskv_option_t opt;
+    papyruskv_option_init(&opt);
+    opt.consistency = cfg.consistency;
+    opt.memtable_size = cfg.memtable_bytes;
+    opt.compaction_trigger = cfg.compaction_trigger;
+    opt.bin_search = cfg.bin_search;
+    papyruskv_db_t db;
+    ASSERT_EQ(papyruskv_open("fuzz", PAPYRUSKV_CREATE, &opt, &db),
+              PAPYRUSKV_SUCCESS);
+
+    // Phase structure: each round every rank mutates a *disjoint* slice of
+    // the key space (avoids cross-rank write races, which relaxed mode
+    // leaves unordered), then all barrier and verify everything.
+    std::map<std::string, std::string> ref;  // the union, same on all ranks
+    for (int round = 0; round < 3; ++round) {
+      // Apply my own ops.
+      for (int r = 0; r < ctx.size(); ++r) {
+        Rng rng(cfg.seed * 1000003 +
+                static_cast<uint64_t>(round) * 101 + static_cast<uint64_t>(r));
+        for (int i = 0; i < kOpsPerRank; ++i) {
+          // Rank r owns writes to keys ≡ r (mod nranks) this round.
+          const uint64_t kid =
+              rng.Uniform(kKeySpace / cfg.nranks) *
+                  static_cast<uint64_t>(cfg.nranks) +
+              static_cast<uint64_t>(r);
+          const std::string key = "fz" + std::to_string(kid);
+          const bool is_delete = rng.Bernoulli(0.25);
+          const std::string value =
+              PatternValue(rng.Next(), 20 + rng.Uniform(200));
+          if (r == ctx.rank) {
+            if (is_delete) {
+              ASSERT_EQ(papyruskv_delete(db, key.data(), key.size()),
+                        PAPYRUSKV_SUCCESS);
+            } else {
+              ASSERT_EQ(PutStr(db, key, value), PAPYRUSKV_SUCCESS);
+            }
+          }
+          // Maintain the shared reference model for every rank's stream.
+          if (is_delete) {
+            ref.erase(key);
+          } else {
+            ref[key] = value;
+          }
+        }
+      }
+
+      const int level =
+          round % 2 == 0 ? PAPYRUSKV_MEMTABLE : PAPYRUSKV_SSTABLE;
+      ASSERT_EQ(papyruskv_barrier(db, level), PAPYRUSKV_SUCCESS);
+
+      // Verify the full key space from this rank.
+      for (int kid = 0; kid < kKeySpace; ++kid) {
+        const std::string key = "fz" + std::to_string(kid);
+        std::string out;
+        const int rc = GetStr(db, key, &out);
+        auto it = ref.find(key);
+        if (it == ref.end()) {
+          EXPECT_EQ(rc, PAPYRUSKV_NOT_FOUND)
+              << cfg.label << " round " << round << " key " << key;
+        } else {
+          ASSERT_EQ(rc, PAPYRUSKV_SUCCESS)
+              << cfg.label << " round " << round << " key " << key;
+          EXPECT_EQ(out, it->second) << cfg.label << " key " << key;
+        }
+      }
+      ASSERT_EQ(papyruskv_barrier(db, PAPYRUSKV_MEMTABLE),
+                PAPYRUSKV_SUCCESS);
+    }
+    ASSERT_EQ(papyruskv_close(db), PAPYRUSKV_SUCCESS);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, KvFuzzTest,
+    ::testing::Values(
+        FuzzConfig{1, 1, PAPYRUSKV_RELAXED, 1u << 20, 4, 1, "single_rank"},
+        FuzzConfig{2, 4, PAPYRUSKV_RELAXED, 1u << 20, 4, 1, "relaxed4"},
+        FuzzConfig{3, 4, PAPYRUSKV_SEQUENTIAL, 1u << 20, 4, 1, "seq4"},
+        FuzzConfig{4, 3, PAPYRUSKV_RELAXED, 2048, 4, 1, "tiny_memtable"},
+        FuzzConfig{5, 3, PAPYRUSKV_RELAXED, 2048, 2, 1, "heavy_compaction"},
+        FuzzConfig{6, 3, PAPYRUSKV_RELAXED, 2048, 0, 1, "no_compaction"},
+        FuzzConfig{7, 3, PAPYRUSKV_SEQUENTIAL, 2048, 3, 0, "linear_search"},
+        FuzzConfig{8, 2, PAPYRUSKV_SEQUENTIAL, 4096, 2, 1, "seq_small"}),
+    [](const auto& info) { return info.param.label; });
+
+// The LSM shadowing property: a key overwritten N times and deleted M
+// times, across flush boundaries, always resolves to its latest state.
+TEST_F(KvTest, OverwriteStormAcrossFlushes) {
+  RunKv(2, tmp_.path(), [](net::RankContext& ctx) {
+    papyruskv_option_t opt;
+    papyruskv_option_init(&opt);
+    opt.memtable_size = 512;  // flush nearly every write
+    opt.compaction_trigger = 3;
+    papyruskv_db_t db;
+    ASSERT_EQ(papyruskv_open("storm", PAPYRUSKV_CREATE, &opt, &db),
+              PAPYRUSKV_SUCCESS);
+    const std::string key = "contested_r" + std::to_string(ctx.rank);
+    for (int i = 0; i < 100; ++i) {
+      if (i % 10 == 9) {
+        ASSERT_EQ(papyruskv_delete(db, key.data(), key.size()),
+                  PAPYRUSKV_SUCCESS);
+      } else {
+        ASSERT_EQ(PutStr(db, key, "gen" + std::to_string(i)),
+                  PAPYRUSKV_SUCCESS);
+      }
+      std::string out;
+      const int rc = GetStr(db, key, &out);
+      if (i % 10 == 9) {
+        ASSERT_EQ(rc, PAPYRUSKV_NOT_FOUND) << i;
+      } else {
+        ASSERT_EQ(rc, PAPYRUSKV_SUCCESS) << i;
+        ASSERT_EQ(out, "gen" + std::to_string(i)) << i;
+      }
+    }
+    ASSERT_EQ(papyruskv_close(db), PAPYRUSKV_SUCCESS);
+  });
+}
+
+}  // namespace
+}  // namespace papyrus::testutil

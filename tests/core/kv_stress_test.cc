@@ -1,0 +1,210 @@
+// Stress and interaction tests: many databases, many ranks, mode changes
+// under load, signal fan-in/fan-out, repeated job lifecycles.
+#include <gtest/gtest.h>
+
+#include "core/db_shard.h"
+#include "common/random.h"
+#include "kv_test_util.h"
+
+namespace papyrus::testutil {
+namespace {
+
+using Kv = KvTest;
+
+TEST_F(Kv, ManyDatabasesConcurrently) {
+  // §2.3: "Multiple databases can be opened in a single application at a
+  // time, and they can have different properties."
+  constexpr int kDbs = 6;
+  RunKv(3, tmp_.path(), [](net::RankContext& ctx) {
+    papyruskv_db_t dbs[kDbs];
+    for (int d = 0; d < kDbs; ++d) {
+      papyruskv_option_t opt;
+      papyruskv_option_init(&opt);
+      opt.consistency = d % 2 == 0 ? PAPYRUSKV_RELAXED : PAPYRUSKV_SEQUENTIAL;
+      opt.memtable_size = d % 3 == 0 ? 2048 : 1 << 20;
+      ASSERT_EQ(papyruskv_open(("multi" + std::to_string(d)).c_str(),
+                               PAPYRUSKV_CREATE, &opt, &dbs[d]),
+                PAPYRUSKV_SUCCESS);
+    }
+    // Interleaved writes across all databases.
+    for (int i = 0; i < 30; ++i) {
+      for (int d = 0; d < kDbs; ++d) {
+        const std::string k = "r" + std::to_string(ctx.rank) + "_i" +
+                              std::to_string(i);
+        const std::string v = "db" + std::to_string(d);
+        ASSERT_EQ(PutStr(dbs[d], k, v), PAPYRUSKV_SUCCESS);
+      }
+    }
+    for (int d = 0; d < kDbs; ++d) {
+      ASSERT_EQ(papyruskv_barrier(dbs[d], PAPYRUSKV_MEMTABLE),
+                PAPYRUSKV_SUCCESS);
+    }
+    // Every database holds exactly its own values.
+    for (int d = 0; d < kDbs; ++d) {
+      for (int r = 0; r < ctx.size(); ++r) {
+        const std::string k = "r" + std::to_string(r) + "_i7";
+        std::string out;
+        ASSERT_EQ(GetStr(dbs[d], k, &out), PAPYRUSKV_SUCCESS);
+        EXPECT_EQ(out, "db" + std::to_string(d));
+      }
+    }
+    for (int d = kDbs - 1; d >= 0; --d) {
+      ASSERT_EQ(papyruskv_close(dbs[d]), PAPYRUSKV_SUCCESS);
+    }
+  });
+}
+
+TEST_F(Kv, SixteenRankSmoke) {
+  // Oversubscribed rank count (threads ≫ cores): correctness must hold.
+  constexpr int kRanks = 16;
+  RunKv(
+      kRanks, tmp_.path(),
+      [](net::RankContext& ctx) {
+        papyruskv_db_t db;
+        ASSERT_EQ(papyruskv_open("wide", PAPYRUSKV_CREATE, nullptr, &db),
+                  PAPYRUSKV_SUCCESS);
+        for (int i = 0; i < 8; ++i) {
+          ASSERT_EQ(PutStr(db, "w" + std::to_string(ctx.rank * 100 + i),
+                           std::to_string(ctx.rank)),
+                    PAPYRUSKV_SUCCESS);
+        }
+        ASSERT_EQ(papyruskv_barrier(db, PAPYRUSKV_SSTABLE),
+                  PAPYRUSKV_SUCCESS);
+        // Spot-check a stride of everyone's keys.
+        for (int r = 0; r < kRanks; r += 3) {
+          std::string out;
+          ASSERT_EQ(GetStr(db, "w" + std::to_string(r * 100 + 5), &out),
+                    PAPYRUSKV_SUCCESS);
+          EXPECT_EQ(out, std::to_string(r));
+        }
+        ASSERT_EQ(papyruskv_barrier(db, PAPYRUSKV_MEMTABLE),
+                  PAPYRUSKV_SUCCESS);
+        ASSERT_EQ(papyruskv_close(db), PAPYRUSKV_SUCCESS);
+      },
+      /*ranks_per_node=*/4);
+}
+
+TEST_F(Kv, ModeSwitchesUnderLoad) {
+  // Alternate consistency and protection through several write/read
+  // phases; every phase's data must survive every later phase.
+  RunKv(4, tmp_.path(), [](net::RankContext& ctx) {
+    papyruskv_option_t opt;
+    papyruskv_option_init(&opt);
+    opt.memtable_size = 4096;
+    papyruskv_db_t db;
+    ASSERT_EQ(papyruskv_open("phases", PAPYRUSKV_CREATE, &opt, &db),
+              PAPYRUSKV_SUCCESS);
+    for (int phase = 0; phase < 4; ++phase) {
+      ASSERT_EQ(papyruskv_consistency(db, phase % 2 == 0
+                                              ? PAPYRUSKV_RELAXED
+                                              : PAPYRUSKV_SEQUENTIAL),
+                PAPYRUSKV_SUCCESS);
+      for (int i = 0; i < 20; ++i) {
+        const std::string k = "p" + std::to_string(phase) + "_r" +
+                              std::to_string(ctx.rank) + "_" +
+                              std::to_string(i);
+        ASSERT_EQ(PutStr(db, k, "v" + std::to_string(phase)),
+                  PAPYRUSKV_SUCCESS);
+      }
+      ASSERT_EQ(papyruskv_barrier(db, phase % 2 == 0 ? PAPYRUSKV_MEMTABLE
+                                                     : PAPYRUSKV_SSTABLE),
+                PAPYRUSKV_SUCCESS);
+
+      // Read-only review of ALL phases so far.
+      ASSERT_EQ(papyruskv_protect(db, PAPYRUSKV_RDONLY), PAPYRUSKV_SUCCESS);
+      for (int p = 0; p <= phase; ++p) {
+        for (int r = 0; r < ctx.size(); ++r) {
+          const std::string k = "p" + std::to_string(p) + "_r" +
+                                std::to_string(r) + "_3";
+          std::string out;
+          ASSERT_EQ(GetStr(db, k, &out), PAPYRUSKV_SUCCESS)
+              << "phase " << phase << " key " << k;
+          EXPECT_EQ(out, "v" + std::to_string(p));
+        }
+      }
+      ASSERT_EQ(papyruskv_protect(db, PAPYRUSKV_RDWR), PAPYRUSKV_SUCCESS);
+    }
+    ASSERT_EQ(papyruskv_close(db), PAPYRUSKV_SUCCESS);
+  });
+}
+
+TEST_F(Kv, SignalFanInFanOut) {
+  RunKv(5, tmp_.path(), [](net::RankContext& ctx) {
+    const int n = ctx.size();
+    std::vector<int> others;
+    for (int r = 0; r < n; ++r) {
+      if (r != ctx.rank) others.push_back(r);
+    }
+    // Everyone notifies everyone, then waits for everyone: a signal-built
+    // all-to-all barrier.
+    ASSERT_EQ(papyruskv_signal_notify(3, others.data(),
+                                      static_cast<int>(others.size())),
+              PAPYRUSKV_SUCCESS);
+    ASSERT_EQ(papyruskv_signal_wait(3, others.data(),
+                                    static_cast<int>(others.size())),
+              PAPYRUSKV_SUCCESS);
+    // Distinct signal numbers do not cross: 5 would hang if matched by 3.
+    int self[] = {ctx.rank};
+    ASSERT_EQ(papyruskv_signal_notify(5, self, 1), PAPYRUSKV_SUCCESS);
+    ASSERT_EQ(papyruskv_signal_wait(5, self, 1), PAPYRUSKV_SUCCESS);
+  });
+}
+
+TEST_F(Kv, RepeatedJobLifecycles) {
+  // Init/finalize several times in one process (sequential jobs sharing a
+  // repository — the zero-copy chain across "applications").
+  for (int job = 0; job < 3; ++job) {
+    RunKv(2, tmp_.path(), [&](net::RankContext& ctx) {
+      papyruskv_db_t db;
+      ASSERT_EQ(papyruskv_open("chain", PAPYRUSKV_CREATE, nullptr, &db),
+                PAPYRUSKV_SUCCESS);
+      // Each job appends its own generation and sees all previous ones.
+      if (ctx.rank == 0) {
+        ASSERT_EQ(PutStr(db, "gen" + std::to_string(job), "present"),
+                  PAPYRUSKV_SUCCESS);
+      }
+      ASSERT_EQ(papyruskv_barrier(db, PAPYRUSKV_MEMTABLE),
+                PAPYRUSKV_SUCCESS);
+      for (int g = 0; g <= job; ++g) {
+        std::string out;
+        ASSERT_EQ(GetStr(db, "gen" + std::to_string(g), &out),
+                  PAPYRUSKV_SUCCESS)
+            << "job " << job << " missing generation " << g;
+      }
+      ASSERT_EQ(papyruskv_close(db), PAPYRUSKV_SUCCESS);
+    });
+  }
+}
+
+TEST_F(Kv, LargeValuesThroughEveryPath) {
+  // 1 MB values through local puts, staged migration, flush, and remote
+  // get — byte-exact end to end.
+  RunKv(2, tmp_.path(), [](net::RankContext& ctx) {
+    papyruskv_option_t opt;
+    papyruskv_option_init(&opt);
+    opt.memtable_size = 3 << 20;  // forces a flush after ~3 values
+    papyruskv_db_t db;
+    ASSERT_EQ(papyruskv_open("big", PAPYRUSKV_CREATE, &opt, &db),
+              PAPYRUSKV_SUCCESS);
+    const std::string big = papyrus::PatternValue(0xb16, 1 << 20);
+    if (ctx.rank == 0) {
+      for (int i = 0; i < 6; ++i) {
+        ASSERT_EQ(PutStr(db, "big" + std::to_string(i), big),
+                  PAPYRUSKV_SUCCESS);
+      }
+    }
+    ASSERT_EQ(papyruskv_barrier(db, PAPYRUSKV_SSTABLE), PAPYRUSKV_SUCCESS);
+    for (int i = 0; i < 6; ++i) {
+      std::string out;
+      ASSERT_EQ(GetStr(db, "big" + std::to_string(i), &out),
+                PAPYRUSKV_SUCCESS);
+      ASSERT_EQ(out.size(), big.size());
+      EXPECT_EQ(out, big) << "value " << i << " mangled in transit";
+    }
+    ASSERT_EQ(papyruskv_barrier(db, PAPYRUSKV_MEMTABLE), PAPYRUSKV_SUCCESS);
+    ASSERT_EQ(papyruskv_close(db), PAPYRUSKV_SUCCESS);
+  });
+}
+
+}  // namespace
+}  // namespace papyrus::testutil

@@ -1,0 +1,106 @@
+#include "sim/device_model.h"
+
+#include <gtest/gtest.h>
+
+#include "common/timer.h"
+
+namespace papyrus::sim {
+namespace {
+
+class DeviceModelTest : public ::testing::Test {
+ protected:
+  void SetUp() override { SetTimeScale(0.0); }
+  void TearDown() override {
+    SetTimeScale(0.0);
+    DeviceRegistry::Instance().Clear();
+  }
+};
+
+TEST_F(DeviceModelTest, ClassNamesRoundTrip) {
+  for (DeviceClass c :
+       {DeviceClass::kDram, DeviceClass::kNvme, DeviceClass::kSataSsd,
+        DeviceClass::kBurstBuffer, DeviceClass::kLustre}) {
+    EXPECT_EQ(ParseDeviceClass(DeviceClassName(c)), c);
+  }
+  EXPECT_EQ(ParseDeviceClass("unknown"), DeviceClass::kDram);
+}
+
+TEST_F(DeviceModelTest, CalibrationOrdering) {
+  // The relations the reproduction depends on (DESIGN.md §1).
+  const DevicePerf nvme = PerfFor(DeviceClass::kNvme);
+  const DevicePerf ssd = PerfFor(DeviceClass::kSataSsd);
+  const DevicePerf bb = PerfFor(DeviceClass::kBurstBuffer);
+  const DevicePerf lustre = PerfFor(DeviceClass::kLustre);
+
+  // Local NVM latency is far below Lustre's.
+  EXPECT_LT(nvme.read_latency_us * 10, lustre.read_latency_us);
+  EXPECT_LT(ssd.read_latency_us * 5, lustre.read_latency_us);
+  // Striped targets have aggregate write bandwidth above a single SSD.
+  EXPECT_GT(lustre.write_bw_mbps * lustre.stripes, ssd.write_bw_mbps);
+  EXPECT_GT(bb.write_bw_mbps * bb.stripes, ssd.write_bw_mbps);
+  // Burst buffer is network-attached: slower per-op than local NVMe.
+  EXPECT_GT(bb.read_latency_us, nvme.read_latency_us);
+}
+
+TEST_F(DeviceModelTest, NoDelayAtZeroScale) {
+  Device dev(DeviceClass::kLustre);
+  const uint64_t t0 = NowMicros();
+  for (int i = 0; i < 100; ++i) dev.ChargeRead(1 << 20);
+  EXPECT_LT(NowMicros() - t0, 50000u);  // effectively free
+  EXPECT_EQ(dev.read_ops(), 100u);
+  EXPECT_EQ(dev.bytes_read(), 100u << 20);
+}
+
+TEST_F(DeviceModelTest, DelayScalesWithLatency) {
+  SetTimeScale(1.0);
+  Device lustre(DeviceClass::kLustre);
+  Device nvme(DeviceClass::kNvme);
+
+  const uint64_t t0 = NowMicros();
+  for (int i = 0; i < 20; ++i) nvme.ChargeRead(64);
+  const uint64_t nvme_us = NowMicros() - t0;
+
+  const uint64_t t1 = NowMicros();
+  for (int i = 0; i < 20; ++i) lustre.ChargeRead(64);
+  const uint64_t lustre_us = NowMicros() - t1;
+
+  // 20 small reads: ~200us on NVMe vs ~30ms on Lustre.
+  EXPECT_GT(lustre_us, nvme_us * 5);
+}
+
+TEST_F(DeviceModelTest, BandwidthContention) {
+  SetTimeScale(1.0);
+  Device dev(DeviceClass::kSataSsd);  // 1 stripe, 400 MB/s write
+  // Two 4 MB writes serialized on one channel ≈ 2 × 10ms.
+  const uint64_t t0 = NowMicros();
+  std::thread t([&] { dev.ChargeWrite(4 << 20); });
+  dev.ChargeWrite(4 << 20);
+  t.join();
+  const uint64_t elapsed = NowMicros() - t0;
+  EXPECT_GT(elapsed, 15000u);  // both paid: serialized, not parallel
+}
+
+TEST_F(DeviceModelTest, RegistrySharesDevicePerRoot) {
+  auto& reg = DeviceRegistry::Instance();
+  auto a = reg.GetOrCreate("/tmp/x", DeviceClass::kNvme);
+  auto b = reg.GetOrCreate("/tmp/x", DeviceClass::kLustre);  // first wins
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(b->cls(), DeviceClass::kNvme);
+
+  auto c = reg.GetOrCreate("/tmp/y", DeviceClass::kLustre);
+  EXPECT_NE(a.get(), c.get());
+}
+
+TEST_F(DeviceModelTest, LookupUsesLongestPrefix) {
+  auto& reg = DeviceRegistry::Instance();
+  auto outer = reg.GetOrCreate("/tmp/repo", DeviceClass::kNvme);
+  auto inner = reg.GetOrCreate("/tmp/repo/group1", DeviceClass::kLustre);
+  EXPECT_EQ(reg.Lookup("/tmp/repo/group1/db/rank0/sst_1.data").get(),
+            inner.get());
+  EXPECT_EQ(reg.Lookup("/tmp/repo/group2/db").get(), outer.get());
+  // Unregistered path → DRAM (no delay) device.
+  EXPECT_EQ(reg.Lookup("/somewhere/else")->cls(), DeviceClass::kDram);
+}
+
+}  // namespace
+}  // namespace papyrus::sim

@@ -1,0 +1,121 @@
+#include "sim/interconnect.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/timer.h"
+#include "sim/device_model.h"
+
+namespace papyrus::sim {
+namespace {
+
+class InterconnectTest : public ::testing::Test {
+ protected:
+  void SetUp() override { SetTimeScale(0.0); }
+  void TearDown() override { SetTimeScale(0.0); }
+};
+
+TEST_F(InterconnectTest, TopologyMapsRanksToNodes) {
+  Topology topo{.nranks = 10, .ranks_per_node = 4};
+  EXPECT_EQ(topo.NumNodes(), 3);
+  EXPECT_EQ(topo.NodeOf(0), 0);
+  EXPECT_EQ(topo.NodeOf(3), 0);
+  EXPECT_EQ(topo.NodeOf(4), 1);
+  EXPECT_EQ(topo.NodeOf(9), 2);
+  EXPECT_TRUE(topo.SameNode(0, 3));
+  EXPECT_FALSE(topo.SameNode(3, 4));
+}
+
+TEST_F(InterconnectTest, CountsMessagesAndBytes) {
+  Topology topo{.nranks = 4, .ranks_per_node = 2};
+  Interconnect net(topo);
+  net.Charge(0, 1, 100);
+  net.Charge(0, 3, 200);
+  EXPECT_EQ(net.messages(), 2u);
+  EXPECT_EQ(net.bytes(), 300u);
+  net.ResetCounters();
+  EXPECT_EQ(net.messages(), 0u);
+}
+
+TEST_F(InterconnectTest, FreeAtZeroScale) {
+  Topology topo{.nranks = 2, .ranks_per_node = 1};
+  Interconnect net(topo);
+  const uint64_t t0 = NowMicros();
+  for (int i = 0; i < 1000; ++i) net.Charge(0, 1, 1 << 20);
+  EXPECT_LT(NowMicros() - t0, 100000u);
+}
+
+TEST_F(InterconnectTest, IntraNodeCheaperThanInterNode) {
+  SetTimeScale(4.0);
+  Topology topo{.nranks = 4, .ranks_per_node = 2};
+  Interconnect net(topo);
+
+  // Delivery (propagation) delay: the returned value, in microseconds.
+  const uint64_t intra_delay = net.Charge(0, 1, 64);  // same node
+  const uint64_t inter_delay = net.Charge(0, 2, 64);  // cross node
+  EXPECT_LT(intra_delay, inter_delay);
+  // Sender-side occupancy for a large transfer: intra-node link is the
+  // faster one.
+  const uint64_t t0 = NowMicros();
+  net.Charge(0, 1, 64 << 20);
+  const uint64_t intra_us = NowMicros() - t0;
+  const uint64_t t1 = NowMicros();
+  net.Charge(0, 2, 64 << 20);
+  const uint64_t inter_us = NowMicros() - t1;
+  EXPECT_LT(intra_us, inter_us);
+}
+
+TEST_F(InterconnectTest, SenderDoesNotPayPropagationLatency) {
+  // Fire-and-forget semantics: the sender's cost for a tiny message is the
+  // injection overhead, orders of magnitude below the returned propagation
+  // delay at a large scale.
+  SetTimeScale(100000.0);  // latency 150ms, injection 30ms
+  Topology topo{.nranks = 2, .ranks_per_node = 1};
+  Interconnect net(topo);
+  const uint64_t t0 = NowMicros();
+  const uint64_t delay = net.Charge(0, 1, 8);
+  const uint64_t sender_us = NowMicros() - t0;
+  EXPECT_GE(delay, 140000u);      // ~150ms propagation returned
+  EXPECT_LT(sender_us, 100000u);  // sender slept far less (≈30ms + noise)
+}
+
+TEST_F(InterconnectTest, NicCongestionSerializesBurst) {
+  SetTimeScale(1.0);
+  Topology topo{.nranks = 8, .ranks_per_node = 1};
+  Interconnect net(topo);
+
+  // Sequential: one 32 MB message from rank 1 to rank 0 ≈ 3.2ms transfer —
+  // large enough that scheduler noise cannot blur the comparison below.
+  const uint64_t t0 = NowMicros();
+  net.Charge(1, 0, 32 << 20);
+  const uint64_t single_us = NowMicros() - t0;
+
+  // Burst: 7 ranks send 32 MB to rank 0 at once — its NIC serializes them,
+  // so the slowest sender waits ≈ 7 × single.
+  const uint64_t t1 = NowMicros();
+  std::vector<std::thread> senders;
+  for (int r = 1; r < 8; ++r) {
+    senders.emplace_back([&, r] { net.Charge(r, 0, 32 << 20); });
+  }
+  for (auto& t : senders) t.join();
+  const uint64_t burst_us = NowMicros() - t1;
+
+  // 7 concurrent senders serialize on the receiver NIC; even with
+  // scheduler noise the burst must take well over twice a single send.
+  EXPECT_GT(burst_us, single_us * 2);
+}
+
+TEST_F(InterconnectTest, SelfSendIsFree) {
+  SetTimeScale(1.0);
+  Topology topo{.nranks = 2, .ranks_per_node = 1};
+  Interconnect net(topo);
+  const uint64_t t0 = NowMicros();
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(net.Charge(1, 1, 8 << 20), 0u);
+  }
+  EXPECT_LT(NowMicros() - t0, 20000u);
+}
+
+}  // namespace
+}  // namespace papyrus::sim

@@ -1,0 +1,120 @@
+#include "sim/storage.h"
+
+#include <gtest/gtest.h>
+
+#include "../util/temp_dir.h"
+
+namespace papyrus::sim {
+namespace {
+
+using papyrus::testutil::TempDir;
+
+TEST(StorageTest, WriteAndReadBack) {
+  TempDir tmp;
+  const std::string path = tmp.path() + "/f";
+  ASSERT_TRUE(Storage::WriteStringToFile(path, "hello world").ok());
+  std::string out;
+  ASSERT_TRUE(Storage::ReadFileToString(path, &out).ok());
+  EXPECT_EQ(out, "hello world");
+}
+
+TEST(StorageTest, AppendAccumulates) {
+  TempDir tmp;
+  const std::string path = tmp.path() + "/f";
+  std::unique_ptr<WritableFile> f;
+  ASSERT_TRUE(Storage::NewWritableFile(path, &f).ok());
+  ASSERT_TRUE(f->Append("abc").ok());
+  ASSERT_TRUE(f->Append("def").ok());
+  EXPECT_EQ(f->bytes_written(), 6u);
+  ASSERT_TRUE(f->Sync().ok());
+  ASSERT_TRUE(f->Close().ok());
+  std::string out;
+  ASSERT_TRUE(Storage::ReadFileToString(path, &out).ok());
+  EXPECT_EQ(out, "abcdef");
+}
+
+TEST(StorageTest, RandomAccessReads) {
+  TempDir tmp;
+  const std::string path = tmp.path() + "/f";
+  ASSERT_TRUE(Storage::WriteStringToFile(path, "0123456789").ok());
+  std::unique_ptr<RandomAccessFile> f;
+  ASSERT_TRUE(Storage::NewRandomAccessFile(path, &f).ok());
+  EXPECT_EQ(f->size(), 10u);
+  char buf[4];
+  Slice got;
+  ASSERT_TRUE(f->Read(3, 4, buf, &got).ok());
+  EXPECT_EQ(got.ToString(), "3456");
+  // Read past EOF is short, not an error.
+  ASSERT_TRUE(f->Read(8, 4, buf, &got).ok());
+  EXPECT_EQ(got.ToString(), "89");
+}
+
+TEST(StorageTest, MissingFileErrors) {
+  TempDir tmp;
+  std::unique_ptr<RandomAccessFile> f;
+  EXPECT_EQ(Storage::NewRandomAccessFile(tmp.path() + "/nope", &f).code(),
+            PAPYRUSKV_IO_ERROR);
+  std::string out;
+  EXPECT_FALSE(Storage::ReadFileToString(tmp.path() + "/nope", &out).ok());
+  EXPECT_FALSE(Storage::FileExists(tmp.path() + "/nope"));
+}
+
+TEST(StorageTest, CreateDirsIsRecursiveAndIdempotent) {
+  TempDir tmp;
+  const std::string deep = tmp.path() + "/a/b/c/d";
+  ASSERT_TRUE(Storage::CreateDirs(deep).ok());
+  ASSERT_TRUE(Storage::CreateDirs(deep).ok());
+  ASSERT_TRUE(Storage::WriteStringToFile(deep + "/f", "x").ok());
+  EXPECT_TRUE(Storage::FileExists(deep + "/f"));
+}
+
+TEST(StorageTest, ListDirSorted) {
+  TempDir tmp;
+  for (const char* n : {"charlie", "alpha", "bravo"}) {
+    ASSERT_TRUE(Storage::WriteStringToFile(tmp.path() + "/" + n, "x").ok());
+  }
+  std::vector<std::string> names;
+  ASSERT_TRUE(Storage::ListDir(tmp.path(), &names).ok());
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "alpha");
+  EXPECT_EQ(names[1], "bravo");
+  EXPECT_EQ(names[2], "charlie");
+}
+
+TEST(StorageTest, RemoveDirRecursive) {
+  TempDir tmp;
+  const std::string sub = tmp.path() + "/sub";
+  ASSERT_TRUE(Storage::CreateDirs(sub + "/nested").ok());
+  ASSERT_TRUE(Storage::WriteStringToFile(sub + "/f1", "x").ok());
+  ASSERT_TRUE(Storage::WriteStringToFile(sub + "/nested/f2", "y").ok());
+  ASSERT_TRUE(Storage::RemoveDirRecursive(sub).ok());
+  EXPECT_FALSE(Storage::FileExists(sub));
+  // Removing a non-existent tree is OK (idempotent restarts).
+  EXPECT_TRUE(Storage::RemoveDirRecursive(sub).ok());
+}
+
+TEST(StorageTest, RenameAndFileSize) {
+  TempDir tmp;
+  ASSERT_TRUE(Storage::WriteStringToFile(tmp.path() + "/a", "12345").ok());
+  ASSERT_TRUE(Storage::RenameFile(tmp.path() + "/a", tmp.path() + "/b").ok());
+  EXPECT_FALSE(Storage::FileExists(tmp.path() + "/a"));
+  uint64_t size = 0;
+  ASSERT_TRUE(Storage::GetFileSize(tmp.path() + "/b", &size).ok());
+  EXPECT_EQ(size, 5u);
+}
+
+TEST(StorageTest, CopyFilePreservesContent) {
+  TempDir tmp;
+  std::string big(3 << 20, 'z');  // multiple 1 MB chunks
+  big[0] = 'a';
+  big[big.size() - 1] = 'b';
+  ASSERT_TRUE(Storage::WriteStringToFile(tmp.path() + "/src", big).ok());
+  ASSERT_TRUE(
+      Storage::CopyFile(tmp.path() + "/src", tmp.path() + "/dst").ok());
+  std::string out;
+  ASSERT_TRUE(Storage::ReadFileToString(tmp.path() + "/dst", &out).ok());
+  EXPECT_EQ(out, big);
+}
+
+}  // namespace
+}  // namespace papyrus::sim

@@ -1,0 +1,104 @@
+#include "store/bloom.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace papyrus::store {
+namespace {
+
+TEST(BloomTest, NoFalseNegativesEver) {
+  // The structural guarantee of a Bloom filter: every added key must test
+  // positive (paper §2.4: "definitely does not exist" only on negatives).
+  Rng rng(11);
+  BloomFilter bloom(1000);
+  std::vector<std::string> keys;
+  for (int i = 0; i < 1000; ++i) {
+    keys.push_back(RandomKey(rng, 16));
+    bloom.Add(keys.back());
+  }
+  for (const auto& k : keys) {
+    EXPECT_TRUE(bloom.MayContain(k)) << k;
+  }
+}
+
+TEST(BloomTest, FalsePositiveRateReasonable) {
+  Rng rng(12);
+  BloomFilter bloom(2000, /*bits_per_key=*/10);
+  for (int i = 0; i < 2000; ++i) bloom.Add(RandomKey(rng, 16));
+  int fp = 0;
+  constexpr int kProbes = 10000;
+  for (int i = 0; i < kProbes; ++i) {
+    // Different key length → cannot collide with inserted keys.
+    if (bloom.MayContain(RandomKey(rng, 24))) ++fp;
+  }
+  // 10 bits/key ≈ 0.8% theoretical; allow generous slack.
+  EXPECT_LT(fp, kProbes * 3 / 100) << "false-positive rate too high";
+}
+
+TEST(BloomTest, FewerBitsMoreFalsePositives) {
+  Rng rng(13);
+  BloomFilter tight(500, 12), loose(500, 3);
+  std::vector<std::string> keys;
+  for (int i = 0; i < 500; ++i) {
+    keys.push_back(RandomKey(rng, 16));
+    tight.Add(keys.back());
+    loose.Add(keys.back());
+  }
+  int fp_tight = 0, fp_loose = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const std::string probe = RandomKey(rng, 20);
+    fp_tight += tight.MayContain(probe) ? 1 : 0;
+    fp_loose += loose.MayContain(probe) ? 1 : 0;
+  }
+  EXPECT_LT(fp_tight, fp_loose);
+}
+
+TEST(BloomTest, SerializeParseRoundTrip) {
+  Rng rng(14);
+  BloomFilter bloom(100);
+  std::vector<std::string> keys;
+  for (int i = 0; i < 100; ++i) {
+    keys.push_back(RandomKey(rng, 16));
+    bloom.Add(keys.back());
+  }
+  const std::string bytes = bloom.Serialize();
+  BloomFilter parsed;
+  ASSERT_TRUE(BloomFilter::Parse(bytes, &parsed).ok());
+  EXPECT_EQ(parsed.num_bits(), bloom.num_bits());
+  EXPECT_EQ(parsed.num_hashes(), bloom.num_hashes());
+  for (const auto& k : keys) EXPECT_TRUE(parsed.MayContain(k));
+}
+
+TEST(BloomTest, ParseRejectsCorruption) {
+  BloomFilter bloom(10);
+  bloom.Add(Slice("k"));
+  std::string bytes = bloom.Serialize();
+  BloomFilter parsed;
+
+  // Truncated.
+  EXPECT_FALSE(
+      BloomFilter::Parse(Slice(bytes.data(), 8), &parsed).ok());
+  // Bit flip in the vector.
+  std::string flipped = bytes;
+  flipped[12] ^= 0x40;
+  EXPECT_EQ(BloomFilter::Parse(flipped, &parsed).code(), PAPYRUSKV_CORRUPTED);
+  // Bad magic.
+  std::string bad_magic = bytes;
+  bad_magic[0] ^= 0x01;
+  EXPECT_EQ(BloomFilter::Parse(bad_magic, &parsed).code(),
+            PAPYRUSKV_CORRUPTED);
+}
+
+TEST(BloomTest, EmptyFilterStillWellFormed) {
+  BloomFilter bloom(0);
+  EXPECT_GE(bloom.num_bits(), 64u);  // clamped minimum
+  const std::string bytes = bloom.Serialize();
+  BloomFilter parsed;
+  ASSERT_TRUE(BloomFilter::Parse(bytes, &parsed).ok());
+  // Nothing added: overwhelmingly likely negative.
+  EXPECT_FALSE(parsed.MayContain(Slice("anything")));
+}
+
+}  // namespace
+}  // namespace papyrus::store

@@ -1,0 +1,109 @@
+#include "store/cache.h"
+
+#include <gtest/gtest.h>
+
+namespace papyrus::store {
+namespace {
+
+TEST(LruCacheTest, PutGetErase) {
+  LruCache cache(1 << 20);
+  cache.Put("k", "v", false);
+  std::string value;
+  bool tomb = true;
+  EXPECT_TRUE(cache.Get("k", &value, &tomb));
+  EXPECT_EQ(value, "v");
+  EXPECT_FALSE(tomb);
+  cache.Erase("k");
+  EXPECT_FALSE(cache.Get("k", &value, &tomb));
+}
+
+TEST(LruCacheTest, NegativeEntries) {
+  LruCache cache(1 << 20);
+  cache.Put("deleted", "", true);
+  std::string value;
+  bool tomb = false;
+  ASSERT_TRUE(cache.Get("deleted", &value, &tomb));
+  EXPECT_TRUE(tomb);
+}
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsed) {
+  // Entries charge key+value+64; capacity fits ~3 of these.
+  LruCache cache(3 * (1 + 10 + 64));
+  cache.Put("a", std::string(10, 'x'), false);
+  cache.Put("b", std::string(10, 'x'), false);
+  cache.Put("c", std::string(10, 'x'), false);
+  // Touch "a" so "b" becomes LRU.
+  std::string v;
+  bool t;
+  EXPECT_TRUE(cache.Get("a", &v, &t));
+  cache.Put("d", std::string(10, 'x'), false);
+  EXPECT_TRUE(cache.Get("a", &v, &t));
+  EXPECT_FALSE(cache.Get("b", &v, &t)) << "LRU should have been evicted";
+  EXPECT_TRUE(cache.Get("c", &v, &t));
+  EXPECT_TRUE(cache.Get("d", &v, &t));
+}
+
+TEST(LruCacheTest, UpdateReplacesCharge) {
+  LruCache cache(1 << 10);
+  cache.Put("k", std::string(100, 'a'), false);
+  const size_t b1 = cache.bytes();
+  cache.Put("k", std::string(10, 'b'), false);
+  EXPECT_LT(cache.bytes(), b1);
+  EXPECT_EQ(cache.count(), 1u);
+  std::string v;
+  bool t;
+  ASSERT_TRUE(cache.Get("k", &v, &t));
+  EXPECT_EQ(v, std::string(10, 'b'));
+}
+
+TEST(LruCacheTest, DisableClearsAndRejects) {
+  // §3.2 WRONLY: the cache is invalidated and disabled.
+  LruCache cache(1 << 20);
+  cache.Put("k", "v", false);
+  cache.set_enabled(false);
+  EXPECT_EQ(cache.count(), 0u);
+  std::string v;
+  bool t;
+  EXPECT_FALSE(cache.Get("k", &v, &t));
+  cache.Put("k2", "v2", false);  // no-op while disabled
+  EXPECT_EQ(cache.count(), 0u);
+  cache.set_enabled(true);
+  cache.Put("k3", "v3", false);
+  EXPECT_TRUE(cache.Get("k3", &v, &t));
+}
+
+TEST(LruCacheTest, HitMissCounters) {
+  LruCache cache(1 << 20);
+  cache.Put("k", "v", false);
+  std::string v;
+  bool t;
+  cache.Get("k", &v, &t);
+  cache.Get("k", &v, &t);
+  cache.Get("nope", &v, &t);
+  EXPECT_EQ(cache.hits(), 2u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(LruCacheTest, ClearEmptiesButKeepsEnabled) {
+  LruCache cache(1 << 20);
+  cache.Put("k", "v", false);
+  cache.Clear();
+  EXPECT_EQ(cache.count(), 0u);
+  EXPECT_EQ(cache.bytes(), 0u);
+  cache.Put("k2", "v2", false);
+  EXPECT_EQ(cache.count(), 1u);
+}
+
+TEST(LruCacheTest, OversizedEntryEvictsEverything) {
+  LruCache cache(200);
+  cache.Put("small", "v", false);
+  cache.Put("big", std::string(500, 'x'), false);  // larger than capacity
+  // The cache never exceeds capacity: both may be gone, but state is sane.
+  EXPECT_LE(cache.count(), 1u);
+  std::string v;
+  bool t;
+  EXPECT_FALSE(cache.Get("small", &v, &t));
+}
+
+}  // namespace
+}  // namespace papyrus::store

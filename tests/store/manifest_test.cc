@@ -1,0 +1,100 @@
+#include "store/manifest.h"
+
+#include <gtest/gtest.h>
+
+#include "../util/temp_dir.h"
+#include "store/format.h"
+
+namespace papyrus::store {
+namespace {
+
+using papyrus::testutil::TempDir;
+
+void BuildSmallTable(const std::string& dir, uint64_t ssid) {
+  SSTableBuilder builder(dir, ssid, 2);
+  ASSERT_TRUE(builder.Add("a" + std::to_string(ssid), "v", 0).ok());
+  ASSERT_TRUE(builder.Add("b" + std::to_string(ssid), "v", 0).ok());
+  ASSERT_TRUE(builder.Finish().ok());
+}
+
+TEST(ManifestTest, FreshDirectoryStartsEmpty) {
+  TempDir tmp;
+  Manifest m(tmp.path() + "/rank0");
+  ASSERT_TRUE(m.Open().ok());
+  EXPECT_EQ(m.TableCount(), 0u);
+  EXPECT_EQ(m.LatestSsid(), 0u);
+  EXPECT_EQ(m.NextSsid(), 1u);
+  EXPECT_EQ(m.NextSsid(), 2u);
+}
+
+TEST(ManifestTest, RecoversLiveSsidsFromDirectory) {
+  // The zero-copy reopen path (§4.1): state is rebuilt purely by scanning.
+  TempDir tmp;
+  for (uint64_t ssid : {1, 2, 5}) BuildSmallTable(tmp.path(), ssid);
+
+  Manifest m(tmp.path());
+  ASSERT_TRUE(m.Open().ok());
+  EXPECT_EQ(m.TableCount(), 3u);
+  EXPECT_EQ(m.LatestSsid(), 5u);
+  EXPECT_EQ(m.NextSsid(), 6u);  // continues above the highest recovered
+
+  const auto live = m.LiveSsids();
+  ASSERT_EQ(live.size(), 3u);
+  EXPECT_EQ(live[0], 5u);  // descending: newest first
+  EXPECT_EQ(live[1], 2u);
+  EXPECT_EQ(live[2], 1u);
+}
+
+TEST(ManifestTest, IgnoresForeignFiles) {
+  TempDir tmp;
+  BuildSmallTable(tmp.path(), 1);
+  ASSERT_TRUE(
+      sim::Storage::WriteStringToFile(tmp.path() + "/notes.txt", "x").ok());
+  ASSERT_TRUE(
+      sim::Storage::WriteStringToFile(tmp.path() + "/sst_zz.data", "x").ok());
+  Manifest m(tmp.path());
+  ASSERT_TRUE(m.Open().ok());
+  EXPECT_EQ(m.TableCount(), 1u);
+}
+
+TEST(ManifestTest, GetReaderCachesAndValidates) {
+  TempDir tmp;
+  BuildSmallTable(tmp.path(), 1);
+  Manifest m(tmp.path());
+  ASSERT_TRUE(m.Open().ok());
+
+  SSTablePtr r1, r2;
+  ASSERT_TRUE(m.GetReader(1, &r1).ok());
+  ASSERT_TRUE(m.GetReader(1, &r2).ok());
+  EXPECT_EQ(r1.get(), r2.get());  // cached
+
+  SSTablePtr r3;
+  EXPECT_TRUE(m.GetReader(99, &r3).IsNotFound());
+}
+
+TEST(ManifestTest, ReplaceTablesCommitsAndDeletesFiles) {
+  TempDir tmp;
+  for (uint64_t ssid : {1, 2}) BuildSmallTable(tmp.path(), ssid);
+  Manifest m(tmp.path());
+  ASSERT_TRUE(m.Open().ok());
+  BuildSmallTable(tmp.path(), 3);  // the "merged" output
+
+  ASSERT_TRUE(m.ReplaceTables({1, 2}, {3}).ok());
+  EXPECT_EQ(m.TableCount(), 1u);
+  EXPECT_EQ(m.LatestSsid(), 3u);
+  EXPECT_FALSE(sim::Storage::FileExists(tmp.path() + "/" + SsDataName(1)));
+  EXPECT_FALSE(sim::Storage::FileExists(tmp.path() + "/" + SsIndexName(2)));
+  EXPECT_TRUE(sim::Storage::FileExists(tmp.path() + "/" + SsDataName(3)));
+}
+
+TEST(ManifestTest, OpenForeignReadsAnotherDir) {
+  TempDir tmp;
+  BuildSmallTable(tmp.path(), 4);
+  SSTablePtr reader;
+  ASSERT_TRUE(Manifest::OpenForeign(tmp.path(), 4, &reader).ok());
+  EXPECT_EQ(reader->count(), 2u);
+  EXPECT_TRUE(Manifest::OpenForeign(tmp.path(), 5, &reader).IsNotFound());
+}
+
+}  // namespace
+}  // namespace papyrus::store

@@ -1,0 +1,135 @@
+#include "store/memtable.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/random.h"
+
+namespace papyrus::store {
+namespace {
+
+TEST(MemTableTest, PutGetBasic) {
+  MemTable mem(MemTable::Kind::kLocal, 1 << 20);
+  EXPECT_TRUE(mem.Put("k1", "v1", false, 0));
+  std::string value;
+  bool tomb = true;
+  EXPECT_TRUE(mem.Get("k1", &value, &tomb));
+  EXPECT_EQ(value, "v1");
+  EXPECT_FALSE(tomb);
+  EXPECT_FALSE(mem.Get("absent", &value, &tomb));
+  EXPECT_EQ(mem.Count(), 1u);
+}
+
+TEST(MemTableTest, ReplaceKeepsSingleEntry) {
+  MemTable mem(MemTable::Kind::kLocal, 1 << 20);
+  mem.Put("k", "old", false, 0);
+  const size_t bytes_one = mem.ApproxBytes();
+  mem.Put("k", "newvalue", false, 0);
+  EXPECT_EQ(mem.Count(), 1u);
+  std::string value;
+  bool tomb;
+  EXPECT_TRUE(mem.Get("k", &value, &tomb));
+  EXPECT_EQ(value, "newvalue");
+  // Byte accounting replaced, not accumulated.
+  EXPECT_LT(mem.ApproxBytes(), bytes_one * 2);
+}
+
+TEST(MemTableTest, TombstoneIsPresence) {
+  // §2.5: a delete is a zero-length put with the tombstone bit — the entry
+  // must be *found* (so the search stops) but flagged deleted.
+  MemTable mem(MemTable::Kind::kLocal, 1 << 20);
+  mem.Put("k", "v", false, 0);
+  mem.Put("k", "", true, 0);
+  std::string value;
+  bool tomb = false;
+  ASSERT_TRUE(mem.Get("k", &value, &tomb));
+  EXPECT_TRUE(tomb);
+  EXPECT_TRUE(value.empty());
+}
+
+TEST(MemTableTest, OwnerTrackedForRemoteTables) {
+  MemTable mem(MemTable::Kind::kRemote, 1 << 20);
+  mem.Put("a", "1", false, 3);
+  mem.Put("b", "2", false, 7);
+  std::string value;
+  bool tomb;
+  int owner = -1;
+  ASSERT_TRUE(mem.Get("a", &value, &tomb, &owner));
+  EXPECT_EQ(owner, 3);
+  ASSERT_TRUE(mem.Get("b", &value, &tomb, &owner));
+  EXPECT_EQ(owner, 7);
+}
+
+TEST(MemTableTest, FullAfterCapacity) {
+  MemTable mem(MemTable::Kind::kLocal, 1024);
+  EXPECT_FALSE(mem.Full());
+  int i = 0;
+  while (!mem.Full()) {
+    mem.Put("key" + std::to_string(i), std::string(100, 'v'), false, 0);
+    ++i;
+  }
+  EXPECT_GE(mem.ApproxBytes(), 1024u);
+  EXPECT_LT(i, 100);  // threshold actually limited growth
+}
+
+TEST(MemTableTest, SealedRejectsPuts) {
+  MemTable mem(MemTable::Kind::kLocal, 1 << 20);
+  mem.Put("k", "v", false, 0);
+  EXPECT_FALSE(mem.sealed());
+  mem.Seal();
+  EXPECT_TRUE(mem.sealed());
+  EXPECT_FALSE(mem.Put("k2", "v2", false, 0));
+  // Reads still served.
+  std::string value;
+  bool tomb;
+  EXPECT_TRUE(mem.Get("k", &value, &tomb));
+}
+
+TEST(MemTableTest, ForEachSortedIsKeyOrdered) {
+  MemTable mem(MemTable::Kind::kLocal, 1 << 20);
+  Rng rng(20);
+  for (int i = 0; i < 200; ++i) {
+    mem.Put(RandomKey(rng, 16), "v", false, 0);
+  }
+  mem.Seal();
+  std::string prev;
+  size_t n = 0;
+  mem.ForEachSorted([&](const Slice& key, const MemTable::Entry&) {
+    if (n > 0) EXPECT_LT(Slice(prev).compare(key), 0);
+    prev = key.ToString();
+    ++n;
+  });
+  EXPECT_EQ(n, mem.Count());
+}
+
+TEST(MemTableTest, ConcurrentReadersAndWriter) {
+  MemTable mem(MemTable::Kind::kLocal, 64 << 20);
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    for (int i = 0; i < 5000; ++i) {
+      mem.Put("key" + std::to_string(i % 100), std::to_string(i), false, 0);
+    }
+    stop = true;
+  });
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      std::string value;
+      bool tomb;
+      while (!stop.load()) {
+        for (int i = 0; i < 100; ++i) {
+          if (mem.Get("key" + std::to_string(i), &value, &tomb)) {
+            EXPECT_FALSE(value.empty());
+          }
+        }
+      }
+    });
+  }
+  writer.join();
+  for (auto& r : readers) r.join();
+  EXPECT_EQ(mem.Count(), 100u);
+}
+
+}  // namespace
+}  // namespace papyrus::store

@@ -1,0 +1,35 @@
+// Test helper: a unique temporary directory removed on destruction.
+#pragma once
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+
+#include "sim/storage.h"
+
+namespace papyrus::testutil {
+
+class TempDir {
+ public:
+  explicit TempDir(const std::string& tag = "papyrus") {
+    static std::atomic<uint64_t> counter{0};
+    const char* base = std::getenv("TMPDIR");
+    path_ = std::string(base && *base ? base : "/tmp") + "/" + tag + "_" +
+            std::to_string(getpid()) + "_" +
+            std::to_string(counter.fetch_add(1));
+    sim::Storage::RemoveDirRecursive(path_);
+    sim::Storage::CreateDirs(path_);
+  }
+
+  ~TempDir() { sim::Storage::RemoveDirRecursive(path_); }
+
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace papyrus::testutil
