@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_custom_hash.dir/abl_custom_hash.cc.o"
+  "CMakeFiles/abl_custom_hash.dir/abl_custom_hash.cc.o.d"
+  "abl_custom_hash"
+  "abl_custom_hash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_custom_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_lsm_knobs.dir/abl_lsm_knobs.cc.o"
+  "CMakeFiles/abl_lsm_knobs.dir/abl_lsm_knobs.cc.o.d"
+  "abl_lsm_knobs"
+  "abl_lsm_knobs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_lsm_knobs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_basic.dir/fig06_basic.cc.o"
+  "CMakeFiles/fig06_basic.dir/fig06_basic.cc.o.d"
+  "fig06_basic"
+  "fig06_basic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_basic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

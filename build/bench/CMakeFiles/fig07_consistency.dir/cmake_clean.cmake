@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_consistency.dir/fig07_consistency.cc.o"
+  "CMakeFiles/fig07_consistency.dir/fig07_consistency.cc.o.d"
+  "fig07_consistency"
+  "fig07_consistency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_consistency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_get_opt.dir/fig08_get_opt.cc.o"
+  "CMakeFiles/fig08_get_opt.dir/fig08_get_opt.cc.o.d"
+  "fig08_get_opt"
+  "fig08_get_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_get_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig09_workload.cc" "bench/CMakeFiles/fig09_workload.dir/fig09_workload.cc.o" "gcc" "bench/CMakeFiles/fig09_workload.dir/fig09_workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/benchlib/CMakeFiles/papyrus_benchlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/papyrus_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/papyrus_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/papyruskv.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/papyrus_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/papyrus_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/papyrus_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/papyrus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_workload.dir/fig09_workload.cc.o"
+  "CMakeFiles/fig09_workload.dir/fig09_workload.cc.o.d"
+  "fig09_workload"
+  "fig09_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_checkpoint.dir/fig10_checkpoint.cc.o"
+  "CMakeFiles/fig10_checkpoint.dir/fig10_checkpoint.cc.o.d"
+  "fig10_checkpoint"
+  "fig10_checkpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

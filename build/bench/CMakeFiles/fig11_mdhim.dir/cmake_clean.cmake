@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_mdhim.dir/fig11_mdhim.cc.o"
+  "CMakeFiles/fig11_mdhim.dir/fig11_mdhim.cc.o.d"
+  "fig11_mdhim"
+  "fig11_mdhim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_mdhim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_meraculous.dir/fig13_meraculous.cc.o"
+  "CMakeFiles/fig13_meraculous.dir/fig13_meraculous.cc.o.d"
+  "fig13_meraculous"
+  "fig13_meraculous.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_meraculous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_store.dir/micro_store.cc.o"
+  "CMakeFiles/micro_store.dir/micro_store.cc.o.d"
+  "micro_store"
+  "micro_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

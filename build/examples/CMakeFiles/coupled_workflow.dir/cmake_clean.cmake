@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coupled_workflow.dir/coupled_workflow.cpp.o"
+  "CMakeFiles/coupled_workflow.dir/coupled_workflow.cpp.o.d"
+  "coupled_workflow"
+  "coupled_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coupled_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kmer_analysis.dir/kmer_analysis.cpp.o"
+  "CMakeFiles/kmer_analysis.dir/kmer_analysis.cpp.o.d"
+  "kmer_analysis"
+  "kmer_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kmer_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

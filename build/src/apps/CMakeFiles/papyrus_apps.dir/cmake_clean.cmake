@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/papyrus_apps.dir/genome.cc.o"
+  "CMakeFiles/papyrus_apps.dir/genome.cc.o.d"
+  "CMakeFiles/papyrus_apps.dir/meraculous.cc.o"
+  "CMakeFiles/papyrus_apps.dir/meraculous.cc.o.d"
+  "CMakeFiles/papyrus_apps.dir/ufx.cc.o"
+  "CMakeFiles/papyrus_apps.dir/ufx.cc.o.d"
+  "libpapyrus_apps.a"
+  "libpapyrus_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/papyrus_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/dsm.cc" "src/baseline/CMakeFiles/papyrus_baseline.dir/dsm.cc.o" "gcc" "src/baseline/CMakeFiles/papyrus_baseline.dir/dsm.cc.o.d"
+  "/root/repo/src/baseline/mdhim.cc" "src/baseline/CMakeFiles/papyrus_baseline.dir/mdhim.cc.o" "gcc" "src/baseline/CMakeFiles/papyrus_baseline.dir/mdhim.cc.o.d"
+  "/root/repo/src/baseline/minidb.cc" "src/baseline/CMakeFiles/papyrus_baseline.dir/minidb.cc.o" "gcc" "src/baseline/CMakeFiles/papyrus_baseline.dir/minidb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/papyrus_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/papyrus_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/papyrus_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/papyrus_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/papyruskv.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

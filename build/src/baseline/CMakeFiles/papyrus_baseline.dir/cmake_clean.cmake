@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/papyrus_baseline.dir/dsm.cc.o"
+  "CMakeFiles/papyrus_baseline.dir/dsm.cc.o.d"
+  "CMakeFiles/papyrus_baseline.dir/mdhim.cc.o"
+  "CMakeFiles/papyrus_baseline.dir/mdhim.cc.o.d"
+  "CMakeFiles/papyrus_baseline.dir/minidb.cc.o"
+  "CMakeFiles/papyrus_baseline.dir/minidb.cc.o.d"
+  "libpapyrus_baseline.a"
+  "libpapyrus_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/papyrus_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/papyrus_benchlib.dir/report.cc.o"
+  "CMakeFiles/papyrus_benchlib.dir/report.cc.o.d"
+  "CMakeFiles/papyrus_benchlib.dir/workload.cc.o"
+  "CMakeFiles/papyrus_benchlib.dir/workload.cc.o.d"
+  "libpapyrus_benchlib.a"
+  "libpapyrus_benchlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/papyrus_benchlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/papyrus_common.dir/crc32.cc.o"
+  "CMakeFiles/papyrus_common.dir/crc32.cc.o.d"
+  "CMakeFiles/papyrus_common.dir/env.cc.o"
+  "CMakeFiles/papyrus_common.dir/env.cc.o.d"
+  "CMakeFiles/papyrus_common.dir/logging.cc.o"
+  "CMakeFiles/papyrus_common.dir/logging.cc.o.d"
+  "CMakeFiles/papyrus_common.dir/status.cc.o"
+  "CMakeFiles/papyrus_common.dir/status.cc.o.d"
+  "libpapyrus_common.a"
+  "libpapyrus_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/papyrus_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/checkpoint.cc" "src/core/CMakeFiles/papyruskv.dir/checkpoint.cc.o" "gcc" "src/core/CMakeFiles/papyruskv.dir/checkpoint.cc.o.d"
+  "/root/repo/src/core/db_shard.cc" "src/core/CMakeFiles/papyruskv.dir/db_shard.cc.o" "gcc" "src/core/CMakeFiles/papyruskv.dir/db_shard.cc.o.d"
+  "/root/repo/src/core/layout.cc" "src/core/CMakeFiles/papyruskv.dir/layout.cc.o" "gcc" "src/core/CMakeFiles/papyruskv.dir/layout.cc.o.d"
+  "/root/repo/src/core/papyruskv.cc" "src/core/CMakeFiles/papyruskv.dir/papyruskv.cc.o" "gcc" "src/core/CMakeFiles/papyruskv.dir/papyruskv.cc.o.d"
+  "/root/repo/src/core/runtime.cc" "src/core/CMakeFiles/papyruskv.dir/runtime.cc.o" "gcc" "src/core/CMakeFiles/papyruskv.dir/runtime.cc.o.d"
+  "/root/repo/src/core/wire.cc" "src/core/CMakeFiles/papyruskv.dir/wire.cc.o" "gcc" "src/core/CMakeFiles/papyruskv.dir/wire.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/papyrus_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/papyrus_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/papyrus_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/papyrus_store.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/papyruskv.dir/checkpoint.cc.o"
+  "CMakeFiles/papyruskv.dir/checkpoint.cc.o.d"
+  "CMakeFiles/papyruskv.dir/db_shard.cc.o"
+  "CMakeFiles/papyruskv.dir/db_shard.cc.o.d"
+  "CMakeFiles/papyruskv.dir/layout.cc.o"
+  "CMakeFiles/papyruskv.dir/layout.cc.o.d"
+  "CMakeFiles/papyruskv.dir/papyruskv.cc.o"
+  "CMakeFiles/papyruskv.dir/papyruskv.cc.o.d"
+  "CMakeFiles/papyruskv.dir/runtime.cc.o"
+  "CMakeFiles/papyruskv.dir/runtime.cc.o.d"
+  "CMakeFiles/papyruskv.dir/wire.cc.o"
+  "CMakeFiles/papyruskv.dir/wire.cc.o.d"
+  "libpapyruskv.a"
+  "libpapyruskv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/papyruskv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/papyrus_net.dir/comm.cc.o"
+  "CMakeFiles/papyrus_net.dir/comm.cc.o.d"
+  "CMakeFiles/papyrus_net.dir/runtime.cc.o"
+  "CMakeFiles/papyrus_net.dir/runtime.cc.o.d"
+  "libpapyrus_net.a"
+  "libpapyrus_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/papyrus_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

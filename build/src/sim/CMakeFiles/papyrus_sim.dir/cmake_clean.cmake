@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/papyrus_sim.dir/device_model.cc.o"
+  "CMakeFiles/papyrus_sim.dir/device_model.cc.o.d"
+  "CMakeFiles/papyrus_sim.dir/interconnect.cc.o"
+  "CMakeFiles/papyrus_sim.dir/interconnect.cc.o.d"
+  "CMakeFiles/papyrus_sim.dir/storage.cc.o"
+  "CMakeFiles/papyrus_sim.dir/storage.cc.o.d"
+  "libpapyrus_sim.a"
+  "libpapyrus_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/papyrus_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

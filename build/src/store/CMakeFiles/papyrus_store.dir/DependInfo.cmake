@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/store/bloom.cc" "src/store/CMakeFiles/papyrus_store.dir/bloom.cc.o" "gcc" "src/store/CMakeFiles/papyrus_store.dir/bloom.cc.o.d"
+  "/root/repo/src/store/cache.cc" "src/store/CMakeFiles/papyrus_store.dir/cache.cc.o" "gcc" "src/store/CMakeFiles/papyrus_store.dir/cache.cc.o.d"
+  "/root/repo/src/store/compactor.cc" "src/store/CMakeFiles/papyrus_store.dir/compactor.cc.o" "gcc" "src/store/CMakeFiles/papyrus_store.dir/compactor.cc.o.d"
+  "/root/repo/src/store/manifest.cc" "src/store/CMakeFiles/papyrus_store.dir/manifest.cc.o" "gcc" "src/store/CMakeFiles/papyrus_store.dir/manifest.cc.o.d"
+  "/root/repo/src/store/memtable.cc" "src/store/CMakeFiles/papyrus_store.dir/memtable.cc.o" "gcc" "src/store/CMakeFiles/papyrus_store.dir/memtable.cc.o.d"
+  "/root/repo/src/store/sstable.cc" "src/store/CMakeFiles/papyrus_store.dir/sstable.cc.o" "gcc" "src/store/CMakeFiles/papyrus_store.dir/sstable.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/papyrus_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/papyrus_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/papyrus_store.dir/bloom.cc.o"
+  "CMakeFiles/papyrus_store.dir/bloom.cc.o.d"
+  "CMakeFiles/papyrus_store.dir/cache.cc.o"
+  "CMakeFiles/papyrus_store.dir/cache.cc.o.d"
+  "CMakeFiles/papyrus_store.dir/compactor.cc.o"
+  "CMakeFiles/papyrus_store.dir/compactor.cc.o.d"
+  "CMakeFiles/papyrus_store.dir/manifest.cc.o"
+  "CMakeFiles/papyrus_store.dir/manifest.cc.o.d"
+  "CMakeFiles/papyrus_store.dir/memtable.cc.o"
+  "CMakeFiles/papyrus_store.dir/memtable.cc.o.d"
+  "CMakeFiles/papyrus_store.dir/sstable.cc.o"
+  "CMakeFiles/papyrus_store.dir/sstable.cc.o.d"
+  "libpapyrus_store.a"
+  "libpapyrus_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/papyrus_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/kv_basic_test.cc" "tests/CMakeFiles/core_test.dir/core/kv_basic_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/kv_basic_test.cc.o.d"
+  "/root/repo/tests/core/kv_consistency_test.cc" "tests/CMakeFiles/core_test.dir/core/kv_consistency_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/kv_consistency_test.cc.o.d"
+  "/root/repo/tests/core/kv_cpp_wrapper_test.cc" "tests/CMakeFiles/core_test.dir/core/kv_cpp_wrapper_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/kv_cpp_wrapper_test.cc.o.d"
+  "/root/repo/tests/core/kv_fault_test.cc" "tests/CMakeFiles/core_test.dir/core/kv_fault_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/kv_fault_test.cc.o.d"
+  "/root/repo/tests/core/kv_persistence_test.cc" "tests/CMakeFiles/core_test.dir/core/kv_persistence_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/kv_persistence_test.cc.o.d"
+  "/root/repo/tests/core/kv_property_test.cc" "tests/CMakeFiles/core_test.dir/core/kv_property_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/kv_property_test.cc.o.d"
+  "/root/repo/tests/core/kv_storage_group_test.cc" "tests/CMakeFiles/core_test.dir/core/kv_storage_group_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/kv_storage_group_test.cc.o.d"
+  "/root/repo/tests/core/kv_stress_test.cc" "tests/CMakeFiles/core_test.dir/core/kv_stress_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/kv_stress_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/papyruskv.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/papyrus_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/papyrus_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/papyrus_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/papyrus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/kv_basic_test.cc.o"
+  "CMakeFiles/core_test.dir/core/kv_basic_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/kv_consistency_test.cc.o"
+  "CMakeFiles/core_test.dir/core/kv_consistency_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/kv_cpp_wrapper_test.cc.o"
+  "CMakeFiles/core_test.dir/core/kv_cpp_wrapper_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/kv_fault_test.cc.o"
+  "CMakeFiles/core_test.dir/core/kv_fault_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/kv_persistence_test.cc.o"
+  "CMakeFiles/core_test.dir/core/kv_persistence_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/kv_property_test.cc.o"
+  "CMakeFiles/core_test.dir/core/kv_property_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/kv_storage_group_test.cc.o"
+  "CMakeFiles/core_test.dir/core/kv_storage_group_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/kv_stress_test.cc.o"
+  "CMakeFiles/core_test.dir/core/kv_stress_test.cc.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

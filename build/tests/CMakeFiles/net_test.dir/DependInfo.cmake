@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/net/comm_test.cc" "tests/CMakeFiles/net_test.dir/net/comm_test.cc.o" "gcc" "tests/CMakeFiles/net_test.dir/net/comm_test.cc.o.d"
+  "/root/repo/tests/net/runtime_test.cc" "tests/CMakeFiles/net_test.dir/net/runtime_test.cc.o" "gcc" "tests/CMakeFiles/net_test.dir/net/runtime_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/papyruskv.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/papyrus_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/papyrus_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/papyrus_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/papyrus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/store_test.dir/store/bloom_test.cc.o"
+  "CMakeFiles/store_test.dir/store/bloom_test.cc.o.d"
+  "CMakeFiles/store_test.dir/store/cache_test.cc.o"
+  "CMakeFiles/store_test.dir/store/cache_test.cc.o.d"
+  "CMakeFiles/store_test.dir/store/compactor_test.cc.o"
+  "CMakeFiles/store_test.dir/store/compactor_test.cc.o.d"
+  "CMakeFiles/store_test.dir/store/manifest_test.cc.o"
+  "CMakeFiles/store_test.dir/store/manifest_test.cc.o.d"
+  "CMakeFiles/store_test.dir/store/memtable_test.cc.o"
+  "CMakeFiles/store_test.dir/store/memtable_test.cc.o.d"
+  "CMakeFiles/store_test.dir/store/sstable_test.cc.o"
+  "CMakeFiles/store_test.dir/store/sstable_test.cc.o.d"
+  "store_test"
+  "store_test.pdb"
+  "store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/papyrus_inspect.dir/papyrus_inspect.cc.o"
+  "CMakeFiles/papyrus_inspect.dir/papyrus_inspect.cc.o.d"
+  "papyrus_inspect"
+  "papyrus_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/papyrus_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
