@@ -5,6 +5,8 @@
 #include <cstdio>
 
 #include "common/coding.h"
+#include "common/logging.h"
+#include "obs/export.h"
 
 namespace papyrus::bench {
 
@@ -27,6 +29,31 @@ RankStats GatherStats(const net::Communicator& comm, double mine) {
   }
   out.avg = sum / static_cast<double>(all.size());
   return out;
+}
+
+void WriteBenchMetrics(const net::Communicator& comm,
+                       const std::string& bench_name) {
+  // Current() is the rank's registry while the runtime is up (the bench
+  // calls this between the measured phase and papyruskv_finalize).
+  obs::Snapshot mine = obs::Current().TakeSnapshot();
+  std::vector<std::string> all;
+  comm.Allgather(obs::SerializeSnapshot(mine), &all);
+  if (comm.rank() != 0) return;
+  obs::Snapshot agg;
+  for (const auto& wire : all) {
+    obs::Snapshot part;
+    if (obs::DeserializeSnapshot(wire, &part)) agg.Merge(part);
+  }
+  obs::StatsMeta meta;
+  meta.nranks = comm.size();
+  meta.aggregated = true;
+  const std::string path = "BENCH_" + bench_name + ".json";
+  Status s = obs::WriteTextFile(path, obs::SnapshotToJson(agg, meta));
+  if (s.ok()) {
+    printf("[metrics] wrote %s\n", path.c_str());
+  } else {
+    PLOG_WARN << "bench metrics dump failed: " << s.ToString();
+  }
 }
 
 std::string HumanSize(uint64_t bytes) {

@@ -36,6 +36,14 @@ inline double Mbps(uint64_t total_bytes, double seconds) {
 // Pretty size for row labels: "256B", "128KB", "1MB".
 std::string HumanSize(uint64_t bytes);
 
+// Folds the calling rank's metrics registry (obs/) into the bench output:
+// allgathers every rank's snapshot, merges them, and has rank 0 write the
+// aggregate as stats-v1 JSON to BENCH_<name>.json (next to the bench's
+// stdout tables, for the results trajectory).  Collective; call once at
+// the end of the measured phase, before papyruskv_finalize.
+void WriteBenchMetrics(const net::Communicator& comm,
+                       const std::string& bench_name);
+
 // Minimal fixed-width table printer (rank 0 only prints).
 class Table {
  public:

@@ -120,12 +120,21 @@ Status KvRuntime::Checkpoint(int dbid, const std::string& path,
 
   EventPtr ev;
   const int event_id = events_.Create(&ev);
-  EnqueueTask([src_dir, dst_dir, ssids, ev] {
+  // Latency spans the full operation: barrier start to transfer complete.
+  const uint64_t start_us = NowMicros();
+  KvRuntime* rt = this;
+  EnqueueTask([src_dir, dst_dir, ssids, ev, rt, start_us] {
     Status ts = Status::OK();
-    for (uint64_t ssid : ssids) {
-      ts = CopySstableFiles(src_dir, dst_dir, ssid);
-      if (!ts.ok()) break;
+    {
+      obs::TraceSpan span("kv", "checkpoint");
+      for (uint64_t ssid : ssids) {
+        ts = CopySstableFiles(src_dir, dst_dir, ssid);
+        if (!ts.ok()) break;
+      }
     }
+    rt->metrics()
+        .GetHistogram("kv.checkpoint_us")
+        .Record(NowMicros() - start_us);
     ev->Complete(ts);
   });
 
@@ -171,10 +180,12 @@ Status KvRuntime::Restart(const std::string& path, const std::string& name,
   const int my_rank = rank();
   const int nranks = size();
   KvRuntime* rt = this;
+  const uint64_t start_us = NowMicros();
 
   if (!redistribute) {
     // Same rank count: SSTables are reused as they are (§4.2, Fig. 5b).
-    RunAsync([db_dir, my_rank, db, rt, ev] {
+    RunAsync([db_dir, my_rank, db, rt, ev, start_us] {
+      obs::TraceSpan span("kv", "restart");
       const std::string src = db_dir + "/rank" + std::to_string(my_rank);
       std::vector<uint64_t> ssids;
       Status ts = ScanSnapshotSsids(src, &ssids);
@@ -188,13 +199,17 @@ Status KvRuntime::Restart(const std::string& path, const std::string& name,
       // All ranks must finish restoring before any rank's event completes:
       // a remote get may hit any rank immediately after wait().
       rt->RestartBarrier();
+      rt->metrics()
+          .GetHistogram("kv.restart_us")
+          .Record(NowMicros() - start_us);
       ev->Complete(ts);
     });
   } else {
     // Redistribution: each running rank replays a partition of the
     // snapshot ranks through normal puts; the workload is partitioned
     // across all ranks and executed in parallel (§4.2).
-    RunAsync([db_dir, my_rank, nranks, snap_nranks, db, rt, ev] {
+    RunAsync([db_dir, my_rank, nranks, snap_nranks, db, rt, ev, start_us] {
+      obs::TraceSpan span("kv", "restart_redistribute");
       Status ts = Status::OK();
       for (int sr = my_rank; sr < snap_nranks && ts.ok(); sr += nranks) {
         const std::string src = db_dir + "/rank" + std::to_string(sr);
@@ -224,6 +239,9 @@ Status KvRuntime::Restart(const std::string& path, const std::string& name,
       }
       if (ts.ok()) ts = db->Fence();  // push staged pairs to their owners
       rt->RestartBarrier();           // every rank done replaying + fencing
+      rt->metrics()
+          .GetHistogram("kv.restart_us")
+          .Record(NowMicros() - start_us);
       ev->Complete(ts);
     });
   }

@@ -54,7 +54,50 @@ DbShard::DbShard(KvRuntime& rt, uint32_t id, std::string name, Options opt)
                        opt_.protection != PAPYRUSKV_WRONLY),
       cache_remote_(opt_.cache_remote_bytes,
                     opt_.protection == PAPYRUSKV_RDONLY ||
-                        RemoteCacheForcedByEnv()) {}
+                        RemoteCacheForcedByEnv()) {
+  // Resolve this shard's metrics once; hot paths then update lock-free.
+  // Db-scoped counters are reset so every shard lifetime starts from zero
+  // (the old DbStats was a fresh struct per DbShard — tests rely on that).
+  obs::Registry& reg = rt_.metrics();
+  const std::string p = "db." + name_ + ".";
+  auto counter = [&](const char* n) {
+    obs::Counter* c = &reg.GetCounter(p + n);
+    c->Reset();
+    return c;
+  };
+  m_.puts_local = counter("puts_local");
+  m_.puts_remote_staged = counter("puts_remote_staged");
+  m_.puts_remote_sync = counter("puts_remote_sync");
+  m_.gets_local = counter("gets_local");
+  m_.gets_remote = counter("gets_remote");
+  m_.deletes = counter("deletes");
+  m_.memtable_hits = counter("memtable_hits");
+  m_.cache_local_hits = counter("cache_local.hits");
+  m_.cache_local_misses = counter("cache_local.misses");
+  m_.cache_remote_hits = counter("cache_remote.hits");
+  m_.cache_remote_misses = counter("cache_remote.misses");
+  m_.sstable_hits = counter("sstable_hits");
+  m_.bloom_checks = counter("bloom_checks");
+  m_.bloom_negatives = counter("bloom_negatives");
+  m_.foreign_sstable_hits = counter("foreign_sstable_hits");
+  m_.remote_value_transfers = counter("remote_value_transfers");
+  m_.flushes = counter("flushes");
+  m_.migrations = counter("migrations");
+  m_.compactions = counter("compactions");
+  m_.memtable_local_bytes = &reg.GetGauge(p + "memtable_local_bytes");
+  m_.memtable_local_bytes->Reset();
+  m_.memtable_remote_bytes = &reg.GetGauge(p + "memtable_remote_bytes");
+  m_.memtable_remote_bytes->Reset();
+  // Operation latencies are rank-wide (not db-scoped, never reset here):
+  // they accumulate across every database this rank touches.
+  m_.put_us = &reg.GetHistogram("kv.put_us");
+  m_.get_us = &reg.GetHistogram("kv.get_us");
+  m_.delete_us = &reg.GetHistogram("kv.delete_us");
+  m_.fence_us = &reg.GetHistogram("kv.fence_us");
+  m_.barrier_us = &reg.GetHistogram("kv.barrier_us");
+  cache_local_.BindCounters(m_.cache_local_hits, m_.cache_local_misses);
+  cache_remote_.BindCounters(m_.cache_remote_hits, m_.cache_remote_misses);
+}
 
 Status DbShard::Open() { return manifest_.Open(); }
 
@@ -73,12 +116,10 @@ Status DbShard::Put(const Slice& key, const Slice& value) {
   if (protection_.load() == PAPYRUSKV_RDONLY) {
     return Status::Protected("db is read-only");
   }
+  obs::ScopedLatency lat(m_.put_us);
   const int owner = OwnerOf(key);
   if (owner == rt_.rank()) {
-    {
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      ++stats_.puts_local;
-    }
+    m_.puts_local->Inc();
     return LocalPut(key, value, /*tombstone=*/false);
   }
   if (consistency_.load() == PAPYRUSKV_SEQUENTIAL) {
@@ -93,6 +134,8 @@ Status DbShard::Delete(const Slice& key) {
   if (protection_.load() == PAPYRUSKV_RDONLY) {
     return Status::Protected("db is read-only");
   }
+  obs::ScopedLatency lat(m_.delete_us);
+  m_.deletes->Inc();
   const int owner = OwnerOf(key);
   if (owner == rt_.rank()) return LocalPut(key, Slice(), true);
   if (consistency_.load() == PAPYRUSKV_SEQUENTIAL) {
@@ -113,6 +156,8 @@ Status DbShard::LocalPut(const Slice& key, const Slice& value,
     // §2.4: a stale cache entry with this key is evicted from the local
     // cache.
     cache_local_.Erase(key);
+    m_.memtable_local_bytes->Set(
+        static_cast<int64_t>(local_->ApproxBytes()));
     need_rotate = local_->Full();
   }
   if (need_rotate) {
@@ -131,6 +176,7 @@ void DbShard::RotateLocalLocked(std::unique_lock<std::mutex> lock) {
   imm_local_.push_front(sealed);
   local_ = std::make_shared<store::MemTable>(store::MemTable::Kind::kLocal,
                                              opt_.memtable_bytes);
+  m_.memtable_local_bytes->Set(0);
   lock.unlock();  // gets may proceed; the queue push below can block
 
   {
@@ -145,10 +191,7 @@ void DbShard::RotateLocalLocked(std::unique_lock<std::mutex> lock) {
 
 Status DbShard::StageRemotePut(const Slice& key, const Slice& value,
                                bool tombstone, int owner) {
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.puts_remote_staged;
-  }
+  m_.puts_remote_staged->Inc();
   cache_remote_.Erase(key);
   bool need_rotate = false;
   {
@@ -156,6 +199,8 @@ Status DbShard::StageRemotePut(const Slice& key, const Slice& value,
     const bool ok = remote_->Put(key, value, tombstone, owner);
     assert(ok);
     (void)ok;
+    m_.memtable_remote_bytes->Set(
+        static_cast<int64_t>(remote_->ApproxBytes()));
     need_rotate = remote_->Full();
   }
   if (need_rotate) {
@@ -172,6 +217,7 @@ void DbShard::RotateRemoteLocked(std::unique_lock<std::mutex> lock) {
   imm_remote_.push_front(sealed);
   remote_ = std::make_shared<store::MemTable>(store::MemTable::Kind::kRemote,
                                               opt_.memtable_bytes);
+  m_.memtable_remote_bytes->Set(0);
   lock.unlock();
 
   {
@@ -188,10 +234,7 @@ Status DbShard::SyncRemotePut(const Slice& key, const Slice& value,
                               bool tombstone, int owner) {
   // §3.1 sequential mode: the pair is migrated to the owner immediately and
   // synchronously, without staging in the remote MemTable.
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.puts_remote_sync;
-  }
+  m_.puts_remote_sync->Inc();
   cache_remote_.Erase(key);
   std::vector<KvRecord> one(1);
   one[0].key = key.ToString();
@@ -213,12 +256,10 @@ Status DbShard::Get(const Slice& key, std::string* value) {
   if (protection_.load() == PAPYRUSKV_WRONLY) {
     return Status::Protected("db is write-only");
   }
+  obs::ScopedLatency lat(m_.get_us);
   const int owner = OwnerOf(key);
   if (owner == rt_.rank()) {
-    {
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      ++stats_.gets_local;
-    }
+    m_.gets_local->Inc();
     bool tombstone = false;
     if (SearchLocalMemory(key, value, &tombstone)) {
       return tombstone ? Status::NotFound() : Status::OK();
@@ -229,10 +270,7 @@ Status DbShard::Get(const Slice& key, std::string* value) {
     if (!found || tombstone) return Status::NotFound();
     return Status::OK();
   }
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.gets_remote;
-  }
+  m_.gets_remote->Inc();
   return RemoteGet(key, value);
 }
 
@@ -243,24 +281,18 @@ bool DbShard::SearchLocalMemory(const Slice& key, std::string* value,
   {
     std::lock_guard<std::mutex> lock(local_mu_);
     if (local_->Get(key, value, tombstone)) {
-      std::lock_guard<std::mutex> st(stats_mu_);
-      ++stats_.memtable_hits;
+      m_.memtable_hits->Inc();
       return true;
     }
     for (const auto& imm : imm_local_) {
       if (imm->Get(key, value, tombstone)) {
-        std::lock_guard<std::mutex> st(stats_mu_);
-        ++stats_.memtable_hits;
+        m_.memtable_hits->Inc();
         return true;
       }
     }
   }
-  if (cache_local_.Get(key, value, tombstone)) {
-    std::lock_guard<std::mutex> st(stats_mu_);
-    ++stats_.cache_local_hits;
-    return true;
-  }
-  return false;
+  // Hit/miss accounting happens inside the cache (BindCounters).
+  return cache_local_.Get(key, value, tombstone);
 }
 
 Status DbShard::SearchOwnSSTables(const Slice& key, std::string* value,
@@ -277,18 +309,17 @@ Status DbShard::SearchOwnSSTables(const Slice& key, std::string* value,
     Status s = manifest_.GetReader(ssid, &reader);
     if (s.IsNotFound()) continue;  // compacted away concurrently
     if (!s.ok()) return s;
-    if (opt_.bloom_bits_per_key > 0 && !reader->MayContain(key)) {
-      std::lock_guard<std::mutex> st(stats_mu_);
-      ++stats_.bloom_negatives;
-      continue;
+    if (opt_.bloom_bits_per_key > 0) {
+      m_.bloom_checks->Inc();
+      if (!reader->MayContain(key)) {
+        m_.bloom_negatives->Inc();
+        continue;
+      }
     }
     s = reader->Get(key, mode, value, tombstone, found);
     if (!s.ok()) return s;
     if (*found) {
-      {
-        std::lock_guard<std::mutex> st(stats_mu_);
-        ++stats_.sstable_hits;
-      }
+      m_.sstable_hits->Inc();
       // §2.6: a pair found in an SSData file is inserted into the local
       // cache (tombstones cached too — a known-deleted key should not
       // walk every table again).  Skipped if any put/delete landed while
@@ -320,8 +351,6 @@ Status DbShard::RemoteGet(const Slice& key, std::string* value) {
     }
   }
   if (cache_remote_.Get(key, value, &tombstone)) {
-    std::lock_guard<std::mutex> st(stats_mu_);
-    ++stats_.cache_remote_hits;
     return tombstone ? Status::NotFound() : Status::OK();
   }
 
@@ -341,10 +370,7 @@ Status DbShard::RemoteGet(const Slice& key, std::string* value) {
       cache_remote_.Put(key, Slice(), true);
       return Status::NotFound();
     }
-    {
-      std::lock_guard<std::mutex> st(stats_mu_);
-      ++stats_.remote_value_transfers;
-    }
+    m_.remote_value_transfers->Inc();
     cache_remote_.Put(key, resp.value, false);
     *value = std::move(resp.value);
     return Status::OK();
@@ -378,10 +404,7 @@ Status DbShard::RemoteGet(const Slice& key, std::string* value) {
       return Status::Corrupted("bad get response");
     }
     if (r2.found && !r2.tombstone) {
-      {
-        std::lock_guard<std::mutex> st(stats_mu_);
-        ++stats_.remote_value_transfers;
-      }
+      m_.remote_value_transfers->Inc();
       cache_remote_.Put(key, r2.value, false);
       *value = std::move(r2.value);
       return Status::OK();
@@ -420,16 +443,17 @@ Status DbShard::SearchForeignSSTables(int owner,
       std::lock_guard<std::mutex> lock(foreign_mu_);
       foreign_readers_[{owner, ssid}] = reader;
     }
-    if (opt_.bloom_bits_per_key > 0 && !reader->MayContain(key)) {
-      std::lock_guard<std::mutex> st(stats_mu_);
-      ++stats_.bloom_negatives;
-      continue;
+    if (opt_.bloom_bits_per_key > 0) {
+      m_.bloom_checks->Inc();
+      if (!reader->MayContain(key)) {
+        m_.bloom_negatives->Inc();
+        continue;
+      }
     }
     Status s = reader->Get(key, mode, value, tombstone, found);
     if (!s.ok()) return s;
     if (*found) {
-      std::lock_guard<std::mutex> st(stats_mu_);
-      ++stats_.foreign_sstable_hits;
+      m_.foreign_sstable_hits->Inc();
       return Status::OK();
     }
   }
@@ -499,10 +523,7 @@ Status DbShard::FlushImmutable(const store::MemTablePtr& mem) {
                              std::max(1, opt_.bloom_bits_per_key));
     if (s.ok()) {
       manifest_.AddTable(ssid);
-      {
-        std::lock_guard<std::mutex> st(stats_mu_);
-        ++stats_.flushes;
-      }
+      m_.flushes->Inc();
     }
   }
   // Retire from the in-memory registry regardless, so gets stop consulting
@@ -518,8 +539,7 @@ Status DbShard::FlushImmutable(const store::MemTablePtr& mem) {
     s = store::MaybeCompact(manifest_, ssid, opt_.compaction_trigger,
                             std::max(1, opt_.bloom_bits_per_key), &cstats);
     if (s.ok() && manifest_.TableCount() < before) {
-      std::lock_guard<std::mutex> st(stats_mu_);
-      ++stats_.compactions;
+      m_.compactions->Inc();
     }
   }
   {
@@ -549,10 +569,7 @@ void DbShard::MigrationFinished(const store::MemTablePtr& mem) {
     auto it = std::find(imm_remote_.begin(), imm_remote_.end(), mem);
     if (it != imm_remote_.end()) imm_remote_.erase(it);
   }
-  {
-    std::lock_guard<std::mutex> st(stats_mu_);
-    ++stats_.migrations;
-  }
+  m_.migrations->Inc();
   {
     std::lock_guard<std::mutex> d(drain_mu_);
     --pending_migrations_;
@@ -565,6 +582,7 @@ void DbShard::MigrationFinished(const store::MemTablePtr& mem) {
 // ---------------------------------------------------------------------------
 
 Status DbShard::Fence() {
+  obs::ScopedLatency lat(m_.fence_us);
   {
     std::lock_guard<std::mutex> rotate(remote_rotate_mu_);
     std::unique_lock<std::mutex> lock(remote_mu_);
@@ -575,6 +593,7 @@ Status DbShard::Fence() {
 }
 
 Status DbShard::Barrier(int level) {
+  obs::ScopedLatency lat(m_.barrier_us);
   Status s = Fence();
   if (!s.ok()) return s;
   // After every rank's fence, all migrated records have been *applied* at
@@ -636,8 +655,25 @@ void DbShard::WaitMigrationsDrained() {
 }
 
 DbStats DbShard::StatsSnapshot() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  return stats_;
+  // Materialized from the registry counters (approximate under concurrent
+  // mutation, like any lock-free telemetry read).
+  DbStats s;
+  s.puts_local = m_.puts_local->Value();
+  s.puts_remote_staged = m_.puts_remote_staged->Value();
+  s.puts_remote_sync = m_.puts_remote_sync->Value();
+  s.gets_local = m_.gets_local->Value();
+  s.gets_remote = m_.gets_remote->Value();
+  s.memtable_hits = m_.memtable_hits->Value();
+  s.cache_local_hits = m_.cache_local_hits->Value();
+  s.cache_remote_hits = m_.cache_remote_hits->Value();
+  s.sstable_hits = m_.sstable_hits->Value();
+  s.bloom_negatives = m_.bloom_negatives->Value();
+  s.foreign_sstable_hits = m_.foreign_sstable_hits->Value();
+  s.remote_value_transfers = m_.remote_value_transfers->Value();
+  s.flushes = m_.flushes->Value();
+  s.migrations = m_.migrations->Value();
+  s.compactions = m_.compactions->Value();
+  return s;
 }
 
 size_t DbShard::MemTableBytes() const {

@@ -37,6 +37,7 @@
 #include "common/status.h"
 #include "core/options.h"
 #include "core/wire.h"
+#include "obs/metrics.h"
 #include "store/cache.h"
 #include "store/manifest.h"
 #include "store/memtable.h"
@@ -47,6 +48,8 @@ class KvRuntime;
 
 // Observable per-database counters (used by tests and the bench harness to
 // verify *mechanisms*, e.g. that storage-group gets bypass value transfer).
+// Since the obs/ rework this is a *view* materialized from the rank's
+// metrics registry (StatsSnapshot reads the db-scoped counters back).
 struct DbStats {
   uint64_t puts_local = 0;
   uint64_t puts_remote_staged = 0;   // relaxed-mode remote puts
@@ -210,8 +213,40 @@ class DbShard : public std::enable_shared_from_this<DbShard> {
   int pending_flushes_ = 0;
   int pending_migrations_ = 0;
 
-  mutable std::mutex stats_mu_;
-  DbStats stats_;
+  // Cached registry metrics, resolved once in the constructor so hot-path
+  // updates are lock-free relaxed atomics (obs/metrics.h).  The db-scoped
+  // counters ("db.<name>.*") are reset there too, preserving the old
+  // fresh-DbStats-per-shard semantics across close/reopen.
+  struct Metrics {
+    obs::Counter* puts_local;
+    obs::Counter* puts_remote_staged;
+    obs::Counter* puts_remote_sync;
+    obs::Counter* gets_local;
+    obs::Counter* gets_remote;
+    obs::Counter* deletes;
+    obs::Counter* memtable_hits;
+    obs::Counter* cache_local_hits;
+    obs::Counter* cache_local_misses;
+    obs::Counter* cache_remote_hits;
+    obs::Counter* cache_remote_misses;
+    obs::Counter* sstable_hits;
+    obs::Counter* bloom_checks;
+    obs::Counter* bloom_negatives;
+    obs::Counter* foreign_sstable_hits;
+    obs::Counter* remote_value_transfers;
+    obs::Counter* flushes;
+    obs::Counter* migrations;
+    obs::Counter* compactions;
+    obs::Gauge* memtable_local_bytes;
+    obs::Gauge* memtable_remote_bytes;
+    // Rank-wide operation latencies (shared across this rank's databases).
+    obs::Histogram* put_us;
+    obs::Histogram* get_us;
+    obs::Histogram* delete_us;
+    obs::Histogram* fence_us;
+    obs::Histogram* barrier_us;
+  };
+  Metrics m_;
 };
 
 using DbShardPtr = std::shared_ptr<DbShard>;

@@ -221,6 +221,32 @@ int papyruskv_wait(papyruskv_db_t db, papyruskv_event_t event) {
   return Code(rt->WaitEvent(event));
 }
 
+int papyruskv_stats(papyruskv_db_t db, char* buf, size_t* len) {
+  KvRuntime* rt = Rt();
+  if (!rt) return PAPYRUSKV_CLOSED;
+  if (!len) return PAPYRUSKV_INVALID_ARG;
+  if (db >= 0 && !rt->Find(db)) return PAPYRUSKV_INVALID_DB;
+  const std::string json = rt->StatsJson();
+  if (!buf) {
+    *len = json.size();
+    return PAPYRUSKV_SUCCESS;
+  }
+  if (*len < json.size()) {
+    *len = json.size();
+    return PAPYRUSKV_INVALID_ARG;
+  }
+  memcpy(buf, json.data(), json.size());
+  *len = json.size();
+  return PAPYRUSKV_SUCCESS;
+}
+
+int papyruskv_stats_reset() {
+  KvRuntime* rt = Rt();
+  if (!rt) return PAPYRUSKV_CLOSED;
+  rt->metrics().Reset();
+  return PAPYRUSKV_SUCCESS;
+}
+
 int papyruskv_hash(papyruskv_db_t db, const char* key, size_t keylen,
                    int* rank) {
   KvRuntime* rt = Rt();

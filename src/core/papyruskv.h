@@ -151,6 +151,22 @@ int papyruskv_wait(papyruskv_db_t db, papyruskv_event_t event);
 int papyruskv_hash(papyruskv_db_t db, const char* key, size_t keylen,
                    int* rank);
 
+// ---- Observability (src/obs/) ----------------------------------------------
+
+// Renders the calling rank's live metrics (operation latency histograms,
+// per-database counters, network and simulated-device I/O) as a stats-v1
+// JSON document.  `db` is accepted for API symmetry and validated when >= 0;
+// pass -1 for the rank-wide view regardless of open databases.
+//
+// Buffer contract: on entry *len holds the capacity of buf; on return it
+// holds the document size (without the NUL terminator).  buf == NULL
+// queries the required size (returns SUCCESS).  A too-small buffer returns
+// PAPYRUSKV_INVALID_ARG with *len set to the required size.
+int papyruskv_stats(papyruskv_db_t db, char* buf, size_t* len);
+
+// Zeroes every metric of the calling rank's registry.
+int papyruskv_stats_reset();
+
 }  // extern "C"
 
 namespace papyrus::core {

@@ -5,12 +5,24 @@
 
 #include "common/env.h"
 #include "common/logging.h"
+#include "obs/export.h"
 
 namespace papyrus::core {
 
 namespace {
 thread_local KvRuntime* tls_runtime = nullptr;
 constexpr size_t kDefaultQueueDepth = 8;
+
+// Metric name for request traffic of opcode `op` ("" suffix = messages).
+const char* OpName(int op) {
+  switch (op) {
+    case kOpMigrateChunk: return "migrate_chunk";
+    case kOpPutSync: return "put_sync";
+    case kOpGetReq: return "get_req";
+    case kOpShutdown: return "shutdown";
+  }
+  return "other";
+}
 }  // namespace
 
 KvRuntime* KvRuntime::Current() { return tls_runtime; }
@@ -37,6 +49,7 @@ Status KvRuntime::Init(const std::string& repository) {
   }
   rt->StartThreads();
   tls_runtime = rt;
+  rt->AdoptObservability();
   // Collective: nobody proceeds until every rank's runtime is up (its
   // handler must be able to serve incoming requests).
   ctx->comm.Barrier();
@@ -56,9 +69,14 @@ Status KvRuntime::Finalize() {
   for (int id : open_ids) rt->Close(id);
   rt->ctx_.comm.Barrier();
   rt->StopThreads();
+  // After StopThreads every thread reporting into metrics_ is joined, so
+  // the snapshot below is final.  Collective (allgather) when stats are on.
+  rt->ExportObservability();
   rt->ctx_.comm.Barrier();
   delete rt;
   tls_runtime = nullptr;
+  obs::SetCurrentRegistry(nullptr);
+  obs::SetCurrentTrace(nullptr);
   return Status::OK();
 }
 
@@ -71,7 +89,21 @@ KvRuntime::KvRuntime(net::RankContext& ctx, const std::string& repository)
       restart_comm_(ctx.comm.Dup()),
       signal_comm_(ctx.comm.Dup()),
       flush_queue_(kDefaultQueueDepth),
-      migration_queue_(kDefaultQueueDepth) {}
+      migration_queue_(kDefaultQueueDepth) {
+  // Resolve the runtime's hot-path metrics once; updates are then lock-free.
+  g_flush_q_ = &metrics_.GetGauge("net.flush_queue_depth");
+  g_mig_q_ = &metrics_.GetGauge("net.migration_queue_depth");
+  h_handler_us_ = &metrics_.GetHistogram("net.handler_service_us");
+  h_migration_us_ = &metrics_.GetHistogram("store.migration_us");
+  for (int op = 0; op <= kOpShutdown; ++op) {
+    const std::string base = std::string("net.req.") + OpName(op);
+    c_req_msgs_[op] = &metrics_.GetCounter(base + ".msgs");
+    c_req_bytes_[op] = &metrics_.GetCounter(base + ".bytes");
+  }
+  c_resp_msgs_ = &metrics_.GetCounter("net.resp.msgs");
+  c_resp_bytes_ = &metrics_.GetCounter("net.resp.bytes");
+  if (EnvString("PAPYRUSKV_TRACE")) trace_.set_enabled(true);
+}
 
 KvRuntime::~KvRuntime() {
   std::lock_guard<std::mutex> lock(pool_mu_);
@@ -109,7 +141,64 @@ void KvRuntime::StopThreads() {
 
 void KvRuntime::RunAsync(std::function<void()> task) {
   std::lock_guard<std::mutex> lock(aux_mu_);
-  aux_threads_.emplace_back(std::move(task));
+  // The aux thread works on behalf of this rank: route its metrics here.
+  aux_threads_.emplace_back([this, task = std::move(task)] {
+    AdoptObservability();
+    task();
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Observability
+// ---------------------------------------------------------------------------
+
+void KvRuntime::AdoptObservability() {
+  obs::SetCurrentRegistry(&metrics_);
+  obs::SetCurrentTrace(&trace_);
+}
+
+std::string KvRuntime::StatsJson() const {
+  obs::StatsMeta meta;
+  meta.rank = ctx_.rank;
+  meta.nranks = ctx_.size();
+  return obs::SnapshotToJson(metrics_.TakeSnapshot(), meta);
+}
+
+void KvRuntime::ExportObservability() {
+  const auto stats_path = EnvString("PAPYRUSKV_STATS");
+  if (stats_path && !stats_path->empty()) {
+    obs::Snapshot snap = metrics_.TakeSnapshot();
+    obs::StatsMeta meta;
+    meta.rank = ctx_.rank;
+    meta.nranks = ctx_.size();
+    const std::string path = obs::StatsPathForRank(*stats_path, ctx_.rank);
+    Status s = obs::WriteTextFile(path, obs::SnapshotToJson(snap, meta));
+    if (!s.ok()) PLOG_WARN << "stats dump failed: " << s.ToString();
+
+    // Rank-0 roll-up: every rank contributes its snapshot, rank 0 writes
+    // the merged aggregate to the exact PAPYRUSKV_STATS path.
+    std::vector<std::string> all;
+    barrier_comm_.Allgather(obs::SerializeSnapshot(snap), &all);
+    if (ctx_.rank == 0) {
+      obs::Snapshot agg;
+      for (const auto& wire : all) {
+        obs::Snapshot part;
+        if (obs::DeserializeSnapshot(wire, &part)) agg.Merge(part);
+      }
+      obs::StatsMeta agg_meta;
+      agg_meta.rank = 0;
+      agg_meta.nranks = ctx_.size();
+      agg_meta.aggregated = true;
+      s = obs::WriteTextFile(*stats_path, obs::SnapshotToJson(agg, agg_meta));
+      if (!s.ok()) PLOG_WARN << "aggregate stats dump failed: " << s.ToString();
+    }
+  }
+  const auto trace_path = EnvString("PAPYRUSKV_TRACE");
+  if (trace_path && !trace_path->empty() && trace_.size() > 0) {
+    const std::string path = obs::StatsPathForRank(*trace_path, ctx_.rank);
+    Status s = trace_.WriteChromeTrace(path, ctx_.rank);
+    if (!s.ok()) PLOG_WARN << "trace dump failed: " << s.ToString();
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -117,9 +206,11 @@ void KvRuntime::RunAsync(std::function<void()> task) {
 // ---------------------------------------------------------------------------
 
 void KvRuntime::CompactionLoop() {
+  AdoptObservability();
   for (;;) {
     CompactionJob job = flush_queue_.Pop();
     if (job.shutdown) return;
+    g_flush_q_->Add(-1);
     if (job.task) {
       job.task();
       continue;
@@ -134,11 +225,15 @@ void KvRuntime::CompactionLoop() {
 }
 
 void KvRuntime::DispatcherLoop() {
+  AdoptObservability();
   for (;;) {
     MigrationJob job = migration_queue_.Pop();
     if (job.shutdown) return;
+    g_mig_q_->Add(-1);
     if (!job.db || !job.mem) continue;
 
+    obs::ScopedLatency lat(h_migration_us_);
+    obs::TraceSpan span("net", "migration");
     // §2.4 migration: sort by owner, accumulate per rank, send one chunk
     // per owner, then wait for the acks confirming application.
     auto chunks = job.db->CollectOwnerChunks(*job.mem);
@@ -158,8 +253,11 @@ void KvRuntime::DispatcherLoop() {
 }
 
 void KvRuntime::HandlerLoop() {
+  AdoptObservability();
   for (;;) {
     net::Message m = req_comm_.Recv(net::kAnySource, net::kAnyTag);
+    // Service time only (the Recv wait above is idle time, not load).
+    obs::ScopedLatency lat(h_handler_us_);
     switch (m.tag) {
       case kOpMigrateChunk:
         HandleMigrateChunk(m, /*sync_put=*/false);
@@ -218,10 +316,15 @@ void KvRuntime::HandleGetReq(const net::Message& m) {
 // ---------------------------------------------------------------------------
 
 void KvRuntime::SendRequest(int dst, int op, const Slice& payload) {
+  const int slot = (op >= 1 && op <= kOpShutdown) ? op : 0;
+  c_req_msgs_[slot]->Inc();
+  c_req_bytes_[slot]->Inc(payload.size());
   req_comm_.Send(dst, op, payload);
 }
 
 void KvRuntime::SendResponse(int dst, int tag, const Slice& payload) {
+  c_resp_msgs_->Inc();
+  c_resp_bytes_->Inc(payload.size());
   resp_comm_.Send(dst, tag, payload);
 }
 

@@ -36,6 +36,8 @@
 #include "core/layout.h"
 #include "core/options.h"
 #include "net/runtime.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace papyrus::core {
 
@@ -72,6 +74,18 @@ class KvRuntime {
   const StorageLayout& layout() const { return layout_; }
   EventRegistry& events() { return events_; }
 
+  // ---- Observability (src/obs/) ----
+  // This rank's metrics registry.  Installed as obs::Current() on the app
+  // thread and every runtime thread, so all layers below report here.
+  obs::Registry& metrics() { return metrics_; }
+  obs::TraceBuffer& trace() { return trace_; }
+  // Renders this rank's metrics as a stats-v1 JSON document
+  // (papyruskv_stats).
+  std::string StatsJson() const;
+  // Installs this runtime's registry/trace on the calling thread (every
+  // thread that executes on behalf of this rank must call it once).
+  void AdoptObservability();
+
   // ---- Database lifecycle (collective) ----
   Status Open(const std::string& name, int flags, const Options& opt,
               int* db_out);
@@ -79,8 +93,14 @@ class KvRuntime {
   DbShardPtr Find(int db);
 
   // ---- Queues (called from DbShard; block while full) ----
-  void EnqueueFlush(CompactionJob job) { flush_queue_.Push(std::move(job)); }
+  // The depth gauges count queued items; consumers decrement after Pop, so
+  // the gauge reflects back-pressure the producers feel.
+  void EnqueueFlush(CompactionJob job) {
+    g_flush_q_->Add(1);
+    flush_queue_.Push(std::move(job));
+  }
   void EnqueueMigration(MigrationJob job) {
+    g_mig_q_->Add(1);
     migration_queue_.Push(std::move(job));
   }
   // Runs `task` on the compaction thread after currently queued jobs
@@ -88,7 +108,7 @@ class KvRuntime {
   void EnqueueTask(std::function<void()> task) {
     CompactionJob job;
     job.task = std::move(task);
-    flush_queue_.Push(std::move(job));
+    EnqueueFlush(std::move(job));
   }
   // Runs `task` on a dedicated auxiliary thread (restart/redistribution:
   // these replay puts, which may themselves enqueue flush jobs — running
@@ -136,6 +156,11 @@ class KvRuntime {
   void HandleMigrateChunk(const net::Message& m, bool sync_put);
   void HandleGetReq(const net::Message& m);
 
+  // Writes the per-rank stats JSON (PAPYRUSKV_STATS), the rank-0 aggregate
+  // roll-up (allgather + merge), and the per-rank Chrome trace
+  // (PAPYRUSKV_TRACE).  Collective when PAPYRUSKV_STATS is set.
+  void ExportObservability();
+
   net::RankContext& ctx_;
   StorageLayout layout_;
   EventRegistry events_;
@@ -161,6 +186,21 @@ class KvRuntime {
 
   std::mutex pool_mu_;
   std::unordered_set<char*> pool_allocs_;
+
+  // Declared before the cached metric pointers below, which are resolved
+  // from it in the constructor.
+  obs::Registry metrics_;
+  obs::TraceBuffer trace_;
+  obs::Gauge* g_flush_q_;            // net.flush_queue_depth
+  obs::Gauge* g_mig_q_;              // net.migration_queue_depth
+  obs::Histogram* h_handler_us_;     // net.handler_service_us
+  obs::Histogram* h_migration_us_;   // store.migration_us
+  // Request traffic split by opcode (kOpMigrateChunk..kOpShutdown) plus a
+  // slot 0 catch-all; responses are a single bucket.
+  obs::Counter* c_req_msgs_[kOpShutdown + 1];
+  obs::Counter* c_req_bytes_[kOpShutdown + 1];
+  obs::Counter* c_resp_msgs_;
+  obs::Counter* c_resp_bytes_;
 };
 
 }  // namespace papyrus::core

@@ -1,0 +1,97 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <thread>
+
+namespace papyrus::obs {
+
+TraceBuffer::TraceBuffer(size_t capacity)
+    : capacity_(std::max<size_t>(1, capacity)) {
+  ring_.reserve(capacity_);
+}
+
+void TraceBuffer::Add(std::string name, const char* cat, uint64_t ts_us,
+                      uint64_t dur_us) {
+  if (!enabled()) return;
+  TraceEvent ev;
+  ev.name = std::move(name);
+  ev.cat = cat;
+  ev.ts_us = ts_us;
+  ev.dur_us = dur_us;
+  ev.tid = std::hash<std::thread::id>{}(std::this_thread::get_id()) & 0xffff;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(ev));
+  } else {
+    ring_[next_] = std::move(ev);
+    wrapped_ = true;
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+  next_ = (next_ + 1) % capacity_;
+}
+
+size_t TraceBuffer::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+std::vector<TraceEvent> TraceBuffer::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  if (wrapped_) {
+    // Oldest-first: the slot at next_ holds the oldest surviving event.
+    for (size_t i = 0; i < ring_.size(); ++i) {
+      out.push_back(ring_[(next_ + i) % ring_.size()]);
+    }
+  } else {
+    out = ring_;
+  }
+  return out;
+}
+
+Status TraceBuffer::WriteChromeTrace(const std::string& path,
+                                     int rank) const {
+  const std::vector<TraceEvent> events = Events();
+  uint64_t t0 = ~uint64_t{0};
+  for (const auto& ev : events) t0 = std::min(t0, ev.ts_us);
+  if (events.empty()) t0 = 0;
+
+  std::string out;
+  out.reserve(events.size() * 96 + 64);
+  out += "{\"traceEvents\": [";
+  bool first = true;
+  for (const auto& ev : events) {
+    if (!first) out += ",";
+    first = false;
+    char buf[192];
+    snprintf(buf, sizeof(buf),
+             "\n{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", "
+             "\"ts\": %llu, \"dur\": %llu, \"pid\": %d, \"tid\": %llu}",
+             ev.name.c_str(), ev.cat,
+             static_cast<unsigned long long>(ev.ts_us - t0),
+             static_cast<unsigned long long>(ev.dur_us), rank,
+             static_cast<unsigned long long>(ev.tid));
+    out += buf;
+  }
+  out += "\n]}\n";
+  // Plain stdio on purpose: trace files are host-side diagnostics, not part
+  // of the simulated NVM (and obs must stay below sim in the layering).
+  FILE* f = fopen(path.c_str(), "w");
+  if (!f) return Status::IOError("trace: cannot open " + path);
+  const size_t n = fwrite(out.data(), 1, out.size(), f);
+  fclose(f);
+  if (n != out.size()) return Status::IOError("trace: short write " + path);
+  return Status::OK();
+}
+
+namespace {
+thread_local TraceBuffer* tls_trace = nullptr;
+}  // namespace
+
+TraceBuffer* CurrentTrace() { return tls_trace; }
+void SetCurrentTrace(TraceBuffer* t) { tls_trace = t; }
+
+}  // namespace papyrus::obs

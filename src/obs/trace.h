@@ -1,0 +1,99 @@
+// Lightweight trace-event recording (Chrome trace_event JSON format).
+//
+// Each rank's runtime owns one fixed-capacity ring of complete ("ph":"X")
+// events covering the coarse background operations — flush, migration,
+// compaction, checkpoint/restart — cheap enough to leave compiled in and
+// gated at runtime by PAPYRUSKV_TRACE=path.  When the ring wraps, the
+// oldest events are overwritten and counted as dropped; tracing never
+// blocks or allocates on the recording path beyond the event's name.
+//
+// The output loads directly into chrome://tracing / Perfetto: one process
+// per rank, one thread lane per recording thread.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/timer.h"
+
+namespace papyrus::obs {
+
+struct TraceEvent {
+  std::string name;
+  const char* cat = "";  // static string (category: store, net, kv)
+  uint64_t ts_us = 0;    // span start, microseconds
+  uint64_t dur_us = 0;
+  uint64_t tid = 0;
+};
+
+class TraceBuffer {
+ public:
+  explicit TraceBuffer(size_t capacity = 8192);
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  // Records a complete span.  No-op while disabled.  Overwrites the oldest
+  // event when full.
+  void Add(std::string name, const char* cat, uint64_t ts_us,
+           uint64_t dur_us);
+
+  size_t size() const;
+  uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+  // Events in recording order (oldest first).
+  std::vector<TraceEvent> Events() const;
+
+  // Writes {"traceEvents": [...]} with pid = rank.  Timestamps are emitted
+  // relative to the earliest recorded event.
+  Status WriteChromeTrace(const std::string& path, int rank) const;
+
+ private:
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> dropped_{0};
+  mutable std::mutex mu_;
+  size_t capacity_;
+  size_t next_ = 0;   // ring write cursor
+  bool wrapped_ = false;
+  std::vector<TraceEvent> ring_;
+};
+
+// The calling thread's trace buffer (installed per rank alongside the
+// metrics registry); null when tracing is not set up.
+TraceBuffer* CurrentTrace();
+void SetCurrentTrace(TraceBuffer* t);
+
+// RAII span: records [construction, destruction) into the buffer if the
+// buffer exists and is enabled at construction time.
+class TraceSpan {
+ public:
+  TraceSpan(TraceBuffer* buf, const char* cat, std::string name)
+      : buf_(buf && buf->enabled() ? buf : nullptr) {
+    if (buf_) {
+      name_ = std::move(name);
+      cat_ = cat;
+      start_ = NowMicros();
+    }
+  }
+  TraceSpan(const char* cat, std::string name)
+      : TraceSpan(CurrentTrace(), cat, std::move(name)) {}
+  ~TraceSpan() {
+    if (buf_) buf_->Add(std::move(name_), cat_, start_, NowMicros() - start_);
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  TraceBuffer* buf_;
+  std::string name_;
+  const char* cat_ = "";
+  uint64_t start_ = 0;
+};
+
+}  // namespace papyrus::obs

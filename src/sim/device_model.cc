@@ -6,6 +6,7 @@
 
 #include "common/env.h"
 #include "common/timer.h"
+#include "obs/metrics.h"
 
 namespace papyrus::sim {
 
@@ -72,17 +73,30 @@ Device::Device(DeviceClass cls)
       perf_(PerfFor(cls)),
       channel_busy_until_(static_cast<size_t>(std::max(1, perf_.stripes))) {
   for (auto& c : channel_busy_until_) c.store(0);
+  const std::string prefix = std::string("sim.dev.") + DeviceClassName(cls);
+  m_ops_[0] = prefix + ".read_ops";
+  m_ops_[1] = prefix + ".write_ops";
+  m_bytes_[0] = prefix + ".bytes_read";
+  m_bytes_[1] = prefix + ".bytes_written";
+  m_us_[0] = prefix + ".read_us";
+  m_us_[1] = prefix + ".write_us";
 }
 
 void Device::ChargeRead(uint64_t bytes) {
   read_ops_.fetch_add(1, std::memory_order_relaxed);
   bytes_read_.fetch_add(bytes, std::memory_order_relaxed);
+  obs::Registry& reg = obs::Current();
+  reg.GetCounter(m_ops_[0]).Inc();
+  reg.GetCounter(m_bytes_[0]).Inc(bytes);
   Charge(bytes, /*is_write=*/false);
 }
 
 void Device::ChargeWrite(uint64_t bytes) {
   write_ops_.fetch_add(1, std::memory_order_relaxed);
   bytes_written_.fetch_add(bytes, std::memory_order_relaxed);
+  obs::Registry& reg = obs::Current();
+  reg.GetCounter(m_ops_[1]).Inc();
+  reg.GetCounter(m_bytes_[1]).Inc(bytes);
   Charge(bytes, /*is_write=*/true);
 }
 
@@ -113,6 +127,8 @@ void Device::Charge(uint64_t bytes, bool is_write) {
   // The caller experiences submission latency plus its queued transfer.
   const uint64_t completion =
       std::max(done, now + static_cast<uint64_t>(lat_us));
+  obs::Current().GetHistogram(m_us_[is_write ? 1 : 0])
+      .Record(completion > now ? completion - now : 0);
   if (completion > now) PreciseSleepMicros(completion - now);
 }
 

@@ -92,6 +92,10 @@ class Device {
 
   DeviceClass cls_;
   DevicePerf perf_;
+  // Per-class metric names, precomputed so the per-I/O registry lookups
+  // need no string building (obs/metrics.h; the registry consulted is the
+  // *calling rank's* — a shared device reports into each user's metrics).
+  std::string m_ops_[2], m_bytes_[2], m_us_[2];  // [0]=read, [1]=write
   // busy-until timestamp (in microseconds of NowMicros) per stripe channel.
   std::vector<std::atomic<uint64_t>> channel_busy_until_;
   std::atomic<uint64_t> next_channel_{0};

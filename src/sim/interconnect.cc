@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/timer.h"
+#include "obs/metrics.h"
 #include "sim/device_model.h"
 
 namespace papyrus::sim {
@@ -36,6 +37,13 @@ uint64_t Reserve(std::atomic<uint64_t>& busy, uint64_t now, uint64_t xfer_us) {
 uint64_t Interconnect::Charge(int src, int dst, uint64_t bytes) {
   messages_.fetch_add(1, std::memory_order_relaxed);
   bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  // Charge runs on the sending rank's thread, so these land in the sender's
+  // per-rank registry.
+  {
+    obs::Registry& reg = obs::Current();
+    reg.GetCounter("sim.net.messages").Inc();
+    reg.GetCounter("sim.net.bytes").Inc(bytes);
+  }
 
   const double scale = TimeScale();
   if (scale <= 0 || src == dst) return 0;

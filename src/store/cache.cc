@@ -28,15 +28,22 @@ bool LruCache::Get(const Slice& key, std::string* value, bool* tombstone) {
   if (!enabled_) return false;
   auto it = map_.find(key.ToString());
   if (it == map_.end()) {
-    ++misses_;
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    if (auto* c = c_misses_.load(std::memory_order_relaxed)) c->Inc();
     return false;
   }
-  ++hits_;
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  if (auto* c = c_hits_.load(std::memory_order_relaxed)) c->Inc();
   // Promote to MRU.
   lru_.splice(lru_.begin(), lru_, it->second);
   if (value) *value = it->second->value;
   if (tombstone) *tombstone = it->second->tombstone;
   return true;
+}
+
+void LruCache::BindCounters(obs::Counter* hits, obs::Counter* misses) {
+  c_hits_.store(hits, std::memory_order_relaxed);
+  c_misses_.store(misses, std::memory_order_relaxed);
 }
 
 void LruCache::Erase(const Slice& key) {

@@ -16,6 +16,7 @@
 // avoids repeating a miss that walked every SSTable.  Thread-safe.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <mutex>
@@ -23,6 +24,7 @@
 #include <unordered_map>
 
 #include "common/slice.h"
+#include "obs/metrics.h"
 
 namespace papyrus::store {
 
@@ -49,8 +51,14 @@ class LruCache {
 
   size_t bytes() const;
   size_t count() const;
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
+  // hits_/misses_ are atomics: Get() mutates them under mu_ while these
+  // accessors read without it (they used to be plain fields — a data race).
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+
+  // Mirrors every hit/miss into registry counters (may be null to unbind).
+  // The owner resolves the counters once and binds at construction time.
+  void BindCounters(obs::Counter* hits, obs::Counter* misses);
 
  private:
   struct Entry {
@@ -68,7 +76,9 @@ class LruCache {
   size_t bytes_ = 0;
   List lru_;  // front = most recent
   std::unordered_map<std::string, List::iterator> map_;
-  uint64_t hits_ = 0, misses_ = 0;
+  std::atomic<uint64_t> hits_{0}, misses_{0};
+  std::atomic<obs::Counter*> c_hits_{nullptr};
+  std::atomic<obs::Counter*> c_misses_{nullptr};
 };
 
 }  // namespace papyrus::store

@@ -2,6 +2,8 @@
 
 #include <queue>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "store/format.h"
 #include "store/sstable.h"
 
@@ -40,6 +42,11 @@ Status MergeTables(Manifest& manifest,
                    const std::vector<uint64_t>& input_ssids,
                    bool drop_tombstones, int bloom_bits_per_key,
                    CompactionStats* stats) {
+  obs::Registry& reg = obs::Current();
+  obs::ScopedLatency lat(&reg.GetHistogram("store.compaction_us"));
+  obs::TraceSpan span("store", "compaction");
+  uint64_t read_bytes = 0, written_bytes = 0;
+
   CompactionStats local;
   local.input_tables = input_ssids.size();
 
@@ -71,6 +78,7 @@ Status MergeTables(Manifest& manifest,
     heap.pop();
 
     const bool duplicate = any_emitted && c->key == last_emitted_key;
+    read_bytes += c->key.size() + c->value.size();
     if (duplicate) {
       ++local.dropped_stale;
     } else if (drop_tombstones && (c->flags & kFlagTombstone)) {
@@ -84,6 +92,7 @@ Status MergeTables(Manifest& manifest,
       last_emitted_key = c->key;
       any_emitted = true;
       ++local.output_entries;
+      written_bytes += c->key.size() + c->value.size();
     }
 
     ++c->pos;
@@ -98,6 +107,10 @@ Status MergeTables(Manifest& manifest,
   if (!s.ok()) return s;
   s = manifest.ReplaceTables(input_ssids, {out_ssid});
   if (!s.ok()) return s;
+  reg.GetCounter("store.compaction_read_bytes").Inc(read_bytes);
+  reg.GetCounter("store.compaction_written_bytes").Inc(written_bytes);
+  reg.GetCounter("store.compaction_dropped_entries")
+      .Inc(local.dropped_stale + local.dropped_tombstones);
   if (stats) *stats = local;
   return Status::OK();
 }

@@ -5,6 +5,8 @@
 
 #include "common/coding.h"
 #include "common/crc32.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace papyrus::store {
 
@@ -100,6 +102,11 @@ Status SSTableBuilder::Finish() {
 
 Status FlushMemTable(const std::string& dir, uint64_t ssid,
                      const MemTable& mem, int bloom_bits_per_key) {
+  obs::Registry& reg = obs::Current();
+  obs::ScopedLatency lat(&reg.GetHistogram("store.flush_us"));
+  obs::TraceSpan span("store", "flush");
+  reg.GetCounter("store.flush_bytes").Inc(mem.ApproxBytes());
+  reg.GetCounter("store.flush_entries").Inc(mem.Count());
   SSTableBuilder builder(dir, ssid, mem.Count(), bloom_bits_per_key);
   Status result = Status::OK();
   mem.ForEachSorted([&](const Slice& key, const MemTable::Entry& e) {

@@ -1,0 +1,201 @@
+// Round-trip tests for the export formats: the stats-v1 JSON dump, the
+// compact Allgather wire form, and the Chrome trace_event output.
+#include <gtest/gtest.h>
+
+#include "../util/temp_dir.h"
+#include "obs/export.h"
+#include "obs/trace.h"
+#include "sim/storage.h"
+
+namespace papyrus::obs {
+namespace {
+
+Snapshot MakeSample() {
+  Snapshot s;
+  s.counters["kv.puts_local"] = 123;
+  s.counters["sim.net.bytes"] = 0;
+  s.gauges["net.flush_queue_depth"] = -2;
+  HistogramData& h = s.histograms["kv.put_us"];
+  for (uint64_t v : {0u, 1u, 3u, 100u, 100u, 5000u}) {
+    h.buckets[HistogramBucketOf(v)] += 1;
+    h.count += 1;
+    h.sum += v;
+    h.max = std::max(h.max, v);
+  }
+  h.min = 0;
+  return s;
+}
+
+TEST(WireFormatTest, SerializeDeserializeRoundTrip) {
+  const Snapshot in = MakeSample();
+  Snapshot out;
+  ASSERT_TRUE(DeserializeSnapshot(SerializeSnapshot(in), &out));
+  EXPECT_EQ(out.counters, in.counters);
+  EXPECT_EQ(out.gauges, in.gauges);
+  ASSERT_EQ(out.histograms.size(), 1u);
+  const HistogramData& a = in.histograms.at("kv.put_us");
+  const HistogramData& b = out.histograms.at("kv.put_us");
+  EXPECT_EQ(b.count, a.count);
+  EXPECT_EQ(b.sum, a.sum);
+  EXPECT_EQ(b.min, a.min);
+  EXPECT_EQ(b.max, a.max);
+  EXPECT_EQ(b.buckets, a.buckets);
+}
+
+TEST(WireFormatTest, RejectsGarbage) {
+  Snapshot out;
+  EXPECT_FALSE(DeserializeSnapshot("not a snapshot\n", &out));
+}
+
+TEST(JsonDumpTest, StatsRoundTrip) {
+  const Snapshot in = MakeSample();
+  StatsMeta meta_in;
+  meta_in.rank = 3;
+  meta_in.nranks = 8;
+  const std::string json = SnapshotToJson(in, meta_in);
+
+  Snapshot out;
+  StatsMeta meta_out;
+  ASSERT_TRUE(ParseStatsJson(json, &out, &meta_out));
+  EXPECT_EQ(meta_out.rank, 3);
+  EXPECT_EQ(meta_out.nranks, 8);
+  EXPECT_FALSE(meta_out.aggregated);
+  EXPECT_EQ(out.counters, in.counters);
+  EXPECT_EQ(out.gauges, in.gauges);
+  const HistogramData& a = in.histograms.at("kv.put_us");
+  const HistogramData& b = out.histograms.at("kv.put_us");
+  EXPECT_EQ(b.count, a.count);
+  EXPECT_EQ(b.sum, a.sum);
+  EXPECT_EQ(b.min, a.min);
+  EXPECT_EQ(b.max, a.max);
+  // The dump carries only non-empty buckets but reconstructs them exactly,
+  // so percentiles computed offline match the live ones.
+  EXPECT_EQ(b.buckets, a.buckets);
+  EXPECT_DOUBLE_EQ(b.Percentile(50), a.Percentile(50));
+}
+
+TEST(JsonDumpTest, AggregatedFlagRoundTrips) {
+  StatsMeta meta;
+  meta.nranks = 4;
+  meta.aggregated = true;
+  Snapshot out;
+  StatsMeta meta_out;
+  ASSERT_TRUE(
+      ParseStatsJson(SnapshotToJson(Snapshot{}, meta), &out, &meta_out));
+  EXPECT_TRUE(meta_out.aggregated);
+  EXPECT_EQ(meta_out.nranks, 4);
+}
+
+TEST(JsonDumpTest, ParserRejectsNonStatsJson) {
+  Snapshot out;
+  StatsMeta meta;
+  EXPECT_FALSE(ParseStatsJson("{}", &out, &meta));
+  EXPECT_FALSE(ParseStatsJson("[1,2,3]", &out, &meta));
+  EXPECT_FALSE(ParseStatsJson("{\"papyruskv\": \"other\"}", &out, &meta));
+}
+
+TEST(JsonParserTest, HandlesNestingAndEscapes) {
+  JsonValue v;
+  ASSERT_TRUE(ParseJson(
+      R"({"a": [1, 2.5, -3], "b": {"s": "x\"y\\z"}, "t": true, "n": null})",
+      &v));
+  ASSERT_EQ(v.type, JsonValue::Type::kObject);
+  const JsonValue* a = v.Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->array.size(), 3u);
+  EXPECT_DOUBLE_EQ(a->array[1].number, 2.5);
+  EXPECT_DOUBLE_EQ(a->array[2].number, -3);
+  EXPECT_EQ(v.Find("b")->Find("s")->str, "x\"y\\z");
+  EXPECT_TRUE(v.Find("t")->boolean);
+  EXPECT_EQ(v.Find("n")->type, JsonValue::Type::kNull);
+  EXPECT_FALSE(ParseJson("{\"unterminated\": ", &v));
+}
+
+TEST(PathTest, StatsPathForRank) {
+  EXPECT_EQ(StatsPathForRank("/tmp/stats.json", 3), "/tmp/stats.rank3.json");
+  EXPECT_EQ(StatsPathForRank("stats.json", 0), "stats.rank0.json");
+  EXPECT_EQ(StatsPathForRank("/tmp/dump", 2), "/tmp/dump.rank2");
+}
+
+TEST(WriteTextFileTest, WritesAndFails) {
+  testutil::TempDir tmp("obs_export");
+  const std::string path = tmp.path() + "/out.txt";
+  ASSERT_TRUE(WriteTextFile(path, "hello").ok());
+  std::string back;
+  ASSERT_TRUE(sim::Storage::ReadFileToString(path, &back).ok());
+  EXPECT_EQ(back, "hello");
+  EXPECT_FALSE(WriteTextFile(tmp.path() + "/no/such/dir/x", "y").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Trace ring
+// ---------------------------------------------------------------------------
+
+TEST(TraceBufferTest, DisabledRecordsNothing) {
+  TraceBuffer buf(4);
+  buf.Add("flush", "store", 10, 5);
+  EXPECT_EQ(buf.size(), 0u);
+  { TraceSpan span(&buf, "store", "flush"); }
+  EXPECT_EQ(buf.size(), 0u);
+}
+
+TEST(TraceBufferTest, RingOverwritesOldest) {
+  TraceBuffer buf(3);
+  buf.set_enabled(true);
+  for (int i = 0; i < 5; ++i) {
+    buf.Add("ev" + std::to_string(i), "t", 100 + i, 1);
+  }
+  EXPECT_EQ(buf.size(), 3u);
+  EXPECT_EQ(buf.dropped(), 2u);
+  const auto events = buf.Events();
+  ASSERT_EQ(events.size(), 3u);
+  // Oldest-first, with the two earliest overwritten.
+  EXPECT_EQ(events[0].name, "ev2");
+  EXPECT_EQ(events[2].name, "ev4");
+}
+
+TEST(TraceBufferTest, SpanRecordsWhenEnabled) {
+  TraceBuffer buf(8);
+  buf.set_enabled(true);
+  { TraceSpan span(&buf, "kv", "checkpoint"); }
+  ASSERT_EQ(buf.size(), 1u);
+  EXPECT_EQ(buf.Events()[0].name, "checkpoint");
+  EXPECT_STREQ(buf.Events()[0].cat, "kv");
+}
+
+TEST(TraceBufferTest, CurrentTraceIsThreadLocal) {
+  EXPECT_EQ(CurrentTrace(), nullptr);
+  TraceBuffer buf(8);
+  SetCurrentTrace(&buf);
+  EXPECT_EQ(CurrentTrace(), &buf);
+  std::thread([] { EXPECT_EQ(CurrentTrace(), nullptr); }).join();
+  SetCurrentTrace(nullptr);
+}
+
+TEST(TraceBufferTest, ChromeTraceOutputParses) {
+  testutil::TempDir tmp("obs_trace");
+  TraceBuffer buf(8);
+  buf.set_enabled(true);
+  buf.Add("flush", "store", 1000, 50);
+  buf.Add("compaction", "store", 1100, 200);
+  const std::string path = tmp.path() + "/trace.json";
+  ASSERT_TRUE(buf.WriteChromeTrace(path, 2).ok());
+
+  std::string text;
+  ASSERT_TRUE(sim::Storage::ReadFileToString(path, &text).ok());
+  JsonValue v;
+  ASSERT_TRUE(ParseJson(text, &v));
+  const JsonValue* events = v.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->array.size(), 2u);
+  const JsonValue& ev = events->array[0];
+  EXPECT_EQ(ev.Find("name")->str, "flush");
+  EXPECT_EQ(ev.Find("ph")->str, "X");
+  EXPECT_DOUBLE_EQ(ev.Find("pid")->number, 2);
+  // Timestamps are rebased to the earliest event.
+  EXPECT_DOUBLE_EQ(ev.Find("ts")->number, 0);
+  EXPECT_DOUBLE_EQ(events->array[1].Find("ts")->number, 100);
+}
+
+}  // namespace
+}  // namespace papyrus::obs

@@ -1,0 +1,289 @@
+// Unit tests for the metrics primitives: log2 bucketing, percentile
+// extraction, merge semantics, and the lock-free counter/gauge/histogram
+// update paths under concurrency (run under TSan by scripts/check.sh).
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace papyrus::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Bucketing
+// ---------------------------------------------------------------------------
+
+TEST(HistogramBucketTest, BucketOfEdgeCases) {
+  EXPECT_EQ(HistogramBucketOf(0), 0u);
+  EXPECT_EQ(HistogramBucketOf(1), 1u);
+  EXPECT_EQ(HistogramBucketOf(2), 2u);
+  EXPECT_EQ(HistogramBucketOf(3), 2u);
+  EXPECT_EQ(HistogramBucketOf(4), 3u);
+  EXPECT_EQ(HistogramBucketOf(7), 3u);
+  EXPECT_EQ(HistogramBucketOf(8), 4u);
+  EXPECT_EQ(HistogramBucketOf(uint64_t{1} << 20), 21u);
+  EXPECT_EQ(HistogramBucketOf(~uint64_t{0}), 64u);
+}
+
+TEST(HistogramBucketTest, UpperBoundsMatchBuckets) {
+  EXPECT_EQ(HistogramBucketUpper(0), 0u);
+  EXPECT_EQ(HistogramBucketUpper(1), 1u);
+  EXPECT_EQ(HistogramBucketUpper(2), 3u);
+  EXPECT_EQ(HistogramBucketUpper(3), 7u);
+  EXPECT_EQ(HistogramBucketUpper(64), ~uint64_t{0});
+  // Every value must lie at or below its bucket's upper bound and above the
+  // previous bucket's.
+  for (uint64_t v : {uint64_t{1}, uint64_t{5}, uint64_t{1023}, uint64_t{1024},
+                     uint64_t{123456789}, ~uint64_t{0} >> 1}) {
+    const size_t b = HistogramBucketOf(v);
+    EXPECT_LE(v, HistogramBucketUpper(b)) << v;
+    EXPECT_GT(v, HistogramBucketUpper(b - 1)) << v;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Histogram statistics
+// ---------------------------------------------------------------------------
+
+TEST(HistogramTest, EmptyIsAllZero) {
+  Histogram h;
+  const HistogramData d = h.Snapshot();
+  EXPECT_EQ(d.count, 0u);
+  EXPECT_EQ(d.sum, 0u);
+  EXPECT_EQ(d.min, 0u);
+  EXPECT_EQ(d.max, 0u);
+  EXPECT_EQ(d.Mean(), 0.0);
+  EXPECT_EQ(d.Percentile(50), 0.0);
+}
+
+TEST(HistogramTest, SingleValueIsExactEverywhere) {
+  Histogram h;
+  h.Record(100);
+  const HistogramData d = h.Snapshot();
+  EXPECT_EQ(d.count, 1u);
+  EXPECT_EQ(d.sum, 100u);
+  EXPECT_EQ(d.min, 100u);
+  EXPECT_EQ(d.max, 100u);
+  // min/max clamping makes any percentile of a single value exact despite
+  // the 2x-wide bucket.
+  EXPECT_EQ(d.Percentile(0), 100.0);
+  EXPECT_EQ(d.Percentile(50), 100.0);
+  EXPECT_EQ(d.Percentile(99), 100.0);
+}
+
+TEST(HistogramTest, ZerosLandInBucketZero) {
+  Histogram h;
+  h.Record(0);
+  h.Record(0);
+  const HistogramData d = h.Snapshot();
+  EXPECT_EQ(d.count, 2u);
+  EXPECT_EQ(d.buckets[0], 2u);
+  EXPECT_EQ(d.min, 0u);
+  EXPECT_EQ(d.max, 0u);
+  EXPECT_EQ(d.Percentile(50), 0.0);
+}
+
+TEST(HistogramTest, UniformDistributionPercentiles) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 1000; ++v) h.Record(v);
+  const HistogramData d = h.Snapshot();
+  EXPECT_EQ(d.count, 1000u);
+  EXPECT_EQ(d.sum, 500500u);
+  EXPECT_EQ(d.min, 1u);
+  EXPECT_EQ(d.max, 1000u);
+  EXPECT_DOUBLE_EQ(d.Mean(), 500.5);
+  // In-bucket interpolation recovers a uniform distribution closely.
+  EXPECT_NEAR(d.Percentile(50), 500, 100);
+  EXPECT_NEAR(d.Percentile(95), 950, 100);
+  EXPECT_GE(d.Percentile(99), 900);
+  EXPECT_LE(d.Percentile(99), 1000);  // clamped to observed max
+  EXPECT_LE(d.Percentile(100), 1000);
+  EXPECT_GE(d.Percentile(0), 1);  // clamped to observed min
+}
+
+TEST(HistogramTest, PercentilesAreMonotone) {
+  Histogram h;
+  for (uint64_t v : {3u, 17u, 120u, 4000u, 4001u, 90000u}) h.Record(v);
+  const HistogramData d = h.Snapshot();
+  double prev = -1;
+  for (double p : {0.0, 10.0, 50.0, 90.0, 95.0, 99.0, 100.0}) {
+    const double v = d.Percentile(p);
+    EXPECT_GE(v, prev) << "p" << p;
+    prev = v;
+  }
+}
+
+TEST(HistogramTest, MergeCombinesEverything) {
+  Histogram a, b;
+  a.Record(10);
+  a.Record(20);
+  b.Record(5);
+  b.Record(1000);
+  HistogramData da = a.Snapshot();
+  const HistogramData db = b.Snapshot();
+  da.Merge(db);
+  EXPECT_EQ(da.count, 4u);
+  EXPECT_EQ(da.sum, 1035u);
+  EXPECT_EQ(da.min, 5u);
+  EXPECT_EQ(da.max, 1000u);
+
+  // Merging an empty histogram is a no-op (and must not clobber min).
+  HistogramData empty;
+  da.Merge(empty);
+  EXPECT_EQ(da.count, 4u);
+  EXPECT_EQ(da.min, 5u);
+  // Merging INTO an empty one adopts the other side's min.
+  HistogramData target;
+  target.Merge(da);
+  EXPECT_EQ(target.min, 5u);
+  EXPECT_EQ(target.max, 1000u);
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h;
+  h.Record(42);
+  h.Reset();
+  const HistogramData d = h.Snapshot();
+  EXPECT_EQ(d.count, 0u);
+  EXPECT_EQ(d.min, 0u);
+  EXPECT_EQ(d.max, 0u);
+  h.Record(7);  // usable after reset
+  EXPECT_EQ(h.Snapshot().min, 7u);
+}
+
+// ---------------------------------------------------------------------------
+// Counter / Gauge under concurrency
+// ---------------------------------------------------------------------------
+
+TEST(CounterTest, ConcurrentIncrementsAreExact) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kIters; ++i) c.Inc();
+    });
+  }
+  for (auto& t : threads) t.join();
+  // Sharded relaxed atomics still never lose an increment.
+  EXPECT_EQ(c.Value(), static_cast<uint64_t>(kThreads) * kIters);
+  c.Reset();
+  EXPECT_EQ(c.Value(), 0u);
+}
+
+TEST(CounterTest, IncByDelta) {
+  Counter c;
+  c.Inc(10);
+  c.Inc(32);
+  EXPECT_EQ(c.Value(), 42u);
+}
+
+TEST(GaugeTest, ConcurrentAddsBalance) {
+  Gauge g;
+  g.Set(5);
+  EXPECT_EQ(g.Value(), 5);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&g] {
+      for (int i = 0; i < 10000; ++i) {
+        g.Add(3);
+        g.Add(-3);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(g.Value(), 5);
+}
+
+TEST(HistogramTest, ConcurrentRecordsKeepTotals) {
+  Histogram h;
+  constexpr int kThreads = 4;
+  constexpr int kIters = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kIters; ++i) {
+        h.Record(static_cast<uint64_t>(t) * 1000 + 1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const HistogramData d = h.Snapshot();
+  EXPECT_EQ(d.count, static_cast<uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(d.min, 1u);
+  EXPECT_EQ(d.max, 3001u);
+}
+
+// ---------------------------------------------------------------------------
+// Registry + thread-local current
+// ---------------------------------------------------------------------------
+
+TEST(RegistryTest, GetOrCreateReturnsStableReferences) {
+  Registry reg;
+  Counter& a = reg.GetCounter("x");
+  Counter& b = reg.GetCounter("x");
+  EXPECT_EQ(&a, &b);
+  EXPECT_NE(&a, &reg.GetCounter("y"));
+  Histogram& h1 = reg.GetHistogram("h");
+  EXPECT_EQ(&h1, &reg.GetHistogram("h"));
+}
+
+TEST(RegistryTest, SnapshotAndReset) {
+  Registry reg;
+  reg.GetCounter("c").Inc(3);
+  reg.GetGauge("g").Set(-7);
+  reg.GetHistogram("h").Record(16);
+  Snapshot snap = reg.TakeSnapshot();
+  EXPECT_EQ(snap.counters.at("c"), 3u);
+  EXPECT_EQ(snap.gauges.at("g"), -7);
+  EXPECT_EQ(snap.histograms.at("h").count, 1u);
+
+  reg.Reset();
+  snap = reg.TakeSnapshot();
+  EXPECT_EQ(snap.counters.at("c"), 0u);
+  EXPECT_EQ(snap.gauges.at("g"), 0);
+  EXPECT_EQ(snap.histograms.at("h").count, 0u);
+}
+
+TEST(RegistryTest, SnapshotMergeSumsAcrossRanks) {
+  Snapshot a, b;
+  a.counters["n"] = 2;
+  b.counters["n"] = 3;
+  b.counters["only_b"] = 1;
+  a.gauges["g"] = 4;
+  b.gauges["g"] = -1;
+  a.histograms["h"].count = 1;
+  a.histograms["h"].sum = 10;
+  a.histograms["h"].min = 10;
+  a.histograms["h"].max = 10;
+  a.histograms["h"].buckets[HistogramBucketOf(10)] = 1;
+  a.Merge(b);
+  EXPECT_EQ(a.counters["n"], 5u);
+  EXPECT_EQ(a.counters["only_b"], 1u);
+  EXPECT_EQ(a.gauges["g"], 3);
+  EXPECT_EQ(a.histograms["h"].count, 1u);
+}
+
+TEST(RegistryTest, CurrentFallsBackToProcessRegistry) {
+  EXPECT_EQ(&Current(), &Registry::Process());
+  Registry mine;
+  SetCurrentRegistry(&mine);
+  EXPECT_EQ(&Current(), &mine);
+  // The install is thread-local: other threads still see the process one.
+  std::thread([&] { EXPECT_EQ(&Current(), &Registry::Process()); }).join();
+  SetCurrentRegistry(nullptr);
+  EXPECT_EQ(&Current(), &Registry::Process());
+}
+
+TEST(ScopedLatencyTest, RecordsOneSample) {
+  Histogram h;
+  { ScopedLatency lat(&h); }
+  EXPECT_EQ(h.Snapshot().count, 1u);
+  { ScopedLatency lat(nullptr); }  // null histogram disables recording
+}
+
+}  // namespace
+}  // namespace papyrus::obs

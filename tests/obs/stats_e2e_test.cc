@@ -1,0 +1,237 @@
+// End-to-end observability tests: a real multi-rank run with
+// PAPYRUSKV_STATS / PAPYRUSKV_TRACE set must produce parseable dumps with
+// non-zero operation, network, and device metrics, and the live
+// papyruskv_stats C API must honor its buffer contract.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "../util/temp_dir.h"
+#include "core/papyruskv.h"
+#include "net/runtime.h"
+#include "obs/export.h"
+#include "sim/device_model.h"
+#include "sim/storage.h"
+
+namespace papyrus {
+namespace {
+
+class ObsE2eTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Scrub();
+    sim::SetTimeScale(0.0);
+  }
+  void TearDown() override {
+    Scrub();
+    sim::DeviceRegistry::Instance().Clear();
+  }
+  static void Scrub() {
+    for (const char* var :
+         {"PAPYRUSKV_REPOSITORY", "PAPYRUSKV_GROUP_SIZE",
+          "PAPYRUSKV_CONSISTENCY", "PAPYRUSKV_MEMTABLE_SIZE",
+          "PAPYRUSKV_STATS", "PAPYRUSKV_TRACE"}) {
+      unsetenv(var);
+    }
+  }
+
+  // Sums every counter whose name starts with `prefix` and contains `infix`.
+  static uint64_t SumCounters(const obs::Snapshot& snap,
+                              const std::string& prefix,
+                              const std::string& infix = "") {
+    uint64_t total = 0;
+    for (const auto& [name, v] : snap.counters) {
+      if (name.rfind(prefix, 0) == 0 &&
+          (infix.empty() || name.find(infix) != std::string::npos)) {
+        total += v;
+      }
+    }
+    return total;
+  }
+
+  // A small workload over a shared keyspace: with 2 ranks roughly half the
+  // keys are remote, so puts/gets exercise the network path, and the
+  // SSTABLE barrier forces flushes (device writes + trace spans).
+  static void Workload(int rank) {
+    papyruskv_db_t db;
+    ASSERT_EQ(papyruskv_open("edb", PAPYRUSKV_CREATE | PAPYRUSKV_RDWR,
+                             nullptr, &db),
+              PAPYRUSKV_SUCCESS);
+    const std::string value(64, 'v');
+    for (int i = 0; i < 200; ++i) {
+      const std::string key = "r" + std::to_string(rank) + "k" +
+                              std::to_string(i);
+      ASSERT_EQ(papyruskv_put(db, key.data(), key.size(), value.data(),
+                              value.size()),
+                PAPYRUSKV_SUCCESS);
+    }
+    ASSERT_EQ(papyruskv_barrier(db, PAPYRUSKV_SSTABLE), PAPYRUSKV_SUCCESS);
+    for (int i = 0; i < 50; ++i) {
+      const std::string key = "r" + std::to_string(1 - rank) + "k" +
+                              std::to_string(i);
+      char* out = nullptr;
+      size_t outlen = 0;
+      ASSERT_EQ(papyruskv_get(db, key.data(), key.size(), &out, &outlen),
+                PAPYRUSKV_SUCCESS);
+      papyruskv_free(db, out);
+    }
+    ASSERT_EQ(papyruskv_close(db), PAPYRUSKV_SUCCESS);
+  }
+
+  testutil::TempDir tmp_{"papyruskv_obs"};
+};
+
+TEST_F(ObsE2eTest, StatsEnvProducesPerRankAndAggregateDumps) {
+  const std::string stats = tmp_.path() + "/stats.json";
+  setenv("PAPYRUSKV_STATS", stats.c_str(), 1);
+  const std::string repo = tmp_.path() + "/repo";
+
+  net::RunRanks(2, [&](net::RankContext& ctx) {
+    ASSERT_EQ(papyruskv_init(nullptr, nullptr, repo.c_str()),
+              PAPYRUSKV_SUCCESS);
+    Workload(ctx.rank);
+    ASSERT_EQ(papyruskv_finalize(), PAPYRUSKV_SUCCESS);
+  });
+
+  // Per-rank dumps, one per rank, each tagged with its rank.
+  for (int r = 0; r < 2; ++r) {
+    const std::string path = obs::StatsPathForRank(stats, r);
+    std::string text;
+    ASSERT_TRUE(sim::Storage::ReadFileToString(path, &text).ok()) << path;
+    obs::Snapshot snap;
+    obs::StatsMeta meta;
+    ASSERT_TRUE(obs::ParseStatsJson(text, &snap, &meta)) << path;
+    EXPECT_EQ(meta.rank, r);
+    EXPECT_EQ(meta.nranks, 2);
+    EXPECT_FALSE(meta.aggregated);
+    // Each rank issued exactly 200 puts and 50 gets.
+    EXPECT_EQ(snap.histograms.at("kv.put_us").count, 200u);
+    EXPECT_EQ(snap.histograms.at("kv.get_us").count, 50u);
+  }
+
+  // The rank-0 aggregate at the exact PAPYRUSKV_STATS path.
+  std::string text;
+  ASSERT_TRUE(sim::Storage::ReadFileToString(stats, &text).ok());
+  obs::Snapshot agg;
+  obs::StatsMeta meta;
+  ASSERT_TRUE(obs::ParseStatsJson(text, &agg, &meta));
+  EXPECT_TRUE(meta.aggregated);
+  EXPECT_EQ(meta.nranks, 2);
+
+  // Operation latency histograms cover both ranks and report percentiles.
+  const obs::HistogramData& put = agg.histograms.at("kv.put_us");
+  EXPECT_EQ(put.count, 400u);
+  EXPECT_GE(put.Percentile(99), put.Percentile(50));
+  EXPECT_EQ(agg.histograms.at("kv.get_us").count, 100u);
+  EXPECT_GT(agg.histograms.at("kv.barrier_us").count, 0u);
+  EXPECT_GT(agg.histograms.at("store.flush_us").count, 0u);
+
+  // Database counters: all 400 puts are accounted for somewhere.
+  EXPECT_EQ(SumCounters(agg, "db.edb.puts_"), 400u);
+  EXPECT_GT(agg.counters.at("db.edb.flushes"), 0u);
+
+  // Network: the shared keyspace forced remote traffic.
+  EXPECT_GT(agg.counters.at("sim.net.messages"), 0u);
+  EXPECT_GT(agg.counters.at("sim.net.bytes"), 0u);
+  EXPECT_GT(SumCounters(agg, "net.req.", ".msgs"), 0u);
+
+  // Device I/O: the SSTABLE barrier flushed MemTables to the simulated NVM.
+  EXPECT_GT(SumCounters(agg, "sim.dev.", ".write_ops"), 0u);
+  EXPECT_GT(SumCounters(agg, "sim.dev.", ".bytes_written"), 0u);
+}
+
+TEST_F(ObsE2eTest, TraceEnvProducesChromeTrace) {
+  const std::string trace = tmp_.path() + "/trace.json";
+  setenv("PAPYRUSKV_TRACE", trace.c_str(), 1);
+  const std::string repo = tmp_.path() + "/repo";
+
+  net::RunRanks(2, [&](net::RankContext& ctx) {
+    ASSERT_EQ(papyruskv_init(nullptr, nullptr, repo.c_str()),
+              PAPYRUSKV_SUCCESS);
+    Workload(ctx.rank);
+    ASSERT_EQ(papyruskv_finalize(), PAPYRUSKV_SUCCESS);
+  });
+
+  // Every rank flushed, so every rank recorded at least one span.
+  for (int r = 0; r < 2; ++r) {
+    const std::string path = obs::StatsPathForRank(trace, r);
+    std::string text;
+    ASSERT_TRUE(sim::Storage::ReadFileToString(path, &text).ok()) << path;
+    obs::JsonValue v;
+    ASSERT_TRUE(obs::ParseJson(text, &v)) << path;
+    const obs::JsonValue* events = v.Find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    EXPECT_GT(events->array.size(), 0u);
+    bool saw_flush = false;
+    for (const auto& ev : events->array) {
+      EXPECT_EQ(ev.Find("ph")->str, "X");
+      EXPECT_DOUBLE_EQ(ev.Find("pid")->number, r);
+      if (ev.Find("name")->str == "flush") saw_flush = true;
+    }
+    EXPECT_TRUE(saw_flush) << path;
+  }
+}
+
+TEST_F(ObsE2eTest, StatsApiBufferContract) {
+  const std::string repo = tmp_.path() + "/repo";
+  net::RunRanks(1, [&](net::RankContext&) {
+    ASSERT_EQ(papyruskv_init(nullptr, nullptr, repo.c_str()),
+              PAPYRUSKV_SUCCESS);
+    papyruskv_db_t db;
+    ASSERT_EQ(papyruskv_open("edb", PAPYRUSKV_CREATE | PAPYRUSKV_RDWR,
+                             nullptr, &db),
+              PAPYRUSKV_SUCCESS);
+    const std::string key = "k", value = "v";
+    ASSERT_EQ(papyruskv_put(db, key.data(), key.size(), value.data(),
+                            value.size()),
+              PAPYRUSKV_SUCCESS);
+
+    // Size query.
+    size_t len = 0;
+    ASSERT_EQ(papyruskv_stats(-1, nullptr, &len), PAPYRUSKV_SUCCESS);
+    ASSERT_GT(len, 0u);
+
+    // Too-small buffer: error, required size reported.
+    std::string buf(8, 0);
+    size_t small = buf.size();
+    EXPECT_EQ(papyruskv_stats(-1, buf.data(), &small), PAPYRUSKV_INVALID_ARG);
+    EXPECT_EQ(small, len);
+
+    // Exact-size buffer: the document, and it parses.
+    buf.assign(len, 0);
+    size_t got = buf.size();
+    ASSERT_EQ(papyruskv_stats(db, buf.data(), &got), PAPYRUSKV_SUCCESS);
+    ASSERT_EQ(got, len);
+    obs::Snapshot snap;
+    obs::StatsMeta meta;
+    ASSERT_TRUE(obs::ParseStatsJson(buf, &snap, &meta));
+    EXPECT_EQ(meta.nranks, 1);
+    EXPECT_EQ(snap.histograms.at("kv.put_us").count, 1u);
+
+    // Bad arguments.
+    EXPECT_EQ(papyruskv_stats(db + 1000, nullptr, &len),
+              PAPYRUSKV_INVALID_DB);
+    EXPECT_EQ(papyruskv_stats(-1, nullptr, nullptr), PAPYRUSKV_INVALID_ARG);
+
+    // Reset zeroes the live registry; the next dump reflects it.
+    ASSERT_EQ(papyruskv_stats_reset(), PAPYRUSKV_SUCCESS);
+    size_t len2 = 0;
+    ASSERT_EQ(papyruskv_stats(-1, nullptr, &len2), PAPYRUSKV_SUCCESS);
+    buf.assign(len2, 0);
+    ASSERT_EQ(papyruskv_stats(-1, buf.data(), &len2), PAPYRUSKV_SUCCESS);
+    ASSERT_TRUE(obs::ParseStatsJson(buf, &snap, &meta));
+    EXPECT_EQ(snap.histograms.at("kv.put_us").count, 0u);
+
+    ASSERT_EQ(papyruskv_close(db), PAPYRUSKV_SUCCESS);
+    ASSERT_EQ(papyruskv_finalize(), PAPYRUSKV_SUCCESS);
+  });
+
+  // Outside any runtime the API reports the closed state.
+  size_t len = 0;
+  EXPECT_EQ(papyruskv_stats(-1, nullptr, &len), PAPYRUSKV_CLOSED);
+  EXPECT_EQ(papyruskv_stats_reset(), PAPYRUSKV_CLOSED);
+}
+
+}  // namespace
+}  // namespace papyrus

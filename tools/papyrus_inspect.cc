@@ -3,14 +3,18 @@
 //   papyrus_inspect <rank dir>               # catalog: live SSTables
 //   papyrus_inspect <rank dir> --ssid=N      # dump one table's records
 //   papyrus_inspect <rank dir> --verify      # CRC-check every record
+//   papyrus_inspect --stats <stats.json>     # render a PAPYRUSKV_STATS dump
 //
 // Works on any directory produced by the library (a repository's
 // <group>/<db>/rank<k>, or a checkpoint's rank<k> snapshot directory) —
-// the same recovery scan the zero-copy reopen uses.
+// the same recovery scan the zero-copy reopen uses.  --stats reads the
+// JSON a run wrote when PAPYRUSKV_STATS=path was set (per-rank or the
+// rank-0 aggregate) and prints it as tables.
 #include <cstdio>
 #include <cstring>
 #include <string>
 
+#include "obs/export.h"
 #include "sim/storage.h"
 #include "store/format.h"
 #include "store/manifest.h"
@@ -126,14 +130,65 @@ int Verify(store::Manifest& manifest) {
   return bad == 0 ? 0 : 1;
 }
 
+int ShowStats(const std::string& path) {
+  std::string text;
+  // Stats dumps are host-side files (written with plain stdio), but
+  // ReadFileToString works on any readable path.
+  Status s = sim::Storage::ReadFileToString(path, &text);
+  if (!s.ok()) {
+    fprintf(stderr, "cannot read %s: %s\n", path.c_str(),
+            s.ToString().c_str());
+    return 1;
+  }
+  obs::Snapshot snap;
+  obs::StatsMeta meta;
+  if (!obs::ParseStatsJson(text, &snap, &meta)) {
+    fprintf(stderr, "%s is not a PapyrusKV stats-v1 dump\n", path.c_str());
+    return 1;
+  }
+  if (meta.aggregated) {
+    printf("aggregated stats over %d rank(s)\n", meta.nranks);
+  } else {
+    printf("stats for rank %d of %d\n", meta.rank, meta.nranks);
+  }
+  if (!snap.histograms.empty()) {
+    printf("\n%-34s %10s %10s %10s %10s %10s\n", "histogram (us)", "count",
+           "mean", "p50", "p95", "p99");
+    for (const auto& [name, h] : snap.histograms) {
+      printf("%-34s %10llu %10.1f %10.1f %10.1f %10.1f\n", name.c_str(),
+             static_cast<unsigned long long>(h.count), h.Mean(),
+             h.Percentile(50), h.Percentile(95), h.Percentile(99));
+    }
+  }
+  if (!snap.counters.empty()) {
+    printf("\n%-42s %16s\n", "counter", "value");
+    for (const auto& [name, v] : snap.counters) {
+      printf("%-42s %16llu\n", name.c_str(),
+             static_cast<unsigned long long>(v));
+    }
+  }
+  if (!snap.gauges.empty()) {
+    printf("\n%-42s %16s\n", "gauge", "value");
+    for (const auto& [name, v] : snap.gauges) {
+      printf("%-42s %16lld\n", name.c_str(), static_cast<long long>(v));
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc == 3 && strcmp(argv[1], "--stats") == 0) {
+    return ShowStats(argv[2]);
+  }
   if (argc < 2) {
     fprintf(stderr,
             "usage: %s <rank dir> [--ssid=N | --verify]\n"
-            "  inspects the SSTables of one rank of a PapyrusKV database\n",
-            argv[0]);
+            "       %s --stats <stats.json>\n"
+            "  inspects the SSTables of one rank of a PapyrusKV database,\n"
+            "  or renders a PAPYRUSKV_STATS metrics dump\n",
+            argv[0], argv[0]);
     return 2;
   }
   const std::string dir = argv[1];
