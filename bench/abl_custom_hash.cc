@@ -46,7 +46,7 @@ HashResult RunHash(const Flags& flags, bool custom, int iters) {
   RunKvJob(flags.ranks, /*ranks_per_node=*/2, repo,
            [&](net::RankContext& ctx) {
              papyruskv_option_t opt;
-             papyruskv_option_init(&opt);
+             BenchCheck(papyruskv_option_init(&opt), "papyruskv_option_init");
              if (custom) opt.hash = BlockAffinityHash;
              papyruskv_db_t db;
              if (papyruskv_open("hash", PAPYRUSKV_CREATE | PAPYRUSKV_RDWR,
@@ -58,10 +58,10 @@ HashResult RunHash(const Flags& flags, bool custom, int iters) {
              for (int j = 0; j < iters; ++j) {
                const std::string k = "block" + std::to_string(ctx.rank) +
                                      "/item" + std::to_string(j);
-               papyruskv_put(db, k.data(), k.size(), value.data(),
-                             value.size());
+               BenchCheck(papyruskv_put(db, k.data(), k.size(), value.data(),
+                             value.size()), "papyruskv_put");
              }
-             papyruskv_barrier(db, PAPYRUSKV_SSTABLE);
+             BenchCheck(papyruskv_barrier(db, PAPYRUSKV_SSTABLE), "papyruskv_barrier");
 
              // Affinity reads: each rank re-reads its own block.
              Stopwatch sw;
@@ -72,7 +72,7 @@ HashResult RunHash(const Flags& flags, bool custom, int iters) {
                size_t n = 0;
                if (papyruskv_get(db, k.data(), k.size(), &v, &n) ==
                    PAPYRUSKV_SUCCESS) {
-                 papyruskv_free(db, v);
+                 BenchCheck(papyruskv_free(db, v), "papyruskv_free");
                }
              }
              get_t = GatherStats(ctx.comm, sw.ElapsedSeconds());
@@ -82,7 +82,7 @@ HashResult RunHash(const Flags& flags, bool custom, int iters) {
                out.gets_local = stats.gets_local;
                out.gets_remote = stats.gets_remote;
              }
-             papyruskv_close(db);
+             BenchCheck(papyruskv_close(db), "papyruskv_close");
            });
   CleanupRepo(repo);
   const uint64_t total_ops =

@@ -35,7 +35,7 @@ void RunConfig(const Flags& flags, const Config& cfg, size_t vallen,
   size_t tables = 0;
   RunKvJob(flags.ranks, flags.ranks, repo, [&](net::RankContext& ctx) {
     papyruskv_option_t opt;
-    papyruskv_option_init(&opt);
+    BenchCheck(papyruskv_option_init(&opt), "papyruskv_option_init");
     opt.bloom_bits_per_key = cfg.bloom_bits;
     opt.cache_local = cfg.cache_local;
     opt.memtable_size = cfg.memtable;
@@ -49,9 +49,9 @@ void RunConfig(const Flags& flags, const Config& cfg, size_t vallen,
                                flags.keylen);
     const std::string& value = ValueBlob(vallen);
     for (const auto& k : keys) {
-      papyruskv_put(db, k.data(), k.size(), value.data(), value.size());
+      BenchCheck(papyruskv_put(db, k.data(), k.size(), value.data(), value.size()), "papyruskv_put");
     }
-    papyruskv_barrier(db, PAPYRUSKV_SSTABLE);
+    BenchCheck(papyruskv_barrier(db, PAPYRUSKV_SSTABLE), "papyruskv_barrier");
 
     Rng rng(3 + static_cast<uint64_t>(ctx.rank));
     Stopwatch sw;
@@ -61,7 +61,7 @@ void RunConfig(const Flags& flags, const Config& cfg, size_t vallen,
       size_t n = 0;
       if (papyruskv_get(db, k.data(), k.size(), &v, &n) ==
           PAPYRUSKV_SUCCESS) {
-        papyruskv_free(db, v);
+        BenchCheck(papyruskv_free(db, v), "papyruskv_free");
       }
     }
     get_t = GatherStats(ctx.comm, sw.ElapsedSeconds());
@@ -70,7 +70,7 @@ void RunConfig(const Flags& flags, const Config& cfg, size_t vallen,
       stats = shard->StatsSnapshot();
       tables = shard->manifest().TableCount();
     }
-    papyruskv_close(db);
+    BenchCheck(papyruskv_close(db), "papyruskv_close");
   });
   CleanupRepo(repo);
   const uint64_t total_ops = static_cast<uint64_t>(iters) * 2 *

@@ -25,7 +25,7 @@ void RunCase(const Flags& flags, const char* label, int mode,
   RunKvJob(flags.ranks, /*ranks_per_node=*/2, repo,
            [&](net::RankContext& ctx) {
              papyruskv_option_t opt;
-             papyruskv_option_init(&opt);
+             BenchCheck(papyruskv_option_init(&opt), "papyruskv_option_init");
              opt.consistency = mode;
              opt.memtable_size = memtable_bytes;
              papyruskv_db_t db;
@@ -40,12 +40,12 @@ void RunCase(const Flags& flags, const char* label, int mode,
              const std::string& value = ValueBlob(vallen);
              Stopwatch sw;
              for (const auto& k : keys) {
-               papyruskv_put(db, k.data(), k.size(), value.data(),
-                             value.size());
+               BenchCheck(papyruskv_put(db, k.data(), k.size(), value.data(),
+                             value.size()), "papyruskv_put");
              }
              const double put_s = sw.ElapsedSeconds();
              Stopwatch fence_sw;
-             papyruskv_fence(db);
+             BenchCheck(papyruskv_fence(db), "papyruskv_fence");
              const double fence_s = fence_sw.ElapsedSeconds();
              put_t = GatherStats(ctx.comm, put_s);
              fence_t = GatherStats(ctx.comm, fence_s);
@@ -53,7 +53,7 @@ void RunCase(const Flags& flags, const char* label, int mode,
              if (ctx.rank == 0) {
                messages = ctx.world->interconnect().messages() - msgs_before;
              }
-             papyruskv_close(db);
+             BenchCheck(papyruskv_close(db), "papyruskv_close");
            });
   CleanupRepo(repo);
   const uint64_t total_ops =

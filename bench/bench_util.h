@@ -20,6 +20,14 @@
 
 namespace papyrus::bench {
 
+// Aborts the bench on an unexpected error code: a bench that silently
+// measures failed operations produces numbers that mean nothing.
+inline void BenchCheck(int rc, const char* what) {
+  if (rc != PAPYRUSKV_SUCCESS) {
+    throw std::runtime_error(std::string(what) + ": " + ErrorName(rc));
+  }
+}
+
 // Runs `fn` on an emulated job of `nranks` ranks (ranks_per_node per node)
 // with PapyrusKV initialized on repository `repo_spec` ("nvme:/path" etc.).
 // The repository directory is wiped before the job so runs are independent.
@@ -29,7 +37,8 @@ inline void RunKvJob(int nranks, int ranks_per_node,
   sim::DeviceClass cls;
   std::string root;
   core::ParseRepositorySpec(repo_spec, &cls, &root);
-  sim::Storage::RemoveDirRecursive(root);
+  // Best-effort wipe; a stale directory only means the run is not fresh.
+  sim::Storage::RemoveDirRecursive(root).IgnoreError();
 
   sim::Topology topo;
   topo.nranks = nranks;
@@ -54,7 +63,7 @@ inline void CleanupRepo(const std::string& repo_spec) {
   sim::DeviceClass cls;
   std::string root;
   core::ParseRepositorySpec(repo_spec, &cls, &root);
-  sim::Storage::RemoveDirRecursive(root);
+  sim::Storage::RemoveDirRecursive(root).IgnoreError();
 }
 
 inline void ApplyScale(const Flags& flags, double bench_default) {

@@ -43,7 +43,7 @@ int main(int argc, char** argv) {
       RunKvJob(flags.ranks, flags.ranks, repo, [&](net::RankContext& ctx) {
         papyruskv_db_t db;
         papyruskv_option_t opt;
-        papyruskv_option_init(&opt);
+        BenchCheck(papyruskv_option_init(&opt), "papyruskv_option_init");
         opt.consistency = PAPYRUSKV_RELAXED;  // the paper's Fig. 6 mode
         if (papyruskv_open("fig06", PAPYRUSKV_CREATE | PAPYRUSKV_RDWR, &opt,
                            &db) != PAPYRUSKV_SUCCESS) {
@@ -55,7 +55,7 @@ int main(int argc, char** argv) {
         bar_t = GatherStats(ctx.comm, r.barrier_seconds);
         get_t = GatherStats(ctx.comm, r.get_seconds);
         if (ctx.rank == 0) local = r;
-        papyruskv_close(db);
+        BenchCheck(papyruskv_close(db), "papyruskv_close");
       });
       const uint64_t total_ops =
           static_cast<uint64_t>(iters) * static_cast<uint64_t>(flags.ranks);

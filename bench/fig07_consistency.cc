@@ -31,7 +31,7 @@ Series RunMode(const Flags& flags, int nranks, int mode, size_t vallen,
   RankStats put_t, total_t;
   RunKvJob(nranks, /*ranks_per_node=*/2, repo, [&](net::RankContext& ctx) {
     papyruskv_option_t opt;
-    papyruskv_option_init(&opt);
+    BenchCheck(papyruskv_option_init(&opt), "papyruskv_option_init");
     opt.consistency = mode;
     papyruskv_db_t db;
     if (papyruskv_open("fig07", PAPYRUSKV_CREATE | PAPYRUSKV_RDWR, &opt,
@@ -44,15 +44,15 @@ Series RunMode(const Flags& flags, int nranks, int mode, size_t vallen,
 
     Stopwatch sw;
     for (const auto& k : keys) {
-      papyruskv_put(db, k.data(), k.size(), value.data(), value.size());
+      BenchCheck(papyruskv_put(db, k.data(), k.size(), value.data(), value.size()), "papyruskv_put");
     }
     const double put_s = sw.ElapsedSeconds();
-    papyruskv_barrier(db, PAPYRUSKV_SSTABLE);
+    BenchCheck(papyruskv_barrier(db, PAPYRUSKV_SSTABLE), "papyruskv_barrier");
     const double total_s = sw.ElapsedSeconds();
 
     put_t = GatherStats(ctx.comm, put_s);
     total_t = GatherStats(ctx.comm, total_s);
-    papyruskv_close(db);
+    BenchCheck(papyruskv_close(db), "papyruskv_close");
   });
   CleanupRepo(repo);
   const uint64_t total_ops =

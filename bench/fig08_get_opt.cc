@@ -28,7 +28,7 @@ double RunConfig(const Flags& flags, int nranks, bool storage_group,
   RankStats get_t;
   RunKvJob(nranks, /*ranks_per_node=*/4, repo, [&](net::RankContext& ctx) {
     papyruskv_option_t opt;
-    papyruskv_option_init(&opt);
+    BenchCheck(papyruskv_option_init(&opt), "papyruskv_option_init");
     opt.bin_search = bin_search ? 1 : 0;
     opt.memtable_size = 256 * 1024;  // ensure data reaches SSTables
     opt.cache_local = 0;             // measure the SSTable path itself
@@ -39,7 +39,7 @@ double RunConfig(const Flags& flags, int nranks, bool storage_group,
     }
     const BasicResult r = RunBasic(db, ctx.rank, flags.keylen, vallen, iters);
     get_t = GatherStats(ctx.comm, r.get_seconds);
-    papyruskv_close(db);
+    BenchCheck(papyruskv_close(db), "papyruskv_close");
   });
   unsetenv("PAPYRUSKV_GROUP_SIZE");
   CleanupRepo(repo);

@@ -26,7 +26,7 @@ double RunRatio(const Flags& flags, int nranks, int update_pct, bool protect,
   RankStats phase_t;
   RunKvJob(nranks, /*ranks_per_node=*/4, repo, [&](net::RankContext& ctx) {
     papyruskv_option_t opt;
-    papyruskv_option_init(&opt);
+    BenchCheck(papyruskv_option_init(&opt), "papyruskv_option_init");
     opt.consistency = PAPYRUSKV_SEQUENTIAL;  // the paper's Fig. 9 mode
     papyruskv_db_t db;
     if (papyruskv_open("fig09", PAPYRUSKV_CREATE | PAPYRUSKV_RDWR, &opt,
@@ -38,29 +38,29 @@ double RunRatio(const Flags& flags, int nranks, int update_pct, bool protect,
                                flags.keylen);
     const std::string& value = ValueBlob(vallen);
     for (const auto& k : keys) {
-      papyruskv_put(db, k.data(), k.size(), value.data(), value.size());
+      BenchCheck(papyruskv_put(db, k.data(), k.size(), value.data(), value.size()), "papyruskv_put");
     }
-    papyruskv_barrier(db, PAPYRUSKV_MEMTABLE);
-    if (protect) papyruskv_protect(db, PAPYRUSKV_RDONLY);
+    BenchCheck(papyruskv_barrier(db, PAPYRUSKV_MEMTABLE), "papyruskv_barrier");
+    if (protect) BenchCheck(papyruskv_protect(db, PAPYRUSKV_RDONLY), "papyruskv_protect");
 
     Rng rng(17 + static_cast<uint64_t>(ctx.rank));
     Stopwatch sw;
     for (int i = 0; i < iters; ++i) {
       const std::string& k = keys[rng.Uniform(keys.size())];
       if (static_cast<int>(rng.Uniform(100)) < update_pct) {
-        papyruskv_put(db, k.data(), k.size(), value.data(), value.size());
+        BenchCheck(papyruskv_put(db, k.data(), k.size(), value.data(), value.size()), "papyruskv_put");
       } else {
         char* v = nullptr;
         size_t n = 0;
         if (papyruskv_get(db, k.data(), k.size(), &v, &n) ==
             PAPYRUSKV_SUCCESS) {
-          papyruskv_free(db, v);
+          BenchCheck(papyruskv_free(db, v), "papyruskv_free");
         }
       }
     }
     phase_t = GatherStats(ctx.comm, sw.ElapsedSeconds());
-    if (protect) papyruskv_protect(db, PAPYRUSKV_RDWR);
-    papyruskv_close(db);
+    if (protect) BenchCheck(papyruskv_protect(db, PAPYRUSKV_RDWR), "papyruskv_protect");
+    BenchCheck(papyruskv_close(db), "papyruskv_close");
   });
   if (protect) unsetenv("PAPYRUSKV_CACHE_REMOTE");
   CleanupRepo(repo);

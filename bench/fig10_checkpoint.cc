@@ -42,7 +42,7 @@ CrTimes RunCr(const Flags& flags, int nranks, size_t vallen, int iters) {
                                flags.keylen);
     const std::string& value = ValueBlob(vallen);
     for (const auto& k : keys) {
-      papyruskv_put(db, k.data(), k.size(), value.data(), value.size());
+      BenchCheck(papyruskv_put(db, k.data(), k.size(), value.data(), value.size()), "papyruskv_put");
     }
 
     // Checkpoint.
@@ -53,7 +53,7 @@ CrTimes RunCr(const Flags& flags, int nranks, size_t vallen, int iters) {
       throw std::runtime_error("checkpoint failed");
     }
     ckpt_t = GatherStats(ctx.comm, sw.ElapsedSeconds());
-    papyruskv_destroy(db, nullptr);
+    BenchCheck(papyruskv_destroy(db, nullptr), "papyruskv_destroy");
 
     // Restart (same rank count → file copy path).
     sw.Reset();
@@ -64,7 +64,7 @@ CrTimes RunCr(const Flags& flags, int nranks, size_t vallen, int iters) {
       throw std::runtime_error("restart failed");
     }
     restart_t = GatherStats(ctx.comm, sw.ElapsedSeconds());
-    papyruskv_destroy(db2, nullptr);
+    BenchCheck(papyruskv_destroy(db2, nullptr), "papyruskv_destroy");
 
     // Restart with forced redistribution (the paper forces it even though
     // the rank count matches).
@@ -78,7 +78,7 @@ CrTimes RunCr(const Flags& flags, int nranks, size_t vallen, int iters) {
     }
     rd_t = GatherStats(ctx.comm, sw.ElapsedSeconds());
     unsetenv("PAPYRUSKV_FORCE_REDISTRIBUTE");
-    papyruskv_destroy(db3, nullptr);
+    BenchCheck(papyruskv_destroy(db3, nullptr), "papyruskv_destroy");
   });
   CleanupRepo(repo);
   CleanupRepo(lustre);

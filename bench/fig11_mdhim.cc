@@ -28,7 +28,7 @@ double RunPkv(const Flags& flags, int nranks, const char* storage,
   RankStats phase_t;
   RunKvJob(nranks, /*ranks_per_node=*/4, repo, [&](net::RankContext& ctx) {
     papyruskv_option_t opt;
-    papyruskv_option_init(&opt);
+    BenchCheck(papyruskv_option_init(&opt), "papyruskv_option_init");
     opt.consistency = PAPYRUSKV_SEQUENTIAL;
     papyruskv_db_t db;
     if (papyruskv_open("fig11", PAPYRUSKV_CREATE | PAPYRUSKV_RDWR, &opt,
@@ -38,7 +38,7 @@ double RunPkv(const Flags& flags, int nranks, const char* storage,
     const WorkloadResult r =
         RunWorkload(db, ctx.rank, flags.keylen, vallen, iters, 50);
     phase_t = GatherStats(ctx.comm, r.phase_seconds);
-    papyruskv_close(db);
+    BenchCheck(papyruskv_close(db), "papyruskv_close");
   });
   CleanupRepo(repo);
   const uint64_t total_ops =
@@ -53,7 +53,7 @@ double RunMdhim(const Flags& flags, int nranks, const char* storage,
   sim::DeviceClass cls;
   std::string root;
   core::ParseRepositorySpec(repo, &cls, &root);
-  sim::Storage::RemoveDirRecursive(root);
+  sim::Storage::RemoveDirRecursive(root).IgnoreError();
 
   RankStats phase_t;
   sim::Topology topo;
@@ -68,7 +68,10 @@ double RunMdhim(const Flags& flags, int nranks, const char* storage,
     const auto keys = MakeKeys(ctx.rank, static_cast<size_t>(iters),
                                flags.keylen);
     const std::string& value = ValueBlob(vallen);
-    for (const auto& k : keys) db->Put(k, value);
+    for (const auto& k : keys) {
+      Status ps = db->Put(k, value);
+      if (!ps.ok()) throw std::runtime_error("mdhim load: " + ps.ToString());
+    }
     ctx.comm.Barrier();
 
     Rng rng(0xbadc0de + static_cast<uint64_t>(ctx.rank));
@@ -76,16 +79,22 @@ double RunMdhim(const Flags& flags, int nranks, const char* storage,
     for (int i = 0; i < iters; ++i) {
       const std::string& k = keys[rng.Uniform(keys.size())];
       if (rng.Uniform(100) < 50) {
-        db->Put(k, value);
+        if (!db->Put(k, value).ok()) {
+          throw std::runtime_error("mdhim put failed");
+        }
       } else {
         std::string v;
-        db->Get(k, &v);
+        Status gs = db->Get(k, &v);
+        if (!gs.ok() && !gs.IsNotFound()) {
+          throw std::runtime_error("mdhim get failed");
+        }
       }
     }
     phase_t = GatherStats(ctx.comm, sw.ElapsedSeconds());
-    db->Close();
+    Status cs = db->Close();
+    if (!cs.ok()) throw std::runtime_error("mdhim close: " + cs.ToString());
   });
-  sim::Storage::RemoveDirRecursive(root);
+  sim::Storage::RemoveDirRecursive(root).IgnoreError();
   const uint64_t total_ops =
       static_cast<uint64_t>(iters) * static_cast<uint64_t>(nranks);
   return Krps(total_ops, phase_t.max);

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "benchlib/flags.h"
 #include "benchlib/report.h"
 #include "common/timer.h"
@@ -30,22 +31,22 @@ int main(int argc, char** argv) {
   const size_t vallen = flags.vallen > 0 ? flags.vallen : 100;
   const std::string repo = flags.repo + "/micro_kv";
 
-  sim::Storage::RemoveDirRecursive(repo);
+  sim::Storage::RemoveDirRecursive(repo).IgnoreError();
   sim::SetTimeScale(0);
 
   printf("micro_kv: %d rank(s), %d ops/rank, %zuB values (hot path, no "
          "simulated delays)\n", ranks, iters, vallen);
 
   net::RunRanks(ranks, [&](net::RankContext& ctx) {
-    papyruskv_init(nullptr, nullptr, repo.c_str());
+    BenchCheck(papyruskv_init(nullptr, nullptr, repo.c_str()), "papyruskv_init");
 
     papyruskv_option_t opt;
-    papyruskv_option_init(&opt);
+    BenchCheck(papyruskv_option_init(&opt), "papyruskv_option_init");
     // Big enough that the workload never rotates a MemTable: we are
     // measuring the per-op software path, not flush I/O.
     opt.memtable_size = static_cast<size_t>(iters + 1024) * (vallen + 64);
     papyruskv_db_t db;
-    papyruskv_open("micro", PAPYRUSKV_CREATE | PAPYRUSKV_RDWR, &opt, &db);
+    BenchCheck(papyruskv_open("micro", PAPYRUSKV_CREATE | PAPYRUSKV_RDWR, &opt, &db), "papyruskv_open");
 
     // Rank-local keys only: the put/get fast path with no network hop.
     std::vector<std::string> keys;
@@ -56,20 +57,20 @@ int main(int argc, char** argv) {
     }
     const std::string value(vallen, 'v');
 
-    papyruskv_barrier(db, PAPYRUSKV_MEMTABLE);
+    BenchCheck(papyruskv_barrier(db, PAPYRUSKV_MEMTABLE), "papyruskv_barrier");
     Stopwatch put_sw;
     for (const auto& k : keys) {
-      papyruskv_put(db, k.data(), k.size(), value.data(), value.size());
+      BenchCheck(papyruskv_put(db, k.data(), k.size(), value.data(), value.size()), "papyruskv_put");
     }
     const double put_s = put_sw.ElapsedSeconds();
 
-    papyruskv_barrier(db, PAPYRUSKV_MEMTABLE);
+    BenchCheck(papyruskv_barrier(db, PAPYRUSKV_MEMTABLE), "papyruskv_barrier");
     std::string out(vallen, 0);
     Stopwatch get_sw;
     for (const auto& k : keys) {
       char* buf = out.data();
       size_t len = out.size();
-      papyruskv_get(db, k.data(), k.size(), &buf, &len);
+      BenchCheck(papyruskv_get(db, k.data(), k.size(), &buf, &len), "papyruskv_get");
     }
     const double get_s = get_sw.ElapsedSeconds();
 
@@ -87,8 +88,8 @@ int main(int argc, char** argv) {
 
     WriteBenchMetrics(ctx.comm, "micro_kv");
 
-    papyruskv_close(db);
-    papyruskv_finalize();
+    BenchCheck(papyruskv_close(db), "papyruskv_close");
+    BenchCheck(papyruskv_finalize(), "papyruskv_finalize");
   });
   return 0;
 }

@@ -102,11 +102,11 @@ void BM_SSTableSearch(benchmark::State& state) {
     for (int i = 0; i < 8192; ++i) {
       char key[32];
       snprintf(key, sizeof(key), "key%08d", i);
-      builder.Add(key, PatternValue(i, 128), 0);
+      if (!builder.Add(key, PatternValue(i, 128), 0).ok()) std::abort();
     }
-    builder.Finish();
+    if (!builder.Finish().ok()) std::abort();
     store::SSTablePtr r;
-    store::SSTableReader::Open(tmp.path(), 1, &r);
+    if (!store::SSTableReader::Open(tmp.path(), 1, &r).ok()) std::abort();
     return r;
   }();
   Rng rng(5);
@@ -116,10 +116,13 @@ void BM_SSTableSearch(benchmark::State& state) {
              static_cast<int>(rng.Uniform(8192)));
     std::string value;
     bool tomb, found;
-    reader->Get(key,
-                binary ? store::SearchMode::kBinary
-                       : store::SearchMode::kLinear,
-                &value, &tomb, &found);
+    if (!reader->Get(key,
+                     binary ? store::SearchMode::kBinary
+                            : store::SearchMode::kLinear,
+                     &value, &tomb, &found)
+             .ok()) {
+      std::abort();
+    }
     benchmark::DoNotOptimize(found);
   }
   state.SetItemsProcessed(state.iterations());

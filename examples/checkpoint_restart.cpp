@@ -10,12 +10,21 @@
 // the snapshot; because the rank count changed, the runtime redistributes
 // every pair by replaying puts in parallel.
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "core/papyruskv.h"
 #include "net/runtime.h"
 
 namespace {
+
+// Aborts on an unexpected error code; examples should fail loudly.
+void Check(int rc, const char* what) {
+  if (rc != PAPYRUSKV_SUCCESS) {
+    fprintf(stderr, "%s failed: %d\n", what, rc);
+    abort();
+  }
+}
 
 constexpr int kItems = 120;
 const char* kSnapshot = "lustre:/tmp/papyrus_cr_snapshot";
@@ -27,48 +36,48 @@ std::string Value(int i, int step) {
 }
 
 void Job1(papyrus::net::RankContext& ctx) {
-  papyruskv_init(nullptr, nullptr, "nvme:/tmp/papyrus_cr_job1");
+  Check(papyruskv_init(nullptr, nullptr, "nvme:/tmp/papyrus_cr_job1"), "papyruskv_init");
   papyruskv_db_t db;
-  papyruskv_open("particles", PAPYRUSKV_CREATE | PAPYRUSKV_RDWR, nullptr,
-                 &db);
+  Check(papyruskv_open("particles", PAPYRUSKV_CREATE | PAPYRUSKV_RDWR, nullptr,
+                 &db), "papyruskv_open");
 
   // Step 0: each rank owns a contiguous block of particles.
   for (int i = ctx.rank; i < kItems; i += ctx.size()) {
     const std::string k = Key(i), v = Value(i, 0);
-    papyruskv_put(db, k.data(), k.size(), v.data(), v.size());
+    Check(papyruskv_put(db, k.data(), k.size(), v.data(), v.size()), "papyruskv_put");
   }
 
   // Asynchronous checkpoint: returns an event immediately.
   papyruskv_event_t ev;
-  papyruskv_checkpoint(db, kSnapshot, &ev);
+  Check(papyruskv_checkpoint(db, kSnapshot, &ev), "papyruskv_checkpoint");
 
   // The solver keeps working while the snapshot drains in the background —
   // these step-1 updates are NOT part of the snapshot.
   for (int i = ctx.rank; i < kItems; i += ctx.size()) {
     const std::string k = Key(i), v = Value(i, 1);
-    papyruskv_put(db, k.data(), k.size(), v.data(), v.size());
+    Check(papyruskv_put(db, k.data(), k.size(), v.data(), v.size()), "papyruskv_put");
   }
 
-  papyruskv_wait(db, ev);
+  Check(papyruskv_wait(db, ev), "papyruskv_wait");
   if (ctx.rank == 0) {
     printf("[job1] checkpoint complete; simulating a crash now\n");
   }
   // "Crash": tear down without another checkpoint.
-  papyruskv_close(db);
-  papyruskv_finalize();
+  Check(papyruskv_close(db), "papyruskv_close");
+  Check(papyruskv_finalize(), "papyruskv_finalize");
 }
 
 void Job2(papyrus::net::RankContext& ctx) {
-  papyruskv_init(nullptr, nullptr, "nvme:/tmp/papyrus_cr_job2");
+  Check(papyruskv_init(nullptr, nullptr, "nvme:/tmp/papyrus_cr_job2"), "papyruskv_init");
 
   papyruskv_db_t db;
   papyruskv_event_t ev;
   // 3 ranks now vs 4 in the snapshot: the runtime detects the mismatch and
   // redistributes by replaying every pair through the put path, hashed
   // over the *new* rank count.
-  papyruskv_restart(kSnapshot, "particles", PAPYRUSKV_RDWR, nullptr, &db,
-                    &ev);
-  papyruskv_wait(db, ev);
+  Check(papyruskv_restart(kSnapshot, "particles", PAPYRUSKV_RDWR, nullptr, &db,
+                    &ev), "papyruskv_restart");
+  Check(papyruskv_wait(db, ev), "papyruskv_wait");
 
   int restored = 0, stale = 0;
   for (int i = ctx.rank; i < kItems; i += ctx.size()) {
@@ -80,14 +89,14 @@ void Job2(papyrus::net::RankContext& ctx) {
       ++restored;
       // The snapshot must hold step-0 state: step-1 ran after the barrier.
       if (std::string(value, vallen) != Value(i, 0)) ++stale;
-      papyruskv_free(db, value);
+      Check(papyruskv_free(db, value), "papyruskv_free");
     }
   }
   printf("[job2 rank %d of %d] restored %d particles (%d stale)\n", ctx.rank,
          ctx.size(), restored, stale);
 
-  papyruskv_close(db);
-  papyruskv_finalize();
+  Check(papyruskv_close(db), "papyruskv_close");
+  Check(papyruskv_finalize(), "papyruskv_finalize");
 }
 
 }  // namespace

@@ -10,12 +10,21 @@
 // allocation; here they are two phases of the same rank function,
 // separated by a full close.
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "core/papyruskv.h"
 #include "net/runtime.h"
 
 namespace {
+
+// Aborts on an unexpected error code; examples should fail loudly.
+void Check(int rc, const char* what) {
+  if (rc != PAPYRUSKV_SUCCESS) {
+    fprintf(stderr, "%s failed: %d\n", what, rc);
+    abort();
+  }
+}
 
 constexpr int kRanks = 4;
 constexpr int kCellsPerRank = 32;
@@ -25,11 +34,11 @@ std::string CellKey(int cell) { return "cell/" + std::to_string(cell); }
 // Application 1: produce per-cell results.
 void Producer(papyrus::net::RankContext& ctx) {
   papyruskv_db_t db;
-  papyruskv_open("simulation_state", PAPYRUSKV_CREATE | PAPYRUSKV_RDWR,
-                 nullptr, &db);
+  Check(papyruskv_open("simulation_state", PAPYRUSKV_CREATE | PAPYRUSKV_RDWR,
+                 nullptr, &db), "papyruskv_open");
   // A write-only phase: declaring it lets the runtime skip local-cache
   // maintenance (§3.2).
-  papyruskv_protect(db, PAPYRUSKV_WRONLY);
+  Check(papyruskv_protect(db, PAPYRUSKV_WRONLY), "papyruskv_protect");
 
   for (int i = 0; i < kCellsPerRank; ++i) {
     const int cell = ctx.rank * kCellsPerRank + i;
@@ -37,13 +46,13 @@ void Producer(papyrus::net::RankContext& ctx) {
     const std::string value =
         "state(cell=" + std::to_string(cell) + ", energy=" +
         std::to_string(cell * 0.5) + ")";
-    papyruskv_put(db, key.data(), key.size(), value.data(), value.size());
+    Check(papyruskv_put(db, key.data(), key.size(), value.data(), value.size()), "papyruskv_put");
   }
 
-  papyruskv_protect(db, PAPYRUSKV_RDWR);
+  Check(papyruskv_protect(db, PAPYRUSKV_RDWR), "papyruskv_protect");
   // Close flushes all MemTables to SSTables: the database's on-NVM image
   // is complete and persists for the rest of the job.
-  papyruskv_close(db);
+  Check(papyruskv_close(db), "papyruskv_close");
   if (ctx.rank == 0) {
     printf("[producer] wrote %d cells and closed the database\n",
            kRanks * kCellsPerRank);
@@ -54,10 +63,10 @@ void Producer(papyrus::net::RankContext& ctx) {
 void Consumer(papyrus::net::RankContext& ctx) {
   papyruskv_db_t db;
   // No PAPYRUSKV_CREATE: the data must already be there.
-  papyruskv_open("simulation_state", PAPYRUSKV_RDWR, nullptr, &db);
+  Check(papyruskv_open("simulation_state", PAPYRUSKV_RDWR, nullptr, &db), "papyruskv_open");
   // A read-only phase: enables the remote cache for repeated remote reads
   // (§3.2).
-  papyruskv_protect(db, PAPYRUSKV_RDONLY);
+  Check(papyruskv_protect(db, PAPYRUSKV_RDONLY), "papyruskv_protect");
 
   int found = 0;
   // Every rank scans a strided slice of the global cell space.
@@ -68,25 +77,25 @@ void Consumer(papyrus::net::RankContext& ctx) {
     if (papyruskv_get(db, key.data(), key.size(), &value, &vallen) ==
         PAPYRUSKV_SUCCESS) {
       ++found;
-      papyruskv_free(db, value);
+      Check(papyruskv_free(db, value), "papyruskv_free");
     }
   }
   printf("[consumer rank %d] read %d cells produced by the previous app\n",
          ctx.rank, found);
 
-  papyruskv_protect(db, PAPYRUSKV_RDWR);
-  papyruskv_close(db);
+  Check(papyruskv_protect(db, PAPYRUSKV_RDWR), "papyruskv_protect");
+  Check(papyruskv_close(db), "papyruskv_close");
 }
 
 }  // namespace
 
 int main() {
   papyrus::net::RunRanks(kRanks, [](papyrus::net::RankContext& ctx) {
-    papyruskv_init(nullptr, nullptr, "nvme:/tmp/papyrus_workflow");
+    Check(papyruskv_init(nullptr, nullptr, "nvme:/tmp/papyrus_workflow"), "papyruskv_init");
     Producer(ctx);
     ctx.comm.Barrier();  // the job scheduler's gap between applications
     Consumer(ctx);
-    papyruskv_finalize();
+    Check(papyruskv_finalize(), "papyruskv_finalize");
   });
   printf("coupled workflow done\n");
   return 0;

@@ -8,11 +8,24 @@
 // Generates a synthetic genome, builds the distributed k-mer graph,
 // traverses it into contigs, and verifies the assembly is exact.
 #include <cstdio>
+#include <cstdlib>
 
 #include "apps/genome.h"
 #include "apps/meraculous.h"
 #include "core/papyruskv.h"
 #include "net/runtime.h"
+
+namespace {
+
+// Aborts on an unexpected error code; examples should fail loudly.
+void Check(int rc, const char* what) {
+  if (rc != PAPYRUSKV_SUCCESS) {
+    fprintf(stderr, "%s failed: %d\n", what, rc);
+    abort();
+  }
+}
+
+}  // namespace
 
 int main() {
   using namespace papyrus;
@@ -28,7 +41,7 @@ int main() {
          genome.segments.size(), genome.ufx.size(), spec.k);
 
   net::RunRanks(4, [&](net::RankContext& ctx) {
-    papyruskv_init(nullptr, nullptr, "nvme:/tmp/papyrus_kmer");
+    Check(papyruskv_init(nullptr, nullptr, "nvme:/tmp/papyrus_kmer"), "papyruskv_init");
 
     std::unique_ptr<PapyrusKmerStore> store;
     if (!PapyrusKmerStore::Open("debruijn", &store).ok()) {
@@ -58,7 +71,7 @@ int main() {
     }
 
     store.reset();  // closes the database
-    papyruskv_finalize();
+    Check(papyruskv_finalize(), "papyruskv_finalize");
   });
   return 0;
 }

@@ -5,10 +5,23 @@
 // Demonstrates: init/finalize, open/close, put/get/delete, owner hashing,
 // and the barrier that makes relaxed-mode writes globally visible.
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "core/papyruskv.h"
 #include "net/runtime.h"
+
+namespace {
+
+// Aborts on an unexpected error code; examples should fail loudly.
+void Check(int rc, const char* what) {
+  if (rc != PAPYRUSKV_SUCCESS) {
+    fprintf(stderr, "%s failed: %d\n", what, rc);
+    abort();
+  }
+}
+
+}  // namespace
 
 int main() {
   papyrus::net::RunRanks(4, [](papyrus::net::RankContext& ctx) {
@@ -22,8 +35,8 @@ int main() {
 
     // Collective open; all ranks get the same descriptor.
     papyruskv_db_t db;
-    papyruskv_open("quickstart", PAPYRUSKV_CREATE | PAPYRUSKV_RDWR, nullptr,
-                   &db);
+    Check(papyruskv_open("quickstart", PAPYRUSKV_CREATE | PAPYRUSKV_RDWR, nullptr,
+                   &db), "papyruskv_open");
 
     // Each rank inserts a few pairs.  Keys are hashed to owner ranks, so a
     // put may stay local or stage for migration to a remote owner.
@@ -31,12 +44,12 @@ int main() {
       const std::string key =
           "rank" + std::to_string(ctx.rank) + "/key" + std::to_string(i);
       const std::string value = "hello from rank " + std::to_string(ctx.rank);
-      papyruskv_put(db, key.data(), key.size(), value.data(), value.size());
+      Check(papyruskv_put(db, key.data(), key.size(), value.data(), value.size()), "papyruskv_put");
     }
 
     // Relaxed consistency (the default): writes become globally visible at
     // synchronization points.  The barrier migrates and applies everything.
-    papyruskv_barrier(db, PAPYRUSKV_MEMTABLE);
+    Check(papyruskv_barrier(db, PAPYRUSKV_MEMTABLE), "papyruskv_barrier");
 
     // Now any rank can read any rank's pairs.
     const std::string peer_key =
@@ -46,17 +59,17 @@ int main() {
     if (papyruskv_get(db, peer_key.data(), peer_key.size(), &value,
                       &vallen) == PAPYRUSKV_SUCCESS) {
       int owner = -1;
-      papyruskv_hash(db, peer_key.data(), peer_key.size(), &owner);
+      Check(papyruskv_hash(db, peer_key.data(), peer_key.size(), &owner), "papyruskv_hash");
       printf("[rank %d] %s (owner rank %d) -> \"%.*s\"\n", ctx.rank,
              peer_key.c_str(), owner, static_cast<int>(vallen), value);
-      papyruskv_free(db, value);
+      Check(papyruskv_free(db, value), "papyruskv_free");
     }
 
     // Deletes are puts of a tombstone; they follow the same consistency
     // rules.
     const std::string my_key = "rank" + std::to_string(ctx.rank) + "/key0";
-    papyruskv_delete(db, my_key.data(), my_key.size());
-    papyruskv_barrier(db, PAPYRUSKV_MEMTABLE);
+    Check(papyruskv_delete(db, my_key.data(), my_key.size()), "papyruskv_delete");
+    Check(papyruskv_barrier(db, PAPYRUSKV_MEMTABLE), "papyruskv_barrier");
 
     char* gone = nullptr;
     size_t gone_len = 0;
@@ -67,8 +80,8 @@ int main() {
              papyrus::ErrorName(rc));
     }
 
-    papyruskv_close(db);
-    papyruskv_finalize();
+    Check(papyruskv_close(db), "papyruskv_close");
+    Check(papyruskv_finalize(), "papyruskv_finalize");
   });
   printf("quickstart done\n");
   return 0;

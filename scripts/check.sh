@@ -5,12 +5,19 @@
 # The metrics registry is lock-free on the update path, so "TSan-clean"
 # is part of its contract — this script is how that is checked.
 #
-#   scripts/check.sh                 # build + ctest + TSan subset
-#   PAPYRUS_SANITIZE=address scripts/check.sh   # ASan instead of TSan
+#   scripts/check.sh                 # lint + build + ctest + TSan subset
+#   PAPYRUS_SANITIZE=address scripts/check.sh    # ASan instead of TSan
+#   PAPYRUS_SANITIZE=undefined scripts/check.sh  # UBSan instead of TSan
+#
+# scripts/ci.sh is the superset: every sanitizer, plus the Clang
+# -Werror=thread-safety build and clang-tidy when clang is installed.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SAN="${PAPYRUS_SANITIZE:-thread}"
+
+echo "== lint =="
+python3 tools/papyrus_lint.py
 
 echo "== build (default) =="
 cmake -B build -S . >/dev/null
@@ -22,13 +29,14 @@ ctest --test-dir build --output-on-failure -j "$(nproc)"
 echo "== build (-fsanitize=${SAN}) =="
 cmake -B "build-${SAN}san" -S . -DPAPYRUS_SANITIZE="${SAN}" >/dev/null
 cmake --build "build-${SAN}san" -j "$(nproc)" --target obs_test store_test \
-      core_test net_test
+      core_test net_test mutex_test
 
 echo "== tests under ${SAN} sanitizer =="
 # halt_on_error makes any report fail the run instead of just logging it.
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 export ASAN_OPTIONS="halt_on_error=1"
-for t in obs_test store_test core_test net_test; do
+export UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1"
+for t in obs_test store_test core_test net_test mutex_test; do
   echo "--- ${t} ---"
   "./build-${SAN}san/tests/${t}"
 done

@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# The full correctness pipeline, in dependency order:
+#
+#   1. lint        tools/papyrus_lint.py self-test + repo-wide run
+#   2. build+test  default build, full ctest suite
+#   3. tsa         Clang build with -Werror=thread-safety
+#                  (skipped with a notice if clang++ is not installed)
+#   4. clang-tidy  concurrency/bugprone checks (skipped if not installed)
+#   5. sanitizers  TSan, ASan, UBSan builds re-running the
+#                  concurrency-sensitive test subset
+#
+# Any stage failing fails the script (set -e); the summary line at the end
+# only prints on full success.  scripts/check.sh remains the shorter
+# developer loop (build + ctest + one sanitizer).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc)"
+SAN_TESTS=(obs_test store_test core_test net_test mutex_test)
+SKIPPED=()
+
+echo "== [1/5] lint =="
+python3 tools/papyrus_lint.py --self-test
+python3 tools/papyrus_lint.py
+
+echo "== [2/5] build + ctest =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "${JOBS}"
+ctest --test-dir build --output-on-failure -j "${JOBS}"
+
+echo "== [3/5] clang thread-safety analysis =="
+if command -v clang++ >/dev/null 2>&1; then
+  cmake -B build-tsa -S . -DCMAKE_CXX_COMPILER=clang++ \
+        -DPAPYRUS_THREAD_SAFETY=ON >/dev/null
+  cmake --build build-tsa -j "${JOBS}"
+else
+  echo "clang++ not installed — skipping (annotations are no-ops under GCC;"
+  echo "install clang and rerun for the -Werror=thread-safety gate)"
+  SKIPPED+=(thread-safety)
+fi
+
+echo "== [4/5] clang-tidy =="
+if command -v clang-tidy >/dev/null 2>&1 && [ -f build-tsa/compile_commands.json ]; then
+  find src tools -name '*.cc' -print0 |
+    xargs -0 -n 8 -P "${JOBS}" clang-tidy -p build-tsa --quiet
+else
+  echo "clang-tidy (or its compilation database) not available — skipping"
+  SKIPPED+=(clang-tidy)
+fi
+
+echo "== [5/5] sanitizers =="
+export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
+export ASAN_OPTIONS="halt_on_error=1"
+export UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1"
+for san in thread address undefined; do
+  echo "-- build (-fsanitize=${san}) --"
+  cmake -B "build-${san}san" -S . -DPAPYRUS_SANITIZE="${san}" >/dev/null
+  cmake --build "build-${san}san" -j "${JOBS}" --target "${SAN_TESTS[@]}"
+  for t in "${SAN_TESTS[@]}"; do
+    echo "--- ${san}: ${t} ---"
+    "./build-${san}san/tests/${t}"
+  done
+done
+
+echo
+if [ "${#SKIPPED[@]}" -gt 0 ]; then
+  echo "ci.sh: OK (skipped: ${SKIPPED[*]})"
+else
+  echo "ci.sh: OK"
+fi

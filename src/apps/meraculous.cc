@@ -23,7 +23,8 @@ uint64_t KmerAffinityHash(const char* key, size_t keylen) {
 Status PapyrusKmerStore::Open(const std::string& db_name,
                               std::unique_ptr<PapyrusKmerStore>* out) {
   papyruskv_option_t opt;
-  papyruskv_option_init(&opt);
+  const int orc = papyruskv_option_init(&opt);
+  if (orc != PAPYRUSKV_SUCCESS) return Status(orc, "option init");
   opt.hash = KmerAffinityHash;
   opt.keylen = 32;
   opt.vallen = 2;
@@ -37,7 +38,8 @@ Status PapyrusKmerStore::Open(const std::string& db_name,
 }
 
 PapyrusKmerStore::~PapyrusKmerStore() {
-  if (!closed_) papyruskv_close(db_);
+  // Best-effort: a destructor cannot surface the close status.
+  if (!closed_) (void)papyruskv_close(db_);
 }
 
 Status PapyrusKmerStore::Insert(const Slice& kmer, char left, char right) {

@@ -29,7 +29,8 @@ Status DsmHashTable::Open(net::RankContext& ctx,
 }
 
 DsmHashTable::~DsmHashTable() {
-  if (!closed_) Close();
+  // Best-effort: a destructor cannot surface the close status.
+  if (!closed_) Close().IgnoreError();
 }
 
 int DsmHashTable::OwnerOf(const Slice& key) const {
@@ -37,7 +38,7 @@ int DsmHashTable::OwnerOf(const Slice& key) const {
 }
 
 size_t DsmHashTable::LocalShardSize() const {
-  std::lock_guard<std::mutex> lock(shard_->mu);
+  MutexLock lock(&shard_->mu);
   return shard_->map.size();
 }
 
@@ -58,7 +59,7 @@ Status DsmHashTable::Insert(const Slice& key, const Slice& value) {
     ChargeOneSided(owner, key.size() + value.size(), /*round_trip=*/false);
   }
   Shard& shard = TargetShard(owner);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(&shard.mu);
   auto [it, fresh] = shard.map.try_emplace(key.ToString());
   it->second.value = value.ToString();
   (void)fresh;
@@ -81,7 +82,7 @@ Status DsmHashTable::Lookup(const Slice& key, std::string* value) {
     ChargeOneSided(owner, key.size() + 64, /*round_trip=*/true);
   }
   Shard& shard = TargetShard(owner);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(&shard.mu);
   auto it = shard.map.find(key.ToString());
   if (it == shard.map.end()) return Status::NotFound();
   *value = it->second.value;
@@ -96,7 +97,7 @@ Status DsmHashTable::CompareAndSwapFlag(const Slice& key, uint64_t expected,
     ChargeOneSided(owner, key.size() + 16, /*round_trip=*/true);
   }
   Shard& shard = TargetShard(owner);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(&shard.mu);
   auto it = shard.map.find(key.ToString());
   if (it == shard.map.end()) return Status::NotFound();
   if (it->second.flag == expected) {

@@ -22,11 +22,11 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/slice.h"
 #include "common/status.h"
 #include "net/runtime.h"
@@ -68,8 +68,9 @@ class DsmHashTable {
 
   // The local shard, directly accessed by remote initiator threads.
   struct Shard {
-    mutable std::mutex mu;
-    std::unordered_map<std::string, Entry> map;
+    // Leaf lock: one shard's table; never held across network charges.
+    mutable Mutex mu{"dsm_shard_mu"};
+    std::unordered_map<std::string, Entry> map GUARDED_BY(mu);
   };
 
   Shard& TargetShard(int owner) const { return *peers_[size_t(owner)]; }

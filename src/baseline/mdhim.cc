@@ -82,7 +82,8 @@ Status Mdhim::Open(net::RankContext& ctx, const std::string& dir_spec,
 }
 
 Mdhim::~Mdhim() {
-  if (!closed_) Close();
+  // Best-effort: a destructor cannot surface the close status.
+  if (!closed_) Close().IgnoreError();
 }
 
 int Mdhim::OwnerOf(const Slice& key) const {

@@ -29,7 +29,7 @@ Status MiniDb::Delete(const Slice& key) {
 Status MiniDb::PutInternal(const Slice& key, const Slice& value,
                            bool tombstone) {
   if (key.empty()) return Status::InvalidArg("empty key");
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = mem_.find(key.ToString());
   if (it != mem_.end()) {
     mem_bytes_ -= it->first.size() + it->second.value.size();
@@ -48,7 +48,7 @@ Status MiniDb::PutInternal(const Slice& key, const Slice& value,
 
 Status MiniDb::Get(const Slice& key, std::string* value) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = mem_.find(key.ToString());
     if (it != mem_.end()) {
       if (it->second.tombstone) return Status::NotFound();
@@ -72,7 +72,7 @@ Status MiniDb::Get(const Slice& key, std::string* value) {
 }
 
 Status MiniDb::Flush() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return FlushLocked();
 }
 
@@ -96,7 +96,7 @@ Status MiniDb::FlushLocked() {
 }
 
 size_t MiniDb::MemTableBytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return mem_bytes_;
 }
 

@@ -17,9 +17,9 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
+#include "common/mutex.h"
 #include "common/slice.h"
 #include "common/status.h"
 #include "store/manifest.h"
@@ -58,13 +58,13 @@ class MiniDb {
   };
 
   Status PutInternal(const Slice& key, const Slice& value, bool tombstone);
-  Status FlushLocked();
+  Status FlushLocked() REQUIRES(mu_);
 
   MiniDbOptions opt_;
   store::Manifest manifest_;
-  mutable std::mutex mu_;
-  std::map<std::string, Entry> mem_;
-  size_t mem_bytes_ = 0;
+  mutable Mutex mu_{"minidb_mu"};
+  std::map<std::string, Entry> mem_ GUARDED_BY(mu_);
+  size_t mem_bytes_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace papyrus::baseline

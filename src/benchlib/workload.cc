@@ -1,9 +1,9 @@
 #include "benchlib/workload.h"
 
 #include <map>
-#include <mutex>
 #include <stdexcept>
 
+#include "common/mutex.h"
 #include "common/random.h"
 #include "common/timer.h"
 
@@ -28,9 +28,9 @@ std::vector<std::string> MakeKeys(int rank, size_t count, size_t keylen,
 }
 
 const std::string& ValueBlob(size_t vallen) {
-  static std::mutex mu;
+  static Mutex mu("bench_blob_mu");
   static std::map<size_t, std::string> blobs;
-  std::lock_guard<std::mutex> lock(mu);
+  MutexLock lock(&mu);
   auto it = blobs.find(vallen);
   if (it == blobs.end()) {
     it = blobs.emplace(vallen, PatternValue(vallen, vallen)).first;
@@ -63,7 +63,7 @@ BasicResult RunBasic(papyruskv_db_t db, int rank, size_t keylen,
     size_t n = 0;
     const int rc = papyruskv_get(db, k.data(), k.size(), &v, &n);
     Check(rc, "get");
-    if (rc == PAPYRUSKV_SUCCESS) papyruskv_free(db, v);
+    if (rc == PAPYRUSKV_SUCCESS) Check(papyruskv_free(db, v), "free");
   }
   out.get_seconds = get_sw.ElapsedSeconds();
   return out;
@@ -96,7 +96,7 @@ WorkloadResult RunWorkload(papyruskv_db_t db, int rank, size_t keylen,
       size_t n = 0;
       const int rc = papyruskv_get(db, k.data(), k.size(), &v, &n);
       Check(rc, "read");
-      if (rc == PAPYRUSKV_SUCCESS) papyruskv_free(db, v);
+      if (rc == PAPYRUSKV_SUCCESS) Check(papyruskv_free(db, v), "free");
     }
     ++out.phase_ops;
   }

@@ -2,15 +2,20 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
 
 #include "common/env.h"
+#include "common/mutex.h"
 
 namespace papyrus {
 
 // Set by the rank runtime (net/runtime.cc) for each emulated rank thread so
-// log lines can be attributed; -1 outside any rank.
+// log lines can be attributed; -1 outside any rank.  Private to this TU —
+// see SetLogRank in the header.
+namespace {
 thread_local int tls_log_rank = -1;
+}  // namespace
+
+void SetLogRank(int rank) { tls_log_rank = rank; }
 
 namespace {
 
@@ -24,8 +29,10 @@ int LoadLevel() {
   return from_env;
 }
 
-std::mutex& LogMutex() {
-  static std::mutex m;
+// Leaf lock: serializes stderr writes only; never held while acquiring
+// another lock.
+Mutex& LogMutex() {
+  static Mutex m("log_mu");
   return m;
 }
 
@@ -48,7 +55,7 @@ void SetGlobalLogLevel(LogLevel lvl) {
 }
 
 void LogLine(LogLevel lvl, const std::string& msg) {
-  std::lock_guard<std::mutex> lock(LogMutex());
+  MutexLock lock(&LogMutex());
   if (tls_log_rank >= 0) {
     fprintf(stderr, "[%s rank %d] %s\n", LevelTag(lvl), tls_log_rank,
             msg.c_str());

@@ -13,6 +13,12 @@ enum class LogLevel : int { kOff = 0, kError = 1, kWarn = 2, kInfo = 3, kDebug =
 LogLevel GlobalLogLevel();
 void SetGlobalLogLevel(LogLevel lvl);
 
+// Tags this thread's log lines with an emulated rank (-1 = no rank).  A
+// function rather than an exported thread_local: cross-TU extern TLS
+// stores trip a GCC UBSan false positive (null-pointer store), and the
+// indirection keeps the TLS slot private to logging.cc.
+void SetLogRank(int rank);
+
 // Emits a single line, atomically, tagged with the level and the calling
 // emulated rank (if any).
 void LogLine(LogLevel lvl, const std::string& msg);

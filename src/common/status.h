@@ -37,7 +37,11 @@ const char* ErrorName(int32_t code);
 
 // A cheap value type carrying an error code plus an optional message.
 // Success carries no message and never allocates.
-class Status {
+//
+// [[nodiscard]]: silently dropping a Status hides I/O and network failures
+// (exactly the bug class the lint gate exists for).  The rare call site
+// that genuinely cannot act on the error calls IgnoreError() to say so.
+class [[nodiscard]] Status {
  public:
   Status() : code_(PAPYRUSKV_SUCCESS) {}
   explicit Status(int32_t code) : code_(code) {}
@@ -70,6 +74,10 @@ class Status {
 
   // Full rendering, e.g. "PAPYRUSKV_IO_ERROR: open failed".
   std::string ToString() const;
+
+  // Explicit escape hatch for call sites that deliberately drop the
+  // status (best-effort cleanup paths).  Grep-able, unlike a void cast.
+  void IgnoreError() const {}
 
  private:
   int32_t code_;

@@ -1,0 +1,68 @@
+// Clang thread-safety analysis attributes (the -Wthread-safety family).
+//
+// These macros wrap __attribute__((...)) so that locking invariants live in
+// the type system: a field declares the mutex that guards it (GUARDED_BY),
+// a helper declares the lock it expects held (REQUIRES), and the compiler
+// rejects any code path that violates the contract.  Under GCC (no
+// -Wthread-safety support) they compile to nothing; correctness then rests
+// on the runtime lock-order validator in common/mutex.h and the sanitizer
+// matrix.  Build with -DPAPYRUS_THREAD_SAFETY=ON under Clang to make the
+// contract enforced at compile time (scripts/ci.sh does).
+//
+// Usage rules (see DESIGN.md "Correctness tooling"):
+//   * every mutex-protected field carries GUARDED_BY(mu_);
+//   * every *_locked() / *Locked() helper carries REQUIRES(mu_);
+//   * functions that take/drop a lock internally carry ACQUIRE/RELEASE;
+//   * functions that must NOT be called with a lock held carry EXCLUDES.
+#pragma once
+
+#if defined(__clang__) && (!defined(SWIG))
+#define PAPYRUS_TSA(x) __attribute__((x))
+#else
+#define PAPYRUS_TSA(x)  // no-op: GCC and others lack -Wthread-safety
+#endif
+
+#define CAPABILITY(x) PAPYRUS_TSA(capability(x))
+#define SCOPED_CAPABILITY PAPYRUS_TSA(scoped_lockable)
+
+// Data members: the declared lock must be held to touch this field.
+#define GUARDED_BY(x) PAPYRUS_TSA(guarded_by(x))
+// Pointer members: the lock guards the pointed-to data (not the pointer).
+#define PT_GUARDED_BY(x) PAPYRUS_TSA(pt_guarded_by(x))
+
+// Lock-ordering declarations (documentation the analysis also checks).
+#define ACQUIRED_BEFORE(...) PAPYRUS_TSA(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) PAPYRUS_TSA(acquired_after(__VA_ARGS__))
+
+// Function preconditions: the listed capabilities must be held on entry
+// (and are still held on exit).
+#define REQUIRES(...) PAPYRUS_TSA(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) PAPYRUS_TSA(requires_shared_capability(__VA_ARGS__))
+
+// The function acquires the capability (held on exit, not on entry).
+#define ACQUIRE(...) PAPYRUS_TSA(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) PAPYRUS_TSA(acquire_shared_capability(__VA_ARGS__))
+// The function releases the capability (held on entry, not on exit).
+#define RELEASE(...) PAPYRUS_TSA(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) PAPYRUS_TSA(release_shared_capability(__VA_ARGS__))
+#define RELEASE_GENERIC(...) PAPYRUS_TSA(release_generic_capability(__VA_ARGS__))
+
+// Conditional acquisition: first argument is the success return value.
+#define TRY_ACQUIRE(...) PAPYRUS_TSA(try_acquire_capability(__VA_ARGS__))
+#define TRY_ACQUIRE_SHARED(...) \
+  PAPYRUS_TSA(try_acquire_shared_capability(__VA_ARGS__))
+
+// The listed capabilities must NOT be held when calling (deadlock guard for
+// functions that acquire them internally).
+#define EXCLUDES(...) PAPYRUS_TSA(locks_excluded(__VA_ARGS__))
+
+// Runtime assertion that the capability is held (for code the analysis
+// cannot follow, e.g. callbacks).
+#define ASSERT_CAPABILITY(x) PAPYRUS_TSA(assert_capability(x))
+#define ASSERT_SHARED_CAPABILITY(x) PAPYRUS_TSA(assert_shared_capability(x))
+
+// Function returns a reference to the named capability.
+#define RETURN_CAPABILITY(x) PAPYRUS_TSA(lock_returned(x))
+
+// Escape hatch: the function's locking cannot be expressed to the analysis.
+#define NO_THREAD_SAFETY_ANALYSIS PAPYRUS_TSA(no_thread_safety_analysis)

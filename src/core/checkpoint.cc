@@ -262,7 +262,7 @@ Status KvRuntime::Destroy(int dbid, int* event_out) {
   Status s = db->Barrier(PAPYRUSKV_MEMTABLE);
   if (!s.ok()) return s;
   {
-    std::lock_guard<std::mutex> lock(dbs_mu_);
+    MutexLock lock(&dbs_mu_);
     dbs_.erase(dbid);
   }
   CollectiveBarrier();

@@ -148,7 +148,7 @@ Status DbShard::LocalPut(const Slice& key, const Slice& value,
                          bool tombstone) {
   bool need_rotate = false;
   {
-    std::lock_guard<std::mutex> lock(local_mu_);
+    MutexLock lock(&local_mu_);
     mutation_epoch_.fetch_add(1, std::memory_order_release);
     const bool ok = local_->Put(key, value, tombstone, rt_.rank());
     assert(ok && "mutable local MemTable must accept puts");
@@ -161,26 +161,30 @@ Status DbShard::LocalPut(const Slice& key, const Slice& value,
     need_rotate = local_->Full();
   }
   if (need_rotate) {
-    std::lock_guard<std::mutex> rotate(local_rotate_mu_);
-    std::unique_lock<std::mutex> lock(local_mu_);
-    if (local_->Full()) RotateLocalLocked(std::move(lock));
+    MutexLock rotate(&local_rotate_mu_);
+    local_mu_.Lock();
+    if (local_->Full()) {
+      RotateLocalLocked();
+    } else {
+      local_mu_.Unlock();  // another thread already rotated
+    }
   }
   return Status::OK();
 }
 
-void DbShard::RotateLocalLocked(std::unique_lock<std::mutex> lock) {
+void DbShard::RotateLocalLocked() {
   // Caller holds local_rotate_mu_ (serializing rotations so flush-queue
-  // order matches seal order) and passes ownership of local_mu_.
+  // order matches seal order) and local_mu_, which is released below.
   store::MemTablePtr sealed = local_;
   sealed->Seal();
   imm_local_.push_front(sealed);
   local_ = std::make_shared<store::MemTable>(store::MemTable::Kind::kLocal,
                                              opt_.memtable_bytes);
   m_.memtable_local_bytes->Set(0);
-  lock.unlock();  // gets may proceed; the queue push below can block
+  local_mu_.Unlock();  // gets may proceed; the queue push below can block
 
   {
-    std::lock_guard<std::mutex> d(drain_mu_);
+    MutexLock d(&drain_mu_);
     ++pending_flushes_;
   }
   CompactionJob job;
@@ -195,7 +199,7 @@ Status DbShard::StageRemotePut(const Slice& key, const Slice& value,
   cache_remote_.Erase(key);
   bool need_rotate = false;
   {
-    std::lock_guard<std::mutex> lock(remote_mu_);
+    MutexLock lock(&remote_mu_);
     const bool ok = remote_->Put(key, value, tombstone, owner);
     assert(ok);
     (void)ok;
@@ -204,24 +208,28 @@ Status DbShard::StageRemotePut(const Slice& key, const Slice& value,
     need_rotate = remote_->Full();
   }
   if (need_rotate) {
-    std::lock_guard<std::mutex> rotate(remote_rotate_mu_);
-    std::unique_lock<std::mutex> lock(remote_mu_);
-    if (remote_->Full()) RotateRemoteLocked(std::move(lock));
+    MutexLock rotate(&remote_rotate_mu_);
+    remote_mu_.Lock();
+    if (remote_->Full()) {
+      RotateRemoteLocked();
+    } else {
+      remote_mu_.Unlock();  // another thread already rotated
+    }
   }
   return Status::OK();
 }
 
-void DbShard::RotateRemoteLocked(std::unique_lock<std::mutex> lock) {
+void DbShard::RotateRemoteLocked() {
   store::MemTablePtr sealed = remote_;
   sealed->Seal();
   imm_remote_.push_front(sealed);
   remote_ = std::make_shared<store::MemTable>(store::MemTable::Kind::kRemote,
                                               opt_.memtable_bytes);
   m_.memtable_remote_bytes->Set(0);
-  lock.unlock();
+  remote_mu_.Unlock();
 
   {
-    std::lock_guard<std::mutex> d(drain_mu_);
+    MutexLock d(&drain_mu_);
     ++pending_migrations_;
   }
   MigrationJob job;
@@ -279,7 +287,7 @@ bool DbShard::SearchLocalMemory(const Slice& key, std::string* value,
   // Search order per Figure 3: mutable local MemTable, then the immutable
   // local MemTables newest first, then the local cache.
   {
-    std::lock_guard<std::mutex> lock(local_mu_);
+    MutexLock lock(&local_mu_);
     if (local_->Get(key, value, tombstone)) {
       m_.memtable_hits->Inc();
       return true;
@@ -340,7 +348,7 @@ Status DbShard::RemoteGet(const Slice& key, std::string* value) {
   // the migration queue (newest first), remote cache, then the network.
   bool tombstone = false;
   {
-    std::lock_guard<std::mutex> lock(remote_mu_);
+    MutexLock lock(&remote_mu_);
     if (remote_->Get(key, value, &tombstone)) {
       return tombstone ? Status::NotFound() : Status::OK();
     }
@@ -432,7 +440,7 @@ Status DbShard::SearchForeignSSTables(int owner,
   for (uint64_t ssid : ssids) {
     store::SSTablePtr reader;
     {
-      std::lock_guard<std::mutex> lock(foreign_mu_);
+      MutexLock lock(&foreign_mu_);
       auto it = foreign_readers_.find({owner, ssid});
       if (it != foreign_readers_.end()) reader = it->second;
     }
@@ -440,7 +448,7 @@ Status DbShard::SearchForeignSSTables(int owner,
       Status s = store::Manifest::OpenForeign(dir, ssid, &reader);
       if (s.IsNotFound()) continue;  // gap: compacted or never existed
       if (!s.ok()) return s;
-      std::lock_guard<std::mutex> lock(foreign_mu_);
+      MutexLock lock(&foreign_mu_);
       foreign_readers_[{owner, ssid}] = reader;
     }
     if (opt_.bloom_bits_per_key > 0) {
@@ -529,7 +537,7 @@ Status DbShard::FlushImmutable(const store::MemTablePtr& mem) {
   // Retire from the in-memory registry regardless, so gets stop consulting
   // a table that is now on NVM (or was empty).
   {
-    std::lock_guard<std::mutex> lock(local_mu_);
+    MutexLock lock(&local_mu_);
     auto it = std::find(imm_local_.begin(), imm_local_.end(), mem);
     if (it != imm_local_.end()) imm_local_.erase(it);
   }
@@ -543,10 +551,10 @@ Status DbShard::FlushImmutable(const store::MemTablePtr& mem) {
     }
   }
   {
-    std::lock_guard<std::mutex> d(drain_mu_);
+    MutexLock d(&drain_mu_);
     --pending_flushes_;
   }
-  drain_cv_.notify_all();
+  drain_cv_.NotifyAll();
   return s;
 }
 
@@ -565,16 +573,16 @@ std::map<int, std::vector<KvRecord>> DbShard::CollectOwnerChunks(
 
 void DbShard::MigrationFinished(const store::MemTablePtr& mem) {
   {
-    std::lock_guard<std::mutex> lock(remote_mu_);
+    MutexLock lock(&remote_mu_);
     auto it = std::find(imm_remote_.begin(), imm_remote_.end(), mem);
     if (it != imm_remote_.end()) imm_remote_.erase(it);
   }
   m_.migrations->Inc();
   {
-    std::lock_guard<std::mutex> d(drain_mu_);
+    MutexLock d(&drain_mu_);
     --pending_migrations_;
   }
-  drain_cv_.notify_all();
+  drain_cv_.NotifyAll();
 }
 
 // ---------------------------------------------------------------------------
@@ -584,9 +592,13 @@ void DbShard::MigrationFinished(const store::MemTablePtr& mem) {
 Status DbShard::Fence() {
   obs::ScopedLatency lat(m_.fence_us);
   {
-    std::lock_guard<std::mutex> rotate(remote_rotate_mu_);
-    std::unique_lock<std::mutex> lock(remote_mu_);
-    if (remote_->Count() > 0) RotateRemoteLocked(std::move(lock));
+    MutexLock rotate(&remote_rotate_mu_);
+    remote_mu_.Lock();
+    if (remote_->Count() > 0) {
+      RotateRemoteLocked();
+    } else {
+      remote_mu_.Unlock();
+    }
   }
   WaitMigrationsDrained();
   return Status::OK();
@@ -603,9 +615,13 @@ Status DbShard::Barrier(int level) {
   rt_.CollectiveBarrier();
   if (level == PAPYRUSKV_SSTABLE) {
     {
-      std::lock_guard<std::mutex> rotate(local_rotate_mu_);
-      std::unique_lock<std::mutex> lock(local_mu_);
-      if (local_->Count() > 0) RotateLocalLocked(std::move(lock));
+      MutexLock rotate(&local_rotate_mu_);
+      local_mu_.Lock();
+      if (local_->Count() > 0) {
+        RotateLocalLocked();
+      } else {
+        local_mu_.Unlock();
+      }
     }
     WaitFlushesDrained();
     rt_.CollectiveBarrier();
@@ -645,13 +661,13 @@ Status DbShard::SetProtection(int prot) {
 Status DbShard::FlushAll() { return Barrier(PAPYRUSKV_SSTABLE); }
 
 void DbShard::WaitFlushesDrained() {
-  std::unique_lock<std::mutex> lock(drain_mu_);
-  drain_cv_.wait(lock, [&] { return pending_flushes_ == 0; });
+  MutexLock lock(&drain_mu_);
+  while (pending_flushes_ != 0) drain_cv_.Wait(&drain_mu_);
 }
 
 void DbShard::WaitMigrationsDrained() {
-  std::unique_lock<std::mutex> lock(drain_mu_);
-  drain_cv_.wait(lock, [&] { return pending_migrations_ == 0; });
+  MutexLock lock(&drain_mu_);
+  while (pending_migrations_ != 0) drain_cv_.Wait(&drain_mu_);
 }
 
 DbStats DbShard::StatsSnapshot() const {
@@ -679,11 +695,11 @@ DbStats DbShard::StatsSnapshot() const {
 size_t DbShard::MemTableBytes() const {
   size_t total = 0;
   {
-    std::lock_guard<std::mutex> lock(local_mu_);
+    MutexLock lock(&local_mu_);
     total += local_->ApproxBytes();
   }
   {
-    std::lock_guard<std::mutex> lock(remote_mu_);
+    MutexLock lock(&remote_mu_);
     total += remote_->ApproxBytes();
   }
   return total;

@@ -24,15 +24,14 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/slice.h"
 #include "common/status.h"
 #include "core/options.h"
@@ -145,10 +144,10 @@ class DbShard : public std::enable_shared_from_this<DbShard> {
                        int owner);
 
   // Seals the mutable local MemTable and hands it to the compaction
-  // thread.  Caller holds local_rotate_mu_ and passes ownership of
-  // local_mu_ (released before the possibly-blocking queue push).
-  void RotateLocalLocked(std::unique_lock<std::mutex> lock);
-  void RotateRemoteLocked(std::unique_lock<std::mutex> lock);
+  // thread.  Caller holds local_rotate_mu_ and local_mu_; the table lock
+  // is released inside, before the possibly-blocking queue push.
+  void RotateLocalLocked() REQUIRES(local_rotate_mu_) RELEASE(local_mu_);
+  void RotateRemoteLocked() REQUIRES(remote_rotate_mu_) RELEASE(remote_mu_);
 
   // Memory-resident part of the local search: mutable MemTable, queued
   // immutable MemTables, local cache.  Returns true when the key's fate is
@@ -181,17 +180,17 @@ class DbShard : public std::enable_shared_from_this<DbShard> {
 
   // Mutable tables + sealed-table registries.  imm_* are ordered newest
   // first (search order §2.6).  The *_rotate_mu_ mutexes serialize
-  // seal+enqueue so queue order always matches seal order; they are
-  // acquired before (never while holding) the corresponding table mutex.
-  std::mutex local_rotate_mu_;
-  mutable std::mutex local_mu_;
-  store::MemTablePtr local_;
-  std::deque<store::MemTablePtr> imm_local_;
+  // seal+enqueue so queue order always matches seal order.  Canonical
+  // order: rotate mutex -> table mutex -> drain mutex; never the reverse.
+  Mutex local_rotate_mu_{"db_local_rotate_mu"};
+  mutable Mutex local_mu_{"db_local_mu"};
+  store::MemTablePtr local_ GUARDED_BY(local_mu_);
+  std::deque<store::MemTablePtr> imm_local_ GUARDED_BY(local_mu_);
 
-  std::mutex remote_rotate_mu_;
-  mutable std::mutex remote_mu_;
-  store::MemTablePtr remote_;
-  std::deque<store::MemTablePtr> imm_remote_;
+  Mutex remote_rotate_mu_{"db_remote_rotate_mu"};
+  mutable Mutex remote_mu_{"db_remote_mu"};
+  store::MemTablePtr remote_ GUARDED_BY(remote_mu_);
+  std::deque<store::MemTablePtr> imm_remote_ GUARDED_BY(remote_mu_);
 
   store::LruCache cache_local_;
   store::LruCache cache_remote_;
@@ -204,14 +203,17 @@ class DbShard : public std::enable_shared_from_this<DbShard> {
   std::atomic<uint64_t> mutation_epoch_{0};
 
   // Readers for other group members' SSTables, keyed by (rank, ssid).
-  std::mutex foreign_mu_;
-  std::map<std::pair<int, uint64_t>, store::SSTablePtr> foreign_readers_;
+  // Leaf lock: held only for map lookup/insert, never across file I/O.
+  Mutex foreign_mu_{"db_foreign_mu"};
+  std::map<std::pair<int, uint64_t>, store::SSTablePtr> foreign_readers_
+      GUARDED_BY(foreign_mu_);
 
-  // Outstanding background work counters.
-  std::mutex drain_mu_;
-  std::condition_variable drain_cv_;
-  int pending_flushes_ = 0;
-  int pending_migrations_ = 0;
+  // Outstanding background work counters.  drain_mu_ is last in the
+  // canonical order: it is taken while no other shard lock is held.
+  Mutex drain_mu_{"db_drain_mu"};
+  CondVar drain_cv_;
+  int pending_flushes_ GUARDED_BY(drain_mu_) = 0;
+  int pending_migrations_ GUARDED_BY(drain_mu_) = 0;
 
   // Cached registry metrics, resolved once in the constructor so hot-path
   // updates are lock-free relaxed atomics (obs/metrics.h).  The db-scoped

@@ -6,12 +6,11 @@
 // waits on its own share of the collective operation).
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 
+#include "common/mutex.h"
 #include "common/status.h"
 
 namespace papyrus::core {
@@ -20,30 +19,31 @@ class EventState {
  public:
   void Complete(Status s) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       status_ = std::move(s);
       done_ = true;
     }
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
 
   // Blocks until Complete(); returns the operation's status.
   Status Wait() {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [&] { return done_; });
+    MutexLock lock(&mu_);
+    while (!done_) cv_.Wait(&mu_);
     return status_;
   }
 
   bool done() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return done_;
   }
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  bool done_ = false;
-  Status status_;
+  // Leaf lock: guards one event's completion state only.
+  mutable Mutex mu_{"event_mu"};
+  CondVar cv_;
+  bool done_ GUARDED_BY(mu_) = false;
+  Status status_ GUARDED_BY(mu_);
 };
 
 using EventPtr = std::shared_ptr<EventState>;
@@ -52,7 +52,7 @@ using EventPtr = std::shared_ptr<EventState>;
 class EventRegistry {
  public:
   int Create(EventPtr* out) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     const int id = next_id_++;
     auto ev = std::make_shared<EventState>();
     events_[id] = ev;
@@ -61,7 +61,7 @@ class EventRegistry {
   }
 
   EventPtr Find(int id) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = events_.find(id);
     return it == events_.end() ? nullptr : it->second;
   }
@@ -70,23 +70,26 @@ class EventRegistry {
   Status WaitAndErase(int id) {
     EventPtr ev;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       auto it = events_.find(id);
       if (it == events_.end()) return Status(PAPYRUSKV_INVALID_EVENT);
       ev = it->second;
     }
+    // Block on the event with the registry lock released (event_mu is
+    // acquired after event_registry_mu never the other way around).
     Status s = ev->Wait();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       events_.erase(id);
     }
     return s;
   }
 
  private:
-  std::mutex mu_;
-  int next_id_ = 1;
-  std::unordered_map<int, EventPtr> events_;
+  // Guards the handle table; released before blocking on any event.
+  Mutex mu_{"event_registry_mu"};
+  int next_id_ GUARDED_BY(mu_) = 1;
+  std::unordered_map<int, EventPtr> events_ GUARDED_BY(mu_);
 };
 
 }  // namespace papyrus::core

@@ -59,7 +59,7 @@ class Event {
   ~Event() {
     // An unwaited event is drained silently: the operation still ran; the
     // caller just never observed its completion code.
-    if (ev_ >= 0) papyruskv_wait(db_, ev_);
+    if (ev_ >= 0) (void)papyruskv_wait(db_, ev_);
   }
 
   // Blocks until the operation completes; throws on failure.  Idempotent.
@@ -85,7 +85,8 @@ class Runtime {
     Check(papyruskv_init(nullptr, nullptr, repository.c_str()),
           "papyruskv_init");
   }
-  ~Runtime() { papyruskv_finalize(); }
+  // Best-effort: a destructor cannot surface the finalize status.
+  ~Runtime() { (void)papyruskv_finalize(); }
   Runtime(const Runtime&) = delete;
   Runtime& operator=(const Runtime&) = delete;
 };
@@ -125,7 +126,8 @@ class Database {
   Database& operator=(const Database&) = delete;
 
   ~Database() {
-    if (db_ >= 0) papyruskv_close(db_);
+    // Best-effort: a destructor cannot surface the close status.
+    if (db_ >= 0) (void)papyruskv_close(db_);
   }
 
   // Collective.  Explicit close (flushes all MemTables to SSTables).
@@ -152,7 +154,7 @@ class Database {
     if (rc == PAPYRUSKV_NOT_FOUND) return std::nullopt;
     Check(rc, "papyruskv_get");
     std::string out(value, vallen);
-    papyruskv_free(db_, value);
+    Check(papyruskv_free(db_, value), "papyruskv_free");
     return out;
   }
 

@@ -5,7 +5,8 @@
 // calls marked "collective" below must be made by all ranks, in the same
 // order (MPI collective contract).  Every function returns a 32-bit error
 // code: PAPYRUSKV_SUCCESS (0) or a negative PAPYRUSKV_* code (common/
-// status.h).
+// status.h).  All entry points are [[nodiscard]] — an ignored return code
+// hides failures; cast to (void) only with a comment saying why.
 //
 // Typical use (see examples/quickstart.cpp):
 //
@@ -56,7 +57,7 @@ typedef struct papyruskv_option_struct {
 } papyruskv_option_t;
 
 // Fills *opt with the library defaults.
-int papyruskv_option_init(papyruskv_option_t* opt);
+[[nodiscard]] int papyruskv_option_init(papyruskv_option_t* opt);
 
 // ---- (a) Environment -------------------------------------------------------
 
@@ -64,69 +65,69 @@ int papyruskv_option_init(papyruskv_option_t* opt);
 // (nullptr/"" = $PAPYRUSKV_REPOSITORY).  The spec may carry a device-class
 // prefix: "nvme:", "ssd:", "bb:", "lustre:" (see core/layout.h).
 // Collective.
-int papyruskv_init(int* argc, char*** argv, const char* repository);
+[[nodiscard]] int papyruskv_init(int* argc, char*** argv, const char* repository);
 // Terminates the environment, closing any open databases.  Collective.
-int papyruskv_finalize();
+[[nodiscard]] int papyruskv_finalize();
 
 // ---- (b) Basic -------------------------------------------------------------
 
 // Opens or creates database `name`.  Collective; all ranks receive the same
 // descriptor.  opt == nullptr uses defaults (+PAPYRUSKV_* env overrides).
-int papyruskv_open(const char* name, int flags, papyruskv_option_t* opt,
+[[nodiscard]] int papyruskv_open(const char* name, int flags, papyruskv_option_t* opt,
                    papyruskv_db_t* db);
 // Flushes all MemTables to SSTables and closes.  Collective.
-int papyruskv_close(papyruskv_db_t db);
+[[nodiscard]] int papyruskv_close(papyruskv_db_t db);
 
 // Inserts or updates one pair.  Local puts land in the local MemTable;
 // remote puts stage in the remote MemTable (relaxed) or migrate
 // synchronously (sequential).
-int papyruskv_put(papyruskv_db_t db, const char* key, size_t keylen,
+[[nodiscard]] int papyruskv_put(papyruskv_db_t db, const char* key, size_t keylen,
                   const char* value, size_t vallen);
 
 // Retrieves the value for key.  If *value is NULL, a buffer is allocated
 // from the PapyrusKV memory pool (release with papyruskv_free); otherwise
 // *vallen must hold the caller buffer's capacity and the data is copied in.
 // On return *vallen is the value's actual length.
-int papyruskv_get(papyruskv_db_t db, const char* key, size_t keylen,
+[[nodiscard]] int papyruskv_get(papyruskv_db_t db, const char* key, size_t keylen,
                   char** value, size_t* vallen);
 
 // Deletes the pair (internally: a put of a zero-length value with the
 // tombstone bit set).
-int papyruskv_delete(papyruskv_db_t db, const char* key, size_t keylen);
+[[nodiscard]] int papyruskv_delete(papyruskv_db_t db, const char* key, size_t keylen);
 
 // Releases a buffer allocated by papyruskv_get from the memory pool.
-int papyruskv_free(papyruskv_db_t db, char* val);
+[[nodiscard]] int papyruskv_free(papyruskv_db_t db, char* val);
 
 // ---- (c) Consistency -------------------------------------------------------
 
 // Sends signal `signum` to each listed rank / waits for it from each.
-int papyruskv_signal_notify(int signum, int* ranks, int count);
-int papyruskv_signal_wait(int signum, int* ranks, int count);
+[[nodiscard]] int papyruskv_signal_notify(int signum, int* ranks, int count);
+[[nodiscard]] int papyruskv_signal_wait(int signum, int* ranks, int count);
 
 // Migrates this rank's remote MemTable (and queued immutable remote
 // MemTables) to the owner ranks immediately; returns once applied there.
-int papyruskv_fence(papyruskv_db_t db);
+[[nodiscard]] int papyruskv_fence(papyruskv_db_t db);
 
 // Collective fence.  level PAPYRUSKV_MEMTABLE: all ranks see the same
 // latest data; PAPYRUSKV_SSTABLE: additionally every MemTable is flushed
 // to SSTables.
-int papyruskv_barrier(papyruskv_db_t db, int level);
+[[nodiscard]] int papyruskv_barrier(papyruskv_db_t db, int level);
 
 // Sets the memory consistency mode (PAPYRUSKV_SEQUENTIAL / _RELAXED).
 // Collective.
-int papyruskv_consistency(papyruskv_db_t db, int mode);
+[[nodiscard]] int papyruskv_consistency(papyruskv_db_t db, int mode);
 
 // Sets the protection attribute (PAPYRUSKV_RDWR / _WRONLY / _RDONLY).
 // Collective.  WRONLY disables the local cache; RDONLY enables the remote
 // cache (§3.2).
-int papyruskv_protect(papyruskv_db_t db, int prot);
+[[nodiscard]] int papyruskv_protect(papyruskv_db_t db, int prot);
 
 // ---- (d) Persistence -------------------------------------------------------
 
 // Creates a snapshot of db under `path` (may carry a device-class prefix,
 // e.g. "lustre:/scratch/ckpt").  Asynchronous if event != NULL; wait with
 // papyruskv_wait.  Collective.
-int papyruskv_checkpoint(papyruskv_db_t db, const char* path,
+[[nodiscard]] int papyruskv_checkpoint(papyruskv_db_t db, const char* path,
                          papyruskv_event_t* event);
 
 // Reverts database `name` from the snapshot in `path`.  If the snapshot's
@@ -134,21 +135,21 @@ int papyruskv_checkpoint(papyruskv_db_t db, const char* path,
 // PAPYRUSKV_FORCE_REDISTRIBUTE=1), the pairs are redistributed across the
 // running ranks by replaying puts in parallel.  Asynchronous if event !=
 // NULL.  Collective.
-int papyruskv_restart(const char* path, const char* name, int flags,
+[[nodiscard]] int papyruskv_restart(const char* path, const char* name, int flags,
                       papyruskv_option_t* opt, papyruskv_db_t* db,
                       papyruskv_event_t* event);
 
 // Removes db and all of its data from NVM.  Asynchronous if event != NULL.
 // Collective.
-int papyruskv_destroy(papyruskv_db_t db, papyruskv_event_t* event);
+[[nodiscard]] int papyruskv_destroy(papyruskv_db_t db, papyruskv_event_t* event);
 
 // Waits for an asynchronous operation to complete.
-int papyruskv_wait(papyruskv_db_t db, papyruskv_event_t event);
+[[nodiscard]] int papyruskv_wait(papyruskv_db_t db, papyruskv_event_t event);
 
 // ---- Extensions (not in Table 1, used by benches/tests) --------------------
 
 // Owner rank for a key under db's hash (diagnostics, workload setup).
-int papyruskv_hash(papyruskv_db_t db, const char* key, size_t keylen,
+[[nodiscard]] int papyruskv_hash(papyruskv_db_t db, const char* key, size_t keylen,
                    int* rank);
 
 // ---- Observability (src/obs/) ----------------------------------------------
@@ -162,10 +163,10 @@ int papyruskv_hash(papyruskv_db_t db, const char* key, size_t keylen,
 // holds the document size (without the NUL terminator).  buf == NULL
 // queries the required size (returns SUCCESS).  A too-small buffer returns
 // PAPYRUSKV_INVALID_ARG with *len set to the required size.
-int papyruskv_stats(papyruskv_db_t db, char* buf, size_t* len);
+[[nodiscard]] int papyruskv_stats(papyruskv_db_t db, char* buf, size_t* len);
 
 // Zeroes every metric of the calling rank's registry.
-int papyruskv_stats_reset();
+[[nodiscard]] int papyruskv_stats_reset();
 
 }  // extern "C"
 

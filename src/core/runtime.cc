@@ -63,10 +63,16 @@ Status KvRuntime::Finalize() {
   // holds the same descriptor set).
   std::vector<int> open_ids;
   {
-    std::lock_guard<std::mutex> lock(rt->dbs_mu_);
+    MutexLock lock(&rt->dbs_mu_);
     for (const auto& [id, db] : rt->dbs_) open_ids.push_back(id);
   }
-  for (int id : open_ids) rt->Close(id);
+  for (int id : open_ids) {
+    Status cs = rt->Close(id);
+    if (!cs.ok()) {
+      PLOG_WARN << "finalize: closing db " << id << " failed: "
+                << cs.ToString();
+    }
+  }
   rt->ctx_.comm.Barrier();
   rt->StopThreads();
   // After StopThreads every thread reporting into metrics_ is joined, so
@@ -106,7 +112,7 @@ KvRuntime::KvRuntime(net::RankContext& ctx, const std::string& repository)
 }
 
 KvRuntime::~KvRuntime() {
-  std::lock_guard<std::mutex> lock(pool_mu_);
+  MutexLock lock(&pool_mu_);
   for (char* p : pool_allocs_) free(p);
 }
 
@@ -121,7 +127,7 @@ void KvRuntime::StopThreads() {
   // compaction threads; join them before tearing those down.
   std::vector<std::thread> aux;
   {
-    std::lock_guard<std::mutex> lock(aux_mu_);
+    MutexLock lock(&aux_mu_);
     aux.swap(aux_threads_);
   }
   for (auto& t : aux) t.join();
@@ -140,7 +146,7 @@ void KvRuntime::StopThreads() {
 }
 
 void KvRuntime::RunAsync(std::function<void()> task) {
-  std::lock_guard<std::mutex> lock(aux_mu_);
+  MutexLock lock(&aux_mu_);
   // The aux thread works on behalf of this rank: route its metrics here.
   aux_threads_.emplace_back([this, task = std::move(task)] {
     AdoptObservability();
@@ -360,7 +366,7 @@ Status KvRuntime::Open(const std::string& name, int flags, const Options& opt,
   int id;
   DbShardPtr db;
   {
-    std::lock_guard<std::mutex> lock(dbs_mu_);
+    MutexLock lock(&dbs_mu_);
     id = next_db_id_++;
     db = std::make_shared<DbShard>(*this, static_cast<uint32_t>(id), name,
                                    effective);
@@ -368,7 +374,7 @@ Status KvRuntime::Open(const std::string& name, int flags, const Options& opt,
   }
   Status s = db->Open();
   if (!s.ok()) {
-    std::lock_guard<std::mutex> lock(dbs_mu_);
+    MutexLock lock(&dbs_mu_);
     dbs_.erase(id);
     return s;
   }
@@ -387,7 +393,7 @@ Status KvRuntime::Close(int id) {
   // image — this is what the zero-copy workflow (§4.1) reopens.
   Status s = db->FlushAll();
   {
-    std::lock_guard<std::mutex> lock(dbs_mu_);
+    MutexLock lock(&dbs_mu_);
     dbs_.erase(id);
   }
   CollectiveBarrier();
@@ -395,7 +401,7 @@ Status KvRuntime::Close(int id) {
 }
 
 DbShardPtr KvRuntime::Find(int id) {
-  std::lock_guard<std::mutex> lock(dbs_mu_);
+  MutexLock lock(&dbs_mu_);
   auto it = dbs_.find(id);
   return it == dbs_.end() ? nullptr : it->second;
 }
@@ -437,14 +443,14 @@ Status KvRuntime::SignalWait(int signum, const int* ranks, int count) {
 char* KvRuntime::AllocValue(size_t n) {
   char* p = static_cast<char*>(malloc(n ? n : 1));
   if (!p) return nullptr;
-  std::lock_guard<std::mutex> lock(pool_mu_);
+  MutexLock lock(&pool_mu_);
   pool_allocs_.insert(p);
   return p;
 }
 
 Status KvRuntime::FreeValue(char* p) {
   if (!p) return Status::OK();
-  std::lock_guard<std::mutex> lock(pool_mu_);
+  MutexLock lock(&pool_mu_);
   auto it = pool_allocs_.find(p);
   if (it == pool_allocs_.end()) {
     return Status::InvalidArg("papyruskv_free: pointer not from pool");

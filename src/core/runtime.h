@@ -24,11 +24,11 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_set>
 
+#include "common/mutex.h"
 #include "common/ring_queue.h"
 #include "common/status.h"
 #include "core/db_shard.h"
@@ -177,15 +177,17 @@ class KvRuntime {
   std::thread compaction_thread_;
   std::thread dispatcher_thread_;
   std::thread handler_thread_;
-  std::mutex aux_mu_;
-  std::vector<std::thread> aux_threads_;
+  // Leaf locks: each guards exactly the fields named below and is never
+  // held while acquiring another lock.
+  Mutex aux_mu_{"rt_aux_mu"};
+  std::vector<std::thread> aux_threads_ GUARDED_BY(aux_mu_);
 
-  std::mutex dbs_mu_;
-  std::map<int, DbShardPtr> dbs_;
-  int next_db_id_ = 1;
+  Mutex dbs_mu_{"rt_dbs_mu"};
+  std::map<int, DbShardPtr> dbs_ GUARDED_BY(dbs_mu_);
+  int next_db_id_ GUARDED_BY(dbs_mu_) = 1;
 
-  std::mutex pool_mu_;
-  std::unordered_set<char*> pool_allocs_;
+  Mutex pool_mu_{"rt_pool_mu"};
+  std::unordered_set<char*> pool_allocs_ GUARDED_BY(pool_mu_);
 
   // Declared before the cached metric pointers below, which are resolved
   // from it in the constructor.

@@ -1,7 +1,6 @@
 #include "net/comm.h"
 
 #include <cassert>
-#include <chrono>
 
 #include "common/timer.h"
 
@@ -20,14 +19,14 @@ constexpr int kTagBcast = 4;
 
 void Mailbox::Deliver(Message msg) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     queue_.push_back(std::move(msg));
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 Message Mailbox::Recv(int src, int tag) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (;;) {
     const uint64_t now = NowMicros();
     uint64_t next_visible = UINT64_MAX;
@@ -46,15 +45,15 @@ Message Mailbox::Recv(int src, int tag) {
       return out;
     }
     if (next_visible != UINT64_MAX) {
-      cv_.wait_for(lock, std::chrono::microseconds(next_visible - now));
+      cv_.WaitForMicros(&mu_, next_visible - now);
     } else {
-      cv_.wait(lock);
+      cv_.Wait(&mu_);
     }
   }
 }
 
 bool Mailbox::TryRecv(int src, int tag, Message* out) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const uint64_t now = NowMicros();
   for (auto it = queue_.begin(); it != queue_.end(); ++it) {
     if (Matches(*it, src, tag) && it->visible_at_us <= now) {
@@ -73,7 +72,7 @@ Communicator World::world_comm(int rank) {
 }
 
 Mailbox& World::mailbox(uint64_t comm_id, int rank, int channel) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto& boxes = mailboxes_[comm_id];
   if (boxes.empty()) {
     boxes.resize(static_cast<size_t>(topo_.nranks) * 2);
@@ -83,7 +82,7 @@ Mailbox& World::mailbox(uint64_t comm_id, int rank, int channel) {
 }
 
 uint64_t World::DerivedComm(uint64_t parent, uint64_t seq) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto key = std::make_pair(parent, seq);
   auto it = derived_.find(key);
   if (it != derived_.end()) return it->second;

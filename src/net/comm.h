@@ -22,16 +22,15 @@
 // communicators concurrently (MPI_THREAD_MULTIPLE).
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/slice.h"
 #include "sim/interconnect.h"
 
@@ -66,9 +65,11 @@ class Mailbox {
     return (src == kAnySource || m.src == src) &&
            (tag == kAnyTag || m.tag == tag);
   }
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<Message> queue_;
+  // Leaf lock: guards one mailbox's queue; Deliver/Recv never take another
+  // lock while holding it.
+  Mutex mu_{"mailbox_mu"};
+  CondVar cv_;
+  std::deque<Message> queue_ GUARDED_BY(mu_);
 };
 
 class World;
@@ -152,11 +153,14 @@ class World {
   sim::Topology topo_;
   sim::Interconnect net_;
 
-  std::mutex mu_;
+  // Guards the registries below; the Mailbox objects themselves are stable
+  // once created (unique_ptr), so a returned reference outlives the lock.
+  Mutex mu_{"world_mu"};
   // comm_id -> per-rank mailboxes (two channels each).
-  std::map<uint64_t, std::vector<std::unique_ptr<Mailbox>>> mailboxes_;
-  std::map<std::pair<uint64_t, uint64_t>, uint64_t> derived_;
-  uint64_t next_comm_id_ = 1;
+  std::map<uint64_t, std::vector<std::unique_ptr<Mailbox>>> mailboxes_
+      GUARDED_BY(mu_);
+  std::map<std::pair<uint64_t, uint64_t>, uint64_t> derived_ GUARDED_BY(mu_);
+  uint64_t next_comm_id_ GUARDED_BY(mu_) = 1;
 };
 
 }  // namespace papyrus::net

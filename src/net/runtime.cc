@@ -1,14 +1,11 @@
 #include "net/runtime.h"
 
 #include <exception>
-#include <mutex>
 #include <thread>
 #include <vector>
 
-namespace papyrus {
-// Defined in common/logging.cc; tags log lines with the emulated rank.
-extern thread_local int tls_log_rank;
-}  // namespace papyrus
+#include "common/logging.h"
+#include "common/mutex.h"
 
 namespace papyrus::net {
 
@@ -19,7 +16,7 @@ thread_local RankContext* tls_ctx = nullptr;
 RankContext* CurrentRankContext() { return tls_ctx; }
 void SetCurrentRankContext(RankContext* ctx) {
   tls_ctx = ctx;
-  tls_log_rank = ctx ? ctx->rank : -1;
+  SetLogRank(ctx ? ctx->rank : -1);
 }
 
 void RunRanks(const sim::Topology& topo,
@@ -28,8 +25,8 @@ void RunRanks(const sim::Topology& topo,
   std::vector<std::thread> threads;
   threads.reserve(static_cast<size_t>(topo.nranks));
 
-  std::mutex err_mu;
-  std::exception_ptr first_error;
+  Mutex err_mu("rank_err_mu");
+  std::exception_ptr first_error;  // guarded by err_mu until the join below
 
   for (int r = 0; r < topo.nranks; ++r) {
     threads.emplace_back([&, r] {
@@ -42,7 +39,7 @@ void RunRanks(const sim::Topology& topo,
       try {
         fn(ctx);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(err_mu);
+        MutexLock lock(&err_mu);
         if (!first_error) first_error = std::current_exception();
       }
       SetCurrentRankContext(nullptr);

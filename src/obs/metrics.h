@@ -26,10 +26,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 
+#include "common/mutex.h"
 #include "common/timer.h"
 
 namespace papyrus::obs {
@@ -222,10 +222,15 @@ class Registry {
   static Registry& Process();
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  // Leaf lock: guards only the name→metric maps (metric *values* are
+  // lock-free atomics); held for map lookup/insert, never while calling out.
+  mutable Mutex mu_{"obs_registry_mu"};
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      GUARDED_BY(mu_);
 };
 
 // The calling thread's registry: the one installed via SetCurrentRegistry

@@ -21,7 +21,7 @@ void TraceBuffer::Add(std::string name, const char* cat, uint64_t ts_us,
   ev.ts_us = ts_us;
   ev.dur_us = dur_us;
   ev.tid = std::hash<std::thread::id>{}(std::this_thread::get_id()) & 0xffff;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (ring_.size() < capacity_) {
     ring_.push_back(std::move(ev));
   } else {
@@ -33,12 +33,12 @@ void TraceBuffer::Add(std::string name, const char* cat, uint64_t ts_us,
 }
 
 size_t TraceBuffer::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return ring_.size();
 }
 
 std::vector<TraceEvent> TraceBuffer::Events() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<TraceEvent> out;
   out.reserve(ring_.size());
   if (wrapped_) {

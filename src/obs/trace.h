@@ -13,10 +13,10 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "common/timer.h"
 
@@ -57,11 +57,13 @@ class TraceBuffer {
  private:
   std::atomic<bool> enabled_{false};
   std::atomic<uint64_t> dropped_{0};
-  mutable std::mutex mu_;
+  // Leaf lock: guards the ring only; capacity_ is set once in the
+  // constructor and read-only afterwards.
+  mutable Mutex mu_{"trace_mu"};
   size_t capacity_;
-  size_t next_ = 0;   // ring write cursor
-  bool wrapped_ = false;
-  std::vector<TraceEvent> ring_;
+  size_t next_ GUARDED_BY(mu_) = 0;  // ring write cursor
+  bool wrapped_ GUARDED_BY(mu_) = false;
+  std::vector<TraceEvent> ring_ GUARDED_BY(mu_);
 };
 
 // The calling thread's trace buffer (installed per rank alongside the

@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <map>
-#include <mutex>
 
 #include "common/env.h"
+#include "common/mutex.h"
 #include "common/timer.h"
 #include "obs/metrics.h"
 
@@ -140,8 +140,9 @@ void Device::ResetCounters() {
 }
 
 struct DeviceRegistry::Impl {
-  std::mutex mu;
-  std::map<std::string, std::shared_ptr<Device>> devices;
+  // Leaf lock: guards the mount→device map; Device counters are atomics.
+  Mutex mu{"device_registry_mu"};
+  std::map<std::string, std::shared_ptr<Device>> devices GUARDED_BY(mu);
 };
 
 DeviceRegistry::DeviceRegistry() : impl_(std::make_shared<Impl>()) {}
@@ -153,7 +154,7 @@ DeviceRegistry& DeviceRegistry::Instance() {
 
 std::shared_ptr<Device> DeviceRegistry::GetOrCreate(const std::string& root,
                                                     DeviceClass cls) {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(&impl_->mu);
   auto it = impl_->devices.find(root);
   if (it != impl_->devices.end()) return it->second;
   auto dev = std::make_shared<Device>(cls);
@@ -162,7 +163,7 @@ std::shared_ptr<Device> DeviceRegistry::GetOrCreate(const std::string& root,
 }
 
 std::shared_ptr<Device> DeviceRegistry::Lookup(const std::string& root) {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(&impl_->mu);
   // Longest-prefix match so a file path under a mounted root finds its
   // device.
   std::shared_ptr<Device> best;
@@ -180,7 +181,7 @@ std::shared_ptr<Device> DeviceRegistry::Lookup(const std::string& root) {
 }
 
 void DeviceRegistry::Clear() {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(&impl_->mu);
   impl_->devices.clear();
 }
 

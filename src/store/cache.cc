@@ -9,7 +9,7 @@ size_t ChargeOf(const Slice& key, const Slice& value) {
 }  // namespace
 
 void LruCache::Put(const Slice& key, const Slice& value, bool tombstone) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (!enabled_) return;
   auto it = map_.find(key.ToString());
   if (it != map_.end()) {
@@ -24,7 +24,7 @@ void LruCache::Put(const Slice& key, const Slice& value, bool tombstone) {
 }
 
 bool LruCache::Get(const Slice& key, std::string* value, bool* tombstone) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (!enabled_) return false;
   auto it = map_.find(key.ToString());
   if (it == map_.end()) {
@@ -47,7 +47,7 @@ void LruCache::BindCounters(obs::Counter* hits, obs::Counter* misses) {
 }
 
 void LruCache::Erase(const Slice& key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = map_.find(key.ToString());
   if (it == map_.end()) return;
   bytes_ -= ChargeOf(it->second->key, it->second->value);
@@ -56,14 +56,14 @@ void LruCache::Erase(const Slice& key) {
 }
 
 void LruCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   lru_.clear();
   map_.clear();
   bytes_ = 0;
 }
 
 void LruCache::set_enabled(bool on) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (!on) {
     lru_.clear();
     map_.clear();
@@ -73,17 +73,17 @@ void LruCache::set_enabled(bool on) {
 }
 
 bool LruCache::enabled() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return enabled_;
 }
 
 size_t LruCache::bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return bytes_;
 }
 
 size_t LruCache::count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return map_.size();
 }
 

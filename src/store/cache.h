@@ -19,10 +19,10 @@
 #include <atomic>
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
+#include "common/mutex.h"
 #include "common/slice.h"
 #include "obs/metrics.h"
 
@@ -68,14 +68,16 @@ class LruCache {
   };
   using List = std::list<Entry>;
 
-  void EvictLocked();
+  void EvictLocked() REQUIRES(mu_);
 
-  mutable std::mutex mu_;
+  // Leaf lock: guards the LRU structures; never held while calling out
+  // (counter mirrors are lock-free atomics).
+  mutable Mutex mu_{"lru_cache_mu"};
   size_t capacity_;
-  bool enabled_;
-  size_t bytes_ = 0;
-  List lru_;  // front = most recent
-  std::unordered_map<std::string, List::iterator> map_;
+  bool enabled_ GUARDED_BY(mu_);
+  size_t bytes_ GUARDED_BY(mu_) = 0;
+  List lru_ GUARDED_BY(mu_);  // front = most recent
+  std::unordered_map<std::string, List::iterator> map_ GUARDED_BY(mu_);
   std::atomic<uint64_t> hits_{0}, misses_{0};
   std::atomic<obs::Counter*> c_hits_{nullptr};
   std::atomic<obs::Counter*> c_misses_{nullptr};

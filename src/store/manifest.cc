@@ -1,7 +1,6 @@
 #include "store/manifest.h"
 
 #include <algorithm>
-#include <mutex>
 
 #include "sim/storage.h"
 #include "store/format.h"
@@ -15,7 +14,7 @@ Status Manifest::Open() {
   s = sim::Storage::ListDir(dir_, &entries);
   if (!s.ok()) return s;
 
-  std::unique_lock lock(mu_);
+  WriterMutexLock lock(&mu_);
   live_.clear();
   for (const auto& name : entries) {
     // Recover from sst_<ssid>.data (the file published last by the
@@ -34,12 +33,12 @@ Status Manifest::Open() {
 }
 
 uint64_t Manifest::NextSsid() {
-  std::unique_lock lock(mu_);
+  WriterMutexLock lock(&mu_);
   return next_ssid_++;
 }
 
 void Manifest::AddTable(uint64_t ssid) {
-  std::unique_lock lock(mu_);
+  WriterMutexLock lock(&mu_);
   live_.push_back(ssid);
   std::sort(live_.begin(), live_.end());
 }
@@ -47,7 +46,7 @@ void Manifest::AddTable(uint64_t ssid) {
 Status Manifest::ReplaceTables(const std::vector<uint64_t>& removed,
                                const std::vector<uint64_t>& added) {
   {
-    std::unique_lock lock(mu_);
+    WriterMutexLock lock(&mu_);
     for (uint64_t ssid : removed) {
       live_.erase(std::remove(live_.begin(), live_.end(), ssid), live_.end());
       readers_.erase(ssid);
@@ -68,24 +67,24 @@ Status Manifest::ReplaceTables(const std::vector<uint64_t>& removed,
 }
 
 std::vector<uint64_t> Manifest::LiveSsids() const {
-  std::shared_lock lock(mu_);
+  ReaderMutexLock lock(&mu_);
   std::vector<uint64_t> out(live_.rbegin(), live_.rend());
   return out;
 }
 
 uint64_t Manifest::LatestSsid() const {
-  std::shared_lock lock(mu_);
+  ReaderMutexLock lock(&mu_);
   return live_.empty() ? 0 : live_.back();
 }
 
 size_t Manifest::TableCount() const {
-  std::shared_lock lock(mu_);
+  ReaderMutexLock lock(&mu_);
   return live_.size();
 }
 
 Status Manifest::GetReader(uint64_t ssid, SSTablePtr* out) {
   {
-    std::shared_lock lock(mu_);
+    ReaderMutexLock lock(&mu_);
     auto it = readers_.find(ssid);
     if (it != readers_.end()) {
       *out = it->second;
@@ -98,7 +97,7 @@ Status Manifest::GetReader(uint64_t ssid, SSTablePtr* out) {
   SSTablePtr reader;
   Status s = SSTableReader::Open(dir_, ssid, &reader);
   if (!s.ok()) return s;
-  std::unique_lock lock(mu_);
+  WriterMutexLock lock(&mu_);
   auto [it, inserted] = readers_.emplace(ssid, reader);
   *out = it->second;
   return Status::OK();

@@ -14,10 +14,10 @@
 
 #include <cstdint>
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "store/sstable.h"
 
@@ -64,10 +64,12 @@ class Manifest {
 
  private:
   std::string dir_;
-  mutable std::shared_mutex mu_;
-  std::vector<uint64_t> live_;  // ascending
-  std::unordered_map<uint64_t, SSTablePtr> readers_;
-  uint64_t next_ssid_ = 1;
+  // Leaf lock: guards the catalog; file deletion in ReplaceTables happens
+  // after it is released.
+  mutable SharedMutex mu_{"manifest_mu"};
+  std::vector<uint64_t> live_ GUARDED_BY(mu_);  // ascending
+  std::unordered_map<uint64_t, SSTablePtr> readers_ GUARDED_BY(mu_);
+  uint64_t next_ssid_ GUARDED_BY(mu_) = 1;
 };
 
 }  // namespace papyrus::store

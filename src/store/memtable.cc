@@ -1,13 +1,12 @@
 #include "store/memtable.h"
 
 #include <cassert>
-#include <mutex>
 
 namespace papyrus::store {
 
 bool MemTable::Put(const Slice& key, const Slice& value, bool tombstone,
                    int owner) {
-  std::unique_lock lock(mu_);
+  WriterMutexLock lock(&mu_);
   if (sealed_) return false;
   Entry e;
   e.value = value.ToString();
@@ -28,7 +27,7 @@ bool MemTable::Put(const Slice& key, const Slice& value, bool tombstone,
 
 bool MemTable::Get(const Slice& key, std::string* value, bool* tombstone,
                    int* owner) const {
-  std::shared_lock lock(mu_);
+  ReaderMutexLock lock(&mu_);
   const Entry* e = tree_.Find(key.ToString());
   if (!e) return false;
   if (value) *value = e->value;
@@ -38,28 +37,28 @@ bool MemTable::Get(const Slice& key, std::string* value, bool* tombstone,
 }
 
 void MemTable::Seal() {
-  std::unique_lock lock(mu_);
+  WriterMutexLock lock(&mu_);
   sealed_ = true;
 }
 
 bool MemTable::sealed() const {
-  std::shared_lock lock(mu_);
+  ReaderMutexLock lock(&mu_);
   return sealed_;
 }
 
 size_t MemTable::ApproxBytes() const {
-  std::shared_lock lock(mu_);
+  ReaderMutexLock lock(&mu_);
   return bytes_;
 }
 
 size_t MemTable::Count() const {
-  std::shared_lock lock(mu_);
+  ReaderMutexLock lock(&mu_);
   return tree_.size();
 }
 
 void MemTable::ForEachSorted(
     const std::function<void(const Slice&, const Entry&)>& fn) const {
-  std::shared_lock lock(mu_);
+  ReaderMutexLock lock(&mu_);
   assert(sealed_ && "sorted iteration requires a sealed MemTable");
   for (auto it = tree_.Begin(); it.Valid(); it.Next()) {
     fn(Slice(it.key()), it.value());

@@ -18,9 +18,9 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <shared_mutex>
 #include <string>
 
+#include "common/mutex.h"
 #include "common/rbtree.h"
 #include "common/slice.h"
 
@@ -70,10 +70,11 @@ class MemTable {
  private:
   Kind kind_;
   size_t capacity_bytes_;
-  mutable std::shared_mutex mu_;
-  bool sealed_ = false;
-  size_t bytes_ = 0;
-  RbTree<std::string, Entry> tree_;
+  // Leaf lock: the owning rank writes, handler/remote readers share-lock.
+  mutable SharedMutex mu_{"memtable_mu"};
+  bool sealed_ GUARDED_BY(mu_) = false;
+  size_t bytes_ GUARDED_BY(mu_) = 0;
+  RbTree<std::string, Entry> tree_ GUARDED_BY(mu_);
 };
 
 using MemTablePtr = std::shared_ptr<MemTable>;

@@ -140,13 +140,14 @@ Status SSTableReader::Open(const std::string& dir, uint64_t ssid,
 
 size_t SSTableReader::count() {
   if (!EnsureIndexLoaded().ok()) return 0;
-  std::lock_guard<std::mutex> lock(index_mu_);
   return index_.size();
 }
 
 Status SSTableReader::EnsureIndexLoaded() {
-  std::lock_guard<std::mutex> lock(index_mu_);
-  if (index_loaded_) return Status::OK();
+  // Fast path: already published (acquire pairs with the release below).
+  if (index_ready_.load(std::memory_order_acquire)) return Status::OK();
+  MutexLock lock(&index_mu_);
+  if (index_ready_.load(std::memory_order_relaxed)) return Status::OK();
 
   std::string idx;
   Status s = sim::Storage::ReadFileToString(dir_ + "/" + SsIndexName(ssid_),
@@ -168,16 +169,19 @@ Status SSTableReader::EnsureIndexLoaded() {
   if (in.size() != count * kIndexEntrySize) {
     return Status::Corrupted("ssindex size mismatch");
   }
-  index_.resize(count);
+  std::vector<IndexEntry> parsed(count);
   for (uint64_t i = 0; i < count; ++i) {
-    IndexEntry& e = index_[i];
+    IndexEntry& e = parsed[i];
     GetFixed64(&in, &e.data_offset);
     GetFixed32(&in, &e.keylen);
     GetFixed32(&in, &e.vallen);
     e.flags = static_cast<uint8_t>(in[0]);
     in.remove_prefix(1);
   }
-  index_loaded_ = true;
+  index_ = std::move(parsed);
+  // Publish: readers that acquire-load index_ready_ == true see the fully
+  // constructed vector; index_ is never written again.
+  index_ready_.store(true, std::memory_order_release);
   return Status::OK();
 }
 

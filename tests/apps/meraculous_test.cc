@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "../util/temp_dir.h"
+#include "common/mutex.h"
 #include "core/papyruskv.h"
 #include "net/runtime.h"
 #include "sim/device_model.h"
@@ -59,7 +60,7 @@ TEST_F(MeraculousTest, BothBackendsProduceIdenticalContigSets) {
   TempDir tmp{"meraculous_both"};
   const SyntheticGenome genome = SmallGenome(11);
   std::vector<std::string> pkv_contigs, dsm_contigs;
-  std::mutex mu;
+  Mutex mu("meraculous_test_mu");
 
   net::RunRanks(3, [&](net::RankContext& ctx) {
     ASSERT_EQ(papyruskv_init(nullptr, nullptr, tmp.path().c_str()),
@@ -76,7 +77,7 @@ TEST_F(MeraculousTest, BothBackendsProduceIdenticalContigSets) {
     ASSERT_TRUE(AssembleRank(ctx, *dsm, genome, &r2).ok());
 
     {
-      std::lock_guard<std::mutex> lock(mu);
+      MutexLock lock(&mu);
       pkv_contigs.insert(pkv_contigs.end(), r1.contigs.begin(),
                          r1.contigs.end());
       dsm_contigs.insert(dsm_contigs.end(), r2.contigs.begin(),

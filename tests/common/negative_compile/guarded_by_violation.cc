@@ -1,0 +1,34 @@
+// Negative-compile fixture: this file must FAIL to compile under Clang
+// with -Werror=thread-safety (tests/CMakeLists.txt registers it as a
+// WILL_FAIL ctest when that toolchain is available).  If it ever starts
+// compiling, the GUARDED_BY enforcement is silently off and the whole
+// annotation layer is decorative.
+//
+// Under GCC the annotations are no-ops, so this file is never built there.
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Account {
+ public:
+  // BUG (deliberate): writes balance_ without holding mu_.
+  void Deposit(int amount) { balance_ += amount; }
+
+  int Read() {
+    papyrus::MutexLock lock(&mu_);
+    return balance_;
+  }
+
+ private:
+  papyrus::Mutex mu_{"negative_account_mu"};
+  int balance_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int NegativeCompileEntry() {
+  Account a;
+  a.Deposit(1);
+  return a.Read();
+}

@@ -97,7 +97,7 @@ TEST_F(Kv, ValuesSurviveFlushToSSTables) {
   // Tiny MemTable forces flushing through the whole LSM path.
   RunKv(2, tmp_.path(), [](net::RankContext&) {
     papyruskv_option_t opt;
-    papyruskv_option_init(&opt);
+    ASSERT_EQ(papyruskv_option_init(&opt), PAPYRUSKV_SUCCESS);
     opt.memtable_size = 2048;
     papyruskv_db_t db;
     ASSERT_EQ(papyruskv_open("flushy", PAPYRUSKV_CREATE, &opt, &db),
@@ -243,7 +243,7 @@ TEST_F(Kv, CustomHashControlsPlacement) {
   // §2.4 load balancing: an application hash dictates owner affinity.
   RunKv(4, tmp_.path(), [](net::RankContext&) {
     papyruskv_option_t opt;
-    papyruskv_option_init(&opt);
+    ASSERT_EQ(papyruskv_option_init(&opt), PAPYRUSKV_SUCCESS);
     // All keys to rank 2.
     opt.hash = +[](const char*, size_t) -> uint64_t { return 2; };
     papyruskv_db_t db;

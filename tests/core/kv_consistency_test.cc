@@ -27,7 +27,7 @@ TEST_F(Kv, SequentialModeIsImmediatelyVisible) {
   // no fence in between.  Signals order the two ranks.
   RunKv(2, tmp_.path(), [](net::RankContext& ctx) {
     papyruskv_option_t opt;
-    papyruskv_option_init(&opt);
+    ASSERT_EQ(papyruskv_option_init(&opt), PAPYRUSKV_SUCCESS);
     opt.consistency = PAPYRUSKV_SEQUENTIAL;
     papyruskv_db_t db;
     ASSERT_EQ(papyruskv_open("seq", PAPYRUSKV_CREATE, &opt, &db),

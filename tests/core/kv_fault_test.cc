@@ -69,7 +69,7 @@ TEST_F(Kv, CorruptedSSDataSurfacesAsErrorNotWrongData) {
       const int rc = papyruskv_get(db, k.data(), k.size(), &v, &n);
       if (rc == PAPYRUSKV_SUCCESS) {
         EXPECT_EQ(std::string(v, n), want) << k;
-        papyruskv_free(db, v);
+        EXPECT_EQ(papyruskv_free(db, v), PAPYRUSKV_SUCCESS);
       } else {
         EXPECT_EQ(rc, PAPYRUSKV_CORRUPTED) << k;
         ++corrupted;
@@ -193,7 +193,7 @@ TEST_F(Kv, CorruptionDoesNotPoisonOtherTables) {
   // A corrupt older table must not block reads served by newer tables.
   RunKv(1, tmp_.path(), [&](net::RankContext&) {
     papyruskv_option_t opt;
-    papyruskv_option_init(&opt);
+    ASSERT_EQ(papyruskv_option_init(&opt), PAPYRUSKV_SUCCESS);
     opt.compaction_trigger = 0;  // keep generations separate
     papyruskv_db_t db;
     ASSERT_EQ(papyruskv_open("gen", PAPYRUSKV_CREATE, &opt, &db),

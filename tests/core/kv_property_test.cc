@@ -35,7 +35,7 @@ TEST_P(KvFuzzTest, RandomOpsMatchReferenceModel) {
 
   RunKv(cfg.nranks, tmp_.path(), [&](net::RankContext& ctx) {
     papyruskv_option_t opt;
-    papyruskv_option_init(&opt);
+    ASSERT_EQ(papyruskv_option_init(&opt), PAPYRUSKV_SUCCESS);
     opt.consistency = cfg.consistency;
     opt.memtable_size = cfg.memtable_bytes;
     opt.compaction_trigger = cfg.compaction_trigger;
@@ -124,7 +124,7 @@ INSTANTIATE_TEST_SUITE_P(
 TEST_F(KvTest, OverwriteStormAcrossFlushes) {
   RunKv(2, tmp_.path(), [](net::RankContext& ctx) {
     papyruskv_option_t opt;
-    papyruskv_option_init(&opt);
+    ASSERT_EQ(papyruskv_option_init(&opt), PAPYRUSKV_SUCCESS);
     opt.memtable_size = 512;  // flush nearly every write
     opt.compaction_trigger = 3;
     papyruskv_db_t db;

@@ -112,7 +112,7 @@ TEST_F(Kv, SharedReadSeesDeletionsAndUpdates) {
   // by the foreign reader exactly as by the owner.
   RunKv(2, tmp_.path(), [](net::RankContext& ctx) {
     papyruskv_option_t opt;
-    papyruskv_option_init(&opt);
+    ASSERT_EQ(papyruskv_option_init(&opt), PAPYRUSKV_SUCCESS);
     opt.compaction_trigger = 0;  // keep every generation of SSTables
     papyruskv_db_t db;
     ASSERT_EQ(papyruskv_open("sgd", PAPYRUSKV_CREATE, &opt, &db),
@@ -153,7 +153,7 @@ TEST_F(Kv, SharedReadCorrectAfterOwnerCompaction) {
   // authoritative-retry fallback if the advertised tables vanished.
   RunKv(2, tmp_.path(), [](net::RankContext& ctx) {
     papyruskv_option_t opt;
-    papyruskv_option_init(&opt);
+    ASSERT_EQ(papyruskv_option_init(&opt), PAPYRUSKV_SUCCESS);
     opt.memtable_size = 1024;  // force many small flushes
     opt.compaction_trigger = 2;
     papyruskv_db_t db;

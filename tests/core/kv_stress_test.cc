@@ -19,7 +19,7 @@ TEST_F(Kv, ManyDatabasesConcurrently) {
     papyruskv_db_t dbs[kDbs];
     for (int d = 0; d < kDbs; ++d) {
       papyruskv_option_t opt;
-      papyruskv_option_init(&opt);
+      ASSERT_EQ(papyruskv_option_init(&opt), PAPYRUSKV_SUCCESS);
       opt.consistency = d % 2 == 0 ? PAPYRUSKV_RELAXED : PAPYRUSKV_SEQUENTIAL;
       opt.memtable_size = d % 3 == 0 ? 2048 : 1 << 20;
       ASSERT_EQ(papyruskv_open(("multi" + std::to_string(d)).c_str(),
@@ -89,7 +89,7 @@ TEST_F(Kv, ModeSwitchesUnderLoad) {
   // phases; every phase's data must survive every later phase.
   RunKv(4, tmp_.path(), [](net::RankContext& ctx) {
     papyruskv_option_t opt;
-    papyruskv_option_init(&opt);
+    ASSERT_EQ(papyruskv_option_init(&opt), PAPYRUSKV_SUCCESS);
     opt.memtable_size = 4096;
     papyruskv_db_t db;
     ASSERT_EQ(papyruskv_open("phases", PAPYRUSKV_CREATE, &opt, &db),
@@ -181,7 +181,7 @@ TEST_F(Kv, LargeValuesThroughEveryPath) {
   // get — byte-exact end to end.
   RunKv(2, tmp_.path(), [](net::RankContext& ctx) {
     papyruskv_option_t opt;
-    papyruskv_option_init(&opt);
+    ASSERT_EQ(papyruskv_option_init(&opt), PAPYRUSKV_SUCCESS);
     opt.memtable_size = 3 << 20;  // forces a flush after ~3 values
     papyruskv_db_t db;
     ASSERT_EQ(papyruskv_open("big", PAPYRUSKV_CREATE, &opt, &db),

@@ -67,7 +67,7 @@ inline int GetStr(papyruskv_db_t db, const std::string& k, std::string* out) {
   const int rc = papyruskv_get(db, k.data(), k.size(), &value, &vallen);
   if (rc == PAPYRUSKV_SUCCESS) {
     out->assign(value, vallen);
-    papyruskv_free(db, value);
+    EXPECT_EQ(papyruskv_free(db, value), PAPYRUSKV_SUCCESS);
   }
   return rc;
 }

@@ -5,14 +5,16 @@
 #include <atomic>
 #include <set>
 
+#include "common/mutex.h"
+
 namespace papyrus::net {
 namespace {
 
 TEST(RuntimeTest, EveryRankRunsOnceWithDistinctIds) {
-  std::mutex mu;
+  Mutex mu("runtime_test_mu");
   std::set<int> seen;
   RunRanks(6, [&](RankContext& ctx) {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(&mu);
     EXPECT_TRUE(seen.insert(ctx.rank).second) << "duplicate rank";
     EXPECT_EQ(ctx.size(), 6);
   });

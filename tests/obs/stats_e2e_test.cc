@@ -74,7 +74,7 @@ class ObsE2eTest : public ::testing::Test {
       size_t outlen = 0;
       ASSERT_EQ(papyruskv_get(db, key.data(), key.size(), &out, &outlen),
                 PAPYRUSKV_SUCCESS);
-      papyruskv_free(db, out);
+      ASSERT_EQ(papyruskv_free(db, out), PAPYRUSKV_SUCCESS);
     }
     ASSERT_EQ(papyruskv_close(db), PAPYRUSKV_SUCCESS);
   }

@@ -17,11 +17,12 @@ class TempDir {
     path_ = std::string(base && *base ? base : "/tmp") + "/" + tag + "_" +
             std::to_string(getpid()) + "_" +
             std::to_string(counter.fetch_add(1));
-    sim::Storage::RemoveDirRecursive(path_);
-    sim::Storage::CreateDirs(path_);
+    sim::Storage::RemoveDirRecursive(path_).IgnoreError();
+    sim::Storage::CreateDirs(path_).IgnoreError();
   }
 
-  ~TempDir() { sim::Storage::RemoveDirRecursive(path_); }
+  // Best-effort cleanup; a leftover temp dir is not a test failure.
+  ~TempDir() { sim::Storage::RemoveDirRecursive(path_).IgnoreError(); }
 
   TempDir(const TempDir&) = delete;
   TempDir& operator=(const TempDir&) = delete;

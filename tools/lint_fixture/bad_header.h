@@ -1,0 +1,11 @@
+// Seeded lint fixture: header with no include guard and a namespace leak.
+
+#include <string>
+
+using namespace std;
+
+namespace fixture {
+
+inline string Greeting() { return "hello"; }
+
+}  // namespace fixture

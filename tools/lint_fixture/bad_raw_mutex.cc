@@ -1,0 +1,16 @@
+// Seeded lint fixture: raw primitives that must trip the raw-mutex rule.
+// Never compiled; exercised by `tools/papyrus_lint.py --self-test`.
+#include <mutex>
+
+namespace fixture {
+
+struct Counter {
+  std::mutex mu;
+  int n = 0;
+  void Bump() {
+    std::lock_guard<std::mutex> lock(mu);
+    ++n;
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,17 @@
+// Seeded lint fixture: a Mutex member no annotation references.
+#pragma once
+
+#include "common/mutex.h"
+
+namespace fixture {
+
+class Registry {
+ public:
+  void Add(int v);
+
+ private:
+  papyrus::Mutex mu_{"fixture_registry_mu"};
+  int count_ = 0;  // should be GUARDED_BY(mu_) — and mu_ is never referenced
+};
+
+}  // namespace fixture

@@ -1,0 +1,22 @@
+// Seeded lint fixture: the intended idiom — annotated wrapper, guarded
+// field, include guard, no namespace leak.  Must lint clean.
+#pragma once
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace fixture {
+
+class Guarded {
+ public:
+  void Bump() {
+    papyrus::MutexLock lock(&mu_);
+    ++count_;
+  }
+
+ private:
+  papyrus::Mutex mu_{"fixture_guarded_mu"};
+  int count_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// Seeded lint fixture: every rule silenced by its escape comment — this
+// file must lint clean.
+#include <mutex>  // lint:allow-raw-mutex
+
+#include "common/mutex.h"
+
+namespace fixture {
+
+class Wrapped {
+ public:
+  void Touch();
+
+ private:
+  std::mutex raw_mu_;  // lint:allow-raw-mutex
+  papyrus::Mutex aux_mu_{"fixture_aux_mu"};  // lint:unguarded-ok
+};
+
+}  // namespace fixture

@@ -50,11 +50,14 @@ int Catalog(store::Manifest& manifest) {
   for (uint64_t ssid : live) {
     store::SSTablePtr reader;
     Status s = manifest.GetReader(ssid, &reader);
+    // Missing/unreadable files report as size 0 in the listing.
     uint64_t data_size = 0, index_size = 0;
     sim::Storage::GetFileSize(
-        manifest.dir() + "/" + store::SsDataName(ssid), &data_size);
+        manifest.dir() + "/" + store::SsDataName(ssid), &data_size)
+        .IgnoreError();
     sim::Storage::GetFileSize(
-        manifest.dir() + "/" + store::SsIndexName(ssid), &index_size);
+        manifest.dir() + "/" + store::SsIndexName(ssid), &index_size)
+        .IgnoreError();
     if (s.ok()) {
       printf("%8llu  %10zu  %12llu  %12llu\n",
              static_cast<unsigned long long>(ssid), reader->count(),
