@@ -3,11 +3,16 @@
 #
 #   1. lint        tools/papyrus_lint.py self-test + repo-wide run
 #   2. build+test  default build, full ctest suite
-#   3. tsa         Clang build with -Werror=thread-safety
+#   3. fault       fault matrix: the whole ctest suite re-run under a
+#                  canned correctness-neutral PAPYRUSKV_FAULTS profile
+#                  (message delay + duplication) — every suite must still
+#                  pass with the recovery paths doing real work
+#   4. tsa         Clang build with -Werror=thread-safety
 #                  (skipped with a notice if clang++ is not installed)
-#   4. clang-tidy  concurrency/bugprone checks (skipped if not installed)
-#   5. sanitizers  TSan, ASan, UBSan builds re-running the
-#                  concurrency-sensitive test subset
+#   5. clang-tidy  concurrency/bugprone checks (skipped if not installed)
+#   6. sanitizers  TSan, ASan, UBSan builds re-running the
+#                  concurrency-sensitive test subset (fault_test included,
+#                  so the retry/recovery paths get the TSan treatment)
 #
 # Any stage failing fails the script (set -e); the summary line at the end
 # only prints on full success.  scripts/check.sh remains the shorter
@@ -16,19 +21,28 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="$(nproc)"
-SAN_TESTS=(obs_test store_test core_test net_test mutex_test)
+SAN_TESTS=(obs_test store_test core_test net_test mutex_test fault_test)
+# Correctness-neutral faults only: delay and duplication stress the retry
+# and idempotence machinery without making any op legitimately fail (drops
+# and crashes belong in tests/fault/, where the expected failures are
+# asserted — here every suite must still pass verbatim).
+FAULT_PROFILE="net.msg.delay=0.05,net.msg.dup=0.05"
 SKIPPED=()
 
-echo "== [1/5] lint =="
+echo "== [1/6] lint =="
 python3 tools/papyrus_lint.py --self-test
 python3 tools/papyrus_lint.py
 
-echo "== [2/5] build + ctest =="
+echo "== [2/6] build + ctest =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "${JOBS}"
 ctest --test-dir build --output-on-failure -j "${JOBS}"
 
-echo "== [3/5] clang thread-safety analysis =="
+echo "== [3/6] fault matrix (PAPYRUSKV_FAULTS=${FAULT_PROFILE}) =="
+PAPYRUSKV_FAULTS="${FAULT_PROFILE}" PAPYRUSKV_FAULT_SEED=1234 \
+  ctest --test-dir build --output-on-failure -j "${JOBS}"
+
+echo "== [4/6] clang thread-safety analysis =="
 if command -v clang++ >/dev/null 2>&1; then
   cmake -B build-tsa -S . -DCMAKE_CXX_COMPILER=clang++ \
         -DPAPYRUS_THREAD_SAFETY=ON >/dev/null
@@ -39,7 +53,7 @@ else
   SKIPPED+=(thread-safety)
 fi
 
-echo "== [4/5] clang-tidy =="
+echo "== [5/6] clang-tidy =="
 if command -v clang-tidy >/dev/null 2>&1 && [ -f build-tsa/compile_commands.json ]; then
   find src tools -name '*.cc' -print0 |
     xargs -0 -n 8 -P "${JOBS}" clang-tidy -p build-tsa --quiet
@@ -48,7 +62,7 @@ else
   SKIPPED+=(clang-tidy)
 fi
 
-echo "== [5/5] sanitizers =="
+echo "== [6/6] sanitizers =="
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 export ASAN_OPTIONS="halt_on_error=1"
 export UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1"

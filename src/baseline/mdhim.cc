@@ -93,7 +93,10 @@ int Mdhim::OwnerOf(const Slice& key) const {
 
 void Mdhim::RangeServerLoop() {
   for (;;) {
-    net::Message m = req_comm_.Recv(net::kAnySource, net::kAnyTag);
+    // Baseline model, not production: the server loop ends via a
+    // self-addressed shutdown message, so this receive cannot orphan.
+    net::Message m =
+        req_comm_.Recv(net::kAnySource, net::kAnyTag);  // lint:allow-blocking-recv
     if (m.tag == kMdhimShutdown) return;
     std::string key, value;
     if (!DecodeReq(m.payload, &key, &value)) continue;
@@ -125,7 +128,10 @@ Status Mdhim::RoundTrip(int owner, int op, const Slice& key,
   // Marshal into the comm layer's buffer even for self-addressed requests —
   // the layered design always pays this copy.
   req_comm_.Send(owner, op, EncodeReq(key, value));
-  net::Message resp = resp_comm_.Recv(owner, kMdhimRespTag);
+  // Baseline model: mdhim's reference semantics are a blocking RPC; its
+  // server thread lives for the whole run, so the reply always arrives.
+  net::Message resp =
+      resp_comm_.Recv(owner, kMdhimRespTag);  // lint:allow-blocking-recv
   bool ok = false;
   std::string payload;
   if (!DecodeResp(resp.payload, &ok, &payload)) {

@@ -26,9 +26,13 @@ enum : int32_t {
   PAPYRUSKV_PROTECTED = -8,        // op forbidden by protection attribute
   PAPYRUSKV_INVALID_EVENT = -9,    // unknown event handle in wait
   PAPYRUSKV_CORRUPTED = -10,       // checksum / format mismatch on NVM
-  PAPYRUSKV_TIMEOUT = -11,         // signal wait exceeded its deadline
+  PAPYRUSKV_TIMEOUT = -11,         // reply/signal wait exceeded its deadline
   PAPYRUSKV_CLOSED = -12,          // runtime already finalized
 };
+
+// Spelling used by the fault/recovery docs and tests for the timeout code
+// surfaced when a remote peer stops replying (DESIGN.md §8).
+inline constexpr int32_t PAPYRUSKV_ERR_TIMEOUT = PAPYRUSKV_TIMEOUT;
 
 namespace papyrus {
 
@@ -66,9 +70,13 @@ class [[nodiscard]] Status {
   static Status Protected(std::string_view m = {}) {
     return Status(PAPYRUSKV_PROTECTED, m);
   }
+  static Status Timeout(std::string_view m = {}) {
+    return Status(PAPYRUSKV_TIMEOUT, m);
+  }
 
   bool ok() const { return code_ == PAPYRUSKV_SUCCESS; }
   bool IsNotFound() const { return code_ == PAPYRUSKV_NOT_FOUND; }
+  bool IsTimeout() const { return code_ == PAPYRUSKV_TIMEOUT; }
   int32_t code() const { return code_; }
   const std::string& message() const { return msg_; }
 

@@ -13,10 +13,15 @@
 // the hash re-partitions the data (§4.2 "Restart with redistribution").
 //
 // Snapshot layout under <path>/<db name>/:
-//   snapshot.meta          "papyruskv-snapshot v1\nnranks <N>\n"
+//   snapshot.meta          "papyruskv-snapshot v2\nnranks <N>\ncrc <hex>\n"
+//                          (replaced atomically; the previous meta survives
+//                          as snapshot.meta.bak and is the fallback when the
+//                          primary is torn or corrupt — DESIGN.md §8)
 //   rank<k>/sst_<ssid>.*   rank k's SSTable files
+#include <cstdio>
 #include <sstream>
 
+#include "common/crc32.h"
 #include "common/env.h"
 #include "common/logging.h"
 #include "core/runtime.h"
@@ -33,15 +38,31 @@ std::string SnapshotDbDir(const std::string& root, const std::string& name) {
 
 Status WriteSnapshotMeta(const std::string& db_dir, int nranks) {
   std::ostringstream ss;
-  ss << "papyruskv-snapshot v1\nnranks " << nranks << "\n";
-  return sim::Storage::WriteStringToFile(db_dir + "/snapshot.meta", ss.str());
+  ss << "papyruskv-snapshot v2\nnranks " << nranks << "\n";
+  const std::string body = ss.str();
+  char crc_hex[16];
+  snprintf(crc_hex, sizeof(crc_hex), "%08x", Crc32c(body.data(), body.size()));
+  const std::string text = body + "crc " + crc_hex + "\n";
+
+  // Replace atomically, keeping the previous meta as .bak: a crash at any
+  // point leaves either the old or the new meta parseable — a torn write
+  // can corrupt the primary, but never both.
+  const std::string path = db_dir + "/snapshot.meta";
+  const std::string tmp = path + ".tmp";
+  if (sim::Storage::FileExists(path)) {
+    Status s = sim::Storage::RenameFile(path, path + ".bak");
+    if (!s.ok()) return s;
+  }
+  Status s = sim::Storage::WriteStringToFile(tmp, text);
+  if (!s.ok()) return s;
+  return sim::Storage::RenameFile(tmp, path);
 }
 
-Status ReadSnapshotMeta(const std::string& db_dir, int* nranks) {
-  std::string text;
-  Status s =
-      sim::Storage::ReadFileToString(db_dir + "/snapshot.meta", &text);
-  if (!s.ok()) return s;
+// Parses and verifies one snapshot.meta image.  v2 carries a trailing
+// "crc <hex>" line over everything before it, so a truncated or partially
+// written meta is *detected* instead of silently accepted; v1 (no footer)
+// is still accepted for snapshots written before the CRC existed.
+Status ParseSnapshotMeta(const std::string& text, int* nranks) {
   std::istringstream ss(text);
   std::string magic, version, key;
   int value = 0;
@@ -49,8 +70,40 @@ Status ReadSnapshotMeta(const std::string& db_dir, int* nranks) {
   if (magic != "papyruskv-snapshot" || key != "nranks" || value <= 0) {
     return Status::Corrupted("bad snapshot meta");
   }
+  if (version != "v1") {
+    const size_t pos = text.rfind("\ncrc ");
+    if (pos == std::string::npos) {
+      return Status::Corrupted("snapshot meta missing crc footer");
+    }
+    const std::string body = text.substr(0, pos + 1);
+    const uint32_t want = static_cast<uint32_t>(
+        strtoul(text.substr(pos + 5).c_str(), nullptr, 16));
+    if (Crc32c(body.data(), body.size()) != want) {
+      return Status::Corrupted("snapshot meta crc mismatch (torn write?)");
+    }
+  }
   *nranks = value;
   return Status::OK();
+}
+
+Status ReadSnapshotMeta(const std::string& db_dir, int* nranks) {
+  const std::string path = db_dir + "/snapshot.meta";
+  std::string text;
+  Status s = sim::Storage::ReadFileToString(path, &text);
+  if (s.ok()) s = ParseSnapshotMeta(text, nranks);
+  if (s.ok()) return s;
+  // Torn, corrupt, or missing primary: fall back to the previous
+  // checkpoint's meta, preserved as .bak by WriteSnapshotMeta.
+  std::string bak;
+  if (sim::Storage::ReadFileToString(path + ".bak", &bak).ok()) {
+    Status bs = ParseSnapshotMeta(bak, nranks);
+    if (bs.ok()) {
+      PLOG_WARN << "snapshot.meta unusable (" << s.ToString()
+                << "); falling back to previous consistent snapshot meta";
+      return bs;
+    }
+  }
+  return s;
 }
 
 // SSIDs present in a snapshot rank directory, ascending.
@@ -123,7 +176,7 @@ Status KvRuntime::Checkpoint(int dbid, const std::string& path,
   // Latency spans the full operation: barrier start to transfer complete.
   const uint64_t start_us = NowMicros();
   KvRuntime* rt = this;
-  EnqueueTask([src_dir, dst_dir, ssids, ev, rt, start_us] {
+  EnqueueTask([src_dir, dst_dir, ssids, ev, rt, db, start_us] {
     Status ts = Status::OK();
     {
       obs::TraceSpan span("kv", "checkpoint");
@@ -132,6 +185,10 @@ Status KvRuntime::Checkpoint(int dbid, const std::string& path,
         if (!ts.ok()) break;
       }
     }
+    // The fresh snapshot doubles as the repair source for corrupted live
+    // SSTables (DESIGN.md §8): every checkpointed ssid can be restored
+    // from dst_dir on a checksum failure.
+    if (ts.ok()) db->manifest().SetRepairDir(dst_dir);
     rt->metrics()
         .GetHistogram("kv.checkpoint_us")
         .Record(NowMicros() - start_us);
@@ -196,9 +253,13 @@ Status KvRuntime::Restart(const std::string& path, const std::string& name,
         }
       }
       if (ts.ok()) ts = db->manifest().Open();  // adopt the copied tables
+      // The snapshot we just restored from is a valid repair source for
+      // the adopted tables (DESIGN.md §8).
+      if (ts.ok()) db->manifest().SetRepairDir(src);
       // All ranks must finish restoring before any rank's event completes:
       // a remote get may hit any rank immediately after wait().
-      rt->RestartBarrier();
+      Status bs = rt->RestartBarrier();
+      if (ts.ok()) ts = bs;
       rt->metrics()
           .GetHistogram("kv.restart_us")
           .Record(NowMicros() - start_us);
@@ -238,7 +299,9 @@ Status KvRuntime::Restart(const std::string& path, const std::string& name,
         }
       }
       if (ts.ok()) ts = db->Fence();  // push staged pairs to their owners
-      rt->RestartBarrier();           // every rank done replaying + fencing
+      // Every rank done replaying + fencing.
+      Status bs = rt->RestartBarrier();
+      if (ts.ok()) ts = bs;
       rt->metrics()
           .GetHistogram("kv.restart_us")
           .Record(NowMicros() - start_us);
@@ -265,7 +328,8 @@ Status KvRuntime::Destroy(int dbid, int* event_out) {
     MutexLock lock(&dbs_mu_);
     dbs_.erase(dbid);
   }
-  CollectiveBarrier();
+  s = CollectiveBarrier();
+  if (!s.ok()) return s;
 
   const std::string rank_dir = db->dir();
   EventPtr ev;

@@ -113,6 +113,8 @@ int DbShard::OwnerOf(const Slice& key) const {
 
 Status DbShard::Put(const Slice& key, const Slice& value) {
   if (key.empty()) return Status::InvalidArg("empty key");
+  Status alive = rt_.CheckAlive();
+  if (!alive.ok()) return alive;
   if (protection_.load() == PAPYRUSKV_RDONLY) {
     return Status::Protected("db is read-only");
   }
@@ -131,6 +133,8 @@ Status DbShard::Put(const Slice& key, const Slice& value) {
 Status DbShard::Delete(const Slice& key) {
   // §2.5: a delete is a put with a zero-length value and the tombstone set.
   if (key.empty()) return Status::InvalidArg("empty key");
+  Status alive = rt_.CheckAlive();
+  if (!alive.ok()) return alive;
   if (protection_.load() == PAPYRUSKV_RDONLY) {
     return Status::Protected("db is read-only");
   }
@@ -248,11 +252,14 @@ Status DbShard::SyncRemotePut(const Slice& key, const Slice& value,
   one[0].key = key.ToString();
   one[0].value = value.ToString();
   one[0].tombstone = tombstone;
-  rt_.SendRequest(owner, kOpPutSync,
-                  EncodeMigrateChunk(id_, kTagPutAck, one));
-  net::Message ack = rt_.RecvResponse(owner, kTagPutAck);
-  (void)ack;
-  return Status::OK();
+  // Unique reply tag + bounded retry: a lost request or ack is re-sent
+  // (single-record re-apply is idempotent); a dead owner surfaces as
+  // PAPYRUSKV_ERR_TIMEOUT instead of a hung application thread.
+  const int tag = rt_.AllocRespTag();
+  net::Message ack;
+  return rt_.RequestReply(
+      owner, kOpPutSync,
+      EncodeMigrateChunk(id_, static_cast<uint32_t>(tag), one), tag, &ack);
 }
 
 // ---------------------------------------------------------------------------
@@ -261,6 +268,8 @@ Status DbShard::SyncRemotePut(const Slice& key, const Slice& value,
 
 Status DbShard::Get(const Slice& key, std::string* value) {
   if (key.empty()) return Status::InvalidArg("empty key");
+  Status alive = rt_.CheckAlive();
+  if (!alive.ok()) return alive;
   if (protection_.load() == PAPYRUSKV_WRONLY) {
     return Status::Protected("db is write-only");
   }
@@ -313,18 +322,8 @@ Status DbShard::SearchOwnSSTables(const Slice& key, std::string* value,
                                      : store::SearchMode::kLinear;
   // Highest SSID first: more recent pairs live in higher-numbered tables.
   for (uint64_t ssid : manifest_.LiveSsids()) {
-    store::SSTablePtr reader;
-    Status s = manifest_.GetReader(ssid, &reader);
+    Status s = SearchOneTable(ssid, key, mode, value, tombstone, found);
     if (s.IsNotFound()) continue;  // compacted away concurrently
-    if (!s.ok()) return s;
-    if (opt_.bloom_bits_per_key > 0) {
-      m_.bloom_checks->Inc();
-      if (!reader->MayContain(key)) {
-        m_.bloom_negatives->Inc();
-        continue;
-      }
-    }
-    s = reader->Get(key, mode, value, tombstone, found);
     if (!s.ok()) return s;
     if (*found) {
       m_.sstable_hits->Inc();
@@ -341,6 +340,44 @@ Status DbShard::SearchOwnSSTables(const Slice& key, std::string* value,
     }
   }
   return Status::OK();
+}
+
+Status DbShard::SearchOneTable(uint64_t ssid, const Slice& key,
+                               store::SearchMode mode, std::string* value,
+                               bool* tombstone, bool* found) {
+  *found = false;
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    store::SSTablePtr reader;
+    Status s = manifest_.GetReader(ssid, &reader);
+    if (s.ok()) {
+      if (opt_.bloom_bits_per_key > 0) {
+        m_.bloom_checks->Inc();
+        if (!reader->MayContain(key)) {
+          m_.bloom_negatives->Inc();
+          return Status::OK();
+        }
+      }
+      s = reader->Get(key, mode, value, tombstone, found);
+      if (s.ok()) return Status::OK();
+    }
+    if (s.IsNotFound()) return s;
+    if (s.code() != PAPYRUSKV_CORRUPTED || attempt > 0) {
+      if (s.code() == PAPYRUSKV_CORRUPTED) manifest_.Quarantine(ssid);
+      return s;
+    }
+    // First corruption sighting on this table: restore it from the latest
+    // checkpoint image (if this database has one) and re-read once.
+    PLOG_WARN << "sstable " << ssid << " corrupted (" << s.ToString()
+              << "); attempting repair";
+    Status rs = manifest_.RepairTable(ssid);
+    if (!rs.ok()) {
+      PLOG_ERROR << "sstable " << ssid << " unrepairable (" << rs.ToString()
+                 << "); quarantined";
+      manifest_.Quarantine(ssid);
+      return s;
+    }
+  }
+  return Status::OK();  // unreachable: attempt 1 always returns above
 }
 
 Status DbShard::RemoteGet(const Slice& key, std::string* value) {
@@ -365,9 +402,13 @@ Status DbShard::RemoteGet(const Slice& key, std::string* value) {
   const int owner = OwnerOf(key);
   const uint32_t my_group =
       static_cast<uint32_t>(rt_.layout().GroupOf(rt_.rank()));
-  rt_.SendRequest(owner, kOpGetReq,
-                  EncodeGetReq(id_, kTagGetResp, my_group, key));
-  net::Message msg = rt_.RecvResponse(owner, kTagGetResp);
+  const int tag = rt_.AllocRespTag();
+  net::Message msg;
+  Status rs = rt_.RequestReply(
+      owner, kOpGetReq,
+      EncodeGetReq(id_, static_cast<uint32_t>(tag), my_group, key), tag,
+      &msg);
+  if (!rs.ok()) return rs;  // PAPYRUSKV_ERR_TIMEOUT: owner unresponsive
   GetResp resp;
   if (!DecodeGetResp(msg.payload, &resp)) {
     return Status::Corrupted("bad get response");
@@ -403,10 +444,14 @@ Status DbShard::RemoteGet(const Slice& key, std::string* value) {
     // The owner may have compacted the advertised tables away between its
     // response and our shared read; fall back to a full search at the
     // owner to keep the result authoritative.
-    rt_.SendRequest(owner, kOpGetReq,
-                    EncodeGetReq(id_, kTagGetResp,
-                                 /*caller_group=*/0xffffffffu, key));
-    net::Message retry = rt_.RecvResponse(owner, kTagGetResp);
+    const int tag2 = rt_.AllocRespTag();
+    net::Message retry;
+    rs = rt_.RequestReply(
+        owner, kOpGetReq,
+        EncodeGetReq(id_, static_cast<uint32_t>(tag2),
+                     /*caller_group=*/0xffffffffu, key),
+        tag2, &retry);
+    if (!rs.ok()) return rs;
     GetResp r2;
     if (!DecodeGetResp(retry.payload, &r2)) {
       return Status::Corrupted("bad get response");
@@ -520,6 +565,21 @@ GetResp DbShard::HandleRemoteGet(const Slice& key, uint32_t caller_group) {
 // ---------------------------------------------------------------------------
 
 Status DbShard::FlushImmutable(const store::MemTablePtr& mem) {
+  if (rt_.crashed()) {
+    // A crashed rank's volatile MemTables are gone; drop the job but keep
+    // the drain bookkeeping so a fence waiting on this flush cannot hang.
+    {
+      MutexLock lock(&local_mu_);
+      auto it = std::find(imm_local_.begin(), imm_local_.end(), mem);
+      if (it != imm_local_.end()) imm_local_.erase(it);
+    }
+    {
+      MutexLock d(&drain_mu_);
+      --pending_flushes_;
+    }
+    drain_cv_.NotifyAll();
+    return Status::OK();
+  }
   // The SSID is allocated here, on the compaction thread: flushes and
   // compaction merges are serialized on this thread and the flush queue
   // preserves seal order (the rotate mutex), so on-NVM SSID order always
@@ -534,12 +594,19 @@ Status DbShard::FlushImmutable(const store::MemTablePtr& mem) {
       m_.flushes->Inc();
     }
   }
-  // Retire from the in-memory registry regardless, so gets stop consulting
-  // a table that is now on NVM (or was empty).
-  {
+  if (s.ok()) {
+    // Retire from the in-memory registry, so gets stop consulting a table
+    // that is now on NVM (or was empty).  After a FAILED flush (e.g.
+    // injected ENOSPC) the sealed table deliberately stays in imm_local_:
+    // it remains searchable in memory, so no acknowledged write is
+    // silently lost just because the device rejected it.
     MutexLock lock(&local_mu_);
     auto it = std::find(imm_local_.begin(), imm_local_.end(), mem);
     if (it != imm_local_.end()) imm_local_.erase(it);
+  } else if (mem->Count() > 0) {
+    PLOG_ERROR << "flush of sstable " << ssid << " failed (" << s.ToString()
+               << "); keeping " << mem->Count()
+               << " records searchable in memory";
   }
   if (s.ok()) {
     store::CompactionStats cstats;
@@ -571,6 +638,28 @@ std::map<int, std::vector<KvRecord>> DbShard::CollectOwnerChunks(
   return chunks;
 }
 
+void DbShard::DropVolatile() {
+  {
+    MutexLock rotate(&local_rotate_mu_);
+    MutexLock lock(&local_mu_);
+    mutation_epoch_.fetch_add(1, std::memory_order_release);
+    local_ = std::make_shared<store::MemTable>(store::MemTable::Kind::kLocal,
+                                               opt_.memtable_bytes);
+    imm_local_.clear();
+    m_.memtable_local_bytes->Set(0);
+  }
+  {
+    MutexLock rotate(&remote_rotate_mu_);
+    MutexLock lock(&remote_mu_);
+    remote_ = std::make_shared<store::MemTable>(store::MemTable::Kind::kRemote,
+                                                opt_.memtable_bytes);
+    imm_remote_.clear();
+    m_.memtable_remote_bytes->Set(0);
+  }
+  cache_local_.Clear();
+  cache_remote_.Clear();
+}
+
 void DbShard::MigrationFinished(const store::MemTablePtr& mem) {
   {
     MutexLock lock(&remote_mu_);
@@ -591,6 +680,8 @@ void DbShard::MigrationFinished(const store::MemTablePtr& mem) {
 
 Status DbShard::Fence() {
   obs::ScopedLatency lat(m_.fence_us);
+  // A crashed rank has no staged data left and must not emit traffic.
+  if (rt_.crashed()) return Status::OK();
   {
     MutexLock rotate(&remote_rotate_mu_);
     remote_mu_.Lock();
@@ -606,13 +697,22 @@ Status DbShard::Fence() {
 
 Status DbShard::Barrier(int level) {
   obs::ScopedLatency lat(m_.barrier_us);
+  if (rt_.crashed()) {
+    // A crashed rank contributes no data, but it still pairs up with the
+    // survivors' collectives so their barriers complete (a timeout here is
+    // expected if the survivors have already given up).
+    rt_.CollectiveBarrier().IgnoreError();
+    if (level == PAPYRUSKV_SSTABLE) rt_.CollectiveBarrier().IgnoreError();
+    return Status::OK();
+  }
   Status s = Fence();
   if (!s.ok()) return s;
   // After every rank's fence, all migrated records have been *applied* at
   // their owners (migration chunks are acked after application), so this
   // collective point establishes the paper's guarantee: all ranks now see
   // the same latest data.
-  rt_.CollectiveBarrier();
+  s = rt_.CollectiveBarrier();
+  if (!s.ok()) return s;
   if (level == PAPYRUSKV_SSTABLE) {
     {
       MutexLock rotate(&local_rotate_mu_);
@@ -624,9 +724,9 @@ Status DbShard::Barrier(int level) {
       }
     }
     WaitFlushesDrained();
-    rt_.CollectiveBarrier();
+    s = rt_.CollectiveBarrier();
   }
-  return Status::OK();
+  return s;
 }
 
 Status DbShard::SetConsistency(int mode) {
@@ -637,7 +737,8 @@ Status DbShard::SetConsistency(int mode) {
   // is a clean synchronization point.
   Status s = Fence();
   if (!s.ok()) return s;
-  rt_.CollectiveBarrier();
+  s = rt_.CollectiveBarrier();
+  if (!s.ok()) return s;
   consistency_.store(mode);
   return Status::OK();
 }
@@ -654,8 +755,7 @@ Status DbShard::SetProtection(int prot) {
                            prot != PAPYRUSKV_WRONLY);
   cache_remote_.set_enabled(prot == PAPYRUSKV_RDONLY ||
                             RemoteCacheForcedByEnv());
-  rt_.CollectiveBarrier();
-  return Status::OK();
+  return rt_.CollectiveBarrier();
 }
 
 Status DbShard::FlushAll() { return Barrier(PAPYRUSKV_SSTABLE); }

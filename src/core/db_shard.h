@@ -128,6 +128,11 @@ class DbShard : public std::enable_shared_from_this<DbShard> {
   // Owner rank of a key: hash % nranks.
   int OwnerOf(const Slice& key) const;
 
+  // Simulated power loss (rank.crash failpoint): discards all volatile
+  // state — mutable and sealed MemTables, both caches.  The NVM image
+  // (SSTables + manifest) survives, exactly like the §4.2 failure model.
+  void DropVolatile();
+
   DbStats StatsSnapshot() const;
   // Bytes in the mutable local + remote MemTables (diagnostics).
   size_t MemTableBytes() const;
@@ -157,6 +162,14 @@ class DbShard : public std::enable_shared_from_this<DbShard> {
   // SSTable part of the local search; fills *found.
   Status SearchOwnSSTables(const Slice& key, std::string* value,
                            bool* tombstone, bool* found);
+  // One SSTable probe with corruption recovery (DESIGN.md §8): on a
+  // checksum failure the table is restored from the latest checkpoint copy
+  // (when one exists) and re-read once; an unrepairable table is
+  // quarantined so every later read fails fast instead of re-parsing
+  // corrupt blocks.  NOT_FOUND = table compacted away concurrently.
+  Status SearchOneTable(uint64_t ssid, const Slice& key,
+                        store::SearchMode mode, std::string* value,
+                        bool* tombstone, bool* found);
   // Storage-group shared read of another rank's SSTables (§2.7), limited
   // to the owner-advertised live SSID list.
   Status SearchForeignSSTables(int owner, const std::vector<uint64_t>& ssids,

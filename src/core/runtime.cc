@@ -5,6 +5,7 @@
 
 #include "common/env.h"
 #include "common/logging.h"
+#include "common/timer.h"
 #include "obs/export.h"
 
 namespace papyrus::core {
@@ -40,6 +41,10 @@ Status KvRuntime::Init(const std::string& repository) {
     repo = EnvString("PAPYRUSKV_REPOSITORY").value_or("");
   }
   if (repo.empty()) return Status::InvalidArg("no repository configured");
+
+  // Arm PAPYRUSKV_FAULTS (once per process) before any runtime traffic.
+  Status fs = fault::InitFromEnvOnce();
+  if (!fs.ok()) return fs;
 
   auto* rt = new KvRuntime(*ctx, repo);
   Status s = rt->layout_.Prepare(ctx->size());
@@ -95,7 +100,9 @@ KvRuntime::KvRuntime(net::RankContext& ctx, const std::string& repository)
       restart_comm_(ctx.comm.Dup()),
       signal_comm_(ctx.comm.Dup()),
       flush_queue_(kDefaultQueueDepth),
-      migration_queue_(kDefaultQueueDepth) {
+      migration_queue_(kDefaultQueueDepth),
+      retry_(fault::RetryPolicy::FromEnv()),
+      crash_point_(&fault::Registry::Instance().GetPoint("rank.crash")) {
   // Resolve the runtime's hot-path metrics once; updates are then lock-free.
   g_flush_q_ = &metrics_.GetGauge("net.flush_queue_depth");
   g_mig_q_ = &metrics_.GetGauge("net.migration_queue_depth");
@@ -108,6 +115,8 @@ KvRuntime::KvRuntime(net::RankContext& ctx, const std::string& repository)
   }
   c_resp_msgs_ = &metrics_.GetCounter("net.resp.msgs");
   c_resp_bytes_ = &metrics_.GetCounter("net.resp.bytes");
+  c_req_retries_ = &metrics_.GetCounter("net.req.retries");
+  c_req_timeouts_ = &metrics_.GetCounter("net.req.timeouts");
   if (EnvString("PAPYRUSKV_TRACE")) trace_.set_enabled(true);
 }
 
@@ -161,6 +170,8 @@ void KvRuntime::RunAsync(std::function<void()> task) {
 void KvRuntime::AdoptObservability() {
   obs::SetCurrentRegistry(&metrics_);
   obs::SetCurrentTrace(&trace_);
+  // Rank attribution for rank-scoped failpoint triggers on this thread.
+  fault::SetThreadRank(ctx_.rank);
 }
 
 std::string KvRuntime::StatsJson() const {
@@ -243,16 +254,57 @@ void KvRuntime::DispatcherLoop() {
     // §2.4 migration: sort by owner, accumulate per rank, send one chunk
     // per owner, then wait for the acks confirming application.
     auto chunks = job.db->CollectOwnerChunks(*job.mem);
-    int outstanding = 0;
+    if (crashed()) {
+      // A crashed rank emits no traffic; drop the payload but keep the
+      // drain bookkeeping so a fence on this rank cannot hang.
+      job.db->MigrationFinished(job.mem);
+      continue;
+    }
+    struct Pending {
+      int owner;
+      std::string payload;
+      int tag;
+    };
+    std::vector<Pending> pending;
+    pending.reserve(chunks.size());
     for (auto& [owner, records] : chunks) {
       assert(owner != ctx_.rank &&
              "remote MemTable must not hold self-owned pairs");
-      SendRequest(owner, kOpMigrateChunk,
-                  EncodeMigrateChunk(job.db->id(), kTagMigrateAck, records));
-      ++outstanding;
+      const int tag = AllocRespTag();
+      pending.push_back({owner,
+                         EncodeMigrateChunk(job.db->id(),
+                                            static_cast<uint32_t>(tag),
+                                            records),
+                         tag});
     }
-    for (int i = 0; i < outstanding; ++i) {
-      RecvResponse(net::kAnySource, kTagMigrateAck);
+    for (const auto& p : pending) {
+      SendRequest(p.owner, kOpMigrateChunk, p.payload);
+    }
+    for (const auto& p : pending) {
+      // Bounded re-send on a lost chunk or ack.  Re-applying a chunk is
+      // idempotent (the handler replays the same records in order), and the
+      // dispatcher holds this migration until acked, so no later chunk from
+      // this rank can interleave with the retry.
+      net::Message ack;
+      bool acked =
+          resp_comm_.RecvFor(p.owner, p.tag, retry_.reply_timeout_us, &ack);
+      for (int attempt = 1; attempt < retry_.max_attempts && !acked;
+           ++attempt) {
+        c_req_retries_->Inc();
+        PreciseSleepMicros(retry_.BackoffUs(attempt));
+        SendRequest(p.owner, kOpMigrateChunk, p.payload);
+        acked =
+            resp_comm_.RecvFor(p.owner, p.tag, retry_.reply_timeout_us, &ack);
+      }
+      if (!acked) {
+        // The fence must still complete: surface the peer as suspect and
+        // move on rather than wedging every thread behind this migration.
+        c_req_timeouts_->Inc();
+        MarkSuspect(p.owner);
+        PLOG_ERROR << "migration chunk to rank " << p.owner
+                   << " unacknowledged after " << retry_.max_attempts
+                   << " attempts";
+      }
     }
     job.db->MigrationFinished(job.mem);
   }
@@ -261,7 +313,10 @@ void KvRuntime::DispatcherLoop() {
 void KvRuntime::HandlerLoop() {
   AdoptObservability();
   for (;;) {
-    net::Message m = req_comm_.Recv(net::kAnySource, net::kAnyTag);
+    // The handler parks on the request stream by design: shutdown arrives
+    // as a self-addressed kOpShutdown message (never dropped — loopback is
+    // exempt from fault injection), not as a deadline.
+    net::Message m = req_comm_.Recv();  // lint:allow-blocking-recv
     // Service time only (the Recv wait above is idle time, not load).
     obs::ScopedLatency lat(h_handler_us_);
     switch (m.tag) {
@@ -335,7 +390,80 @@ void KvRuntime::SendResponse(int dst, int tag, const Slice& payload) {
 }
 
 net::Message KvRuntime::RecvResponse(int src, int tag) {
-  return resp_comm_.Recv(src, tag);
+  // Fixed-tag reply paths (restart redistribution) run single-file with no
+  // retry, so a lost reply here would wedge — which is why every path that
+  // can see message loss uses RequestReply instead.
+  return resp_comm_.Recv(src, tag);  // lint:allow-blocking-recv
+}
+
+Status KvRuntime::RequestReply(int dst, int op, const Slice& payload,
+                               int resp_tag, net::Message* reply) {
+  for (int attempt = 1; attempt <= retry_.max_attempts; ++attempt) {
+    if (attempt > 1) {
+      c_req_retries_->Inc();
+      PreciseSleepMicros(retry_.BackoffUs(attempt - 1));
+    }
+    SendRequest(dst, op, payload);
+    if (resp_comm_.RecvFor(dst, resp_tag, retry_.reply_timeout_us, reply)) {
+      return Status::OK();
+    }
+  }
+  c_req_timeouts_->Inc();
+  MarkSuspect(dst);
+  return Status::Timeout("no reply from rank " + std::to_string(dst) +
+                         " for op " + std::to_string(op) + " after " +
+                         std::to_string(retry_.max_attempts) + " attempts");
+}
+
+Status KvRuntime::CollectiveBarrier() {
+  if (barrier_comm_.BarrierFor(retry_.barrier_timeout_us)) return Status::OK();
+  return Status::Timeout("collective barrier timed out");
+}
+
+Status KvRuntime::RestartBarrier() {
+  if (restart_comm_.BarrierFor(retry_.barrier_timeout_us)) return Status::OK();
+  return Status::Timeout("restart barrier timed out");
+}
+
+// ---------------------------------------------------------------------------
+// Simulated rank failure
+// ---------------------------------------------------------------------------
+
+Status KvRuntime::CheckAlive() {
+  if (crashed_.load(std::memory_order_acquire)) {
+    return Status(PAPYRUSKV_ERR, "rank crashed (simulated)");
+  }
+  if (fault::Enabled() && crash_point_->Fire()) {
+    TriggerCrash();
+    return Status(PAPYRUSKV_ERR, "rank crashed (simulated)");
+  }
+  return Status::OK();
+}
+
+void KvRuntime::TriggerCrash() {
+  bool expected = false;
+  if (!crashed_.compare_exchange_strong(expected, true)) return;
+  PLOG_WARN << "simulated crash: rank " << ctx_.rank
+            << " dropping volatile state";
+  metrics_.GetCounter("fault.rank_crash").Inc();
+  std::vector<DbShardPtr> dbs;
+  {
+    MutexLock lock(&dbs_mu_);
+    for (const auto& [id, db] : dbs_) dbs.push_back(db);
+  }
+  // The NVM image (SSTables already flushed) survives, exactly like a real
+  // power loss; everything in DRAM is gone.
+  for (const auto& db : dbs) db->DropVolatile();
+}
+
+void KvRuntime::MarkSuspect(int rank) {
+  MutexLock lock(&suspect_mu_);
+  suspects_.insert(rank);
+}
+
+bool KvRuntime::IsSuspect(int rank) {
+  MutexLock lock(&suspect_mu_);
+  return suspects_.count(rank) > 0;
 }
 
 // ---------------------------------------------------------------------------
@@ -381,7 +509,8 @@ Status KvRuntime::Open(const std::string& name, int flags, const Options& opt,
   // Collective: every rank allocates ids in open order, so descriptors are
   // identical across ranks (§2.3), and nobody touches the database before
   // all ranks have it registered (remote requests would find no shard).
-  CollectiveBarrier();
+  s = CollectiveBarrier();
+  if (!s.ok()) return s;
   *db_out = id;
   return Status::OK();
 }
@@ -396,8 +525,8 @@ Status KvRuntime::Close(int id) {
     MutexLock lock(&dbs_mu_);
     dbs_.erase(id);
   }
-  CollectiveBarrier();
-  return s;
+  Status bs = CollectiveBarrier();
+  return s.ok() ? bs : s;
 }
 
 DbShardPtr KvRuntime::Find(int id) {
@@ -431,7 +560,11 @@ Status KvRuntime::SignalWait(int signum, const int* ranks, int count) {
     if (ranks[i] < 0 || ranks[i] >= size()) {
       return Status::InvalidArg("signal_wait: bad rank");
     }
-    signal_comm_.Recv(ranks[i], signum);
+    net::Message m;
+    if (!signal_comm_.RecvFor(ranks[i], signum, retry_.barrier_timeout_us,
+                              &m)) {
+      return Status::Timeout("signal wait exceeded its deadline");
+    }
   }
   return Status::OK();
 }

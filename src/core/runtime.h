@@ -24,6 +24,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <thread>
 #include <unordered_set>
@@ -35,6 +36,9 @@
 #include "core/events.h"
 #include "core/layout.h"
 #include "core/options.h"
+#include "core/wire.h"
+#include "fault/failpoint.h"
+#include "fault/retry.h"
 #include "net/runtime.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -120,11 +124,41 @@ class KvRuntime {
   void SendResponse(int dst, int tag, const Slice& payload);
   net::Message RecvResponse(int src, int tag);
 
+  // Unique tag for a reply that may be retried (see wire.h: a retried
+  // request must never match a previous attempt's late reply onto the next
+  // request).
+  int AllocRespTag() {
+    return resp_tag_seq_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Request/reply with bounded retry (DESIGN.md §8): sends (dst, op,
+  // payload) and waits up to retry().reply_timeout_us for the reply tagged
+  // resp_tag; on timeout re-sends (runtime requests are idempotent) with
+  // exponential backoff.  After retry().max_attempts attempts, marks dst
+  // suspect and returns PAPYRUSKV_ERR_TIMEOUT.
+  Status RequestReply(int dst, int op, const Slice& payload, int resp_tag,
+                      net::Message* reply);
+
+  const fault::RetryPolicy& retry() const { return retry_; }
+
+  // ---- Simulated rank failure (rank.crash failpoint; DESIGN.md §8) ----
+  // True once this rank has "crashed": volatile state is gone and public
+  // API calls fail until checkpoint restart.
+  bool crashed() const { return crashed_.load(std::memory_order_acquire); }
+  // Fails once this rank has crashed; each call is also one firing
+  // opportunity for the rank.crash failpoint (public KV ops call this, so
+  // `rank.crash=rank2@op500` kills rank 2 on its 500th operation).
+  Status CheckAlive();
+  // Peer-health bookkeeping: a peer that exhausted its retries is suspect.
+  void MarkSuspect(int rank);
+  bool IsSuspect(int rank);
+
   // Collective barrier for application-thread collectives (papyruskv
-  // barrier/consistency/protect/open/close).
-  void CollectiveBarrier() { barrier_comm_.Barrier(); }
+  // barrier/consistency/protect/open/close).  PAPYRUSKV_ERR_TIMEOUT when a
+  // peer fails to arrive within retry().barrier_timeout_us.
+  Status CollectiveBarrier();
   // Collective barrier usable from compaction-thread tasks (restart).
-  void RestartBarrier() { restart_comm_.Barrier(); }
+  Status RestartBarrier();
   net::Communicator& barrier_comm() { return barrier_comm_; }
 
   // ---- Signals (§3.1) ----
@@ -155,6 +189,10 @@ class KvRuntime {
 
   void HandleMigrateChunk(const net::Message& m, bool sync_put);
   void HandleGetReq(const net::Message& m);
+
+  // Flips crashed_ (once) and discards all shards' volatile state — the
+  // simulated power loss of §4.2's failure model.
+  void TriggerCrash();
 
   // Writes the per-rank stats JSON (PAPYRUSKV_STATS), the rank-0 aggregate
   // roll-up (allgather + merge), and the per-rank Chrome trace
@@ -189,6 +227,15 @@ class KvRuntime {
   Mutex pool_mu_{"rt_pool_mu"};
   std::unordered_set<char*> pool_allocs_ GUARDED_BY(pool_mu_);
 
+  // Fault/recovery state (DESIGN.md §8).
+  fault::RetryPolicy retry_;
+  std::atomic<bool> crashed_{false};
+  std::atomic<int> resp_tag_seq_{kDynamicRespTagBase};
+  fault::Point* crash_point_;  // cached rank.crash failpoint
+
+  Mutex suspect_mu_{"rt_suspect_mu"};
+  std::set<int> suspects_ GUARDED_BY(suspect_mu_);
+
   // Declared before the cached metric pointers below, which are resolved
   // from it in the constructor.
   obs::Registry metrics_;
@@ -203,6 +250,8 @@ class KvRuntime {
   obs::Counter* c_req_bytes_[kOpShutdown + 1];
   obs::Counter* c_resp_msgs_;
   obs::Counter* c_resp_bytes_;
+  obs::Counter* c_req_retries_;      // net.req.retries
+  obs::Counter* c_req_timeouts_;     // net.req.timeouts
 };
 
 }  // namespace papyrus::core

@@ -41,12 +41,24 @@ enum WireOp : int {
 };
 
 // Response-communicator tags, one per requester role within a rank.
+//
+// With retry-on-timeout (DESIGN.md §8) a fixed per-role tag is no longer
+// enough: a retried request's reply could be satisfied by the *original*
+// attempt's late reply, and the original's reply would then alias the next
+// request from the same role.  Requests that may be retried therefore carry
+// a unique tag from KvRuntime::AllocRespTag() (>= kDynamicRespTagBase);
+// stale replies to abandoned tags sit harmlessly in the mailbox.  The fixed
+// tags below remain for the restart task, which runs single-file.
 enum RespTag : int {
   kTagGetResp = 1,      // application thread gets
   kTagPutAck = 2,       // application thread sequential puts
   kTagMigrateAck = 3,   // dispatcher chunk acks
   kTagRedistAck = 4,    // restart-with-redistribution task
 };
+
+// First tag handed out by KvRuntime::AllocRespTag(); fixed RespTag values
+// stay below it.
+inline constexpr int kDynamicRespTagBase = 100;
 
 struct KvRecord {
   std::string key;

@@ -1,0 +1,28 @@
+#include "fault/retry.h"
+
+#include <algorithm>
+
+#include "common/env.h"
+
+namespace papyrus::fault {
+
+RetryPolicy RetryPolicy::FromEnv() {
+  RetryPolicy p;
+  if (auto v = EnvInt("PAPYRUSKV_RETRY_MAX"); v && *v > 0) {
+    p.max_attempts = static_cast<int>(*v);
+  }
+  if (auto v = EnvInt("PAPYRUSKV_TIMEOUT_MS"); v && *v > 0) {
+    p.reply_timeout_us = static_cast<uint64_t>(*v) * 1000;
+  }
+  if (auto v = EnvInt("PAPYRUSKV_BARRIER_TIMEOUT_MS"); v && *v > 0) {
+    p.barrier_timeout_us = static_cast<uint64_t>(*v) * 1000;
+  }
+  return p;
+}
+
+uint64_t RetryPolicy::BackoffUs(int attempt) const {
+  const int shift = std::min(std::max(attempt - 1, 0), 16);
+  return std::min(backoff_cap_us, backoff_base_us << shift);
+}
+
+}  // namespace papyrus::fault

@@ -1,0 +1,32 @@
+// Retry/backoff policy for remote request-reply traffic (DESIGN.md §8).
+//
+// Every remote Put/Get/migration chunk is a request that expects a reply.
+// With the interconnect able to drop messages (fault injection today, real
+// fabrics tomorrow), an unbounded blocking receive turns one lost message
+// into a hung rank.  Policy instead: wait `reply_timeout_us` per attempt,
+// re-send the (idempotent) request with exponential backoff between
+// attempts, and after `max_attempts` give up with PAPYRUSKV_ERR_TIMEOUT and
+// mark the peer suspect.  Collective barriers get a single, longer deadline
+// (`barrier_timeout_us`) — they cannot be retried, only reported.
+#pragma once
+
+#include <cstdint>
+
+namespace papyrus::fault {
+
+struct RetryPolicy {
+  int max_attempts = 4;                     // PAPYRUSKV_RETRY_MAX
+  uint64_t reply_timeout_us = 10'000'000;   // PAPYRUSKV_TIMEOUT_MS
+  uint64_t backoff_base_us = 1'000;
+  uint64_t backoff_cap_us = 64'000;
+  uint64_t barrier_timeout_us = 60'000'000; // PAPYRUSKV_BARRIER_TIMEOUT_MS
+
+  // Reads the PAPYRUSKV_* overrides above; unset variables keep defaults.
+  static RetryPolicy FromEnv();
+
+  // Backoff before attempt `attempt`+1 (attempt is 1-based): exponential,
+  // capped at backoff_cap_us.
+  uint64_t BackoffUs(int attempt) const;
+};
+
+}  // namespace papyrus::fault

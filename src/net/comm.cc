@@ -1,10 +1,11 @@
 #include "net/comm.h"
 
+#include <algorithm>
 #include <cassert>
 
-#include "common/timer.h"
-
 #include "common/coding.h"
+#include "common/timer.h"
+#include "fault/failpoint.h"
 
 namespace papyrus::net {
 
@@ -49,6 +50,29 @@ Message Mailbox::Recv(int src, int tag) {
     } else {
       cv_.Wait(&mu_);
     }
+  }
+}
+
+bool Mailbox::RecvFor(int src, int tag, uint64_t timeout_us, Message* out) {
+  const uint64_t deadline = NowMicros() + timeout_us;
+  MutexLock lock(&mu_);
+  for (;;) {
+    const uint64_t now = NowMicros();
+    uint64_t next_visible = UINT64_MAX;
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (!Matches(*it, src, tag)) continue;
+      if (it->visible_at_us > now) {
+        next_visible = std::min(next_visible, it->visible_at_us);
+        continue;
+      }
+      *out = std::move(*it);
+      queue_.erase(it);
+      return true;
+    }
+    if (now >= deadline) return false;
+    // Wake at whichever comes first: an in-flight match turning visible or
+    // the deadline.  A Deliver also notifies.
+    cv_.WaitForMicros(&mu_, std::min(next_visible, deadline) - now);
   }
 }
 
@@ -98,9 +122,21 @@ void Communicator::Send(int dst, int tag, const Slice& payload) const {
   assert(dst >= 0 && dst < world_->size());
   const uint64_t delay =
       world_->interconnect().Charge(rank_, dst, payload.size());
-  world_->mailbox(comm_id_, dst, /*channel=*/0)
-      .Deliver(Message{rank_, tag, payload.ToString(),
-                       delay ? NowMicros() + delay : 0});
+  Message msg{rank_, tag, payload.ToString(), delay ? NowMicros() + delay : 0};
+  // Drop/dup faults model the fabric, so they apply only to user
+  // point-to-point traffic that actually crosses it: loopback sends never
+  // leave the rank, and collective traffic (SendInternal, channel 1) is
+  // exempt so a dropped token cannot wedge a barrier — the recovery story
+  // for collectives is the deadline in BarrierFor, not retransmission.
+  if (fault::Enabled() && dst != rank_) {
+    static fault::Point& drop =
+        fault::Registry::Instance().GetPoint("net.msg.drop");
+    static fault::Point& dup =
+        fault::Registry::Instance().GetPoint("net.msg.dup");
+    if (drop.Fire()) return;  // charged to the interconnect, never delivered
+    if (dup.Fire()) world_->mailbox(comm_id_, dst, /*channel=*/0).Deliver(msg);
+  }
+  world_->mailbox(comm_id_, dst, /*channel=*/0).Deliver(std::move(msg));
 }
 
 Message Communicator::Recv(int src, int tag) const {
@@ -109,6 +145,12 @@ Message Communicator::Recv(int src, int tag) const {
 
 bool Communicator::TryRecv(int src, int tag, Message* out) const {
   return world_->mailbox(comm_id_, rank_, 0).TryRecv(src, tag, out);
+}
+
+bool Communicator::RecvFor(int src, int tag, uint64_t timeout_us,
+                           Message* out) const {
+  return world_->mailbox(comm_id_, rank_, 0).RecvFor(src, tag, timeout_us,
+                                                     out);
 }
 
 void Communicator::SendInternal(int dst, int tag, const Slice& payload) const {
@@ -121,6 +163,12 @@ void Communicator::SendInternal(int dst, int tag, const Slice& payload) const {
 
 Message Communicator::RecvInternal(int src, int tag) const {
   return world_->mailbox(comm_id_, rank_, 1).Recv(src, tag);
+}
+
+bool Communicator::RecvInternalFor(int src, int tag, uint64_t timeout_us,
+                                   Message* out) const {
+  return world_->mailbox(comm_id_, rank_, 1).RecvFor(src, tag, timeout_us,
+                                                     out);
 }
 
 Communicator Communicator::Dup() const {
@@ -139,6 +187,29 @@ void Communicator::Barrier() const {
     SendInternal(0, kTagBarrierIn, Slice());
     RecvInternal(0, kTagBarrierOut);
   }
+}
+
+bool Communicator::BarrierFor(uint64_t timeout_us) const {
+  const int n = size();
+  if (n == 1) return true;
+  const uint64_t deadline = NowMicros() + timeout_us;
+  auto remaining = [deadline]() -> uint64_t {
+    const uint64_t now = NowMicros();
+    return deadline > now ? deadline - now : 0;
+  };
+  Message m;
+  if (rank_ == 0) {
+    for (int r = 1; r < n; ++r) {
+      if (!RecvInternalFor(kAnySource, kTagBarrierIn, remaining(), &m)) {
+        return false;
+      }
+    }
+    for (int r = 1; r < n; ++r) SendInternal(r, kTagBarrierOut, Slice());
+  } else {
+    SendInternal(0, kTagBarrierIn, Slice());
+    if (!RecvInternalFor(0, kTagBarrierOut, remaining(), &m)) return false;
+  }
+  return true;
 }
 
 void Communicator::Allgather(const Slice& mine,

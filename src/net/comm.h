@@ -59,6 +59,9 @@ class Mailbox {
   // Non-blocking variant; returns false if nothing matches (a matching
   // but not-yet-visible message counts as absent).
   bool TryRecv(int src, int tag, Message* out);
+  // Deadline variant: waits at most timeout_us for a visible match; false on
+  // timeout.  The recovery primitive for lost messages — see DESIGN.md §8.
+  bool RecvFor(int src, int tag, uint64_t timeout_us, Message* out);
 
  private:
   bool Matches(const Message& m, int src, int tag) const {
@@ -89,10 +92,14 @@ class Communicator {
   // message.
   void Send(int dst, int tag, const Slice& payload) const;
 
-  // Blocking receive with MPI matching rules.
+  // Blocking receive with MPI matching rules.  Prefer RecvFor on any path
+  // where the expected message can be lost (the lint gate rejects new naked
+  // Recv call sites outside this module).
   Message Recv(int src = kAnySource, int tag = kAnyTag) const;
   // Non-blocking probe+receive.
   bool TryRecv(int src, int tag, Message* out) const;
+  // Deadline receive; false on timeout.
+  bool RecvFor(int src, int tag, uint64_t timeout_us, Message* out) const;
 
   // Collective: returns a new communicator with the same group but a
   // disjoint message-matching space.  Must be called by all ranks in the
@@ -102,6 +109,11 @@ class Communicator {
   // Collectives (all ranks must call; implemented over internal tags so
   // they never interfere with user point-to-point traffic).
   void Barrier() const;
+  // Barrier with a deadline covering the whole collective; false on timeout
+  // (a peer failed to arrive — e.g. it crashed or wedged).  All ranks must
+  // still call it; a timeout on one rank implies the barrier cannot
+  // complete anywhere.
+  bool BarrierFor(uint64_t timeout_us) const;
   void Bcast(std::string* data, int root) const;
   // Gathers each rank's contribution into out (indexed by rank) on all
   // ranks.
@@ -119,6 +131,8 @@ class Communicator {
 
   void SendInternal(int dst, int tag, const Slice& payload) const;
   Message RecvInternal(int src, int tag) const;
+  bool RecvInternalFor(int src, int tag, uint64_t timeout_us,
+                       Message* out) const;
 
   World* world_ = nullptr;
   uint64_t comm_id_ = 0;

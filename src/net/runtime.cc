@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "common/mutex.h"
+#include "fault/failpoint.h"
 
 namespace papyrus::net {
 
@@ -36,12 +37,14 @@ void RunRanks(const sim::Topology& topo,
       ctx.world = &world;
       ctx.comm = world.world_comm(r);
       SetCurrentRankContext(&ctx);
+      fault::SetThreadRank(r);
       try {
         fn(ctx);
       } catch (...) {
         MutexLock lock(&err_mu);
         if (!first_error) first_error = std::current_exception();
       }
+      fault::SetThreadRank(-1);
       SetCurrentRankContext(nullptr);
     });
   }

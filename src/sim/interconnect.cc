@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/timer.h"
+#include "fault/failpoint.h"
 #include "obs/metrics.h"
 #include "sim/device_model.h"
 
@@ -45,8 +46,17 @@ uint64_t Interconnect::Charge(int src, int dst, uint64_t bytes) {
     reg.GetCounter("sim.net.bytes").Inc(bytes);
   }
 
+  // net.msg.delay adds propagation delay even at TimeScale 0, so delay
+  // faults work in the tests' zero-latency configuration.
+  uint64_t fault_delay_us = 0;
+  if (fault::Enabled() && src != dst) {
+    static fault::Point& delay =
+        fault::Registry::Instance().GetPoint("net.msg.delay");
+    if (delay.Fire()) fault_delay_us = fault::DelayMicros();
+  }
+
   const double scale = TimeScale();
-  if (scale <= 0 || src == dst) return 0;
+  if (scale <= 0 || src == dst) return fault_delay_us;
 
   const bool same_node = topo_.SameNode(src, dst);
   const LinkPerf& link = same_node ? intra_ : inter_;
@@ -72,7 +82,7 @@ uint64_t Interconnect::Charge(int src, int dst, uint64_t bytes) {
     send_done = std::max(d1, d2) + inj_us;
   }
   if (send_done > now) PreciseSleepMicros(send_done - now);
-  return lat_us;
+  return lat_us + fault_delay_us;
 }
 
 void Interconnect::ResetCounters() {

@@ -9,6 +9,9 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <string_view>
+
+#include "fault/failpoint.h"
 
 namespace papyrus::sim {
 
@@ -19,6 +22,17 @@ Status Errno(const std::string& what, const std::string& path) {
                 what + " " + path + ": " + strerror(errno));
 }
 
+// SSTable data/index/bloom files (including .tmp staging names) are the
+// corruption targets for the sstable.* failpoints.
+bool IsSstablePath(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string_view base =
+      slash == std::string::npos
+          ? std::string_view(path)
+          : std::string_view(path).substr(slash + 1);
+  return base.find("sst_") != std::string_view::npos;
+}
+
 }  // namespace
 
 WritableFile::~WritableFile() {
@@ -26,19 +40,49 @@ WritableFile::~WritableFile() {
 }
 
 Status WritableFile::Append(const Slice& data) {
-  const char* p = data.data();
-  size_t left = data.size();
+  Slice out = data;
+  std::string mangled;
+  if (fault::Enabled()) {
+    static fault::Point& enospc =
+        fault::Registry::Instance().GetPoint("storage.write.enospc");
+    if (enospc.Fire()) {
+      return Status::IOError("injected ENOSPC writing " + path_);
+    }
+    if (!data.empty() && IsSstablePath(path_)) {
+      static fault::Point& torn =
+          fault::Registry::Instance().GetPoint("sstable.write.torn");
+      static fault::Point& flip =
+          fault::Registry::Instance().GetPoint("sstable.write.bitflip");
+      if (torn.Fire()) {
+        // Torn write: the tail of this write lands as zeros.  Length and
+        // file offsets are preserved, so nothing but checksum verification
+        // can detect it — the silent-corruption model for NVM power loss.
+        mangled.assign(data.data(), data.size());
+        const size_t from = static_cast<size_t>(torn.Rand(data.size()));
+        std::fill(mangled.begin() + static_cast<ptrdiff_t>(from),
+                  mangled.end(), '\0');
+        out = Slice(mangled);
+      } else if (flip.Fire()) {
+        mangled.assign(data.data(), data.size());
+        const uint64_t bit = flip.Rand(mangled.size() * 8);
+        mangled[bit / 8] ^= static_cast<char>(1u << (bit % 8));
+        out = Slice(mangled);
+      }
+    }
+  }
+  const char* p = out.data();
+  size_t left = out.size();
   while (left > 0) {
     ssize_t n = ::write(fd_, p, left);
     if (n < 0) {
       if (errno == EINTR) continue;
-      return Errno("write", "");
+      return Errno("write", path_);
     }
     p += n;
     left -= static_cast<size_t>(n);
   }
-  offset_ += data.size();
-  dev_->ChargeWrite(data.size());
+  offset_ += out.size();
+  dev_->ChargeWrite(out.size());
   return Status::OK();
 }
 
@@ -88,7 +132,8 @@ Status Storage::NewWritableFile(const std::string& path,
                                 std::unique_ptr<WritableFile>* out) {
   int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) return Errno("open(w)", path);
-  out->reset(new WritableFile(fd, DeviceRegistry::Instance().Lookup(path)));
+  out->reset(
+      new WritableFile(fd, path, DeviceRegistry::Instance().Lookup(path)));
   return Status::OK();
 }
 

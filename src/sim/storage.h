@@ -28,6 +28,9 @@ class WritableFile {
   WritableFile(const WritableFile&) = delete;
   WritableFile& operator=(const WritableFile&) = delete;
 
+  // Writes data, first applying any armed storage failpoints (injected
+  // ENOSPC; torn-write/bit-flip corruption on SSTable files) — see
+  // src/fault/failpoint.h.
   Status Append(const Slice& data);
   // Flushes to the OS; charges the device's write latency once.
   Status Sync();
@@ -36,9 +39,10 @@ class WritableFile {
 
  private:
   friend class Storage;
-  WritableFile(int fd, std::shared_ptr<Device> dev)
-      : fd_(fd), dev_(std::move(dev)) {}
+  WritableFile(int fd, std::string path, std::shared_ptr<Device> dev)
+      : fd_(fd), path_(std::move(path)), dev_(std::move(dev)) {}
   int fd_;
+  std::string path_;
   uint64_t offset_ = 0;
   std::shared_ptr<Device> dev_;
 };

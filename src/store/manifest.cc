@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "sim/storage.h"
 #include "store/format.h"
 
@@ -82,9 +83,51 @@ size_t Manifest::TableCount() const {
   return live_.size();
 }
 
+void Manifest::SetRepairDir(const std::string& dir) {
+  WriterMutexLock lock(&mu_);
+  repair_dir_ = dir;
+}
+
+Status Manifest::RepairTable(uint64_t ssid) {
+  obs::Current().GetCounter("store.repair.attempts").Inc();
+  std::string src;
+  {
+    ReaderMutexLock lock(&mu_);
+    src = repair_dir_;
+  }
+  if (src.empty() || !sim::Storage::FileExists(src + "/" + SsDataName(ssid))) {
+    return Status::NotFound("no checkpoint copy to repair from");
+  }
+  for (const auto& name :
+       {SsDataName(ssid), SsIndexName(ssid), BloomName(ssid)}) {
+    Status s = sim::Storage::CopyFile(src + "/" + name, dir_ + "/" + name);
+    if (!s.ok()) return s;
+  }
+  {
+    WriterMutexLock lock(&mu_);
+    readers_.erase(ssid);  // force a re-open of the repaired image
+    quarantined_.erase(ssid);
+  }
+  obs::Current().GetCounter("store.repair.success").Inc();
+  return Status::OK();
+}
+
+void Manifest::Quarantine(uint64_t ssid) {
+  WriterMutexLock lock(&mu_);
+  quarantined_.insert(ssid);
+}
+
+bool Manifest::IsQuarantined(uint64_t ssid) const {
+  ReaderMutexLock lock(&mu_);
+  return quarantined_.count(ssid) != 0;
+}
+
 Status Manifest::GetReader(uint64_t ssid, SSTablePtr* out) {
   {
     ReaderMutexLock lock(&mu_);
+    if (quarantined_.count(ssid) != 0) {
+      return Status::Corrupted("sstable quarantined");
+    }
     auto it = readers_.find(ssid);
     if (it != readers_.end()) {
       *out = it->second;

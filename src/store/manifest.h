@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -53,8 +54,24 @@ class Manifest {
   size_t TableCount() const;
 
   // Opens (or returns the cached) reader for ssid.  NOT_FOUND if the table
-  // is not live.
+  // is not live; CORRUPTED if it is quarantined (see below).
   Status GetReader(uint64_t ssid, SSTablePtr* out);
+
+  // ---- Corruption recovery (DESIGN.md §8) ----
+  // Remembers the directory holding this rank's latest checkpoint copy of
+  // its SSTables.  RepairTable restores corrupt tables from here; set by
+  // checkpoint (after the copies land) and restart (the snapshot itself).
+  void SetRepairDir(const std::string& dir);
+  // Restores sst_<ssid>.* from the repair directory over the live files
+  // and drops the cached reader so the next read re-opens the repaired
+  // image; also lifts any quarantine.  NOT_FOUND when no repair source
+  // covers the table (no checkpoint taken, or table newer than it).
+  Status RepairTable(uint64_t ssid);
+  // Marks a table unreadable: GetReader fails fast with CORRUPTED until
+  // the table is repaired or compacted away, instead of re-parsing corrupt
+  // blocks on every probe.
+  void Quarantine(uint64_t ssid);
+  bool IsQuarantined(uint64_t ssid) const;
 
   // Opens a reader for a table owned by *another* rank's directory without
   // registering it (storage-group shared reads).  Failures to open a
@@ -70,6 +87,9 @@ class Manifest {
   std::vector<uint64_t> live_ GUARDED_BY(mu_);  // ascending
   std::unordered_map<uint64_t, SSTablePtr> readers_ GUARDED_BY(mu_);
   uint64_t next_ssid_ GUARDED_BY(mu_) = 1;
+  // Corruption-recovery state (DESIGN.md §8).
+  std::string repair_dir_ GUARDED_BY(mu_);
+  std::set<uint64_t> quarantined_ GUARDED_BY(mu_);
 };
 
 }  // namespace papyrus::store

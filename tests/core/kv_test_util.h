@@ -17,11 +17,18 @@
 namespace papyrus::testutil {
 
 inline void ScrubKvEnv() {
+  // PAPYRUSKV_FAULTS is deliberately NOT scrubbed: the CI fault matrix
+  // re-runs these suites under a canned failpoint profile, which must
+  // reach the runtime.  The retry/seed knobs are scrubbed so individual
+  // tests always see the documented defaults.
   for (const char* var :
        {"PAPYRUSKV_REPOSITORY", "PAPYRUSKV_GROUP_SIZE",
         "PAPYRUSKV_CONSISTENCY", "PAPYRUSKV_BIN_SEARCH",
         "PAPYRUSKV_CACHE_REMOTE", "PAPYRUSKV_FORCE_REDISTRIBUTE",
-        "PAPYRUSKV_MEMTABLE_SIZE", "PAPYRUSKV_LUSTRE"}) {
+        "PAPYRUSKV_MEMTABLE_SIZE", "PAPYRUSKV_LUSTRE",
+        "PAPYRUSKV_FAULT_SEED", "PAPYRUSKV_FAULT_DELAY_US",
+        "PAPYRUSKV_TIMEOUT_MS", "PAPYRUSKV_RETRY_MAX",
+        "PAPYRUSKV_BARRIER_TIMEOUT_MS"}) {
     unsetenv(var);
   }
 }

@@ -1,0 +1,170 @@
+// Failpoint registry unit tests: spec grammar, trigger semantics, rank
+// scoping, and seed determinism.  These drive Registry/Point directly —
+// no KV runtime — so every behavior is pinned at the source.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "fault_test_util.h"
+
+namespace papyrus::testutil {
+namespace {
+
+using fault::Registry;
+
+class FailpointTest : public FaultTest {};
+
+TEST_F(FailpointTest, DisabledByDefaultAndAfterDisableAll) {
+  EXPECT_FALSE(fault::Enabled());
+  Arm("sstable.write.torn=1.0");
+  EXPECT_TRUE(fault::Enabled());
+  Registry::Instance().DisableAll();
+  EXPECT_FALSE(fault::Enabled());
+  EXPECT_FALSE(Registry::Instance().GetPoint("sstable.write.torn").Fire());
+}
+
+TEST_F(FailpointTest, SpecGrammarAccepted) {
+  Arm("sstable.write.torn=0.01, net.msg.drop=rank1:0.05,"
+      "rank.crash=rank2@op500,storage.write.enospc=@op10");
+  std::vector<std::string> desc = Registry::Instance().Describe();
+  std::sort(desc.begin(), desc.end());
+  ASSERT_EQ(desc.size(), 4u);
+  EXPECT_EQ(desc[0], "net.msg.drop=rank1:0.05");
+  EXPECT_EQ(desc[1], "rank.crash=rank2@op500");
+  EXPECT_EQ(desc[2], "sstable.write.torn=0.01");
+  EXPECT_EQ(desc[3], "storage.write.enospc=@op10");
+}
+
+TEST_F(FailpointTest, MalformedSpecRejectsAndDisarmsEverything) {
+  Arm("net.msg.drop=1.0");
+  ASSERT_TRUE(fault::Enabled());
+  for (const char* bad :
+       {"net.msg.drop", "=0.5", "net.msg.drop=1.5", "net.msg.drop=-0.1",
+        "net.msg.drop=rank:0.5", "net.msg.drop=rankX:0.5",
+        "net.msg.drop=@op0", "net.msg.drop=@opX", "net.msg.drop=abc"}) {
+    Status s = Registry::Instance().Configure(bad, 1);
+    EXPECT_EQ(s.code(), PAPYRUSKV_INVALID_ARG) << bad;
+    // A rejected spec must leave nothing half-armed — including the
+    // previously valid configuration.
+    EXPECT_FALSE(fault::Enabled()) << bad;
+  }
+}
+
+TEST_F(FailpointTest, EmptySpecIsValidNoop) {
+  Arm("net.msg.drop=1.0");
+  ASSERT_TRUE(Registry::Instance().Configure("", 1).ok());
+  EXPECT_FALSE(fault::Enabled());
+}
+
+TEST_F(FailpointTest, ProbabilityEndpoints) {
+  Arm("p.always=1.0,p.never=0.0");
+  fault::Point& always = Registry::Instance().GetPoint("p.always");
+  fault::Point& never = Registry::Instance().GetPoint("p.never");
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(always.Fire());
+    EXPECT_FALSE(never.Fire());
+  }
+  EXPECT_EQ(always.injected(), 100u);
+}
+
+TEST_F(FailpointTest, RankScopingFollowsThreadRank) {
+  Arm("p.scoped=rank1:1.0");
+  fault::Point& p = Registry::Instance().GetPoint("p.scoped");
+  fault::SetThreadRank(0);
+  EXPECT_FALSE(p.Fire());
+  fault::SetThreadRank(1);
+  EXPECT_TRUE(p.Fire());
+  fault::SetThreadRank(-1);  // unknown thread never matches a rank scope
+  EXPECT_FALSE(p.Fire());
+}
+
+TEST_F(FailpointTest, CountTriggerFiresExactlyOnceOnNthHit) {
+  Arm("p.nth=@op5");
+  fault::Point& p = Registry::Instance().GetPoint("p.nth");
+  for (int i = 1; i <= 20; ++i) {
+    EXPECT_EQ(p.Fire(), i == 5) << "hit " << i;
+  }
+  EXPECT_EQ(p.injected(), 1u);
+}
+
+TEST_F(FailpointTest, RankScopedCountIgnoresOtherRanksHits) {
+  Arm("p.rnth=rank1@op3");
+  fault::Point& p = Registry::Instance().GetPoint("p.rnth");
+  // Rank 0 hammering the point must not advance rank 1's hit count.
+  fault::SetThreadRank(0);
+  for (int i = 0; i < 10; ++i) EXPECT_FALSE(p.Fire());
+  fault::SetThreadRank(1);
+  EXPECT_FALSE(p.Fire());
+  EXPECT_FALSE(p.Fire());
+  EXPECT_TRUE(p.Fire());   // rank 1's 3rd hit
+  EXPECT_FALSE(p.Fire());  // once only
+  fault::SetThreadRank(-1);
+}
+
+TEST_F(FailpointTest, SameSeedSameSpecReproducesFiringSequence) {
+  auto sequence = [&](uint64_t seed) {
+    EXPECT_TRUE(
+        Registry::Instance().Configure("p.det=0.5", seed).ok());
+    std::vector<bool> fired;
+    fault::Point& p = Registry::Instance().GetPoint("p.det");
+    for (int i = 0; i < 64; ++i) fired.push_back(p.Fire());
+    return fired;
+  };
+  const std::vector<bool> a = sequence(42);
+  const std::vector<bool> b = sequence(42);
+  const std::vector<bool> c = sequence(43);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);  // 2^-64 collision odds: a fair canary for re-seeding
+}
+
+TEST_F(FailpointTest, DistinctPointsDrawIndependentStreams) {
+  Arm("p.one=0.5,p.two=0.5", 7);
+  std::vector<bool> one, two;
+  for (int i = 0; i < 64; ++i) {
+    one.push_back(Registry::Instance().GetPoint("p.one").Fire());
+    two.push_back(Registry::Instance().GetPoint("p.two").Fire());
+  }
+  EXPECT_NE(one, two);
+}
+
+TEST_F(FailpointTest, RandIsDeterministicPerSeed) {
+  Arm("p.rand=1.0", 99);
+  std::vector<uint64_t> a;
+  for (int i = 0; i < 16; ++i) {
+    a.push_back(Registry::Instance().GetPoint("p.rand").Rand(1000));
+  }
+  Arm("p.rand=1.0", 99);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(Registry::Instance().GetPoint("p.rand").Rand(1000), a[i]);
+  }
+}
+
+TEST_F(FailpointTest, RetryPolicyEnvOverrides) {
+  fault::RetryPolicy def = fault::RetryPolicy::FromEnv();
+  EXPECT_EQ(def.max_attempts, 4);
+  EXPECT_EQ(def.reply_timeout_us, 10'000'000u);
+  EXPECT_EQ(def.barrier_timeout_us, 60'000'000u);
+
+  setenv("PAPYRUSKV_RETRY_MAX", "7", 1);
+  setenv("PAPYRUSKV_TIMEOUT_MS", "250", 1);
+  setenv("PAPYRUSKV_BARRIER_TIMEOUT_MS", "1500", 1);
+  fault::RetryPolicy p = fault::RetryPolicy::FromEnv();
+  EXPECT_EQ(p.max_attempts, 7);
+  EXPECT_EQ(p.reply_timeout_us, 250'000u);
+  EXPECT_EQ(p.barrier_timeout_us, 1'500'000u);
+  ScrubFaultEnv();
+}
+
+TEST_F(FailpointTest, BackoffIsExponentialAndCapped) {
+  fault::RetryPolicy p;  // base 1ms, cap 64ms
+  EXPECT_EQ(p.BackoffUs(1), 1'000u);
+  EXPECT_EQ(p.BackoffUs(2), 2'000u);
+  EXPECT_EQ(p.BackoffUs(3), 4'000u);
+  EXPECT_EQ(p.BackoffUs(7), 64'000u);
+  EXPECT_EQ(p.BackoffUs(8), 64'000u);   // capped
+  EXPECT_EQ(p.BackoffUs(60), 64'000u);  // shift clamped, no UB
+}
+
+}  // namespace
+}  // namespace papyrus::testutil

@@ -1,0 +1,233 @@
+// Storage-layer fault injection end to end: torn/short SSTable writes and
+// bit flips must be *detected* by the read-path CRCs (never wrong data),
+// an injected ENOSPC must not lose in-memory records, and a corrupt table
+// must heal itself from the latest checkpoint copy when one exists.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/random.h"
+#include "core/db_shard.h"
+#include "fault_test_util.h"
+#include "store/format.h"
+
+namespace papyrus::testutil {
+namespace {
+
+class StorageFaultTest : public FaultTest {};
+
+// Opens a single-rank db, writes kCount patterned keys, and flushes them.
+constexpr int kCount = 24;
+
+std::string Key(int i) { return "key" + std::to_string(i); }
+std::string Value(int i) { return PatternValue(1000 + i, 64); }
+
+void Populate(papyruskv_db_t* db, const char* name = "sfault") {
+  ASSERT_EQ(papyruskv_open(name, PAPYRUSKV_CREATE | PAPYRUSKV_RDWR, nullptr,
+                           db),
+            PAPYRUSKV_SUCCESS);
+  for (int i = 0; i < kCount; ++i) {
+    ASSERT_EQ(PutStr(*db, Key(i), Value(i)), PAPYRUSKV_SUCCESS);
+  }
+}
+
+// Every key either reads back intact or fails with CORRUPTED — wrong data
+// is the one outcome injection must never produce.  Returns the number of
+// corrupted reads.
+int VerifyIntactOrCorrupted(papyruskv_db_t db) {
+  int corrupted = 0;
+  for (int i = 0; i < kCount; ++i) {
+    std::string out;
+    const int rc = GetStr(db, Key(i), &out);
+    if (rc == PAPYRUSKV_SUCCESS) {
+      EXPECT_EQ(out, Value(i)) << Key(i);
+    } else {
+      EXPECT_EQ(rc, PAPYRUSKV_CORRUPTED) << Key(i);
+      ++corrupted;
+    }
+  }
+  return corrupted;
+}
+
+TEST_F(StorageFaultTest, TornWriteCaughtByReadCrc) {
+  RunKv(1, tmp_.path(), [&](net::RankContext&) {
+    papyruskv_db_t db;
+    Populate(&db);
+    Arm("sstable.write.torn=1.0");
+    ASSERT_EQ(papyruskv_barrier(db, PAPYRUSKV_SSTABLE), PAPYRUSKV_SUCCESS);
+    fault::Registry::Instance().DisableAll();
+
+    fault::Point& torn =
+        fault::Registry::Instance().GetPoint("sstable.write.torn");
+    EXPECT_GT(torn.injected(), 0u);
+    EXPECT_GE(VerifyIntactOrCorrupted(db), 1)
+        << "a torn write was never detected";
+    ASSERT_EQ(papyruskv_close(db), PAPYRUSKV_SUCCESS);
+  });
+}
+
+TEST_F(StorageFaultTest, BitflipCaughtByReadCrc) {
+  RunKv(1, tmp_.path(), [&](net::RankContext&) {
+    papyruskv_db_t db;
+    Populate(&db);
+    Arm("sstable.write.bitflip=1.0");
+    ASSERT_EQ(papyruskv_barrier(db, PAPYRUSKV_SSTABLE), PAPYRUSKV_SUCCESS);
+    fault::Registry::Instance().DisableAll();
+
+    fault::Point& flip =
+        fault::Registry::Instance().GetPoint("sstable.write.bitflip");
+    EXPECT_GT(flip.injected(), 0u);
+    EXPECT_GE(VerifyIntactOrCorrupted(db), 1)
+        << "a flipped bit was never detected";
+    ASSERT_EQ(papyruskv_close(db), PAPYRUSKV_SUCCESS);
+  });
+}
+
+TEST_F(StorageFaultTest, InjectedEnospcKeepsRecordsReadable) {
+  RunKv(1, tmp_.path(), [&](net::RankContext&) {
+    papyruskv_db_t db;
+    Populate(&db);
+    // Every SSTable write fails: the flush errors out, but the sealed
+    // MemTable must stay searchable — records are only retired from
+    // memory after they are durable.
+    Arm("storage.write.enospc=1.0");
+    ASSERT_EQ(papyruskv_barrier(db, PAPYRUSKV_SSTABLE), PAPYRUSKV_SUCCESS);
+    fault::Registry::Instance().DisableAll();
+
+    fault::Point& enospc =
+        fault::Registry::Instance().GetPoint("storage.write.enospc");
+    EXPECT_GT(enospc.injected(), 0u);
+    for (int i = 0; i < kCount; ++i) {
+      std::string out;
+      ASSERT_EQ(GetStr(db, Key(i), &out), PAPYRUSKV_SUCCESS) << Key(i);
+      EXPECT_EQ(out, Value(i));
+    }
+    ASSERT_EQ(papyruskv_close(db), PAPYRUSKV_SUCCESS);
+  });
+}
+
+void FlipByteOnDisk(const std::string& path, size_t offset_from_end) {
+  std::string raw;
+  ASSERT_TRUE(sim::Storage::ReadFileToString(path, &raw).ok());
+  ASSERT_GT(raw.size(), offset_from_end);
+  raw[raw.size() - 1 - offset_from_end] ^= 0x55;
+  ASSERT_TRUE(sim::Storage::WriteStringToFile(path, raw).ok());
+}
+
+TEST_F(StorageFaultTest, CorruptTableRepairsItselfFromCheckpoint) {
+  TempDir snap{"sfault_snap"};
+  RunKv(1, tmp_.path(), [&](net::RankContext&) {
+    papyruskv_db_t db;
+    Populate(&db);
+    ASSERT_EQ(papyruskv_barrier(db, PAPYRUSKV_SSTABLE), PAPYRUSKV_SUCCESS);
+    ASSERT_EQ(papyruskv_checkpoint(db, snap.path().c_str(), nullptr),
+              PAPYRUSKV_SUCCESS);
+
+    auto shard = papyrus::core::DbHandle(db);
+    const auto live = shard->manifest().LiveSsids();
+    ASSERT_EQ(live.size(), 1u);
+    FlipByteOnDisk(shard->dir() + "/" + store::SsDataName(live[0]), 3);
+
+    // Every key reads back: the first corrupt probe restores the table
+    // from the checkpoint copy and re-reads.
+    for (int i = 0; i < kCount; ++i) {
+      std::string out;
+      ASSERT_EQ(GetStr(db, Key(i), &out), PAPYRUSKV_SUCCESS) << Key(i);
+      EXPECT_EQ(out, Value(i));
+    }
+    EXPECT_FALSE(shard->manifest().IsQuarantined(live[0]));
+    EXPECT_GE(
+        obs::Current().GetCounter("store.repair.success").Value(), 1u);
+    ASSERT_EQ(papyruskv_close(db), PAPYRUSKV_SUCCESS);
+  });
+}
+
+TEST_F(StorageFaultTest, UnrepairableTableIsQuarantined) {
+  RunKv(1, tmp_.path(), [&](net::RankContext&) {
+    papyruskv_db_t db;
+    Populate(&db);  // no checkpoint: nothing to repair from
+    ASSERT_EQ(papyruskv_barrier(db, PAPYRUSKV_SSTABLE), PAPYRUSKV_SUCCESS);
+
+    auto shard = papyrus::core::DbHandle(db);
+    const auto live = shard->manifest().LiveSsids();
+    ASSERT_EQ(live.size(), 1u);
+    FlipByteOnDisk(shard->dir() + "/" + store::SsDataName(live[0]), 3);
+
+    // "key0" sorts first in the table, so its record is NOT the one the
+    // tail flip landed in — yet once any read trips the corruption, the
+    // whole table is quarantined and fails fast.
+    std::string out;
+    int first_bad = -1;
+    for (int i = 0; i < kCount && first_bad < 0; ++i) {
+      if (GetStr(db, Key(i), &out) == PAPYRUSKV_CORRUPTED) first_bad = i;
+    }
+    ASSERT_GE(first_bad, 0) << "corruption was never detected";
+    EXPECT_TRUE(shard->manifest().IsQuarantined(live[0]));
+    EXPECT_EQ(GetStr(db, Key(first_bad), &out), PAPYRUSKV_CORRUPTED);
+    ASSERT_EQ(papyruskv_close(db), PAPYRUSKV_SUCCESS);
+  });
+}
+
+TEST_F(StorageFaultTest, TruncatedSnapshotMetaDetected) {
+  TempDir snap{"sfault_meta"};
+  RunKv(1, tmp_.path(), [&](net::RankContext&) {
+    papyruskv_db_t db;
+    Populate(&db, "metadb");
+    ASSERT_EQ(papyruskv_checkpoint(db, snap.path().c_str(), nullptr),
+              PAPYRUSKV_SUCCESS);
+    ASSERT_EQ(papyruskv_close(db), PAPYRUSKV_SUCCESS);
+
+    // Truncate the trailing CRC footer — the classic torn-write shape.
+    const std::string meta = snap.path() + "/metadb/snapshot.meta";
+    std::string raw;
+    ASSERT_TRUE(sim::Storage::ReadFileToString(meta, &raw).ok());
+    ASSERT_GT(raw.size(), 6u);
+    ASSERT_TRUE(
+        sim::Storage::WriteStringToFile(meta, raw.substr(0, raw.size() - 6))
+            .ok());
+
+    // Single checkpoint: no .bak yet, so the corruption must surface.
+    papyruskv_db_t db2;
+    EXPECT_EQ(papyruskv_restart(snap.path().c_str(), "metadb",
+                                PAPYRUSKV_RDWR, nullptr, &db2, nullptr),
+              PAPYRUSKV_CORRUPTED);
+  });
+}
+
+TEST_F(StorageFaultTest, TruncatedSnapshotMetaFallsBackToBak) {
+  TempDir snap{"sfault_bak"};
+  RunKv(1, tmp_.path(), [&](net::RankContext&) {
+    papyruskv_db_t db;
+    Populate(&db, "bakdb");
+    // Two checkpoints: the second preserves the first's meta as .bak.
+    ASSERT_EQ(papyruskv_checkpoint(db, snap.path().c_str(), nullptr),
+              PAPYRUSKV_SUCCESS);
+    ASSERT_EQ(papyruskv_checkpoint(db, snap.path().c_str(), nullptr),
+              PAPYRUSKV_SUCCESS);
+    ASSERT_EQ(papyruskv_close(db), PAPYRUSKV_SUCCESS);
+
+    const std::string meta = snap.path() + "/bakdb/snapshot.meta";
+    ASSERT_TRUE(sim::Storage::FileExists(meta + ".bak"));
+    std::string raw;
+    ASSERT_TRUE(sim::Storage::ReadFileToString(meta, &raw).ok());
+    ASSERT_TRUE(
+        sim::Storage::WriteStringToFile(meta, raw.substr(0, raw.size() / 2))
+            .ok());
+
+    // The loader detects the truncation and falls back to the previous
+    // consistent meta, so restart succeeds with all data intact.
+    papyruskv_db_t db2;
+    ASSERT_EQ(papyruskv_restart(snap.path().c_str(), "bakdb",
+                                PAPYRUSKV_RDWR, nullptr, &db2, nullptr),
+              PAPYRUSKV_SUCCESS);
+    for (int i = 0; i < kCount; ++i) {
+      std::string out;
+      ASSERT_EQ(GetStr(db2, Key(i), &out), PAPYRUSKV_SUCCESS) << Key(i);
+      EXPECT_EQ(out, Value(i));
+    }
+    ASSERT_EQ(papyruskv_close(db2), PAPYRUSKV_SUCCESS);
+  });
+}
+
+}  // namespace
+}  // namespace papyrus::testutil

@@ -1,0 +1,15 @@
+// Seeded lint fixture: a blocking receive with no deadline must trip the
+// naked-recv rule (a dead peer would hang this loop forever).
+#include "net/comm.h"
+
+namespace fixture {
+
+void DrainForever(papyrus::net::Communicator& comm) {
+  for (;;) {
+    papyrus::net::Message m =
+        comm.Recv(papyrus::net::kAnySource, papyrus::net::kAnyTag);
+    if (m.tag < 0) return;
+  }
+}
+
+}  // namespace fixture

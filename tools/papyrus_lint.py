@@ -25,6 +25,15 @@ Rules (each can be silenced per line with the named escape comment):
 
   include-guard      A header without `#pragma once`.
 
+  naked-recv         A blocking Recv()/RecvInternal() call in src/ outside
+                     the comm module (src/net/comm.{h,cc}).  Unbounded
+                     receives hang forever when a peer dies or a message is
+                     lost; production code must use the deadline variants
+                     (RecvFor / BarrierFor) or the runtime's retry helpers
+                     (RequestReply).  Tests, benches, examples and tools
+                     are exempt — they run under a watchdog.
+                     Escape: // lint:allow-blocking-recv
+
 Usage:
   tools/papyrus_lint.py [paths...]      # default: src tests tools bench examples
   tools/papyrus_lint.py --self-test     # run against the seeded fixture
@@ -72,6 +81,20 @@ TSA_ANNOTATION_RE = re.compile(
 
 USING_NAMESPACE_RE = re.compile(r"^\s*using\s+namespace\s+[\w:]+\s*;")
 
+# Blocking receives.  \b keeps RecvFor/TryRecv/RecvResponse out: the word
+# boundary only matches when "Recv(" / "RecvInternal(" stands alone.
+NAKED_RECV_RE = re.compile(r"\b(?:Recv|RecvInternal)\s*\(")
+
+# The comm module defines Recv and may call it internally.
+NAKED_RECV_ALLOWLIST = (
+    os.path.join("src", "net", "comm.h"),
+    os.path.join("src", "net", "comm.cc"),
+)
+
+# First path components where blocking receives are acceptable (test code
+# runs under ctest timeouts; tools/benches are interactive).
+NAKED_RECV_EXEMPT_ROOTS = ("tests", "bench", "examples", "tools")
+
 COMMENT_LINE_RE = re.compile(r"^\s*(?://|\*)")
 
 
@@ -118,6 +141,9 @@ def lint_file(path, relpath):
                 (relpath, 1, "include-guard", "header missing #pragma once"))
 
     in_raw_allowlist = any(relpath.endswith(p) for p in RAW_MUTEX_ALLOWLIST)
+    recv_exempt = (
+        any(relpath.endswith(p) for p in NAKED_RECV_ALLOWLIST)
+        or relpath.split(os.sep)[0] in NAKED_RECV_EXEMPT_ROOTS)
 
     mutex_decls = {}       # member name -> line number
     annotated_names = set()  # identifiers referenced by any TSA annotation
@@ -135,6 +161,16 @@ def lint_file(path, relpath):
                     (relpath, i, "raw-mutex",
                      "raw primitive '%s' — use papyrus::Mutex "
                      "(src/common/mutex.h)" % m.group(0).strip()))
+
+        # naked-recv -----------------------------------------------------
+        if (not recv_exempt
+                and "lint:allow-blocking-recv" not in comment
+                and not COMMENT_LINE_RE.match(line)
+                and NAKED_RECV_RE.search(code)):
+            violations.append(
+                (relpath, i, "naked-recv",
+                 "blocking Recv without a deadline — use RecvFor/"
+                 "BarrierFor or RequestReply (src/net/comm.h)"))
 
         # using-namespace (headers only) ---------------------------------
         if relpath.endswith(HEADER_EXTS) and USING_NAMESPACE_RE.match(code):
@@ -207,6 +243,7 @@ def self_test(repo_root):
         ("bad_unguarded.h", "unguarded-mutex"),
         ("bad_header.h", "using-namespace"),
         ("bad_header.h", "include-guard"),
+        ("bad_naked_recv.cc", "naked-recv"),
     }
     got = set()
     escaped_files = set()
