@@ -55,6 +55,7 @@ int main(int argc, char** argv) {
         bar_t = GatherStats(ctx.comm, r.barrier_seconds);
         get_t = GatherStats(ctx.comm, r.get_seconds);
         if (ctx.rank == 0) local = r;
+        WriteBenchMetrics(ctx.comm, "fig06_basic");
         BenchCheck(papyruskv_close(db), "papyruskv_close");
       });
       const uint64_t total_ops =

@@ -13,6 +13,11 @@
 #   6. sanitizers  TSan, ASan, UBSan builds re-running the
 #                  concurrency-sensitive test subset (fault_test included,
 #                  so the retry/recovery paths get the TSan treatment)
+#   7. bench       micro_kv + fig06_basic smoke runs with the metrics hook:
+#                  each writes an aggregate BENCH_<name>.json snapshot at
+#                  the repo root (committed, so metric drift shows in
+#                  review); micro_kv runs with tracing enabled to keep the
+#                  traced path exercised end-to-end (overhead bound: E12b)
 #
 # Any stage failing fails the script (set -e); the summary line at the end
 # only prints on full success.  scripts/check.sh remains the shorter
@@ -29,20 +34,20 @@ SAN_TESTS=(obs_test store_test core_test net_test mutex_test fault_test)
 FAULT_PROFILE="net.msg.delay=0.05,net.msg.dup=0.05"
 SKIPPED=()
 
-echo "== [1/6] lint =="
+echo "== [1/7] lint =="
 python3 tools/papyrus_lint.py --self-test
 python3 tools/papyrus_lint.py
 
-echo "== [2/6] build + ctest =="
+echo "== [2/7] build + ctest =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "${JOBS}"
 ctest --test-dir build --output-on-failure -j "${JOBS}"
 
-echo "== [3/6] fault matrix (PAPYRUSKV_FAULTS=${FAULT_PROFILE}) =="
+echo "== [3/7] fault matrix (PAPYRUSKV_FAULTS=${FAULT_PROFILE}) =="
 PAPYRUSKV_FAULTS="${FAULT_PROFILE}" PAPYRUSKV_FAULT_SEED=1234 \
   ctest --test-dir build --output-on-failure -j "${JOBS}"
 
-echo "== [4/6] clang thread-safety analysis =="
+echo "== [4/7] clang thread-safety analysis =="
 if command -v clang++ >/dev/null 2>&1; then
   cmake -B build-tsa -S . -DCMAKE_CXX_COMPILER=clang++ \
         -DPAPYRUS_THREAD_SAFETY=ON >/dev/null
@@ -53,7 +58,7 @@ else
   SKIPPED+=(thread-safety)
 fi
 
-echo "== [5/6] clang-tidy =="
+echo "== [5/7] clang-tidy =="
 if command -v clang-tidy >/dev/null 2>&1 && [ -f build-tsa/compile_commands.json ]; then
   find src tools -name '*.cc' -print0 |
     xargs -0 -n 8 -P "${JOBS}" clang-tidy -p build-tsa --quiet
@@ -62,7 +67,7 @@ else
   SKIPPED+=(clang-tidy)
 fi
 
-echo "== [6/6] sanitizers =="
+echo "== [6/7] sanitizers =="
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 export ASAN_OPTIONS="halt_on_error=1"
 export UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1"
@@ -75,6 +80,17 @@ for san in thread address undefined; do
     "./build-${san}san/tests/${t}"
   done
 done
+
+echo "== [7/7] bench snapshots (BENCH_*.json) =="
+BENCH_TMP="$(mktemp -d)"
+trap 'rm -rf "${BENCH_TMP}"' EXIT
+# Traced micro_kv: the hot path plus the causal-tracing layer end-to-end.
+PAPYRUSKV_TRACE="${BENCH_TMP}/trace.json" \
+  ./build/bench/micro_kv --ranks=2 --iters=20000 --repo="${BENCH_TMP}/mkv"
+# Scaled-down fig06: the flush/get path across every storage model.
+./build/bench/fig06_basic --ranks=2 --iters=4 --scale=0 \
+  --repo="${BENCH_TMP}/fig06"
+ls -l BENCH_micro_kv.json BENCH_fig06_basic.json
 
 echo
 if [ "${#SKIPPED[@]}" -gt 0 ]; then

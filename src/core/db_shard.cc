@@ -119,6 +119,9 @@ Status DbShard::Put(const Slice& key, const Slice& value) {
     return Status::Protected("db is read-only");
   }
   obs::ScopedLatency lat(m_.put_us);
+  // Trace root: this put (and everything it triggers, up to the remote
+  // handler on the owner rank) is one causal chain.
+  obs::OpSpan op("kv", "put");
   const int owner = OwnerOf(key);
   if (owner == rt_.rank()) {
     m_.puts_local->Inc();
@@ -139,6 +142,7 @@ Status DbShard::Delete(const Slice& key) {
     return Status::Protected("db is read-only");
   }
   obs::ScopedLatency lat(m_.delete_us);
+  obs::OpSpan op("kv", "delete");
   m_.deletes->Inc();
   const int owner = OwnerOf(key);
   if (owner == rt_.rank()) return LocalPut(key, Slice(), true);
@@ -257,9 +261,14 @@ Status DbShard::SyncRemotePut(const Slice& key, const Slice& value,
   // PAPYRUSKV_ERR_TIMEOUT instead of a hung application thread.
   const int tag = rt_.AllocRespTag();
   net::Message ack;
+  // The RPC leg of the put: the owner's handle.put_sync span becomes its
+  // flow-linked child (the context rides the wire header).
+  obs::OpSpan rpc("net", "put_sync.rpc");
+  rpc.MarkFlowOut();
   return rt_.RequestReply(
       owner, kOpPutSync,
-      EncodeMigrateChunk(id_, static_cast<uint32_t>(tag), one), tag, &ack);
+      EncodeMigrateChunk(id_, static_cast<uint32_t>(tag), one, rpc.context()),
+      tag, &ack);
 }
 
 // ---------------------------------------------------------------------------
@@ -274,6 +283,7 @@ Status DbShard::Get(const Slice& key, std::string* value) {
     return Status::Protected("db is write-only");
   }
   obs::ScopedLatency lat(m_.get_us);
+  obs::OpSpan op("kv", "get");
   const int owner = OwnerOf(key);
   if (owner == rt_.rank()) {
     m_.gets_local->Inc();
@@ -404,14 +414,20 @@ Status DbShard::RemoteGet(const Slice& key, std::string* value) {
       static_cast<uint32_t>(rt_.layout().GroupOf(rt_.rank()));
   const int tag = rt_.AllocRespTag();
   net::Message msg;
-  Status rs = rt_.RequestReply(
-      owner, kOpGetReq,
-      EncodeGetReq(id_, static_cast<uint32_t>(tag), my_group, key), tag,
-      &msg);
-  if (!rs.ok()) return rs;  // PAPYRUSKV_ERR_TIMEOUT: owner unresponsive
   GetResp resp;
-  if (!DecodeGetResp(msg.payload, &resp)) {
-    return Status::Corrupted("bad get response");
+  {
+    // RPC leg: flow-linked to the owner's handle.get_req span.
+    obs::OpSpan rpc("net", "get_req.rpc");
+    rpc.MarkFlowOut();
+    Status rs = rt_.RequestReply(
+        owner, kOpGetReq,
+        EncodeGetReq(id_, static_cast<uint32_t>(tag), my_group, key,
+                     rpc.context()),
+        tag, &msg);
+    if (!rs.ok()) return rs;  // PAPYRUSKV_ERR_TIMEOUT: owner unresponsive
+    if (!DecodeGetResp(msg.payload, &resp)) {
+      return Status::Corrupted("bad get response");
+    }
   }
 
   if (resp.found) {
@@ -446,10 +462,12 @@ Status DbShard::RemoteGet(const Slice& key, std::string* value) {
     // owner to keep the result authoritative.
     const int tag2 = rt_.AllocRespTag();
     net::Message retry;
-    rs = rt_.RequestReply(
+    obs::OpSpan rpc2("net", "get_req.rpc");
+    rpc2.MarkFlowOut();
+    Status rs = rt_.RequestReply(
         owner, kOpGetReq,
         EncodeGetReq(id_, static_cast<uint32_t>(tag2),
-                     /*caller_group=*/0xffffffffu, key),
+                     /*caller_group=*/0xffffffffu, key, rpc2.context()),
         tag2, &retry);
     if (!rs.ok()) return rs;
     GetResp r2;
@@ -532,7 +550,14 @@ GetResp DbShard::HandleRemoteGet(const Slice& key, uint32_t caller_group) {
 
   std::string value;
   bool tombstone = false;
-  if (SearchLocalMemory(key, &value, &tombstone)) {
+  bool in_memory;
+  {
+    // Child spans of the handler's handle.get_req: the merge tool's
+    // critical path splits service time into memory vs SSTable search.
+    obs::TraceSpan sp("store", "search.memory");
+    in_memory = SearchLocalMemory(key, &value, &tombstone);
+  }
+  if (in_memory) {
     resp.found = true;
     resp.tombstone = tombstone;
     if (!tombstone) resp.value = std::move(value);
@@ -550,7 +575,11 @@ GetResp DbShard::HandleRemoteGet(const Slice& key, uint32_t caller_group) {
   }
 
   bool found = false;
-  Status s = SearchOwnSSTables(key, &value, &tombstone, &found);
+  Status s;
+  {
+    obs::TraceSpan sp("store", "search.sstable");
+    s = SearchOwnSSTables(key, &value, &tombstone, &found);
+  }
   if (s.ok() && found) {
     resp.found = true;
     resp.tombstone = tombstone;
@@ -615,6 +644,9 @@ Status DbShard::FlushImmutable(const store::MemTablePtr& mem) {
                             std::max(1, opt_.bloom_bits_per_key), &cstats);
     if (s.ok() && manifest_.TableCount() < before) {
       m_.compactions->Inc();
+      rt_.flight().Record(
+          obs::FlightKind::kCompaction, "maybe_compact", id_,
+          static_cast<int64_t>(before - manifest_.TableCount()));
     }
   }
   {

@@ -1,5 +1,6 @@
 #include "core/runtime.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdlib>
 
@@ -23,6 +24,26 @@ const char* OpName(int op) {
     case kOpShutdown: return "shutdown";
   }
   return "other";
+}
+
+// Retroactively records how long `m` sat serviceable in the mailbox before
+// the handler picked it up.  Called with the handler's OpSpan current, so
+// the wait shows up as a child of the service span in the merged timeline.
+void RecordQueueWait(const net::Message& m) {
+  const uint64_t ready = std::max(m.delivered_at_us, m.visible_at_us);
+  const uint64_t now = NowMicros();
+  if (ready != 0 && now > ready) {
+    obs::RecordSpan("net", "queue.wait", ready, now - ready);
+  }
+}
+
+// Fire-and-log flight dump for fault paths (a failed dump must never turn a
+// diagnosed timeout into a different error).
+void DumpFlight(obs::FlightRecorder& flight, const char* reason) {
+  Status s = flight.TriggerDump(reason);
+  if (!s.ok()) {
+    PLOG_WARN << "flight dump (" << reason << ") failed: " << s.ToString();
+  }
 }
 }  // namespace
 
@@ -88,6 +109,7 @@ Status KvRuntime::Finalize() {
   tls_runtime = nullptr;
   obs::SetCurrentRegistry(nullptr);
   obs::SetCurrentTrace(nullptr);
+  obs::SetCurrentFlight(nullptr);
   return Status::OK();
 }
 
@@ -117,7 +139,29 @@ KvRuntime::KvRuntime(net::RankContext& ctx, const std::string& repository)
   c_resp_bytes_ = &metrics_.GetCounter("net.resp.bytes");
   c_req_retries_ = &metrics_.GetCounter("net.req.retries");
   c_req_timeouts_ = &metrics_.GetCounter("net.req.timeouts");
+  c_suspects_ = &metrics_.GetCounter("net.peer.suspects");
   if (EnvString("PAPYRUSKV_TRACE")) trace_.set_enabled(true);
+  trace_.SetRank(ctx.rank);
+  // Local kv root spans are sampled (default 1 in 64) so always-on tracing
+  // stays inside the E12 overhead budget; RPC/handler/store spans are
+  // never sampled.  PAPYRUSKV_TRACE_SAMPLE=1 records every operation.
+  trace_.SetKvSampleEvery(static_cast<uint32_t>(
+      EnvInt("PAPYRUSKV_TRACE_SAMPLE").value_or(64)));
+  // Flight-recorder dump destination: PAPYRUSKV_FLIGHT wins; otherwise
+  // drop flight.rank<k>.json next to the PAPYRUSKV_STATS file; with
+  // neither set the recorder still records but never dumps.
+  const auto flight_path = EnvString("PAPYRUSKV_FLIGHT");
+  const auto stats_path = EnvString("PAPYRUSKV_STATS");
+  if (flight_path && !flight_path->empty()) {
+    flight_.ConfigureDump(obs::StatsPathForRank(*flight_path, ctx.rank),
+                          ctx.rank);
+  } else if (stats_path && !stats_path->empty()) {
+    const auto slash = stats_path->find_last_of('/');
+    const std::string dir =
+        slash == std::string::npos ? "" : stats_path->substr(0, slash + 1);
+    flight_.ConfigureDump(
+        obs::StatsPathForRank(dir + "flight.json", ctx.rank), ctx.rank);
+  }
 }
 
 KvRuntime::~KvRuntime() {
@@ -158,7 +202,7 @@ void KvRuntime::RunAsync(std::function<void()> task) {
   MutexLock lock(&aux_mu_);
   // The aux thread works on behalf of this rank: route its metrics here.
   aux_threads_.emplace_back([this, task = std::move(task)] {
-    AdoptObservability();
+    AdoptObservability("aux");
     task();
   });
 }
@@ -167,9 +211,11 @@ void KvRuntime::RunAsync(std::function<void()> task) {
 // Observability
 // ---------------------------------------------------------------------------
 
-void KvRuntime::AdoptObservability() {
+void KvRuntime::AdoptObservability(const char* thread_name) {
   obs::SetCurrentRegistry(&metrics_);
   obs::SetCurrentTrace(&trace_);
+  obs::SetCurrentFlight(&flight_);
+  trace_.SetThreadName(thread_name);
   // Rank attribution for rank-scoped failpoint triggers on this thread.
   fault::SetThreadRank(ctx_.rank);
 }
@@ -216,6 +262,13 @@ void KvRuntime::ExportObservability() {
     Status s = trace_.WriteChromeTrace(path, ctx_.rank);
     if (!s.ok()) PLOG_WARN << "trace dump failed: " << s.ToString();
   }
+  // An explicitly requested flight destination always gets a final window
+  // (fault paths dump earlier, on their own, the moment they fire).
+  const auto flight_path = EnvString("PAPYRUSKV_FLIGHT");
+  if (flight_path && !flight_path->empty()) {
+    Status s = flight_.TriggerDump("finalize");
+    if (!s.ok()) PLOG_WARN << "flight dump failed: " << s.ToString();
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -223,7 +276,7 @@ void KvRuntime::ExportObservability() {
 // ---------------------------------------------------------------------------
 
 void KvRuntime::CompactionLoop() {
-  AdoptObservability();
+  AdoptObservability("compaction");
   for (;;) {
     CompactionJob job = flush_queue_.Pop();
     if (job.shutdown) return;
@@ -233,6 +286,8 @@ void KvRuntime::CompactionLoop() {
       continue;
     }
     if (job.db && job.mem) {
+      flight_.Record(obs::FlightKind::kFlush, "flush_immutable",
+                     job.db->id());
       Status s = job.db->FlushImmutable(job.mem);
       if (!s.ok()) {
         PLOG_ERROR << "flush failed: " << s.ToString();
@@ -242,7 +297,7 @@ void KvRuntime::CompactionLoop() {
 }
 
 void KvRuntime::DispatcherLoop() {
-  AdoptObservability();
+  AdoptObservability("dispatcher");
   for (;;) {
     MigrationJob job = migration_queue_.Pop();
     if (job.shutdown) return;
@@ -250,7 +305,10 @@ void KvRuntime::DispatcherLoop() {
     if (!job.db || !job.mem) continue;
 
     obs::ScopedLatency lat(h_migration_us_);
-    obs::TraceSpan span("net", "migration");
+    // Root span for the whole migration; each chunk gets its own detached
+    // child below (chunks overlap and ack out of order, so they must not
+    // stack on the thread's context).
+    obs::OpSpan span("net", "migration");
     // §2.4 migration: sort by owner, accumulate per rank, send one chunk
     // per owner, then wait for the acks confirming application.
     auto chunks = job.db->CollectOwnerChunks(*job.mem);
@@ -264,6 +322,7 @@ void KvRuntime::DispatcherLoop() {
       int owner;
       std::string payload;
       int tag;
+      std::unique_ptr<obs::OpSpan> rpc;  // open until the chunk is acked
     };
     std::vector<Pending> pending;
     pending.reserve(chunks.size());
@@ -271,16 +330,23 @@ void KvRuntime::DispatcherLoop() {
       assert(owner != ctx_.rank &&
              "remote MemTable must not hold self-owned pairs");
       const int tag = AllocRespTag();
-      pending.push_back({owner,
-                         EncodeMigrateChunk(job.db->id(),
-                                            static_cast<uint32_t>(tag),
-                                            records),
-                         tag});
+      auto rpc = std::make_unique<obs::OpSpan>(
+          "net", "migrate_chunk.rpc", obs::OpSpan::kDetached);
+      rpc->MarkFlowOut();
+      Pending p;
+      p.owner = owner;
+      p.payload = EncodeMigrateChunk(job.db->id(), static_cast<uint32_t>(tag),
+                                     records, rpc->context());
+      p.tag = tag;
+      p.rpc = std::move(rpc);
+      pending.push_back(std::move(p));
     }
     for (const auto& p : pending) {
+      flight_.Record(obs::FlightKind::kOpBegin, "migrate_chunk", p.owner,
+                     retry_.max_attempts);
       SendRequest(p.owner, kOpMigrateChunk, p.payload);
     }
-    for (const auto& p : pending) {
+    for (auto& p : pending) {
       // Bounded re-send on a lost chunk or ack.  Re-applying a chunk is
       // idempotent (the handler replays the same records in order), and the
       // dispatcher holds this migration until acked, so no later chunk from
@@ -291,19 +357,27 @@ void KvRuntime::DispatcherLoop() {
       for (int attempt = 1; attempt < retry_.max_attempts && !acked;
            ++attempt) {
         c_req_retries_->Inc();
+        flight_.Record(obs::FlightKind::kRetry, "migrate_chunk", p.owner,
+                       attempt);
         PreciseSleepMicros(retry_.BackoffUs(attempt));
         SendRequest(p.owner, kOpMigrateChunk, p.payload);
         acked =
             resp_comm_.RecvFor(p.owner, p.tag, retry_.reply_timeout_us, &ack);
       }
+      p.rpc.reset();  // close the chunk's RPC span at ack (or give-up) time
       if (!acked) {
         // The fence must still complete: surface the peer as suspect and
         // move on rather than wedging every thread behind this migration.
         c_req_timeouts_->Inc();
+        flight_.Record(obs::FlightKind::kTimeout, "migrate_chunk", p.owner,
+                       retry_.max_attempts);
         MarkSuspect(p.owner);
         PLOG_ERROR << "migration chunk to rank " << p.owner
                    << " unacknowledged after " << retry_.max_attempts
                    << " attempts";
+        DumpFlight(flight_, "migration unacked");
+      } else {
+        flight_.Record(obs::FlightKind::kOpEnd, "migrate_chunk", p.owner);
       }
     }
     job.db->MigrationFinished(job.mem);
@@ -311,7 +385,7 @@ void KvRuntime::DispatcherLoop() {
 }
 
 void KvRuntime::HandlerLoop() {
-  AdoptObservability();
+  AdoptObservability("handler");
   for (;;) {
     // The handler parks on the request stream by design: shutdown arrives
     // as a self-addressed kOpShutdown message (never dropped — loopback is
@@ -341,10 +415,16 @@ void KvRuntime::HandlerLoop() {
 void KvRuntime::HandleMigrateChunk(const net::Message& m, bool sync_put) {
   uint32_t dbid = 0, resp_tag = 0;
   std::vector<KvRecord> records;
-  if (!DecodeMigrateChunk(m.payload, &dbid, &resp_tag, &records)) {
+  obs::TraceContext ctx;
+  if (!DecodeMigrateChunk(m.payload, &dbid, &resp_tag, &records, &ctx)) {
     PLOG_ERROR << "handler: malformed migrate chunk from rank " << m.src;
     return;
   }
+  // Child of the caller's RPC span (flow-linked across ranks).
+  obs::OpSpan span("net",
+                   sync_put ? "handle.put_sync" : "handle.migrate_chunk",
+                   ctx);
+  RecordQueueWait(m);
   DbShardPtr db = Find(static_cast<int>(dbid));
   if (db) {
     Status s = db->ApplyRecords(records);
@@ -362,14 +442,20 @@ void KvRuntime::HandleMigrateChunk(const net::Message& m, bool sync_put) {
 void KvRuntime::HandleGetReq(const net::Message& m) {
   uint32_t dbid = 0, resp_tag = 0, caller_group = 0;
   std::string key;
-  if (!DecodeGetReq(m.payload, &dbid, &resp_tag, &caller_group, &key)) {
+  obs::TraceContext ctx;
+  if (!DecodeGetReq(m.payload, &dbid, &resp_tag, &caller_group, &key, &ctx)) {
     PLOG_ERROR << "handler: malformed get request from rank " << m.src;
     return;
   }
+  // Child of the caller's RPC span; its own context rides the response so
+  // the reply carries the service span's identity back to the caller.
+  obs::OpSpan span("net", "handle.get_req", ctx);
+  RecordQueueWait(m);
   GetResp resp;
   DbShardPtr db = Find(static_cast<int>(dbid));
   if (db) resp = db->HandleRemoteGet(key, caller_group);
-  SendResponse(m.src, static_cast<int>(resp_tag), EncodeGetResp(resp));
+  SendResponse(m.src, static_cast<int>(resp_tag),
+               EncodeGetResp(resp, span.context()));
 }
 
 // ---------------------------------------------------------------------------
@@ -398,18 +484,27 @@ net::Message KvRuntime::RecvResponse(int src, int tag) {
 
 Status KvRuntime::RequestReply(int dst, int op, const Slice& payload,
                                int resp_tag, net::Message* reply) {
+  flight_.Record(obs::FlightKind::kOpBegin, OpName(op), dst,
+                 retry_.max_attempts);
   for (int attempt = 1; attempt <= retry_.max_attempts; ++attempt) {
     if (attempt > 1) {
       c_req_retries_->Inc();
+      flight_.Record(obs::FlightKind::kRetry, OpName(op), dst, attempt);
       PreciseSleepMicros(retry_.BackoffUs(attempt - 1));
     }
     SendRequest(dst, op, payload);
     if (resp_comm_.RecvFor(dst, resp_tag, retry_.reply_timeout_us, reply)) {
+      flight_.Record(obs::FlightKind::kOpEnd, OpName(op), dst);
       return Status::OK();
     }
   }
   c_req_timeouts_->Inc();
+  flight_.Record(obs::FlightKind::kTimeout, OpName(op), dst,
+                 retry_.max_attempts);
   MarkSuspect(dst);
+  // Post-mortem: the ring now ends with the begin/retry/timeout story of
+  // the op that failed and the peer that failed it.
+  DumpFlight(flight_, "request timeout");
   return Status::Timeout("no reply from rank " + std::to_string(dst) +
                          " for op " + std::to_string(op) + " after " +
                          std::to_string(retry_.max_attempts) + " attempts");
@@ -446,6 +541,7 @@ void KvRuntime::TriggerCrash() {
   PLOG_WARN << "simulated crash: rank " << ctx_.rank
             << " dropping volatile state";
   metrics_.GetCounter("fault.rank_crash").Inc();
+  flight_.Record(obs::FlightKind::kCrash, "rank", ctx_.rank);
   std::vector<DbShardPtr> dbs;
   {
     MutexLock lock(&dbs_mu_);
@@ -454,11 +550,17 @@ void KvRuntime::TriggerCrash() {
   // The NVM image (SSTables already flushed) survives, exactly like a real
   // power loss; everything in DRAM is gone.
   for (const auto& db : dbs) db->DropVolatile();
+  // The last act of a dying rank: persist the window that explains it.
+  DumpFlight(flight_, "simulated crash");
 }
 
 void KvRuntime::MarkSuspect(int rank) {
-  MutexLock lock(&suspect_mu_);
-  suspects_.insert(rank);
+  {
+    MutexLock lock(&suspect_mu_);
+    if (!suspects_.insert(rank).second) return;  // already suspect
+  }
+  c_suspects_->Inc();
+  flight_.Record(obs::FlightKind::kSuspect, "peer", rank);
 }
 
 bool KvRuntime::IsSuspect(int rank) {

@@ -40,6 +40,7 @@
 #include "fault/failpoint.h"
 #include "fault/retry.h"
 #include "net/runtime.h"
+#include "obs/flight.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -83,12 +84,14 @@ class KvRuntime {
   // thread and every runtime thread, so all layers below report here.
   obs::Registry& metrics() { return metrics_; }
   obs::TraceBuffer& trace() { return trace_; }
+  obs::FlightRecorder& flight() { return flight_; }
   // Renders this rank's metrics as a stats-v1 JSON document
   // (papyruskv_stats).
   std::string StatsJson() const;
-  // Installs this runtime's registry/trace on the calling thread (every
-  // thread that executes on behalf of this rank must call it once).
-  void AdoptObservability();
+  // Installs this runtime's registry/trace/flight recorder on the calling
+  // thread (every thread that executes on behalf of this rank must call it
+  // once); `thread_name` labels the thread's lane in exported traces.
+  void AdoptObservability(const char* thread_name = "app");
 
   // ---- Database lifecycle (collective) ----
   Status Open(const std::string& name, int flags, const Options& opt,
@@ -240,6 +243,7 @@ class KvRuntime {
   // from it in the constructor.
   obs::Registry metrics_;
   obs::TraceBuffer trace_;
+  obs::FlightRecorder flight_;
   obs::Gauge* g_flush_q_;            // net.flush_queue_depth
   obs::Gauge* g_mig_q_;              // net.migration_queue_depth
   obs::Histogram* h_handler_us_;     // net.handler_service_us
@@ -252,6 +256,7 @@ class KvRuntime {
   obs::Counter* c_resp_bytes_;
   obs::Counter* c_req_retries_;      // net.req.retries
   obs::Counter* c_req_timeouts_;     // net.req.timeouts
+  obs::Counter* c_suspects_;         // net.peer.suspects
 };
 
 }  // namespace papyrus::core

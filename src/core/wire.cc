@@ -2,9 +2,44 @@
 
 namespace papyrus::core {
 
+namespace {
+constexpr uint8_t kTraceFlagSampled = 0x01;
+// [u32 magic][u64 trace][u64 span][u8 flags]
+constexpr size_t kTraceHdrBytes = 4 + 8 + 8 + 1;
+}  // namespace
+
+void PutTraceCtx(std::string* out, const obs::TraceContext& ctx) {
+  if (!ctx.valid()) return;  // legacy encoding, byte-identical to pre-trace
+  PutFixed32(out, kTraceMagic);
+  PutFixed64(out, ctx.trace_id);
+  PutFixed64(out, ctx.span_id);
+  out->push_back(static_cast<char>(kTraceFlagSampled));
+}
+
+bool GetTraceCtx(Slice* in, obs::TraceContext* ctx) {
+  if (ctx) *ctx = obs::TraceContext();
+  if (in->size() < 4) return true;  // too short for a header: legacy body
+  Slice peek = *in;
+  uint32_t magic = 0;
+  if (!GetFixed32(&peek, &magic) || magic != kTraceMagic) return true;
+  if (in->size() < kTraceHdrBytes) return false;  // truncated header
+  in->remove_prefix(4);
+  obs::TraceContext decoded;
+  if (!GetFixed64(in, &decoded.trace_id) ||
+      !GetFixed64(in, &decoded.span_id) || in->empty()) {
+    return false;
+  }
+  decoded.sampled = ((*in)[0] & kTraceFlagSampled) != 0;
+  in->remove_prefix(1);
+  if (ctx) *ctx = decoded;
+  return true;
+}
+
 std::string EncodeMigrateChunk(uint32_t dbid, uint32_t resp_tag,
-                               const std::vector<KvRecord>& records) {
+                               const std::vector<KvRecord>& records,
+                               const obs::TraceContext& trace_ctx) {
   std::string out;
+  PutTraceCtx(&out, trace_ctx);
   PutFixed32(&out, dbid);
   PutFixed32(&out, resp_tag);
   PutFixed32(&out, static_cast<uint32_t>(records.size()));
@@ -17,8 +52,10 @@ std::string EncodeMigrateChunk(uint32_t dbid, uint32_t resp_tag,
 }
 
 bool DecodeMigrateChunk(const Slice& payload, uint32_t* dbid,
-                        uint32_t* resp_tag, std::vector<KvRecord>* records) {
+                        uint32_t* resp_tag, std::vector<KvRecord>* records,
+                        obs::TraceContext* trace_ctx) {
   Slice in = payload;
+  if (!GetTraceCtx(&in, trace_ctx)) return false;
   uint32_t count = 0;
   if (!GetFixed32(&in, dbid) || !GetFixed32(&in, resp_tag) ||
       !GetFixed32(&in, &count)) {
@@ -43,8 +80,10 @@ bool DecodeMigrateChunk(const Slice& payload, uint32_t* dbid,
 }
 
 std::string EncodeGetReq(uint32_t dbid, uint32_t resp_tag,
-                         uint32_t caller_group, const Slice& key) {
+                         uint32_t caller_group, const Slice& key,
+                         const obs::TraceContext& trace_ctx) {
   std::string out;
+  PutTraceCtx(&out, trace_ctx);
   PutFixed32(&out, dbid);
   PutFixed32(&out, resp_tag);
   PutFixed32(&out, caller_group);
@@ -53,9 +92,11 @@ std::string EncodeGetReq(uint32_t dbid, uint32_t resp_tag,
 }
 
 bool DecodeGetReq(const Slice& payload, uint32_t* dbid, uint32_t* resp_tag,
-                  uint32_t* caller_group, std::string* key) {
+                  uint32_t* caller_group, std::string* key,
+                  obs::TraceContext* trace_ctx) {
   Slice in = payload;
   Slice k;
+  if (!GetTraceCtx(&in, trace_ctx)) return false;
   if (!GetFixed32(&in, dbid) || !GetFixed32(&in, resp_tag) ||
       !GetFixed32(&in, caller_group) || !GetLengthPrefixed(&in, &k)) {
     return false;
@@ -64,8 +105,10 @@ bool DecodeGetReq(const Slice& payload, uint32_t* dbid, uint32_t* resp_tag,
   return in.empty();
 }
 
-std::string EncodeGetResp(const GetResp& r) {
+std::string EncodeGetResp(const GetResp& r,
+                          const obs::TraceContext& trace_ctx) {
   std::string out;
+  PutTraceCtx(&out, trace_ctx);
   out.push_back(r.found ? 1 : 0);
   out.push_back(r.tombstone ? 1 : 0);
   out.push_back(r.same_group ? 1 : 0);
@@ -76,8 +119,10 @@ std::string EncodeGetResp(const GetResp& r) {
   return out;
 }
 
-bool DecodeGetResp(const Slice& payload, GetResp* r) {
+bool DecodeGetResp(const Slice& payload, GetResp* r,
+                   obs::TraceContext* trace_ctx) {
   Slice in = payload;
+  if (!GetTraceCtx(&in, trace_ctx)) return false;
   if (in.size() < 3) return false;
   r->found = in[0] != 0;
   r->tombstone = in[1] != 0;

@@ -30,8 +30,31 @@
 
 #include "common/coding.h"
 #include "common/slice.h"
+#include "obs/trace.h"
 
 namespace papyrus::core {
+
+// ---- Trace-context header (versioned, optional) ----------------------------
+// When the sender has an active sampled trace (obs::OpSpan), every message
+// kind below is prefixed with
+//
+//   [u32 kTraceMagic][u64 trace_id][u64 span_id][u8 flags]
+//
+// ahead of its legacy body.  The magic's low byte (the first byte on the
+// wire, little-endian) is 0xff, which no legacy payload can start with:
+// MigrateChunk/GetReq begin with a small sequential dbid and GetResp with a
+// 0/1 `found` byte.  Decoders peek the first word — absent magic means a
+// legacy payload, so old-format messages round-trip unchanged through new
+// code and new no-context messages are byte-identical to the old encoding.
+// `flags` bit 0 = sampled; other bits reserved for future versions.
+inline constexpr uint32_t kTraceMagic = 0x54524cffu;  // "\xffLRT" on the wire
+
+// Appends the trace header to `out` when `ctx` is a live sampled context.
+void PutTraceCtx(std::string* out, const obs::TraceContext& ctx);
+// Consumes a leading trace header from `in` if present; fills `ctx` (left
+// invalid when the payload is legacy-format or ctx is null).  Returns false
+// only on a malformed (truncated) header.
+bool GetTraceCtx(Slice* in, obs::TraceContext* ctx);
 
 enum WireOp : int {
   kOpMigrateChunk = 1,
@@ -67,21 +90,26 @@ struct KvRecord {
 };
 
 // ---- MigrateChunk / PutSync ------------------------------------------------
-// [u32 dbid][u32 resp_tag][u32 count] count × ([lp key][lp value][u8 tomb])
+// [trace hdr?][u32 dbid][u32 resp_tag][u32 count]
+//   count × ([lp key][lp value][u8 tomb])
 std::string EncodeMigrateChunk(uint32_t dbid, uint32_t resp_tag,
-                               const std::vector<KvRecord>& records);
+                               const std::vector<KvRecord>& records,
+                               const obs::TraceContext& trace_ctx = {});
 bool DecodeMigrateChunk(const Slice& payload, uint32_t* dbid,
-                        uint32_t* resp_tag, std::vector<KvRecord>* records);
+                        uint32_t* resp_tag, std::vector<KvRecord>* records,
+                        obs::TraceContext* trace_ctx = nullptr);
 
 // ---- GetReq ----------------------------------------------------------------
-// [u32 dbid][u32 resp_tag][u32 caller_group][lp key]
+// [trace hdr?][u32 dbid][u32 resp_tag][u32 caller_group][lp key]
 std::string EncodeGetReq(uint32_t dbid, uint32_t resp_tag,
-                         uint32_t caller_group, const Slice& key);
+                         uint32_t caller_group, const Slice& key,
+                         const obs::TraceContext& trace_ctx = {});
 bool DecodeGetReq(const Slice& payload, uint32_t* dbid, uint32_t* resp_tag,
-                  uint32_t* caller_group, std::string* key);
+                  uint32_t* caller_group, std::string* key,
+                  obs::TraceContext* trace_ctx = nullptr);
 
 // ---- GetResp ---------------------------------------------------------------
-// [u8 found][u8 tombstone][u8 same_group][u64 latest_ssid]
+// [trace hdr?][u8 found][u8 tombstone][u8 same_group][u64 latest_ssid]
 // [u32 nssids][u64 ...][lp value]
 //
 // `ssids` is the owner's exact live SSTable list (newest first) at response
@@ -96,7 +124,9 @@ struct GetResp {
   std::vector<uint64_t> ssids;
   std::string value;
 };
-std::string EncodeGetResp(const GetResp& r);
-bool DecodeGetResp(const Slice& payload, GetResp* r);
+std::string EncodeGetResp(const GetResp& r,
+                          const obs::TraceContext& trace_ctx = {});
+bool DecodeGetResp(const Slice& payload, GetResp* r,
+                   obs::TraceContext* trace_ctx = nullptr);
 
 }  // namespace papyrus::core

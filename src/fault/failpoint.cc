@@ -7,6 +7,7 @@
 #include "common/env.h"
 #include "common/hash.h"
 #include "common/logging.h"
+#include "obs/flight.h"
 #include "obs/metrics.h"
 
 namespace papyrus::fault {
@@ -44,8 +45,9 @@ bool ParseTrigger(const std::string& val, ParsedTrigger* out) {
     size_t i = 4;
     size_t end = rest.find_first_of(":@", i);
     if (end == std::string::npos || end == i) return false;
+    const std::string num = rest.substr(i, end - i);
     char* p = nullptr;
-    const long r = strtol(rest.substr(i, end - i).c_str(), &p, 10);
+    const long r = strtol(num.c_str(), &p, 10);
     if (!p || *p != '\0' || r < 0) return false;
     out->rank = static_cast<int>(r);
     rest = rest.substr(end);  // ":<prob>" or "@op<N>"
@@ -135,6 +137,11 @@ bool Point::Fire() {
   if (hit) {
     injected_.fetch_add(1, std::memory_order_relaxed);
     obs::Current().GetCounter("fault.injected." + name_).Inc();
+    // name_ is immutable after registration, so handing its c_str() to the
+    // flight ring (which stores the pointer) is safe for the process life.
+    if (auto* flight = obs::CurrentFlight()) {
+      flight->Record(obs::FlightKind::kFailpoint, name_.c_str(), rank);
+    }
   }
   return hit;
 }

@@ -19,6 +19,7 @@ constexpr int kTagBcast = 4;
 }  // namespace
 
 void Mailbox::Deliver(Message msg) {
+  msg.delivered_at_us = NowMicros();
   {
     MutexLock lock(&mu_);
     queue_.push_back(std::move(msg));

@@ -47,6 +47,11 @@ struct Message {
   // once NowMicros() >= visible_at_us (0 = immediately).  The sender's own
   // cost (injection + NIC occupancy) was already paid in Send.
   uint64_t visible_at_us = 0;
+  // When the message landed in the destination mailbox (stamped by
+  // Deliver).  Receivers use max(delivered_at_us, visible_at_us) as the
+  // moment the message became serviceable, e.g. to trace handler queue
+  // wait.
+  uint64_t delivered_at_us = 0;
 };
 
 // One rank's receive queue on one communicator.  FIFO per (src, tag);

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/logging.h"
+#include "obs/flight.h"
 #include "obs/metrics.h"
 #include "sim/storage.h"
 #include "store/format.h"
@@ -113,8 +115,20 @@ Status Manifest::RepairTable(uint64_t ssid) {
 }
 
 void Manifest::Quarantine(uint64_t ssid) {
-  WriterMutexLock lock(&mu_);
-  quarantined_.insert(ssid);
+  {
+    WriterMutexLock lock(&mu_);
+    if (!quarantined_.insert(ssid).second) return;  // already quarantined
+  }
+  // A quarantined table means unrepairable corruption: leave a post-mortem
+  // window naming the table alongside the reads that hit it.
+  if (auto* flight = obs::CurrentFlight()) {
+    flight->Record(obs::FlightKind::kQuarantine, "sstable",
+                   static_cast<int64_t>(ssid));
+    Status s = flight->TriggerDump("sstable quarantined");
+    if (!s.ok()) {
+      PLOG_WARN << "flight dump (quarantine) failed: " << s.ToString();
+    }
+  }
 }
 
 bool Manifest::IsQuarantined(uint64_t ssid) const {

@@ -163,6 +163,43 @@ TEST(TraceBufferTest, SpanRecordsWhenEnabled) {
   EXPECT_STREQ(buf.Events()[0].cat, "kv");
 }
 
+TEST(TraceBufferTest, KvRootsAreSampledButChildrenAndNetRootsAreNot) {
+  TraceBuffer buf(64);
+  buf.set_enabled(true);
+  buf.SetKvSampleEvery(4);
+  SetCurrentTrace(&buf);
+
+  // 8 bare kv roots at 1-in-4: exactly 2 recorded.
+  for (int i = 0; i < 8; ++i) {
+    OpSpan op("kv", "put");
+  }
+  EXPECT_EQ(buf.size(), 2u);
+
+  // net roots never sample out (every RPC is always traced)...
+  for (int i = 0; i < 8; ++i) {
+    OpSpan rpc("net", "get_req.rpc");
+  }
+  EXPECT_EQ(buf.size(), 10u);
+
+  // ...and neither do children of a recorded span, kv or otherwise.
+  {
+    OpSpan parent("net", "handle.get_req");
+    for (int i = 0; i < 8; ++i) {
+      OpSpan child("kv", "get");
+      EXPECT_TRUE(child.active());
+    }
+  }
+  EXPECT_EQ(buf.size(), 19u);
+
+  // Sample rate 1 = record everything.
+  buf.SetKvSampleEvery(1);
+  for (int i = 0; i < 4; ++i) {
+    OpSpan op("kv", "put");
+  }
+  EXPECT_EQ(buf.size(), 23u);
+  SetCurrentTrace(nullptr);
+}
+
 TEST(TraceBufferTest, CurrentTraceIsThreadLocal) {
   EXPECT_EQ(CurrentTrace(), nullptr);
   TraceBuffer buf(8);
@@ -187,14 +224,25 @@ TEST(TraceBufferTest, ChromeTraceOutputParses) {
   ASSERT_TRUE(ParseJson(text, &v));
   const JsonValue* events = v.Find("traceEvents");
   ASSERT_NE(events, nullptr);
-  ASSERT_EQ(events->array.size(), 2u);
-  const JsonValue& ev = events->array[0];
-  EXPECT_EQ(ev.Find("name")->str, "flush");
-  EXPECT_EQ(ev.Find("ph")->str, "X");
-  EXPECT_DOUBLE_EQ(ev.Find("pid")->number, 2);
-  // Timestamps are rebased to the earliest event.
-  EXPECT_DOUBLE_EQ(ev.Find("ts")->number, 0);
-  EXPECT_DOUBLE_EQ(events->array[1].Find("ts")->number, 100);
+  // Alongside the two spans: process_name metadata and the dropped counter
+  // (no threads registered names, so no thread_name rows).
+  std::vector<const JsonValue*> spans;
+  int meta = 0, counters = 0;
+  for (const JsonValue& ev : events->array) {
+    const std::string& ph = ev.Find("ph")->str;
+    if (ph == "X") spans.push_back(&ev);
+    if (ph == "M") ++meta;
+    if (ph == "C") ++counters;
+  }
+  EXPECT_GE(meta, 1);      // process_name for the rank
+  EXPECT_EQ(counters, 1);  // trace.dropped
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0]->Find("name")->str, "flush");
+  EXPECT_DOUBLE_EQ(spans[0]->Find("pid")->number, 2);
+  // Timestamps are absolute (one shared steady clock lets per-rank files
+  // merge without rebasing).
+  EXPECT_DOUBLE_EQ(spans[0]->Find("ts")->number, 1000);
+  EXPECT_DOUBLE_EQ(spans[1]->Find("ts")->number, 1100);
 }
 
 }  // namespace

@@ -164,12 +164,32 @@ TEST_F(ObsE2eTest, TraceEnvProducesChromeTrace) {
     ASSERT_NE(events, nullptr);
     EXPECT_GT(events->array.size(), 0u);
     bool saw_flush = false;
+    bool saw_named_thread = false;
+    bool saw_dropped_counter = false;
     for (const auto& ev : events->array) {
-      EXPECT_EQ(ev.Find("ph")->str, "X");
+      const std::string& ph = ev.Find("ph")->str;
+      EXPECT_TRUE(ph == "X" || ph == "M" || ph == "C" || ph == "s" ||
+                  ph == "f")
+          << ph;
       EXPECT_DOUBLE_EQ(ev.Find("pid")->number, r);
-      if (ev.Find("name")->str == "flush") saw_flush = true;
+      const std::string& name = ev.Find("name")->str;
+      if (ph == "X" && name == "flush") saw_flush = true;
+      if (ph == "M" && name == "thread_name") {
+        const obs::JsonValue* args = ev.Find("args");
+        ASSERT_NE(args, nullptr);
+        const std::string& lane = args->Find("name")->str;
+        // Lanes carry role names, not raw tid hashes.
+        EXPECT_TRUE(lane == "app" || lane == "compaction" ||
+                    lane == "dispatcher" || lane == "handler" ||
+                    lane == "aux")
+            << lane;
+        saw_named_thread = true;
+      }
+      if (ph == "C" && name == "trace.dropped") saw_dropped_counter = true;
     }
     EXPECT_TRUE(saw_flush) << path;
+    EXPECT_TRUE(saw_named_thread) << path;
+    EXPECT_TRUE(saw_dropped_counter) << path;
   }
 }
 

@@ -1,0 +1,160 @@
+// Wire-format compatibility for the optional trace-context header
+// (core/wire.h): payloads written without a context must stay
+// byte-identical to the pre-trace encoding (so old traces of bytes decode
+// unchanged), payloads with a context must round-trip it through all four
+// message kinds, and a truncated header must be rejected rather than
+// misparsed as a legacy body.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/coding.h"
+#include "core/wire.h"
+
+namespace papyrus::core {
+namespace {
+
+obs::TraceContext MakeCtx() {
+  obs::TraceContext ctx;
+  ctx.trace_id = 0x0002000000000007ull;  // rank-1-salted ids
+  ctx.span_id = 0x0002000000000009ull;
+  ctx.sampled = true;
+  return ctx;
+}
+
+std::vector<KvRecord> SampleRecords() {
+  std::vector<KvRecord> records(2);
+  records[0].key = "alpha";
+  records[0].value = "value-a";
+  records[1].key = "beta";
+  records[1].tombstone = true;
+  return records;
+}
+
+// Hand-built legacy GetReq body, exactly what the pre-trace encoder wrote.
+std::string LegacyGetReq(uint32_t dbid, uint32_t resp_tag,
+                         uint32_t caller_group, const std::string& key) {
+  std::string out;
+  PutFixed32(&out, dbid);
+  PutFixed32(&out, resp_tag);
+  PutFixed32(&out, caller_group);
+  PutLengthPrefixed(&out, key);
+  return out;
+}
+
+TEST(TraceWireTest, NoContextEncodingIsLegacyByteIdentical) {
+  // Default (invalid) context: the encoder must add nothing.
+  const std::string wire = EncodeGetReq(7, 101, 2, "k1");
+  EXPECT_EQ(wire, LegacyGetReq(7, 101, 2, "k1"));
+  // An explicitly invalid context behaves the same.
+  obs::TraceContext invalid;
+  EXPECT_EQ(EncodeGetReq(7, 101, 2, "k1", invalid), wire);
+}
+
+TEST(TraceWireTest, LegacyPayloadDecodesWithInvalidContext) {
+  // Old writer → new reader: a legacy body decodes and reports no context.
+  const std::string wire = LegacyGetReq(3, 200, 0xffffffffu, "needle");
+  uint32_t dbid = 0, resp_tag = 0, caller_group = 0;
+  std::string key;
+  obs::TraceContext ctx = MakeCtx();  // must be reset by the decoder
+  ASSERT_TRUE(DecodeGetReq(wire, &dbid, &resp_tag, &caller_group, &key,
+                           &ctx));
+  EXPECT_EQ(dbid, 3u);
+  EXPECT_EQ(resp_tag, 200u);
+  EXPECT_EQ(caller_group, 0xffffffffu);
+  EXPECT_EQ(key, "needle");
+  EXPECT_FALSE(ctx.valid());
+}
+
+TEST(TraceWireTest, ContextRoundTripsThroughEveryMessageKind) {
+  const obs::TraceContext ctx = MakeCtx();
+
+  {
+    const auto records = SampleRecords();
+    const std::string wire = EncodeMigrateChunk(4, 120, records, ctx);
+    uint32_t dbid = 0, resp_tag = 0;
+    std::vector<KvRecord> out;
+    obs::TraceContext got;
+    ASSERT_TRUE(DecodeMigrateChunk(wire, &dbid, &resp_tag, &out, &got));
+    EXPECT_EQ(dbid, 4u);
+    EXPECT_EQ(resp_tag, 120u);
+    ASSERT_EQ(out.size(), records.size());
+    EXPECT_EQ(out[0].key, "alpha");
+    EXPECT_EQ(out[0].value, "value-a");
+    EXPECT_TRUE(out[1].tombstone);
+    EXPECT_TRUE(got.valid());
+    EXPECT_EQ(got.trace_id, ctx.trace_id);
+    EXPECT_EQ(got.span_id, ctx.span_id);
+  }
+  {
+    const std::string wire = EncodeGetReq(9, 130, 1, "key", ctx);
+    uint32_t dbid = 0, resp_tag = 0, caller_group = 0;
+    std::string key;
+    obs::TraceContext got;
+    ASSERT_TRUE(
+        DecodeGetReq(wire, &dbid, &resp_tag, &caller_group, &key, &got));
+    EXPECT_EQ(key, "key");
+    EXPECT_EQ(got.trace_id, ctx.trace_id);
+    EXPECT_EQ(got.span_id, ctx.span_id);
+  }
+  {
+    GetResp resp;
+    resp.found = true;
+    resp.same_group = true;
+    resp.latest_ssid = 42;
+    resp.ssids = {42, 41};
+    resp.value = "payload";
+    const std::string wire = EncodeGetResp(resp, ctx);
+    GetResp out;
+    obs::TraceContext got;
+    ASSERT_TRUE(DecodeGetResp(wire, &out, &got));
+    EXPECT_TRUE(out.found);
+    EXPECT_TRUE(out.same_group);
+    EXPECT_EQ(out.ssids, resp.ssids);
+    EXPECT_EQ(out.value, "payload");
+    EXPECT_EQ(got.trace_id, ctx.trace_id);
+    EXPECT_EQ(got.span_id, ctx.span_id);
+  }
+}
+
+TEST(TraceWireTest, DecodersAcceptNullContextOut) {
+  // New payload, context-oblivious caller (the pre-trace call signature):
+  // the header is consumed and the body still decodes.
+  const std::string wire = EncodeGetReq(5, 140, 0, "k", MakeCtx());
+  uint32_t dbid = 0, resp_tag = 0, caller_group = 0;
+  std::string key;
+  ASSERT_TRUE(DecodeGetReq(wire, &dbid, &resp_tag, &caller_group, &key));
+  EXPECT_EQ(dbid, 5u);
+  EXPECT_EQ(key, "k");
+}
+
+TEST(TraceWireTest, HeaderFirstByteCannotCollideWithLegacyBodies) {
+  // The magic's little-endian first byte is 0xff; legacy MigrateChunk and
+  // GetReq bodies start with a small dbid and GetResp with a 0/1 flag, so
+  // the sniff in GetTraceCtx is unambiguous.
+  const std::string with_ctx = EncodeGetReq(1, 100, 0, "k", MakeCtx());
+  EXPECT_EQ(static_cast<unsigned char>(with_ctx[0]), 0xffu);
+  const std::string legacy = EncodeGetReq(1, 100, 0, "k");
+  EXPECT_NE(static_cast<unsigned char>(legacy[0]), 0xffu);
+}
+
+TEST(TraceWireTest, TruncatedTraceHeaderIsRejected) {
+  const std::string wire = EncodeGetReq(5, 150, 0, "key", MakeCtx());
+  // Any prefix that contains the magic but not the full header must fail
+  // loudly instead of sliding the cursor into garbage.
+  for (size_t len = 4; len < 21; ++len) {
+    Slice in(wire.data(), len);
+    obs::TraceContext ctx;
+    EXPECT_FALSE(GetTraceCtx(&in, &ctx)) << "prefix length " << len;
+  }
+}
+
+TEST(TraceWireTest, UnsampledContextEncodesNothing) {
+  obs::TraceContext ctx = MakeCtx();
+  ctx.sampled = false;
+  EXPECT_EQ(EncodeGetReq(2, 160, 0, "k", ctx), EncodeGetReq(2, 160, 0, "k"));
+}
+
+}  // namespace
+}  // namespace papyrus::core

@@ -4,15 +4,23 @@
 //   papyrus_inspect <rank dir> --ssid=N      # dump one table's records
 //   papyrus_inspect <rank dir> --verify      # CRC-check every record
 //   papyrus_inspect --stats <stats.json>     # render a PAPYRUSKV_STATS dump
+//   papyrus_inspect --trace-merge <trace.json> [out.json]
+//                                            # merge per-rank traces
 //
 // Works on any directory produced by the library (a repository's
 // <group>/<db>/rank<k>, or a checkpoint's rank<k> snapshot directory) —
 // the same recovery scan the zero-copy reopen uses.  --stats reads the
 // JSON a run wrote when PAPYRUSKV_STATS=path was set (per-rank or the
-// rank-0 aggregate) and prints it as tables.
+// rank-0 aggregate) and prints it as tables.  --trace-merge takes the
+// PAPYRUSKV_TRACE base path, merges every trace.rank<k>.json into one
+// Perfetto-loadable timeline (all ranks share one steady clock, so events
+// concatenate without rebasing), and prints a per-op critical-path table
+// built from the trace/span/parent ids each span carries.
 #include <cstdio>
 #include <cstring>
+#include <map>
 #include <string>
+#include <vector>
 
 #include "obs/export.h"
 #include "sim/storage.h"
@@ -179,19 +187,200 @@ int ShowStats(const std::string& path) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// --trace-merge
+// ---------------------------------------------------------------------------
+
+// One X span pulled out of a per-rank trace file, keyed by the causal ids
+// the runtime wrote into its args.
+struct MergedSpan {
+  std::string name;
+  int rank = 0;
+  uint64_t ts = 0;
+  uint64_t dur = 0;
+  std::string span;    // "0x..." ids, compared as strings ("0x0" = none)
+  std::string parent;
+};
+
+std::string ArgId(const obs::JsonValue& ev, const char* key) {
+  const obs::JsonValue* args = ev.Find("args");
+  if (!args) return "0x0";
+  const obs::JsonValue* id = args->Find(key);
+  return id && !id->str.empty() ? id->str : "0x0";
+}
+
+// Inserts ".merged" before the extension: trace.json → trace.merged.json.
+std::string DefaultMergedPath(const std::string& base) {
+  const size_t dot = base.find_last_of('.');
+  const size_t slash = base.find_last_of('/');
+  if (dot == std::string::npos || (slash != std::string::npos && dot < slash))
+    return base + ".merged.json";
+  return base.substr(0, dot) + ".merged" + base.substr(dot);
+}
+
+// Mean-of-column helper for the critical-path table.
+struct OpStats {
+  uint64_t count = 0;
+  double total = 0, queue = 0, service = 0, search = 0;
+};
+
+int TraceMerge(const std::string& base, const std::string& out_path) {
+  // Collect every per-rank file the run produced (rank files are dense
+  // from 0, so the first gap ends the scan).
+  std::vector<std::string> texts;
+  std::vector<int> ranks;
+  for (int r = 0;; ++r) {
+    const std::string path = obs::StatsPathForRank(base, r);
+    if (!sim::Storage::FileExists(path)) break;
+    std::string text;
+    Status s = sim::Storage::ReadFileToString(path, &text);
+    if (!s.ok()) {
+      fprintf(stderr, "cannot read %s: %s\n", path.c_str(),
+              s.ToString().c_str());
+      return 1;
+    }
+    texts.push_back(std::move(text));
+    ranks.push_back(r);
+  }
+  if (texts.empty()) {
+    fprintf(stderr, "no per-rank traces found for %s (expected %s, ...)\n",
+            base.c_str(), obs::StatsPathForRank(base, 0).c_str());
+    return 1;
+  }
+
+  // Merge by splicing each file's traceEvents array verbatim — every event
+  // already carries its rank as pid and absolute timestamps.
+  std::string merged = "{\"traceEvents\": [";
+  bool first = true;
+  for (const std::string& text : texts) {
+    const size_t lb = text.find('[');
+    const size_t rb = text.rfind(']');
+    if (lb == std::string::npos || rb == std::string::npos || rb <= lb) {
+      fprintf(stderr, "malformed trace file (rank %d)\n",
+              ranks[&text - texts.data()]);
+      return 1;
+    }
+    std::string inner = text.substr(lb + 1, rb - lb - 1);
+    // Trim whitespace so empty arrays contribute nothing.
+    const size_t b = inner.find_first_not_of(" \t\r\n");
+    if (b == std::string::npos) continue;
+    inner = inner.substr(b, inner.find_last_not_of(" \t\r\n") - b + 1);
+    if (!first) merged += ",\n";
+    first = false;
+    merged += inner;
+  }
+  merged += "\n]}\n";
+  FILE* f = fopen(out_path.c_str(), "w");
+  if (!f) {
+    fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  const size_t n = fwrite(merged.data(), 1, merged.size(), f);
+  fclose(f);
+  if (n != merged.size()) {
+    fprintf(stderr, "short write to %s\n", out_path.c_str());
+    return 1;
+  }
+
+  // Critical-path analysis: index every span by id, then walk the caller
+  // RPC spans (*.rpc) to their owner-side service span (parent == rpc id)
+  // and its queue.wait / search.* children.
+  std::vector<MergedSpan> spans;
+  for (size_t i = 0; i < texts.size(); ++i) {
+    obs::JsonValue v;
+    if (!obs::ParseJson(texts[i], &v)) {
+      fprintf(stderr, "cannot parse trace file for rank %d\n", ranks[i]);
+      return 1;
+    }
+    const obs::JsonValue* events = v.Find("traceEvents");
+    if (!events) continue;
+    for (const obs::JsonValue& ev : events->array) {
+      const obs::JsonValue* ph = ev.Find("ph");
+      if (!ph || ph->str != "X") continue;
+      MergedSpan s;
+      s.name = ev.Find("name")->str;
+      s.rank = ranks[i];
+      s.ts = static_cast<uint64_t>(ev.Find("ts")->number);
+      s.dur = static_cast<uint64_t>(ev.Find("dur")->number);
+      s.span = ArgId(ev, "span");
+      s.parent = ArgId(ev, "parent");
+      spans.push_back(std::move(s));
+    }
+  }
+  // children[parent span id] = indices into spans.
+  std::map<std::string, std::vector<size_t>> children;
+  for (size_t i = 0; i < spans.size(); ++i) {
+    if (spans[i].parent != "0x0") children[spans[i].parent].push_back(i);
+  }
+
+  std::map<std::string, OpStats> per_op;
+  for (const MergedSpan& rpc : spans) {
+    const size_t suffix = rpc.name.rfind(".rpc");
+    if (suffix == std::string::npos ||
+        suffix + 4 != rpc.name.size() || rpc.span == "0x0") {
+      continue;
+    }
+    OpStats& os = per_op[rpc.name.substr(0, suffix)];
+    ++os.count;
+    os.total += static_cast<double>(rpc.dur);
+    auto it = children.find(rpc.span);
+    if (it == children.end()) continue;
+    for (size_t ci : it->second) {
+      const MergedSpan& svc = spans[ci];
+      if (svc.name.rfind("handle.", 0) != 0) continue;
+      os.service += static_cast<double>(svc.dur);
+      auto grand = children.find(svc.span);
+      if (grand == children.end()) continue;
+      for (size_t gi : grand->second) {
+        const MergedSpan& child = spans[gi];
+        if (child.name == "queue.wait") {
+          os.queue += static_cast<double>(child.dur);
+        } else if (child.name.rfind("search.", 0) == 0) {
+          os.search += static_cast<double>(child.dur);
+        }
+      }
+    }
+  }
+
+  printf("merged %zu rank trace(s), %zu span(s) -> %s\n", texts.size(),
+         spans.size(), out_path.c_str());
+  if (per_op.empty()) {
+    printf("no cross-rank operations recorded (all traffic was local?)\n");
+    return 0;
+  }
+  printf("\nper-op critical path, mean us per request\n");
+  printf("%-16s %8s %10s %10s %10s %10s %10s\n", "op", "count", "total",
+         "queue", "service", "search", "wire+ack");
+  for (const auto& [op, os] : per_op) {
+    const double n_ops = static_cast<double>(os.count);
+    const double wire = os.total - os.queue - os.service;
+    printf("%-16s %8llu %10.1f %10.1f %10.1f %10.1f %10.1f\n", op.c_str(),
+           static_cast<unsigned long long>(os.count), os.total / n_ops,
+           os.queue / n_ops, os.service / n_ops, os.search / n_ops,
+           wire / n_ops);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc == 3 && strcmp(argv[1], "--stats") == 0) {
     return ShowStats(argv[2]);
   }
+  if ((argc == 3 || argc == 4) && strcmp(argv[1], "--trace-merge") == 0) {
+    const std::string base = argv[2];
+    return TraceMerge(base, argc == 4 ? argv[3] : DefaultMergedPath(base));
+  }
   if (argc < 2) {
     fprintf(stderr,
             "usage: %s <rank dir> [--ssid=N | --verify]\n"
             "       %s --stats <stats.json>\n"
+            "       %s --trace-merge <trace.json> [out.json]\n"
             "  inspects the SSTables of one rank of a PapyrusKV database,\n"
-            "  or renders a PAPYRUSKV_STATS metrics dump\n",
-            argv[0], argv[0]);
+            "  renders a PAPYRUSKV_STATS metrics dump, or merges the\n"
+            "  per-rank PAPYRUSKV_TRACE files into one Perfetto timeline\n",
+            argv[0], argv[0], argv[0]);
     return 2;
   }
   const std::string dir = argv[1];

@@ -34,6 +34,15 @@ Rules (each can be silenced per line with the named escape comment):
                      are exempt — they run under a watchdog.
                      Escape: // lint:allow-blocking-recv
 
+  trace-add          A direct TraceBuffer Add/AddEvent call (receiver named
+                     *trace*) outside src/obs/.  Raw Add bypasses the span
+                     machinery: no trace/span/parent ids, no TLS context,
+                     no flow events — the event merges as an orphan.
+                     Instrumentation must go through obs::OpSpan,
+                     obs::TraceSpan or obs::RecordSpan.  Tests of the
+                     buffer itself live in tests/obs and are exempt.
+                     Escape: // lint:allow-trace-add
+
 Usage:
   tools/papyrus_lint.py [paths...]      # default: src tests tools bench examples
   tools/papyrus_lint.py --self-test     # run against the seeded fixture
@@ -95,6 +104,18 @@ NAKED_RECV_ALLOWLIST = (
 # runs under ctest timeouts; tools/benches are interactive).
 NAKED_RECV_EXEMPT_ROOTS = ("tests", "bench", "examples", "tools")
 
+# Direct TraceBuffer writes: an Add/AddEvent call whose receiver mentions
+# "trace" (trace_, trace(), tls_trace, CurrentTrace(), ...).  Receiver-name
+# matching keeps builder.Add / bloom.Add / gauge.Add out of scope.
+TRACE_ADD_RE = re.compile(
+    r"\b\w*[Tt]race\w*\s*(?:\(\s*\))?\s*(?:\.|->)\s*Add(?:Event)?\s*\(")
+
+# The span machinery itself, and the unit tests that poke the buffer raw.
+TRACE_ADD_EXEMPT_PREFIXES = (
+    os.path.join("src", "obs") + os.sep,
+    os.path.join("tests", "obs") + os.sep,
+)
+
 COMMENT_LINE_RE = re.compile(r"^\s*(?://|\*)")
 
 
@@ -144,6 +165,8 @@ def lint_file(path, relpath):
     recv_exempt = (
         any(relpath.endswith(p) for p in NAKED_RECV_ALLOWLIST)
         or relpath.split(os.sep)[0] in NAKED_RECV_EXEMPT_ROOTS)
+    trace_add_exempt = any(
+        relpath.startswith(p) for p in TRACE_ADD_EXEMPT_PREFIXES)
 
     mutex_decls = {}       # member name -> line number
     annotated_names = set()  # identifiers referenced by any TSA annotation
@@ -171,6 +194,17 @@ def lint_file(path, relpath):
                 (relpath, i, "naked-recv",
                  "blocking Recv without a deadline — use RecvFor/"
                  "BarrierFor or RequestReply (src/net/comm.h)"))
+
+        # trace-add ------------------------------------------------------
+        if (not trace_add_exempt
+                and "lint:allow-trace-add" not in comment
+                and not COMMENT_LINE_RE.match(line)
+                and TRACE_ADD_RE.search(code)):
+            violations.append(
+                (relpath, i, "trace-add",
+                 "direct TraceBuffer Add bypasses span machinery — use "
+                 "obs::OpSpan / obs::TraceSpan / obs::RecordSpan "
+                 "(src/obs/trace.h)"))
 
         # using-namespace (headers only) ---------------------------------
         if relpath.endswith(HEADER_EXTS) and USING_NAMESPACE_RE.match(code):
@@ -244,6 +278,7 @@ def self_test(repo_root):
         ("bad_header.h", "using-namespace"),
         ("bad_header.h", "include-guard"),
         ("bad_naked_recv.cc", "naked-recv"),
+        ("bad_trace_add.cc", "trace-add"),
     }
     got = set()
     escaped_files = set()
