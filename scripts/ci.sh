@@ -11,9 +11,11 @@
 #                  (skipped with a notice if clang++ is not installed)
 #   5. clang-tidy  concurrency/bugprone checks (skipped if not installed)
 #   6. sanitizers  TSan, ASan, UBSan builds re-running the
-#                  concurrency-sensitive test subset (fault_test included,
-#                  so the retry/recovery paths get the TSan treatment)
-#   7. bench       micro_kv + fig06_basic smoke runs with the metrics hook:
+#                  concurrency-sensitive test subset (async_test and
+#                  fault_test included, so the submission pipeline and the
+#                  retry/recovery paths get the TSan treatment)
+#   7. bench       micro_kv + fig06_basic + micro_kv_async smoke runs with
+#                  the metrics hook:
 #                  each writes an aggregate BENCH_<name>.json snapshot at
 #                  the repo root (committed, so metric drift shows in
 #                  review); micro_kv runs with tracing enabled to keep the
@@ -26,7 +28,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="$(nproc)"
-SAN_TESTS=(obs_test store_test core_test net_test mutex_test fault_test)
+SAN_TESTS=(obs_test store_test core_test net_test mutex_test async_test fault_test)
 # Correctness-neutral faults only: delay and duplication stress the retry
 # and idempotence machinery without making any op legitimately fail (drops
 # and crashes belong in tests/fault/, where the expected failures are
@@ -90,7 +92,12 @@ PAPYRUSKV_TRACE="${BENCH_TMP}/trace.json" \
 # Scaled-down fig06: the flush/get path across every storage model.
 ./build/bench/fig06_basic --ranks=2 --iters=4 --scale=0 \
   --repo="${BENCH_TMP}/fig06"
-ls -l BENCH_micro_kv.json BENCH_fig06_basic.json
+# Async pipeline: remote-put batching vs one-round-trip-per-op sync puts
+# at 8 ranks (DESIGN.md §9); the snapshot carries the sync/async KRPS
+# gauges so the batching speedup is part of the results trajectory.
+./build/bench/micro_kv_async --ranks=8 --iters=1000 \
+  --repo="${BENCH_TMP}/mka"
+ls -l BENCH_micro_kv.json BENCH_fig06_basic.json BENCH_micro_kv_async.json
 
 echo
 if [ "${#SKIPPED[@]}" -gt 0 ]; then

@@ -1,0 +1,362 @@
+#include "async/pipeline.h"
+
+#include <cassert>
+#include <utility>
+
+#include "common/env.h"
+#include "common/logging.h"
+#include "common/timer.h"
+#include "core/runtime.h"
+#include "obs/flight.h"
+#include "obs/trace.h"
+
+namespace papyrus::async {
+
+using core::GetMultiOp;
+using core::GetMultiResult;
+using core::KvRecord;
+
+// ---------------------------------------------------------------------------
+// OpState
+// ---------------------------------------------------------------------------
+
+void OpState::Complete(Status s) {
+  {
+    MutexLock lock(&mu_);
+    status_ = std::move(s);
+    done_ = true;
+  }
+  cv_.NotifyAll();
+}
+
+void OpState::CompleteValue(Status s, std::string value) {
+  value_ = std::move(value);
+  {
+    MutexLock lock(&mu_);
+    status_ = std::move(s);
+    result_ = Result::kValue;
+    done_ = true;
+  }
+  cv_.NotifyAll();
+}
+
+void OpState::CompleteResp(Status s, core::GetResp resp) {
+  resp_ = std::move(resp);
+  {
+    MutexLock lock(&mu_);
+    status_ = std::move(s);
+    result_ = Result::kResp;
+    done_ = true;
+  }
+  cv_.NotifyAll();
+}
+
+Status OpState::Wait() {
+  MutexLock lock(&mu_);
+  while (!done_) cv_.Wait(&mu_);
+  return status_;
+}
+
+bool OpState::done() const {
+  MutexLock lock(&mu_);
+  return done_;
+}
+
+OpState::Result OpState::result() const {
+  MutexLock lock(&mu_);
+  return result_;
+}
+
+OpHandle CompletedOp(Status s) {
+  auto h = std::make_shared<OpState>();
+  h->Complete(std::move(s));
+  return h;
+}
+
+OpHandle CompletedValueOp(Status s, std::string value) {
+  auto h = std::make_shared<OpState>();
+  h->CompleteValue(std::move(s), std::move(value));
+  return h;
+}
+
+// ---------------------------------------------------------------------------
+// AsyncPipeline
+// ---------------------------------------------------------------------------
+
+AsyncPipeline::AsyncPipeline(core::KvRuntime& rt) : rt_(rt) {
+  obs::Registry& reg = rt_.metrics();
+  g_depth_ = &reg.GetGauge("async.queue_depth");
+  h_put_batch_ = &reg.GetHistogram("async.batch_size");
+  h_get_batch_ = &reg.GetHistogram("async.get_batch_size");
+  c_op_errors_ = &reg.GetCounter("async.op_errors");
+  c_frames_ = &reg.GetCounter("async.frames");
+}
+
+void AsyncPipeline::Start() {
+  if (started_) return;
+  if (auto v = EnvInt("PAPYRUSKV_BATCH_MAX"); v && *v > 0) {
+    batch_max_ = static_cast<size_t>(*v);
+  }
+  if (auto v = EnvInt("PAPYRUSKV_BATCH_WINDOW_US"); v && *v > 0) {
+    window_us_ = static_cast<uint64_t>(*v);
+  }
+  started_ = true;
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void AsyncPipeline::Stop() {
+  if (!started_) return;
+  {
+    MutexLock lock(&mu_);
+    stop_ = true;
+  }
+  cv_.NotifyAll();
+  thread_.join();
+  started_ = false;
+}
+
+void AsyncPipeline::Enqueue(int dst, Submission s) {
+  {
+    MutexLock lock(&mu_);
+    queues_[dst].push_back(std::move(s));
+    ++queued_;
+    g_depth_->Set(static_cast<int64_t>(queued_));
+  }
+  cv_.NotifyOne();
+}
+
+OpHandle AsyncPipeline::SubmitPut(int dst, uint32_t dbid, const Slice& key,
+                                  const Slice& value, bool tombstone) {
+  Submission s;
+  s.kind = Submission::Kind::kPut;
+  s.dbid = dbid;
+  s.key = key.ToString();
+  s.value = value.ToString();
+  s.tombstone = tombstone;
+  s.handle = std::make_shared<OpState>();
+  OpHandle h = s.handle;
+  Enqueue(dst, std::move(s));
+  return h;
+}
+
+OpHandle AsyncPipeline::SubmitGet(int dst, uint32_t dbid, const Slice& key,
+                                  bool full_search) {
+  Submission s;
+  s.kind = Submission::Kind::kGet;
+  s.dbid = dbid;
+  s.key = key.ToString();
+  s.full_search = full_search;
+  s.handle = std::make_shared<OpState>();
+  OpHandle h = s.handle;
+  Enqueue(dst, std::move(s));
+  return h;
+}
+
+void AsyncPipeline::Drain() {
+  MutexLock lock(&mu_);
+  while (queued_ + inflight_ > 0) drain_cv_.Wait(&mu_);
+}
+
+void AsyncPipeline::Loop() {
+  rt_.AdoptObservability("async");
+  for (;;) {
+    std::map<int, std::deque<Submission>> work;
+    size_t count = 0;
+    {
+      MutexLock lock(&mu_);
+      while (!stop_ && queued_ == 0) cv_.Wait(&mu_);
+      if (queued_ == 0) return;  // stop_ set and nothing left to flush
+      // Optional accumulation window: trade latency for larger batches
+      // (benchmark knob; 0 = rely on natural batching under load).
+      if (window_us_ > 0) {
+        const uint64_t deadline = NowMicros() + window_us_;
+        while (!stop_) {
+          const uint64_t now = NowMicros();
+          if (now >= deadline) break;
+          cv_.WaitForMicros(&mu_, deadline - now);
+        }
+      }
+      work.swap(queues_);
+      count = queued_;
+      inflight_ += count;
+      queued_ = 0;
+      g_depth_->Set(0);
+    }
+    ProcessCycle(std::move(work), count);
+    {
+      MutexLock lock(&mu_);
+      inflight_ -= count;
+    }
+    drain_cv_.NotifyAll();
+  }
+}
+
+void AsyncPipeline::ProcessCycle(std::map<int, std::deque<Submission>> work,
+                                 size_t count) {
+  (void)count;
+  if (rt_.crashed()) {
+    // A crashed rank emits no traffic (§4.2 failure model); every queued op
+    // still completes so no waiter can hang.
+    for (auto& [dst, q] : work) {
+      for (Submission& s : q) {
+        c_op_errors_->Inc();
+        s.handle->Complete(Status(PAPYRUSKV_ERR, "rank crashed (simulated)"));
+      }
+    }
+    return;
+  }
+
+  const fault::RetryPolicy& retry = rt_.retry();
+  const uint32_t my_group =
+      static_cast<uint32_t>(rt_.layout().GroupOf(rt_.rank()));
+
+  // One encoded wire frame: consecutive same-kind, same-db submissions for
+  // one destination, capped at batch_max_.
+  struct Frame {
+    int dst = 0;
+    bool is_put = false;
+    int tag = 0;
+    std::string payload;
+    std::vector<Submission> ops;
+    std::unique_ptr<obs::OpSpan> rpc;  // open until the frame is acked
+  };
+  std::vector<Frame> frames;
+  for (auto& [dst, q] : work) {
+    assert(dst != rt_.rank() && "pipeline never targets the local rank");
+    size_t i = 0;
+    while (i < q.size()) {
+      Frame f;
+      f.dst = dst;
+      f.is_put = q[i].kind == Submission::Kind::kPut;
+      const uint32_t dbid = q[i].dbid;
+      const size_t begin = i;
+      while (i < q.size() && (i - begin) < batch_max_ &&
+             (q[i].kind == Submission::Kind::kPut) == f.is_put &&
+             q[i].dbid == dbid) {
+        f.ops.push_back(std::move(q[i]));
+        ++i;
+      }
+      f.tag = rt_.AllocRespTag();
+      // The RPC leg of the whole frame: each op serviced by the remote
+      // handler becomes a flow-linked child of this span, so the merged
+      // timeline shows N coalesced ops sharing one wire round trip.
+      f.rpc = std::make_unique<obs::OpSpan>(
+          "net", f.is_put ? "put_batch.rpc" : "get_multi.rpc",
+          obs::OpSpan::kDetached);
+      f.rpc->MarkFlowOut();
+      if (f.is_put) {
+        std::vector<KvRecord> records;
+        records.reserve(f.ops.size());
+        for (const Submission& s : f.ops) {
+          KvRecord r;
+          r.key = s.key;
+          r.value = s.value;
+          r.tombstone = s.tombstone;
+          records.push_back(std::move(r));
+        }
+        h_put_batch_->Record(static_cast<uint64_t>(records.size()));
+        f.payload = EncodePutBatch(dbid, static_cast<uint32_t>(f.tag),
+                                   records, f.rpc->context());
+      } else {
+        std::vector<GetMultiOp> ops;
+        ops.reserve(f.ops.size());
+        for (const Submission& s : f.ops) {
+          GetMultiOp op;
+          op.key = s.key;
+          op.full_search = s.full_search;
+          ops.push_back(std::move(op));
+        }
+        h_get_batch_->Record(static_cast<uint64_t>(ops.size()));
+        f.payload = EncodeGetMulti(dbid, static_cast<uint32_t>(f.tag),
+                                   my_group, ops, f.rpc->context());
+      }
+      frames.push_back(std::move(f));
+    }
+  }
+
+  // Send every frame first, then collect acks: frames to distinct
+  // destinations overlap on the wire, amortizing the round trip across the
+  // whole cycle (same idiom as the migration dispatcher).
+  obs::FlightRecorder& flight = rt_.flight();
+  for (const Frame& f : frames) {
+    c_frames_->Inc();
+    flight.Record(obs::FlightKind::kOpBegin,
+                  f.is_put ? "put_batch" : "get_multi", f.dst,
+                  retry.max_attempts);
+    rt_.SendRequest(f.dst, f.is_put ? core::kOpPutBatch : core::kOpGetMulti,
+                    f.payload);
+  }
+  for (Frame& f : frames) {
+    const char* opname = f.is_put ? "put_batch" : "get_multi";
+    // Bounded re-send on a lost frame or ack (DESIGN.md §8): re-applying a
+    // put batch is idempotent, and frames to one destination were sent in
+    // submission order, so a retry cannot reorder committed data.
+    net::Message ack;
+    bool acked =
+        rt_.RecvResponseFor(f.dst, f.tag, retry.reply_timeout_us, &ack);
+    for (int attempt = 1; attempt < retry.max_attempts && !acked; ++attempt) {
+      rt_.metrics().GetCounter("net.req.retries").Inc();
+      flight.Record(obs::FlightKind::kRetry, opname, f.dst, attempt);
+      PreciseSleepMicros(retry.BackoffUs(attempt));
+      rt_.SendRequest(f.dst, f.is_put ? core::kOpPutBatch : core::kOpGetMulti,
+                      f.payload);
+      acked = rt_.RecvResponseFor(f.dst, f.tag, retry.reply_timeout_us, &ack);
+    }
+    f.rpc.reset();  // close the frame's RPC span at ack (or give-up) time
+    if (!acked) {
+      rt_.metrics().GetCounter("net.req.timeouts").Inc();
+      flight.Record(obs::FlightKind::kTimeout, opname, f.dst,
+                    retry.max_attempts);
+      rt_.MarkSuspect(f.dst);
+      PLOG_ERROR << opname << " to rank " << f.dst << " unacknowledged after "
+                 << retry.max_attempts << " attempts";
+      Status ds = flight.TriggerDump("request timeout");
+      if (!ds.ok()) {
+        PLOG_WARN << "flight dump failed: " << ds.ToString();
+      }
+      Status timeout = Status::Timeout(
+          "no reply from rank " + std::to_string(f.dst) + " for " + opname +
+          " after " + std::to_string(retry.max_attempts) + " attempts");
+      for (Submission& s : f.ops) {
+        c_op_errors_->Inc();
+        s.handle->Complete(timeout);
+      }
+      continue;
+    }
+    flight.Record(obs::FlightKind::kOpEnd, opname, f.dst);
+    if (f.is_put) {
+      std::vector<int32_t> statuses;
+      if (!core::DecodePutBatchAck(ack.payload, &statuses) ||
+          statuses.size() != f.ops.size()) {
+        Status bad = Status::Corrupted("bad put batch ack");
+        for (Submission& s : f.ops) {
+          c_op_errors_->Inc();
+          s.handle->Complete(bad);
+        }
+        continue;
+      }
+      for (size_t i = 0; i < f.ops.size(); ++i) {
+        if (statuses[i] != PAPYRUSKV_SUCCESS) c_op_errors_->Inc();
+        f.ops[i].handle->Complete(Status(statuses[i]));
+      }
+    } else {
+      std::vector<GetMultiResult> results;
+      if (!core::DecodeGetMultiResp(ack.payload, &results) ||
+          results.size() != f.ops.size()) {
+        Status bad = Status::Corrupted("bad get multi response");
+        for (Submission& s : f.ops) {
+          c_op_errors_->Inc();
+          s.handle->Complete(bad);
+        }
+        continue;
+      }
+      for (size_t i = 0; i < f.ops.size(); ++i) {
+        if (results[i].status != PAPYRUSKV_SUCCESS) c_op_errors_->Inc();
+        f.ops[i].handle->CompleteResp(Status(results[i].status),
+                                      std::move(results[i].resp));
+      }
+    }
+  }
+}
+
+}  // namespace papyrus::async

@@ -1,0 +1,151 @@
+// Submission/completion pipeline with same-destination request batching
+// (DESIGN.md §9).
+//
+// KVell-style shared-nothing queues layered between the public API and the
+// wire: the application (or DbShard's synchronous paths, reimplemented as
+// submit+wait) enqueues operations per destination rank; one pipeline
+// thread per rank drains the queues, coalescing consecutive same-kind
+// operations for one destination into a single `put_batch` / `get_multi`
+// frame, so N remote operations share one wire round trip instead of N.
+// While one cycle's frames are in flight, new submissions accumulate — the
+// pipeline batches *naturally* under load, no timer required (an optional
+// PAPYRUSKV_BATCH_WINDOW_US accumulation window exists for benchmarking).
+//
+// Ordering (SDCB): each destination's queue preserves submission order, and
+// frames to one destination are sent in queue order on the same (src, tag)-
+// FIFO request stream the handler services in arrival order — so per-key
+// ordering within a destination queue is exactly submission order.  Frames
+// never mix op kinds or databases; a kind/db change breaks the frame.
+//
+// Failure semantics: retry/timeout is per *frame* (re-sending a frame is
+// idempotent, like migration chunks); per-op errors travel back in the
+// batched ack, so a partially failed batch surfaces exactly which ops
+// failed.  A frame unacknowledged after retry().max_attempts completes all
+// of its ops with PAPYRUSKV_ERR_TIMEOUT and marks the peer suspect.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "core/wire.h"
+#include "obs/metrics.h"
+
+namespace papyrus::core {
+class KvRuntime;
+}  // namespace papyrus::core
+
+namespace papyrus::async {
+
+// Completion handle for one submitted operation.  Created by the pipeline
+// (or already-completed for inline-resolved ops); waited on by exactly one
+// consumer.  Gets carry their result payload: either a resolved value
+// (kValue — the op never touched the wire) or the owner's GetResp (kResp —
+// the caller runs §2.7 post-processing via DbShard::FinishGet).
+class OpState {
+ public:
+  enum class Result { kNone, kValue, kResp };
+
+  void Complete(Status s);
+  void CompleteValue(Status s, std::string value);
+  void CompleteResp(Status s, core::GetResp resp);
+
+  // Blocks until completion; returns the operation's status.
+  Status Wait();
+  bool done() const;
+
+  // Valid only after Wait() returned.
+  Result result() const;
+  const std::string& value() const { return value_; }
+  // Moves the response out (single-consumer; call at most once).
+  core::GetResp TakeResp() { return std::move(resp_); }
+
+ private:
+  // Leaf lock: guards one op's completion state only.
+  mutable Mutex mu_{"async_op_mu"};
+  CondVar cv_;
+  bool done_ GUARDED_BY(mu_) = false;
+  Status status_ GUARDED_BY(mu_);
+  Result result_ GUARDED_BY(mu_) = Result::kNone;
+  // Written once before done_ flips; read only after Wait() — no lock
+  // needed on the consumer side.
+  core::GetResp resp_;
+  std::string value_;
+};
+
+using OpHandle = std::shared_ptr<OpState>;
+
+// Already-completed handles for ops resolved without the pipeline (local
+// puts, staged relaxed puts, gets decided from local memory).
+OpHandle CompletedOp(Status s);
+OpHandle CompletedValueOp(Status s, std::string value);
+
+class AsyncPipeline {
+ public:
+  explicit AsyncPipeline(core::KvRuntime& rt);
+
+  // Reads PAPYRUSKV_BATCH_MAX / PAPYRUSKV_BATCH_WINDOW_US and launches the
+  // pipeline thread.  Stop() drains remaining submissions, then joins.
+  void Start();
+  void Stop();
+
+  // Enqueue one remote put/delete (sequential mode) for `dst`.
+  OpHandle SubmitPut(int dst, uint32_t dbid, const Slice& key,
+                     const Slice& value, bool tombstone);
+  // Enqueue one remote get for `dst`; full_search forces the owner to
+  // search its SSTables even for a same-group caller (§2.7 fallback).
+  OpHandle SubmitGet(int dst, uint32_t dbid, const Slice& key,
+                     bool full_search);
+
+  // Blocks until every submitted op has completed (fence semantics for
+  // async operations; see DbShard::Fence).
+  void Drain();
+
+ private:
+  struct Submission {
+    enum class Kind { kPut, kGet };
+    Kind kind;
+    uint32_t dbid = 0;
+    std::string key;
+    std::string value;
+    bool tombstone = false;
+    bool full_search = false;
+    OpHandle handle;
+  };
+
+  void Loop();
+  // Builds, sends, and collects acks for one swap of the queues.
+  void ProcessCycle(std::map<int, std::deque<Submission>> work, size_t count);
+  void Enqueue(int dst, Submission s);
+
+  core::KvRuntime& rt_;
+  size_t batch_max_ = 256;
+  uint64_t window_us_ = 0;
+
+  std::thread thread_;
+  bool started_ = false;  // Start/Stop called from the owning rank thread
+
+  Mutex mu_{"async_pipe_mu"};
+  CondVar cv_;        // submissions / stop
+  CondVar drain_cv_;  // queued_ + inflight_ reached zero
+  bool stop_ GUARDED_BY(mu_) = false;
+  std::map<int, std::deque<Submission>> queues_ GUARDED_BY(mu_);
+  size_t queued_ GUARDED_BY(mu_) = 0;
+  size_t inflight_ GUARDED_BY(mu_) = 0;
+
+  // Cached metrics (resolved once; see obs/metrics.h).
+  obs::Gauge* g_depth_;            // async.queue_depth
+  obs::Histogram* h_put_batch_;    // async.batch_size
+  obs::Histogram* h_get_batch_;    // async.get_batch_size
+  obs::Counter* c_op_errors_;      // async.op_errors
+  obs::Counter* c_frames_;         // async.frames
+};
+
+}  // namespace papyrus::async

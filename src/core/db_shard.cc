@@ -54,7 +54,9 @@ DbShard::DbShard(KvRuntime& rt, uint32_t id, std::string name, Options opt)
                        opt_.protection != PAPYRUSKV_WRONLY),
       cache_remote_(opt_.cache_remote_bytes,
                     opt_.protection == PAPYRUSKV_RDONLY ||
-                        RemoteCacheForcedByEnv()) {
+                        RemoteCacheForcedByEnv()),
+      batch_fail_point_(
+          &fault::Registry::Instance().GetPoint("batch.op.fail")) {
   // Resolve this shard's metrics once; hot paths then update lock-free.
   // Db-scoped counters are reset so every shard lifetime starts from zero
   // (the old DbStats was a fresh struct per DbShard — tests rely on that).
@@ -150,6 +152,77 @@ Status DbShard::Delete(const Slice& key) {
     return SyncRemotePut(key, Slice(), true, owner);
   }
   return StageRemotePut(key, Slice(), true, owner);
+}
+
+async::OpHandle DbShard::PutAsync(const Slice& key, const Slice& value,
+                                  bool tombstone) {
+  if (key.empty()) {
+    return async::CompletedOp(Status::InvalidArg("empty key"));
+  }
+  Status alive = rt_.CheckAlive();
+  if (!alive.ok()) return async::CompletedOp(alive);
+  if (protection_.load() == PAPYRUSKV_RDONLY) {
+    return async::CompletedOp(Status::Protected("db is read-only"));
+  }
+  obs::ScopedLatency lat(tombstone ? m_.delete_us : m_.put_us);
+  obs::OpSpan op("kv", tombstone ? "delete" : "put");
+  if (tombstone) m_.deletes->Inc();
+  const int owner = OwnerOf(key);
+  if (owner == rt_.rank()) {
+    if (!tombstone) m_.puts_local->Inc();
+    return async::CompletedOp(LocalPut(key, value, tombstone));
+  }
+  if (consistency_.load() == PAPYRUSKV_SEQUENTIAL) {
+    // The only genuinely asynchronous put path: the op rides the pipeline
+    // and completes when the owner's batched ack lands.
+    m_.puts_remote_sync->Inc();
+    cache_remote_.Erase(key);
+    return rt_.pipeline().SubmitPut(owner, id_, key, value, tombstone);
+  }
+  // Relaxed mode already is asynchronous: staging in the remote MemTable
+  // completes immediately; delivery is governed by fence/barrier.
+  return async::CompletedOp(StageRemotePut(key, value, tombstone, owner));
+}
+
+async::OpHandle DbShard::GetAsync(const Slice& key) {
+  if (key.empty()) {
+    return async::CompletedValueOp(Status::InvalidArg("empty key"), {});
+  }
+  Status alive = rt_.CheckAlive();
+  if (!alive.ok()) return async::CompletedValueOp(std::move(alive), {});
+  if (protection_.load() == PAPYRUSKV_WRONLY) {
+    return async::CompletedValueOp(Status::Protected("db is write-only"), {});
+  }
+  obs::ScopedLatency lat(m_.get_us);
+  obs::OpSpan op("kv", "get");
+  const int owner = OwnerOf(key);
+  if (owner == rt_.rank()) {
+    m_.gets_local->Inc();
+    std::string value;
+    Status s = LocalGet(key, &value);
+    return async::CompletedValueOp(std::move(s), std::move(value));
+  }
+  m_.gets_remote->Inc();
+  std::string value;
+  bool tombstone = false;
+  if (SearchRemoteMemory(key, &value, &tombstone)) {
+    if (tombstone) return async::CompletedValueOp(Status::NotFound(), {});
+    return async::CompletedValueOp(Status::OK(), std::move(value));
+  }
+  // Only the network leg is asynchronous; FinishGet runs the §2.7
+  // post-processing on the waiting thread.
+  return rt_.pipeline().SubmitGet(owner, id_, key, /*full_search=*/false);
+}
+
+Status DbShard::FinishGet(const Slice& key, const async::OpHandle& h,
+                          std::string* value) {
+  Status s = h->Wait();
+  if (!s.ok()) return s;
+  if (h->result() == async::OpState::Result::kValue) {
+    *value = h->value();
+    return s;
+  }
+  return FinishRemoteGet(key, h->TakeResp(), value);
 }
 
 Status DbShard::LocalPut(const Slice& key, const Slice& value,
@@ -249,26 +322,13 @@ void DbShard::RotateRemoteLocked() {
 Status DbShard::SyncRemotePut(const Slice& key, const Slice& value,
                               bool tombstone, int owner) {
   // §3.1 sequential mode: the pair is migrated to the owner immediately and
-  // synchronously, without staging in the remote MemTable.
+  // synchronously.  Submit+wait through the async pipeline (DESIGN.md §9),
+  // so the sync and async paths share one batching/retry/timeout machine —
+  // a dead owner still surfaces as PAPYRUSKV_ERR_TIMEOUT, delivered via the
+  // completion handle instead of an inline RequestReply.
   m_.puts_remote_sync->Inc();
   cache_remote_.Erase(key);
-  std::vector<KvRecord> one(1);
-  one[0].key = key.ToString();
-  one[0].value = value.ToString();
-  one[0].tombstone = tombstone;
-  // Unique reply tag + bounded retry: a lost request or ack is re-sent
-  // (single-record re-apply is idempotent); a dead owner surfaces as
-  // PAPYRUSKV_ERR_TIMEOUT instead of a hung application thread.
-  const int tag = rt_.AllocRespTag();
-  net::Message ack;
-  // The RPC leg of the put: the owner's handle.put_sync span becomes its
-  // flow-linked child (the context rides the wire header).
-  obs::OpSpan rpc("net", "put_sync.rpc");
-  rpc.MarkFlowOut();
-  return rt_.RequestReply(
-      owner, kOpPutSync,
-      EncodeMigrateChunk(id_, static_cast<uint32_t>(tag), one, rpc.context()),
-      tag, &ack);
+  return rt_.pipeline().SubmitPut(owner, id_, key, value, tombstone)->Wait();
 }
 
 // ---------------------------------------------------------------------------
@@ -287,18 +347,22 @@ Status DbShard::Get(const Slice& key, std::string* value) {
   const int owner = OwnerOf(key);
   if (owner == rt_.rank()) {
     m_.gets_local->Inc();
-    bool tombstone = false;
-    if (SearchLocalMemory(key, value, &tombstone)) {
-      return tombstone ? Status::NotFound() : Status::OK();
-    }
-    bool found = false;
-    Status s = SearchOwnSSTables(key, value, &tombstone, &found);
-    if (!s.ok()) return s;
-    if (!found || tombstone) return Status::NotFound();
-    return Status::OK();
+    return LocalGet(key, value);
   }
   m_.gets_remote->Inc();
   return RemoteGet(key, value);
+}
+
+Status DbShard::LocalGet(const Slice& key, std::string* value) {
+  bool tombstone = false;
+  if (SearchLocalMemory(key, value, &tombstone)) {
+    return tombstone ? Status::NotFound() : Status::OK();
+  }
+  bool found = false;
+  Status s = SearchOwnSSTables(key, value, &tombstone, &found);
+  if (!s.ok()) return s;
+  if (!found || tombstone) return Status::NotFound();
+  return Status::OK();
 }
 
 bool DbShard::SearchLocalMemory(const Slice& key, std::string* value,
@@ -390,46 +454,37 @@ Status DbShard::SearchOneTable(uint64_t ssid, const Slice& key,
   return Status::OK();  // unreachable: attempt 1 always returns above
 }
 
-Status DbShard::RemoteGet(const Slice& key, std::string* value) {
-  // Figure 3 remote path: remote MemTable, immutable remote MemTables in
-  // the migration queue (newest first), remote cache, then the network.
-  bool tombstone = false;
+bool DbShard::SearchRemoteMemory(const Slice& key, std::string* value,
+                                 bool* tombstone) {
+  // Figure 3 remote path prefix: remote MemTable, immutable remote
+  // MemTables in the migration queue (newest first), remote cache.
   {
     MutexLock lock(&remote_mu_);
-    if (remote_->Get(key, value, &tombstone)) {
-      return tombstone ? Status::NotFound() : Status::OK();
-    }
+    if (remote_->Get(key, value, tombstone)) return true;
     for (const auto& imm : imm_remote_) {
-      if (imm->Get(key, value, &tombstone)) {
-        return tombstone ? Status::NotFound() : Status::OK();
-      }
+      if (imm->Get(key, value, tombstone)) return true;
     }
   }
-  if (cache_remote_.Get(key, value, &tombstone)) {
+  return cache_remote_.Get(key, value, tombstone);
+}
+
+Status DbShard::RemoteGet(const Slice& key, std::string* value) {
+  bool tombstone = false;
+  if (SearchRemoteMemory(key, value, &tombstone)) {
     return tombstone ? Status::NotFound() : Status::OK();
   }
+  // Network leg through the pipeline (coalesced with any other outstanding
+  // gets for the same owner into one get_multi round trip).
+  async::OpHandle h =
+      rt_.pipeline().SubmitGet(OwnerOf(key), id_, key, /*full_search=*/false);
+  Status s = h->Wait();
+  if (!s.ok()) return s;  // PAPYRUSKV_ERR_TIMEOUT: owner unresponsive
+  return FinishRemoteGet(key, h->TakeResp(), value);
+}
 
-  const int owner = OwnerOf(key);
-  const uint32_t my_group =
-      static_cast<uint32_t>(rt_.layout().GroupOf(rt_.rank()));
-  const int tag = rt_.AllocRespTag();
-  net::Message msg;
-  GetResp resp;
-  {
-    // RPC leg: flow-linked to the owner's handle.get_req span.
-    obs::OpSpan rpc("net", "get_req.rpc");
-    rpc.MarkFlowOut();
-    Status rs = rt_.RequestReply(
-        owner, kOpGetReq,
-        EncodeGetReq(id_, static_cast<uint32_t>(tag), my_group, key,
-                     rpc.context()),
-        tag, &msg);
-    if (!rs.ok()) return rs;  // PAPYRUSKV_ERR_TIMEOUT: owner unresponsive
-    if (!DecodeGetResp(msg.payload, &resp)) {
-      return Status::Corrupted("bad get response");
-    }
-  }
-
+Status DbShard::FinishRemoteGet(const Slice& key, GetResp resp,
+                                std::string* value) {
+  bool tombstone = false;
   if (resp.found) {
     if (resp.tombstone) {
       cache_remote_.Put(key, Slice(), true);
@@ -442,6 +497,7 @@ Status DbShard::RemoteGet(const Slice& key, std::string* value) {
   }
 
   if (resp.same_group && !resp.ssids.empty()) {
+    const int owner = OwnerOf(key);
     // §2.7: the pair is not in the owner's memory, but may be in its
     // SSTables on the shared NVM — read them directly, no value transfer.
     bool found = false;
@@ -459,21 +515,13 @@ Status DbShard::RemoteGet(const Slice& key, std::string* value) {
     }
     // The owner may have compacted the advertised tables away between its
     // response and our shared read; fall back to a full search at the
-    // owner to keep the result authoritative.
-    const int tag2 = rt_.AllocRespTag();
-    net::Message retry;
-    obs::OpSpan rpc2("net", "get_req.rpc");
-    rpc2.MarkFlowOut();
-    Status rs = rt_.RequestReply(
-        owner, kOpGetReq,
-        EncodeGetReq(id_, static_cast<uint32_t>(tag2),
-                     /*caller_group=*/0xffffffffu, key, rpc2.context()),
-        tag2, &retry);
+    // owner to keep the result authoritative (the full_search flag replaces
+    // the legacy caller_group=0xffffffff convention per op).
+    async::OpHandle h2 =
+        rt_.pipeline().SubmitGet(owner, id_, key, /*full_search=*/true);
+    Status rs = h2->Wait();
     if (!rs.ok()) return rs;
-    GetResp r2;
-    if (!DecodeGetResp(retry.payload, &r2)) {
-      return Status::Corrupted("bad get response");
-    }
+    GetResp r2 = h2->TakeResp();
     if (r2.found && !r2.tombstone) {
       m_.remote_value_transfers->Inc();
       cache_remote_.Put(key, r2.value, false);
@@ -541,6 +589,22 @@ Status DbShard::ApplyRecords(const std::vector<KvRecord>& records) {
     if (!s.ok()) return s;
   }
   return Status::OK();
+}
+
+std::vector<int32_t> DbShard::ApplyBatch(const std::vector<KvRecord>& records) {
+  std::vector<int32_t> statuses;
+  statuses.reserve(records.size());
+  for (const KvRecord& r : records) {
+    // Unlike ApplyRecords, a failed op does not abort the batch: every
+    // record gets its own status, so the submitter can surface exactly
+    // which ops of a partially failed batch went wrong.
+    if (fault::Enabled() && batch_fail_point_->Fire()) {
+      statuses.push_back(PAPYRUSKV_ERR);
+      continue;
+    }
+    statuses.push_back(LocalPut(r.key, r.value, r.tombstone).code());
+  }
+  return statuses;
 }
 
 GetResp DbShard::HandleRemoteGet(const Slice& key, uint32_t caller_group) {
@@ -714,6 +778,11 @@ Status DbShard::Fence() {
   obs::ScopedLatency lat(m_.fence_us);
   // A crashed rank has no staged data left and must not emit traffic.
   if (rt_.crashed()) return Status::OK();
+  // Async completion fence: every papyruskv_*_async op submitted before
+  // this fence has been applied (and acked) at its owner once Drain
+  // returns — the batched acks are sent after application, exactly like
+  // migration-chunk acks.
+  rt_.pipeline().Drain();
   {
     MutexLock rotate(&remote_rotate_mu_);
     remote_mu_.Lock();

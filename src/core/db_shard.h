@@ -31,11 +31,13 @@
 #include <string>
 #include <vector>
 
+#include "async/pipeline.h"
 #include "common/mutex.h"
 #include "common/slice.h"
 #include "common/status.h"
 #include "core/options.h"
 #include "core/wire.h"
+#include "fault/failpoint.h"
 #include "obs/metrics.h"
 #include "store/cache.h"
 #include "store/manifest.h"
@@ -87,6 +89,21 @@ class DbShard : public std::enable_shared_from_this<DbShard> {
   // On success fills *value.  NOT_FOUND for absent or tombstoned keys.
   Status Get(const Slice& key, std::string* value);
 
+  // ---- Async submissions (DESIGN.md §9) ----
+  // Submit without waiting.  Local and relaxed-staged puts resolve inline
+  // (the returned handle is already complete); sequential remote puts ride
+  // the pipeline and complete when the owner's batched ack lands.
+  // tombstone=true is papyruskv_delete_async.
+  async::OpHandle PutAsync(const Slice& key, const Slice& value,
+                           bool tombstone);
+  // Gets decided from local memory resolve inline; only the network leg is
+  // asynchronous.  Complete with FinishGet.
+  async::OpHandle GetAsync(const Slice& key);
+  // Completes a GetAsync: waits, runs §2.7 post-processing (cache fills,
+  // foreign-SSTable search, fallback re-query), fills *value.
+  Status FinishGet(const Slice& key, const async::OpHandle& h,
+                   std::string* value);
+
   // ---- Consistency (§3) ----
   // Migrates the remote MemTable and queued immutable remote MemTables to
   // their owners immediately; returns when every record has been applied
@@ -108,6 +125,11 @@ class DbShard : public std::enable_shared_from_this<DbShard> {
   // "extracts the keys and their values from the messages and inserts them
   // into the local MemTable").
   Status ApplyRecords(const std::vector<KvRecord>& records);
+  // Batched variant for kOpPutBatch: applies every record, continuing past
+  // failures, and returns one PAPYRUSKV_* code per record in order (the
+  // per-op statuses of the batched ack).  The batch.op.fail failpoint
+  // injects per-op failures here for partial-batch testing.
+  std::vector<int32_t> ApplyBatch(const std::vector<KvRecord>& records);
   // Serves a remote get request (§2.6–2.7).
   GetResp HandleRemoteGet(const Slice& key, uint32_t caller_group);
 
@@ -176,7 +198,16 @@ class DbShard : public std::enable_shared_from_this<DbShard> {
                                const Slice& key, std::string* value,
                                bool* tombstone, bool* found);
 
+  // Local-owner read path: memory search then own SSTables.
+  Status LocalGet(const Slice& key, std::string* value);
   Status RemoteGet(const Slice& key, std::string* value);
+  // Memory-resident part of the remote search (remote MemTable, queued
+  // immutable remote MemTables, remote cache).  True when decided.
+  bool SearchRemoteMemory(const Slice& key, std::string* value,
+                          bool* tombstone);
+  // Post-RPC half of a remote get: consumes the owner's GetResp (cache
+  // fills, §2.7 shared read + fallback re-query through the pipeline).
+  Status FinishRemoteGet(const Slice& key, GetResp resp, std::string* value);
 
   void WaitFlushesDrained();
   void WaitMigrationsDrained();
@@ -207,6 +238,9 @@ class DbShard : public std::enable_shared_from_this<DbShard> {
 
   store::LruCache cache_local_;
   store::LruCache cache_remote_;
+
+  // Cached batch.op.fail failpoint (per-op failure injection in ApplyBatch).
+  fault::Point* batch_fail_point_;
 
   // Incremented by every LocalPut.  An SSTable search captures it on entry
   // and only fills the local cache if no mutation intervened — otherwise a

@@ -144,6 +144,65 @@ int papyruskv_free(papyruskv_db_t db, char* val) {
   return Code(rt->FreeValue(val));
 }
 
+int papyruskv_put_async(papyruskv_db_t db, const char* key, size_t keylen,
+                        const char* value, size_t vallen,
+                        papyruskv_event_t* event) {
+  KvRuntime* rt = Rt();
+  if (!rt) return PAPYRUSKV_CLOSED;
+  if (!key || (vallen > 0 && !value)) return PAPYRUSKV_INVALID_ARG;
+  DbShardPtr shard = rt->Find(db);
+  if (!shard) return PAPYRUSKV_INVALID_DB;
+  papyrus::async::OpHandle h =
+      shard->PutAsync(papyrus::Slice(key, keylen),
+                      papyrus::Slice(value, vallen), /*tombstone=*/false);
+  if (!event) {
+    // Fire-and-forget: surface an already-known failure, drop the rest.
+    return h->done() ? h->Wait().code() : PAPYRUSKV_SUCCESS;
+  }
+  papyrus::core::AsyncOp op;
+  op.handle = std::move(h);
+  *event = rt->RegisterAsyncOp(std::move(op));
+  return PAPYRUSKV_SUCCESS;
+}
+
+int papyruskv_get_async(papyruskv_db_t db, const char* key, size_t keylen,
+                        char** value, size_t* vallen,
+                        papyruskv_event_t* event) {
+  KvRuntime* rt = Rt();
+  if (!rt) return PAPYRUSKV_CLOSED;
+  if (!key || !value || !vallen || !event) return PAPYRUSKV_INVALID_ARG;
+  DbShardPtr shard = rt->Find(db);
+  if (!shard) return PAPYRUSKV_INVALID_DB;
+  papyrus::core::AsyncOp op;
+  op.handle = shard->GetAsync(papyrus::Slice(key, keylen));
+  op.db = shard;
+  op.key.assign(key, keylen);
+  op.value = value;
+  op.vallen = vallen;
+  op.is_get = true;
+  *event = rt->RegisterAsyncOp(std::move(op));
+  return PAPYRUSKV_SUCCESS;
+}
+
+int papyruskv_delete_async(papyruskv_db_t db, const char* key, size_t keylen,
+                           papyruskv_event_t* event) {
+  KvRuntime* rt = Rt();
+  if (!rt) return PAPYRUSKV_CLOSED;
+  if (!key) return PAPYRUSKV_INVALID_ARG;
+  DbShardPtr shard = rt->Find(db);
+  if (!shard) return PAPYRUSKV_INVALID_DB;
+  papyrus::async::OpHandle h =
+      shard->PutAsync(papyrus::Slice(key, keylen), papyrus::Slice(),
+                      /*tombstone=*/true);
+  if (!event) {
+    return h->done() ? h->Wait().code() : PAPYRUSKV_SUCCESS;
+  }
+  papyrus::core::AsyncOp op;
+  op.handle = std::move(h);
+  *event = rt->RegisterAsyncOp(std::move(op));
+  return PAPYRUSKV_SUCCESS;
+}
+
 int papyruskv_signal_notify(int signum, int* ranks, int count) {
   KvRuntime* rt = Rt();
   if (!rt) return PAPYRUSKV_CLOSED;
@@ -218,6 +277,11 @@ int papyruskv_wait(papyruskv_db_t db, papyruskv_event_t event) {
   (void)db;
   KvRuntime* rt = Rt();
   if (!rt) return PAPYRUSKV_CLOSED;
+  // The event space is partitioned: ids >= kAsyncEventBase are pipeline
+  // ops (put/get/delete_async), below are runtime events (checkpoint &c).
+  if (event >= papyrus::core::kAsyncEventBase) {
+    return Code(rt->WaitAsyncOp(event));
+  }
   return Code(rt->WaitEvent(event));
 }
 

@@ -98,6 +98,45 @@ typedef struct papyruskv_option_struct {
 // Releases a buffer allocated by papyruskv_get from the memory pool.
 [[nodiscard]] int papyruskv_free(papyruskv_db_t db, char* val);
 
+// ---- (b') Asynchronous basic ops -------------------------------------------
+//
+// The *_async variants submit the operation to the per-rank submission
+// pipeline and return immediately with an event handle.  Ops bound for the
+// same destination rank are coalesced into one batched wire message, so a
+// burst of N remote puts costs one round trip instead of N.  Completion is
+// observed with papyruskv_wait(db, event), which returns the operation's
+// own status (per-op statuses survive partially failed batches), or in
+// bulk with papyruskv_fence / papyruskv_barrier, which drain the pipeline.
+// Per-key ordering follows submission order per destination (SDCB).
+//
+// Quickstart:
+//
+//   papyruskv_event_t ev[N];
+//   for (int i = 0; i < N; i++)
+//     papyruskv_put_async(db, key[i], keylen, val[i], vallen, &ev[i]);
+//   papyruskv_fence(db);                  // or: papyruskv_wait(db, ev[i])
+//
+// Key and value are copied at submission time; the caller's buffers may be
+// reused as soon as the call returns.
+
+// Asynchronous papyruskv_put.  event may be NULL (fire-and-forget: errors
+// are only observable through async.op_errors metrics and the fence).
+[[nodiscard]] int papyruskv_put_async(papyruskv_db_t db, const char* key,
+                                      size_t keylen, const char* value,
+                                      size_t vallen, papyruskv_event_t* event);
+
+// Asynchronous papyruskv_get.  value/vallen follow the papyruskv_get buffer
+// contract but are filled in by papyruskv_wait, not before; they must stay
+// valid until the wait returns.  event is required.
+[[nodiscard]] int papyruskv_get_async(papyruskv_db_t db, const char* key,
+                                      size_t keylen, char** value,
+                                      size_t* vallen, papyruskv_event_t* event);
+
+// Asynchronous papyruskv_delete.  event may be NULL as for put_async.
+[[nodiscard]] int papyruskv_delete_async(papyruskv_db_t db, const char* key,
+                                         size_t keylen,
+                                         papyruskv_event_t* event);
+
 // ---- (c) Consistency -------------------------------------------------------
 
 // Sends signal `signum` to each listed rank / waits for it from each.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cstdlib>
+#include <cstring>
 
 #include "common/env.h"
 #include "common/logging.h"
@@ -22,6 +23,8 @@ const char* OpName(int op) {
     case kOpPutSync: return "put_sync";
     case kOpGetReq: return "get_req";
     case kOpShutdown: return "shutdown";
+    case kOpPutBatch: return "put_batch";
+    case kOpGetMulti: return "get_multi";
   }
   return "other";
 }
@@ -130,7 +133,7 @@ KvRuntime::KvRuntime(net::RankContext& ctx, const std::string& repository)
   g_mig_q_ = &metrics_.GetGauge("net.migration_queue_depth");
   h_handler_us_ = &metrics_.GetHistogram("net.handler_service_us");
   h_migration_us_ = &metrics_.GetHistogram("store.migration_us");
-  for (int op = 0; op <= kOpShutdown; ++op) {
+  for (int op = 0; op <= kOpMax; ++op) {
     const std::string base = std::string("net.req.") + OpName(op);
     c_req_msgs_[op] = &metrics_.GetCounter(base + ".msgs");
     c_req_bytes_[op] = &metrics_.GetCounter(base + ".bytes");
@@ -173,6 +176,7 @@ void KvRuntime::StartThreads() {
   compaction_thread_ = std::thread([this] { CompactionLoop(); });
   dispatcher_thread_ = std::thread([this] { DispatcherLoop(); });
   handler_thread_ = std::thread([this] { HandlerLoop(); });
+  pipeline_.Start();
 }
 
 void KvRuntime::StopThreads() {
@@ -185,6 +189,10 @@ void KvRuntime::StopThreads() {
   }
   for (auto& t : aux) t.join();
 
+  // The pipeline stops first: it drains any straggling submissions while
+  // every peer's handler is still up (Finalize barriers before this).
+  pipeline_.Stop();
+
   CompactionJob stop_flush;
   stop_flush.shutdown = true;
   flush_queue_.Push(std::move(stop_flush));
@@ -192,7 +200,7 @@ void KvRuntime::StopThreads() {
   stop_mig.shutdown = true;
   migration_queue_.Push(std::move(stop_mig));
   // The handler exits on a self-addressed shutdown request.
-  req_comm_.Send(ctx_.rank, kOpShutdown, Slice());
+  req_comm_.Send(ctx_.rank, kOpShutdown, Slice());  // lint:allow-direct-send
   compaction_thread_.join();
   dispatcher_thread_.join();
   handler_thread_.join();
@@ -403,6 +411,12 @@ void KvRuntime::HandlerLoop() {
       case kOpGetReq:
         HandleGetReq(m);
         break;
+      case kOpPutBatch:
+        HandlePutBatch(m);
+        break;
+      case kOpGetMulti:
+        HandleGetMulti(m);
+        break;
       case kOpShutdown:
         return;
       default:
@@ -458,21 +472,74 @@ void KvRuntime::HandleGetReq(const net::Message& m) {
                EncodeGetResp(resp, span.context()));
 }
 
+void KvRuntime::HandlePutBatch(const net::Message& m) {
+  uint32_t dbid = 0, resp_tag = 0;
+  std::vector<KvRecord> records;
+  obs::TraceContext ctx;
+  if (!DecodePutBatch(m.payload, &dbid, &resp_tag, &records, &ctx)) {
+    PLOG_ERROR << "handler: malformed put batch from rank " << m.src;
+    return;
+  }
+  // Child of the pipeline's put_batch.rpc span (flow-linked across ranks):
+  // the entire batch is serviced under one handler wakeup.
+  obs::OpSpan span("net", "handle.put_batch", ctx);
+  RecordQueueWait(m);
+  std::vector<int32_t> statuses;
+  DbShardPtr db = Find(static_cast<int>(dbid));
+  if (db) {
+    statuses = db->ApplyBatch(records);
+  } else {
+    statuses.assign(records.size(), PAPYRUSKV_INVALID_DB);
+    PLOG_WARN << "handler: put batch for unknown db " << dbid;
+  }
+  // One batched ack, sent after application (fences rely on this ordering),
+  // carrying one status per op so partial failures surface per op.
+  SendResponse(m.src, static_cast<int>(resp_tag),
+               EncodePutBatchAck(statuses, span.context()));
+}
+
+void KvRuntime::HandleGetMulti(const net::Message& m) {
+  uint32_t dbid = 0, resp_tag = 0, caller_group = 0;
+  std::vector<GetMultiOp> ops;
+  obs::TraceContext ctx;
+  if (!DecodeGetMulti(m.payload, &dbid, &resp_tag, &caller_group, &ops,
+                      &ctx)) {
+    PLOG_ERROR << "handler: malformed get multi from rank " << m.src;
+    return;
+  }
+  obs::OpSpan span("net", "handle.get_multi", ctx);
+  RecordQueueWait(m);
+  std::vector<GetMultiResult> results(ops.size());
+  DbShardPtr db = Find(static_cast<int>(dbid));
+  for (size_t i = 0; i < ops.size(); ++i) {
+    if (!db) {
+      results[i].status = PAPYRUSKV_INVALID_DB;
+      continue;
+    }
+    // The full-search flag replaces the legacy caller_group=0xffffffff
+    // convention per op (§2.7 fallback after a failed shared read).
+    results[i].resp = db->HandleRemoteGet(
+        ops[i].key, ops[i].full_search ? 0xffffffffu : caller_group);
+  }
+  SendResponse(m.src, static_cast<int>(resp_tag),
+               EncodeGetMultiResp(results, span.context()));
+}
+
 // ---------------------------------------------------------------------------
 // Transport helpers
 // ---------------------------------------------------------------------------
 
 void KvRuntime::SendRequest(int dst, int op, const Slice& payload) {
-  const int slot = (op >= 1 && op <= kOpShutdown) ? op : 0;
+  const int slot = (op >= 1 && op <= kOpMax) ? op : 0;
   c_req_msgs_[slot]->Inc();
   c_req_bytes_[slot]->Inc(payload.size());
-  req_comm_.Send(dst, op, payload);
+  req_comm_.Send(dst, op, payload);  // lint:allow-direct-send
 }
 
 void KvRuntime::SendResponse(int dst, int tag, const Slice& payload) {
   c_resp_msgs_->Inc();
   c_resp_bytes_->Inc(payload.size());
-  resp_comm_.Send(dst, tag, payload);
+  resp_comm_.Send(dst, tag, payload);  // lint:allow-direct-send
 }
 
 net::Message KvRuntime::RecvResponse(int src, int tag) {
@@ -649,7 +716,7 @@ Status KvRuntime::SignalNotify(int signum, const int* ranks, int count) {
     if (ranks[i] < 0 || ranks[i] >= size()) {
       return Status::InvalidArg("signal_notify: bad rank");
     }
-    signal_comm_.Send(ranks[i], signum, Slice());
+    signal_comm_.Send(ranks[i], signum, Slice());  // lint:allow-direct-send
   }
   return Status::OK();
 }
@@ -696,5 +763,48 @@ Status KvRuntime::FreeValue(char* p) {
 }
 
 Status KvRuntime::WaitEvent(int event) { return events_.WaitAndErase(event); }
+
+// ---------------------------------------------------------------------------
+// Async-op handles (papyruskv_*_async / papyruskv_wait)
+// ---------------------------------------------------------------------------
+
+int KvRuntime::RegisterAsyncOp(AsyncOp op) {
+  MutexLock lock(&async_mu_);
+  const int id = next_async_id_++;
+  async_ops_.emplace(id, std::move(op));
+  return id;
+}
+
+Status KvRuntime::WaitAsyncOp(int id) {
+  AsyncOp op;
+  {
+    MutexLock lock(&async_mu_);
+    auto it = async_ops_.find(id);
+    if (it == async_ops_.end()) return Status(PAPYRUSKV_INVALID_EVENT);
+    op = std::move(it->second);
+    async_ops_.erase(it);
+  }
+  if (!op.is_get) return op.handle->Wait();
+  // Get completion: §2.7 post-processing (cache fills, foreign-SSTable
+  // search, fallback re-query) runs here on the waiting thread, then the
+  // value lands under the same buffer contract as papyruskv_get.
+  std::string out;
+  Status s = op.db->FinishGet(op.key, op.handle, &out);
+  if (!s.ok()) return s;
+  if (*op.value == nullptr) {
+    char* buf = AllocValue(out.size());
+    if (!buf) return Status(PAPYRUSKV_OUT_OF_MEMORY);
+    memcpy(buf, out.data(), out.size());
+    *op.value = buf;
+  } else {
+    if (*op.vallen < out.size()) {
+      *op.vallen = out.size();
+      return Status::InvalidArg("value buffer too small");
+    }
+    memcpy(*op.value, out.data(), out.size());
+  }
+  *op.vallen = out.size();
+  return Status::OK();
+}
 
 }  // namespace papyrus::core

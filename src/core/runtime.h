@@ -29,6 +29,7 @@
 #include <thread>
 #include <unordered_set>
 
+#include "async/pipeline.h"
 #include "common/mutex.h"
 #include "common/ring_queue.h"
 #include "common/status.h"
@@ -61,6 +62,24 @@ struct MigrationJob {
   DbShardPtr db;
   store::MemTablePtr mem;
   bool shutdown = false;
+};
+
+// First handle value for papyruskv_*_async events.  Async-op handles and
+// EventRegistry ids (checkpoint/restart/destroy) share the C API's
+// papyruskv_event_t space; the registry allocates upward from 1 and can
+// never reach this, so papyruskv_wait dispatches on the value alone.
+inline constexpr int kAsyncEventBase = 1 << 30;
+
+// One outstanding papyruskv_*_async operation.  Gets keep the caller's
+// output pointers (which must stay valid until papyruskv_wait) plus the
+// context for §2.7 post-processing at wait time.
+struct AsyncOp {
+  async::OpHandle handle;
+  DbShardPtr db;         // gets only
+  std::string key;       // gets only
+  char** value = nullptr;
+  size_t* vallen = nullptr;
+  bool is_get = false;
 };
 
 class KvRuntime {
@@ -126,6 +145,21 @@ class KvRuntime {
   void SendRequest(int dst, int op, const Slice& payload);
   void SendResponse(int dst, int tag, const Slice& payload);
   net::Message RecvResponse(int src, int tag);
+  // Deadline receive on the response communicator (the pipeline's ack
+  // collection); false on timeout.
+  bool RecvResponseFor(int src, int tag, uint64_t timeout_us,
+                       net::Message* out) {
+    return resp_comm_.RecvFor(src, tag, timeout_us, out);
+  }
+
+  // ---- Async submission/completion pipeline (src/async/) ----
+  async::AsyncPipeline& pipeline() { return pipeline_; }
+  // Registers an outstanding papyruskv_*_async op; returns its event handle
+  // (>= kAsyncEventBase).
+  int RegisterAsyncOp(AsyncOp op);
+  // papyruskv_wait for an async-op handle: waits for completion, runs get
+  // post-processing, fills the caller's output buffer, releases the handle.
+  Status WaitAsyncOp(int id);
 
   // Unique tag for a reply that may be retried (see wire.h: a retried
   // request must never match a previous attempt's late reply onto the next
@@ -192,6 +226,8 @@ class KvRuntime {
 
   void HandleMigrateChunk(const net::Message& m, bool sync_put);
   void HandleGetReq(const net::Message& m);
+  void HandlePutBatch(const net::Message& m);
+  void HandleGetMulti(const net::Message& m);
 
   // Flips crashed_ (once) and discards all shards' volatile state — the
   // simulated power loss of §4.2's failure model.
@@ -230,6 +266,12 @@ class KvRuntime {
   Mutex pool_mu_{"rt_pool_mu"};
   std::unordered_set<char*> pool_allocs_ GUARDED_BY(pool_mu_);
 
+  // Outstanding papyruskv_*_async ops, keyed by event handle.  Leaf lock:
+  // released before blocking on any op.
+  Mutex async_mu_{"rt_async_mu"};
+  std::map<int, AsyncOp> async_ops_ GUARDED_BY(async_mu_);
+  int next_async_id_ GUARDED_BY(async_mu_) = kAsyncEventBase;
+
   // Fault/recovery state (DESIGN.md §8).
   fault::RetryPolicy retry_;
   std::atomic<bool> crashed_{false};
@@ -248,15 +290,20 @@ class KvRuntime {
   obs::Gauge* g_mig_q_;              // net.migration_queue_depth
   obs::Histogram* h_handler_us_;     // net.handler_service_us
   obs::Histogram* h_migration_us_;   // store.migration_us
-  // Request traffic split by opcode (kOpMigrateChunk..kOpShutdown) plus a
+  // Request traffic split by opcode (kOpMigrateChunk..kOpMax) plus a
   // slot 0 catch-all; responses are a single bucket.
-  obs::Counter* c_req_msgs_[kOpShutdown + 1];
-  obs::Counter* c_req_bytes_[kOpShutdown + 1];
+  obs::Counter* c_req_msgs_[kOpMax + 1];
+  obs::Counter* c_req_bytes_[kOpMax + 1];
   obs::Counter* c_resp_msgs_;
   obs::Counter* c_resp_bytes_;
   obs::Counter* c_req_retries_;      // net.req.retries
   obs::Counter* c_req_timeouts_;     // net.req.timeouts
   obs::Counter* c_suspects_;         // net.peer.suspects
+
+  // Declared last: its constructor resolves metrics from metrics_ above,
+  // and Start/Stop bracket the other runtime threads (StartThreads/
+  // StopThreads).
+  async::AsyncPipeline pipeline_{*this};
 };
 
 }  // namespace papyrus::core

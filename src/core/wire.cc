@@ -6,6 +6,15 @@ namespace {
 constexpr uint8_t kTraceFlagSampled = 0x01;
 // [u32 magic][u64 trace][u64 span][u8 flags]
 constexpr size_t kTraceHdrBytes = 4 + 8 + 8 + 1;
+
+// reserve() bound for a decoded count field: the count is untrusted wire
+// data, so cap the pre-allocation by what the remaining payload could
+// possibly hold (`per` = minimum encoded bytes per element).  A lying count
+// then fails in the element loop instead of throwing bad_alloc up front.
+size_t ReserveBound(uint32_t count, const Slice& in, size_t per) {
+  const size_t plausible = in.size() / per + 1;
+  return count < plausible ? count : plausible;
+}
 }  // namespace
 
 void PutTraceCtx(std::string* out, const obs::TraceContext& ctx) {
@@ -62,7 +71,7 @@ bool DecodeMigrateChunk(const Slice& payload, uint32_t* dbid,
     return false;
   }
   records->clear();
-  records->reserve(count);
+  records->reserve(ReserveBound(count, in, 3));
   for (uint32_t i = 0; i < count; ++i) {
     Slice key, value;
     if (!GetLengthPrefixed(&in, &key) || !GetLengthPrefixed(&in, &value) ||
@@ -139,6 +148,172 @@ bool DecodeGetResp(const Slice& payload, GetResp* r,
   Slice value;
   if (!GetLengthPrefixed(&in, &value)) return false;
   r->value = value.ToString();
+  return in.empty();
+}
+
+namespace {
+// Consumes the batch version byte; false on empty input or unknown version.
+bool GetBatchVersion(Slice* in) {
+  if (in->empty() || static_cast<uint8_t>((*in)[0]) != kBatchVersion) {
+    return false;
+  }
+  in->remove_prefix(1);
+  return true;
+}
+}  // namespace
+
+std::string EncodePutBatch(uint32_t dbid, uint32_t resp_tag,
+                           const std::vector<KvRecord>& records,
+                           const obs::TraceContext& trace_ctx) {
+  std::string out;
+  PutTraceCtx(&out, trace_ctx);
+  out.push_back(static_cast<char>(kBatchVersion));
+  PutFixed32(&out, dbid);
+  PutFixed32(&out, resp_tag);
+  PutFixed32(&out, static_cast<uint32_t>(records.size()));
+  for (const KvRecord& r : records) {
+    PutLengthPrefixed(&out, r.key);
+    PutLengthPrefixed(&out, r.value);
+    out.push_back(r.tombstone ? 1 : 0);
+  }
+  return out;
+}
+
+bool DecodePutBatch(const Slice& payload, uint32_t* dbid, uint32_t* resp_tag,
+                    std::vector<KvRecord>* records,
+                    obs::TraceContext* trace_ctx) {
+  Slice in = payload;
+  if (!GetTraceCtx(&in, trace_ctx)) return false;
+  if (!GetBatchVersion(&in)) return false;
+  uint32_t count = 0;
+  if (!GetFixed32(&in, dbid) || !GetFixed32(&in, resp_tag) ||
+      !GetFixed32(&in, &count)) {
+    return false;
+  }
+  records->clear();
+  records->reserve(ReserveBound(count, in, 3));
+  for (uint32_t i = 0; i < count; ++i) {
+    Slice key, value;
+    if (!GetLengthPrefixed(&in, &key) || !GetLengthPrefixed(&in, &value) ||
+        in.empty()) {
+      return false;
+    }
+    KvRecord r;
+    r.key = key.ToString();
+    r.value = value.ToString();
+    r.tombstone = in[0] != 0;
+    in.remove_prefix(1);
+    records->push_back(std::move(r));
+  }
+  return in.empty();
+}
+
+std::string EncodePutBatchAck(const std::vector<int32_t>& statuses,
+                              const obs::TraceContext& trace_ctx) {
+  std::string out;
+  PutTraceCtx(&out, trace_ctx);
+  out.push_back(static_cast<char>(kBatchVersion));
+  PutFixed32(&out, static_cast<uint32_t>(statuses.size()));
+  for (int32_t s : statuses) PutFixed32(&out, static_cast<uint32_t>(s));
+  return out;
+}
+
+bool DecodePutBatchAck(const Slice& payload, std::vector<int32_t>* statuses,
+                       obs::TraceContext* trace_ctx) {
+  Slice in = payload;
+  if (!GetTraceCtx(&in, trace_ctx)) return false;
+  if (!GetBatchVersion(&in)) return false;
+  uint32_t count = 0;
+  if (!GetFixed32(&in, &count)) return false;
+  statuses->clear();
+  statuses->reserve(ReserveBound(count, in, 4));
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t s = 0;
+    if (!GetFixed32(&in, &s)) return false;
+    statuses->push_back(static_cast<int32_t>(s));
+  }
+  return in.empty();
+}
+
+std::string EncodeGetMulti(uint32_t dbid, uint32_t resp_tag,
+                           uint32_t caller_group,
+                           const std::vector<GetMultiOp>& ops,
+                           const obs::TraceContext& trace_ctx) {
+  std::string out;
+  PutTraceCtx(&out, trace_ctx);
+  out.push_back(static_cast<char>(kBatchVersion));
+  PutFixed32(&out, dbid);
+  PutFixed32(&out, resp_tag);
+  PutFixed32(&out, caller_group);
+  PutFixed32(&out, static_cast<uint32_t>(ops.size()));
+  for (const GetMultiOp& op : ops) {
+    PutLengthPrefixed(&out, op.key);
+    out.push_back(op.full_search ? static_cast<char>(kGetFullSearch) : 0);
+  }
+  return out;
+}
+
+bool DecodeGetMulti(const Slice& payload, uint32_t* dbid, uint32_t* resp_tag,
+                    uint32_t* caller_group, std::vector<GetMultiOp>* ops,
+                    obs::TraceContext* trace_ctx) {
+  Slice in = payload;
+  if (!GetTraceCtx(&in, trace_ctx)) return false;
+  if (!GetBatchVersion(&in)) return false;
+  uint32_t count = 0;
+  if (!GetFixed32(&in, dbid) || !GetFixed32(&in, resp_tag) ||
+      !GetFixed32(&in, caller_group) || !GetFixed32(&in, &count)) {
+    return false;
+  }
+  ops->clear();
+  ops->reserve(ReserveBound(count, in, 2));
+  for (uint32_t i = 0; i < count; ++i) {
+    Slice key;
+    if (!GetLengthPrefixed(&in, &key) || in.empty()) return false;
+    GetMultiOp op;
+    op.key = key.ToString();
+    op.full_search = (in[0] & kGetFullSearch) != 0;
+    in.remove_prefix(1);
+    ops->push_back(std::move(op));
+  }
+  return in.empty();
+}
+
+std::string EncodeGetMultiResp(const std::vector<GetMultiResult>& results,
+                               const obs::TraceContext& trace_ctx) {
+  std::string out;
+  PutTraceCtx(&out, trace_ctx);
+  out.push_back(static_cast<char>(kBatchVersion));
+  PutFixed32(&out, static_cast<uint32_t>(results.size()));
+  for (const GetMultiResult& r : results) {
+    PutFixed32(&out, static_cast<uint32_t>(r.status));
+    // Embed the legacy GetResp body (no nested trace header) so per-key
+    // payloads stay byte-identical between the single-op and batched paths.
+    PutLengthPrefixed(&out, EncodeGetResp(r.resp));
+  }
+  return out;
+}
+
+bool DecodeGetMultiResp(const Slice& payload,
+                        std::vector<GetMultiResult>* results,
+                        obs::TraceContext* trace_ctx) {
+  Slice in = payload;
+  if (!GetTraceCtx(&in, trace_ctx)) return false;
+  if (!GetBatchVersion(&in)) return false;
+  uint32_t count = 0;
+  if (!GetFixed32(&in, &count)) return false;
+  results->clear();
+  results->reserve(ReserveBound(count, in, 5));
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t status = 0;
+    Slice body;
+    if (!GetFixed32(&in, &status) || !GetLengthPrefixed(&in, &body)) {
+      return false;
+    }
+    GetMultiResult r;
+    r.status = static_cast<int32_t>(status);
+    if (!DecodeGetResp(body, &r.resp)) return false;
+    results->push_back(std::move(r));
+  }
   return in.empty();
 }
 

@@ -30,6 +30,7 @@
 
 #include "common/coding.h"
 #include "common/slice.h"
+#include "common/status.h"
 #include "obs/trace.h"
 
 namespace papyrus::core {
@@ -61,7 +62,19 @@ enum WireOp : int {
   kOpPutSync = 2,
   kOpGetReq = 3,
   kOpShutdown = 4,
+  // Batched submission/completion pipeline (src/async/, DESIGN.md §9):
+  //   kOpPutBatch — N coalesced puts/deletes for one destination, acked by
+  //       a single batched ack carrying one status per op;
+  //   kOpGetMulti — N coalesced get requests for one destination, answered
+  //       by one response carrying a full GetResp per key.
+  // The legacy single-op kinds above remain decodable (and kOpPutSync
+  // remains serviceable) so mixed-version traffic degrades gracefully.
+  kOpPutBatch = 5,
+  kOpGetMulti = 6,
 };
+
+// Highest opcode value — sizing bound for per-opcode metric arrays.
+inline constexpr int kOpMax = kOpGetMulti;
 
 // Response-communicator tags, one per requester role within a rank.
 //
@@ -128,5 +141,72 @@ std::string EncodeGetResp(const GetResp& r,
                           const obs::TraceContext& trace_ctx = {});
 bool DecodeGetResp(const Slice& payload, GetResp* r,
                    obs::TraceContext* trace_ctx = nullptr);
+
+// ---- Batched submission/completion codec (versioned) -----------------------
+// Every batch frame starts (after the optional trace header) with a one-byte
+// format version so the wire protocol can evolve without re-keying opcodes.
+// Decoders reject frames whose version they do not know; v1 is the only
+// version today.  The version byte (0x01) can never alias the trace magic
+// (first wire byte 0xff) nor a legacy body (those begin with a small dbid /
+// found byte and are carried under different opcodes anyway).
+inline constexpr uint8_t kBatchVersion = 1;
+
+// ---- PutBatch --------------------------------------------------------------
+// [trace hdr?][u8 ver][u32 dbid][u32 resp_tag][u32 count]
+//   count × ([lp key][lp value][u8 tomb])
+std::string EncodePutBatch(uint32_t dbid, uint32_t resp_tag,
+                           const std::vector<KvRecord>& records,
+                           const obs::TraceContext& trace_ctx = {});
+bool DecodePutBatch(const Slice& payload, uint32_t* dbid, uint32_t* resp_tag,
+                    std::vector<KvRecord>* records,
+                    obs::TraceContext* trace_ctx = nullptr);
+
+// ---- PutBatchAck -----------------------------------------------------------
+// [trace hdr?][u8 ver][u32 count] count × [i32 status]
+//
+// One PAPYRUSKV_* code per op, in submission order: a partially failed
+// batch surfaces exactly which ops failed (the batch as a whole is still
+// acked — retry/timeout semantics are per batch, per-op errors per op).
+std::string EncodePutBatchAck(const std::vector<int32_t>& statuses,
+                              const obs::TraceContext& trace_ctx = {});
+bool DecodePutBatchAck(const Slice& payload, std::vector<int32_t>* statuses,
+                       obs::TraceContext* trace_ctx = nullptr);
+
+// ---- GetMulti --------------------------------------------------------------
+// [trace hdr?][u8 ver][u32 dbid][u32 resp_tag][u32 caller_group][u32 count]
+//   count × ([lp key][u8 flags])
+//
+// flags bit 0 (kGetFullSearch): search the owner's SSTables even when the
+// caller is in the owner's storage group — used by the caller's fallback
+// re-query after a failed shared read (§2.7), replacing the sync path's
+// caller_group=0xffffffff convention on a per-op basis.
+inline constexpr uint8_t kGetFullSearch = 0x01;
+struct GetMultiOp {
+  std::string key;
+  bool full_search = false;
+};
+std::string EncodeGetMulti(uint32_t dbid, uint32_t resp_tag,
+                           uint32_t caller_group,
+                           const std::vector<GetMultiOp>& ops,
+                           const obs::TraceContext& trace_ctx = {});
+bool DecodeGetMulti(const Slice& payload, uint32_t* dbid, uint32_t* resp_tag,
+                    uint32_t* caller_group, std::vector<GetMultiOp>* ops,
+                    obs::TraceContext* trace_ctx = nullptr);
+
+// ---- GetMultiResp ----------------------------------------------------------
+// [trace hdr?][u8 ver][u32 count] count × ([i32 status][lp GetResp-body])
+//
+// Each entry embeds one length-prefixed GetResp body (the legacy encoding,
+// no nested trace header), so the single-op and batched response carry
+// byte-identical per-key payloads.
+struct GetMultiResult {
+  int32_t status = PAPYRUSKV_SUCCESS;
+  GetResp resp;
+};
+std::string EncodeGetMultiResp(const std::vector<GetMultiResult>& results,
+                               const obs::TraceContext& trace_ctx = {});
+bool DecodeGetMultiResp(const Slice& payload,
+                        std::vector<GetMultiResult>* results,
+                        obs::TraceContext* trace_ctx = nullptr);
 
 }  // namespace papyrus::core

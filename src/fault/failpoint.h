@@ -27,6 +27,10 @@
 //   rank.crash              simulated rank death: volatile MemTables are
 //                           discarded and the rank's API calls start
 //                           failing (core/runtime.cc)
+//   batch.op.fail           fail one op of a batched put on the handler
+//                           side; the rest of the batch still applies and
+//                           the per-op status travels back in the batch
+//                           ack (core/db_shard.cc ApplyBatch)
 //
 // Determinism: every point draws from its own generator seeded with
 // PAPYRUSKV_FAULT_SEED mixed with the point name, so a fixed seed and spec

@@ -1,0 +1,240 @@
+// The asynchronous submission/completion pipeline end to end (DESIGN.md §9):
+// papyruskv_put_async / get_async / delete_async + papyruskv_wait, fence as
+// a completion fence for fire-and-forget submissions, same-destination
+// coalescing observable through the async.* metrics, and per-op error
+// surfacing out of a partially failed batch (batch.op.fail failpoint).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/db_shard.h"
+#include "core/runtime.h"
+#include "obs/metrics.h"
+#include "../fault/fault_test_util.h"
+
+namespace papyrus::testutil {
+namespace {
+
+class AsyncApiTest : public FaultTest {};
+
+// Keys owned by `owner` under the db's hash.
+std::vector<std::string> KeysOwnedBy(const core::DbShardPtr& shard, int owner,
+                                     int want) {
+  std::vector<std::string> keys;
+  for (int i = 0; keys.size() < static_cast<size_t>(want); ++i) {
+    std::string k = "ak" + std::to_string(i);
+    if (shard->OwnerOf(k) == owner) keys.push_back(std::move(k));
+  }
+  return keys;
+}
+
+int PutAsyncStr(papyruskv_db_t db, const std::string& k, const std::string& v,
+                papyruskv_event_t* ev) {
+  return papyruskv_put_async(db, k.data(), k.size(), v.data(), v.size(), ev);
+}
+
+TEST_F(AsyncApiTest, PutGetDeleteRoundTripThroughEvents) {
+  RunKv(2, tmp_.path(), [&](net::RankContext& ctx) {
+    papyruskv_option_t opt;
+    ASSERT_EQ(papyruskv_option_init(&opt), PAPYRUSKV_SUCCESS);
+    opt.consistency = PAPYRUSKV_SEQUENTIAL;
+    papyruskv_db_t db;
+    ASSERT_EQ(papyruskv_open("asyncdb", PAPYRUSKV_CREATE, &opt, &db),
+              PAPYRUSKV_SUCCESS);
+    auto shard = papyrus::core::DbHandle(db);
+    ctx.comm.Barrier();
+
+    if (ctx.rank == 0) {
+      // Remote and local keys take the same API path; only the remote one
+      // actually rides the wire.
+      const auto remote = KeysOwnedBy(shard, 1, 2);
+      const auto local = KeysOwnedBy(shard, 0, 1);
+
+      papyruskv_event_t ev = 0;
+      ASSERT_EQ(PutAsyncStr(db, remote[0], "r0", &ev), PAPYRUSKV_SUCCESS);
+      EXPECT_GE(ev, papyrus::core::kAsyncEventBase);
+      EXPECT_EQ(papyruskv_wait(db, ev), PAPYRUSKV_SUCCESS);
+      // An event is consumed by its wait.
+      EXPECT_EQ(papyruskv_wait(db, ev), PAPYRUSKV_INVALID_EVENT);
+
+      ASSERT_EQ(PutAsyncStr(db, local[0], "l0", &ev), PAPYRUSKV_SUCCESS);
+      EXPECT_EQ(papyruskv_wait(db, ev), PAPYRUSKV_SUCCESS);
+
+      // get_async defers value delivery to the wait.
+      char* value = nullptr;
+      size_t vallen = 0;
+      ASSERT_EQ(papyruskv_get_async(db, remote[0].data(), remote[0].size(),
+                                    &value, &vallen, &ev),
+                PAPYRUSKV_SUCCESS);
+      ASSERT_EQ(papyruskv_wait(db, ev), PAPYRUSKV_SUCCESS);
+      EXPECT_EQ(std::string(value, vallen), "r0");
+      EXPECT_EQ(papyruskv_free(db, value), PAPYRUSKV_SUCCESS);
+
+      // Missing key surfaces through the event, not the submission.
+      value = nullptr;
+      vallen = 0;
+      ASSERT_EQ(papyruskv_get_async(db, remote[1].data(), remote[1].size(),
+                                    &value, &vallen, &ev),
+                PAPYRUSKV_SUCCESS);
+      EXPECT_EQ(papyruskv_wait(db, ev), PAPYRUSKV_NOT_FOUND);
+
+      // delete_async with an event, then the key is gone.
+      ASSERT_EQ(papyruskv_delete_async(db, remote[0].data(), remote[0].size(),
+                                       &ev),
+                PAPYRUSKV_SUCCESS);
+      EXPECT_EQ(papyruskv_wait(db, ev), PAPYRUSKV_SUCCESS);
+      std::string out;
+      EXPECT_EQ(GetStr(db, remote[0], &out), PAPYRUSKV_NOT_FOUND);
+    }
+    ctx.comm.Barrier();
+    ASSERT_EQ(papyruskv_close(db), PAPYRUSKV_SUCCESS);
+  });
+}
+
+TEST_F(AsyncApiTest, FenceIsACompletionFenceForFireAndForgetPuts) {
+  RunKv(2, tmp_.path(), [&](net::RankContext& ctx) {
+    papyruskv_option_t opt;
+    ASSERT_EQ(papyruskv_option_init(&opt), PAPYRUSKV_SUCCESS);
+    opt.consistency = PAPYRUSKV_SEQUENTIAL;
+    papyruskv_db_t db;
+    ASSERT_EQ(papyruskv_open("fencedb", PAPYRUSKV_CREATE, &opt, &db),
+              PAPYRUSKV_SUCCESS);
+    auto shard = papyrus::core::DbHandle(db);
+    ctx.comm.Barrier();
+
+    const int peer = 1 - ctx.rank;
+    const auto keys = KeysOwnedBy(shard, peer, 16);
+    for (const auto& k : keys) {
+      const std::string v = "fv:" + k + ":" + std::to_string(ctx.rank);
+      // No event: completion is observed only through the fence.
+      ASSERT_EQ(papyruskv_put_async(db, k.data(), k.size(), v.data(),
+                                    v.size(), nullptr),
+                PAPYRUSKV_SUCCESS);
+    }
+    ASSERT_EQ(papyruskv_fence(db), PAPYRUSKV_SUCCESS);
+    ctx.comm.Barrier();
+
+    // After fence + barrier every rank reads its own (now local) keys.
+    const auto mine = KeysOwnedBy(shard, ctx.rank, 16);
+    for (const auto& k : mine) {
+      std::string out;
+      ASSERT_EQ(GetStr(db, k, &out), PAPYRUSKV_SUCCESS) << k;
+      EXPECT_EQ(out, "fv:" + k + ":" + std::to_string(peer));
+    }
+    ctx.comm.Barrier();
+    ASSERT_EQ(papyruskv_close(db), PAPYRUSKV_SUCCESS);
+  });
+}
+
+TEST_F(AsyncApiTest, SameDestinationSubmissionsCoalesceIntoOneFrame) {
+  // A batching window holds the pipeline open long enough for the app
+  // thread's burst to land in one cycle; consecutive same-destination puts
+  // must then share frames instead of paying one round trip each.
+  setenv("PAPYRUSKV_BATCH_WINDOW_US", "20000", 1);
+  const int kOps = 48;
+  RunKv(2, tmp_.path(), [&](net::RankContext& ctx) {
+    papyruskv_option_t opt;
+    ASSERT_EQ(papyruskv_option_init(&opt), PAPYRUSKV_SUCCESS);
+    opt.consistency = PAPYRUSKV_SEQUENTIAL;
+    papyruskv_db_t db;
+    ASSERT_EQ(papyruskv_open("batchdb", PAPYRUSKV_CREATE, &opt, &db),
+              PAPYRUSKV_SUCCESS);
+    auto shard = papyrus::core::DbHandle(db);
+    ctx.comm.Barrier();
+
+    if (ctx.rank == 0) {
+      auto& reg = papyrus::core::KvRuntime::Current()->metrics();
+      const uint64_t frames_before = reg.GetCounter("async.frames").Value();
+
+      const auto keys = KeysOwnedBy(shard, 1, kOps);
+      std::vector<papyruskv_event_t> evs(keys.size());
+      for (size_t i = 0; i < keys.size(); ++i) {
+        ASSERT_EQ(PutAsyncStr(db, keys[i], "b" + std::to_string(i), &evs[i]),
+                  PAPYRUSKV_SUCCESS);
+      }
+      for (papyruskv_event_t ev : evs) {
+        ASSERT_EQ(papyruskv_wait(db, ev), PAPYRUSKV_SUCCESS);
+      }
+
+      const uint64_t frames = reg.GetCounter("async.frames").Value();
+      // 48 ops submitted inside one 20ms window: massively fewer frames
+      // than ops (exact count depends on when the first cycle opened).
+      EXPECT_LT(frames - frames_before, static_cast<uint64_t>(kOps) / 4);
+      // The batch-size histogram saw at least one genuinely merged frame.
+      const obs::HistogramData h =
+          reg.GetHistogram("async.batch_size").Snapshot();
+      EXPECT_GE(h.max, 2u);
+      EXPECT_EQ(h.sum, static_cast<uint64_t>(kOps));
+    }
+    ctx.comm.Barrier();
+    ASSERT_EQ(papyruskv_close(db), PAPYRUSKV_SUCCESS);
+  });
+  unsetenv("PAPYRUSKV_BATCH_WINDOW_US");
+}
+
+TEST_F(AsyncApiTest, PartialBatchFailureSurfacesPerOpStatuses) {
+  RunKv(2, tmp_.path(), [&](net::RankContext& ctx) {
+    papyruskv_option_t opt;
+    ASSERT_EQ(papyruskv_option_init(&opt), PAPYRUSKV_SUCCESS);
+    opt.consistency = PAPYRUSKV_SEQUENTIAL;
+    papyruskv_db_t db;
+    ASSERT_EQ(papyruskv_open("faildb", PAPYRUSKV_CREATE, &opt, &db),
+              PAPYRUSKV_SUCCESS);
+    auto shard = papyrus::core::DbHandle(db);
+    ctx.comm.Barrier();
+    // The handler side (rank 1) fails exactly its first batched op; the
+    // batch as a whole is still acked with one status per op.
+    if (ctx.rank == 0) Arm("batch.op.fail=rank1@op1");
+    ctx.comm.Barrier();
+
+    if (ctx.rank == 0) {
+      const auto keys = KeysOwnedBy(shard, 1, 4);
+      std::vector<papyruskv_event_t> evs(keys.size());
+      for (size_t i = 0; i < keys.size(); ++i) {
+        ASSERT_EQ(PutAsyncStr(db, keys[i], "pf" + std::to_string(i), &evs[i]),
+                  PAPYRUSKV_SUCCESS);
+      }
+      int failures = 0;
+      for (size_t i = 0; i < evs.size(); ++i) {
+        const int rc = papyruskv_wait(db, evs[i]);
+        if (rc != PAPYRUSKV_SUCCESS) {
+          EXPECT_EQ(rc, PAPYRUSKV_ERR);
+          ++failures;
+        }
+      }
+      // Exactly one op failed; its siblings in the same batch committed.
+      EXPECT_EQ(failures, 1);
+      fault::Registry::Instance().DisableAll();
+      EXPECT_GT(papyrus::core::KvRuntime::Current()
+                    ->metrics()
+                    .GetCounter("async.op_errors")
+                    .Value(),
+                0u);
+    }
+    ctx.comm.Barrier();
+    ASSERT_EQ(papyruskv_close(db), PAPYRUSKV_SUCCESS);
+  });
+}
+
+TEST_F(AsyncApiTest, WaitRejectsUnknownAndNullArguments) {
+  RunKv(1, tmp_.path(), [&](net::RankContext&) {
+    papyruskv_db_t db;
+    ASSERT_EQ(papyruskv_open("argdb", PAPYRUSKV_CREATE, nullptr, &db),
+              PAPYRUSKV_SUCCESS);
+    EXPECT_EQ(papyruskv_wait(db, papyrus::core::kAsyncEventBase + 999),
+              PAPYRUSKV_INVALID_EVENT);
+    papyruskv_event_t ev = 0;
+    EXPECT_EQ(papyruskv_put_async(db, nullptr, 0, "v", 1, &ev),
+              PAPYRUSKV_INVALID_ARG);
+    char* value = nullptr;
+    size_t vallen = 0;
+    // get_async requires an event — the value arrives at wait time.
+    EXPECT_EQ(papyruskv_get_async(db, "k", 1, &value, &vallen, nullptr),
+              PAPYRUSKV_INVALID_ARG);
+    ASSERT_EQ(papyruskv_close(db), PAPYRUSKV_SUCCESS);
+  });
+}
+
+}  // namespace
+}  // namespace papyrus::testutil

@@ -28,7 +28,8 @@ inline void ScrubKvEnv() {
         "PAPYRUSKV_MEMTABLE_SIZE", "PAPYRUSKV_LUSTRE",
         "PAPYRUSKV_FAULT_SEED", "PAPYRUSKV_FAULT_DELAY_US",
         "PAPYRUSKV_TIMEOUT_MS", "PAPYRUSKV_RETRY_MAX",
-        "PAPYRUSKV_BARRIER_TIMEOUT_MS"}) {
+        "PAPYRUSKV_BARRIER_TIMEOUT_MS", "PAPYRUSKV_BATCH_MAX",
+        "PAPYRUSKV_BATCH_WINDOW_US"}) {
     unsetenv(var);
   }
 }

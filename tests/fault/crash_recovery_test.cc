@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <vector>
 
 #include "common/random.h"
 #include "core/db_shard.h"
@@ -88,7 +89,7 @@ TEST_F(CrashRecoveryTest, RankCrashMidWorkloadRestoresCommittedKeys) {
 
   // ---- Run 2: restart on 2 ranks from the 3-rank snapshot ----
   TempDir repo2{"crash_repo2"};
-  RunKv(kRanksAfter, repo2.path(), [&](net::RankContext& ctx) {
+  RunKv(kRanksAfter, repo2.path(), [&](net::RankContext&) {
     papyruskv_db_t db;
     ASSERT_EQ(papyruskv_restart(snap.path().c_str(), "crashdb",
                                 PAPYRUSKV_RDWR, nullptr, &db, nullptr),
@@ -101,6 +102,92 @@ TEST_F(CrashRecoveryTest, RankCrashMidWorkloadRestoresCommittedKeys) {
         ASSERT_EQ(GetStr(db, AKey(rank, i), &out), PAPYRUSKV_SUCCESS)
             << AKey(rank, i);
         EXPECT_EQ(out, AValue(rank, i)) << AKey(rank, i);
+      }
+    }
+    ASSERT_EQ(papyruskv_close(db), PAPYRUSKV_SUCCESS);
+  });
+}
+
+TEST_F(CrashRecoveryTest, BatchStraddlingACrashLosesNoFencedKeys) {
+  // The async-pipeline variant of the crash story (DESIGN.md §9): every
+  // key submitted with papyruskv_put_async and sealed by fence + checkpoint
+  // must survive a rank crash that lands mid-batch in the following
+  // (unfenced) traffic.  Small batches and tight retries keep the
+  // post-crash timeouts bounded.
+  setenv("PAPYRUSKV_BATCH_MAX", "8", 1);
+  setenv("PAPYRUSKV_TIMEOUT_MS", "50", 1);
+  setenv("PAPYRUSKV_RETRY_MAX", "2", 1);
+  TempDir snap{"batch_crash_snap"};
+  constexpr int kFenced = 24;   // async puts per rank, fenced + checkpointed
+  constexpr int kUnfenced = 8;  // post-crash attempts per rank
+
+  RunKv(kRanksBefore, tmp_.path(), [&](net::RankContext& ctx) {
+    papyruskv_option_t opt;
+    ASSERT_EQ(papyruskv_option_init(&opt), PAPYRUSKV_SUCCESS);
+    opt.consistency = PAPYRUSKV_SEQUENTIAL;
+    papyruskv_db_t db;
+    ASSERT_EQ(papyruskv_open("batchcrashdb", PAPYRUSKV_CREATE, &opt, &db),
+              PAPYRUSKV_SUCCESS);
+
+    // Fenced batch: fire-and-forget async puts — several put_batch frames
+    // per destination under the 8-op cap — sealed by the completion fence,
+    // then checkpointed.
+    for (int i = 0; i < kFenced; ++i) {
+      const std::string k = "f." + std::to_string(ctx.rank) + "." +
+                            std::to_string(i);
+      const std::string v = AValue(ctx.rank, i);
+      ASSERT_EQ(papyruskv_put_async(db, k.data(), k.size(), v.data(),
+                                    v.size(), nullptr),
+                PAPYRUSKV_SUCCESS);
+    }
+    ASSERT_EQ(papyruskv_fence(db), PAPYRUSKV_SUCCESS);
+    ASSERT_EQ(papyruskv_checkpoint(db, snap.path().c_str(), nullptr),
+              PAPYRUSKV_SUCCESS);
+
+    ctx.comm.Barrier();
+    if (ctx.rank == 0) Arm("rank.crash=rank2@op2");
+    ctx.comm.Barrier();
+
+    // Unfenced tail: rank 2 dies mid-stream, so its own submissions start
+    // completing with PAPYRUSKV_ERR and survivors' batches to rank 2 time
+    // out — every wait must return, nothing may hang, and none of this
+    // traffic is verified after restart.
+    std::vector<papyruskv_event_t> evs;
+    for (int i = 0; i < kUnfenced; ++i) {
+      const std::string k = "u." + std::to_string(ctx.rank) + "." +
+                            std::to_string(i);
+      papyruskv_event_t ev = 0;
+      const int rc =
+          papyruskv_put_async(db, k.data(), k.size(), "unfenced", 8, &ev);
+      if (rc == PAPYRUSKV_SUCCESS) evs.push_back(ev);
+    }
+    int errors = 0;
+    for (papyruskv_event_t ev : evs) {
+      if (papyruskv_wait(db, ev) != PAPYRUSKV_SUCCESS) ++errors;
+    }
+    if (ctx.rank == 2) {
+      EXPECT_GT(errors, 0) << "rank 2 kept succeeding after its crash";
+      EXPECT_TRUE(papyrus::core::KvRuntime::Current()->crashed());
+    }
+    ASSERT_EQ(papyruskv_close(db), PAPYRUSKV_SUCCESS);
+  });
+  fault::Registry::Instance().DisableAll();
+
+  // Restart from the snapshot on fewer ranks: 100% of the fenced keys are
+  // back; the unfenced tail owes nothing.
+  TempDir repo2{"batch_crash_repo2"};
+  RunKv(kRanksAfter, repo2.path(), [&](net::RankContext&) {
+    papyruskv_db_t db;
+    ASSERT_EQ(papyruskv_restart(snap.path().c_str(), "batchcrashdb",
+                                PAPYRUSKV_RDWR, nullptr, &db, nullptr),
+              PAPYRUSKV_SUCCESS);
+    for (int rank = 0; rank < kRanksBefore; ++rank) {
+      for (int i = 0; i < kFenced; ++i) {
+        const std::string k =
+            "f." + std::to_string(rank) + "." + std::to_string(i);
+        std::string out;
+        ASSERT_EQ(GetStr(db, k, &out), PAPYRUSKV_SUCCESS) << k;
+        EXPECT_EQ(out, AValue(rank, i)) << k;
       }
     }
     ASSERT_EQ(papyruskv_close(db), PAPYRUSKV_SUCCESS);

@@ -174,14 +174,15 @@ TEST_F(FlightE2eTest, RequestTimeoutDumpsFailingOpAndPeer) {
       fault::Registry::Instance().DisableAll();
 
       // The timeout path dumped synchronously — the file is already there,
-      // ending in the begin/retry/timeout story of the failed put_sync.
+      // ending in the begin/retry/timeout story of the failed batched put
+      // (sequential puts ride the async pipeline as put_batch frames).
       obs::JsonValue v;
       ReadDump(base, 0, &v);
       EXPECT_EQ(v.Find("reason")->str, "request timeout");
       double peer = -1;
-      EXPECT_TRUE(HasEvent(v, "op_begin", "put_sync"));
-      EXPECT_TRUE(HasEvent(v, "retry", "put_sync"));
-      ASSERT_TRUE(HasEvent(v, "timeout", "put_sync", &peer));
+      EXPECT_TRUE(HasEvent(v, "op_begin", "put_batch"));
+      EXPECT_TRUE(HasEvent(v, "retry", "put_batch"));
+      ASSERT_TRUE(HasEvent(v, "timeout", "put_batch", &peer));
       EXPECT_EQ(peer, 1);  // the peer that never answered
       EXPECT_TRUE(HasEvent(v, "suspect", "peer", &peer));
       EXPECT_EQ(peer, 1);

@@ -34,6 +34,15 @@ Rules (each can be silenced per line with the named escape comment):
                      are exempt — they run under a watchdog.
                      Escape: // lint:allow-blocking-recv
 
+  direct-send        A direct Communicator Send (receiver named *comm*) in
+                     src/core/ outside the async pipeline.  Remote requests
+                     from the KV layer must go through the submission/
+                     completion pipeline (src/async/) or the runtime's
+                     SendRequest/SendResponse helpers so they get batching,
+                     per-op metrics, flight-recorder events and bounded
+                     retries; a raw Send gets none of those.
+                     Escape: // lint:allow-direct-send
+
   trace-add          A direct TraceBuffer Add/AddEvent call (receiver named
                      *trace*) outside src/obs/.  Raw Add bypasses the span
                      machinery: no trace/span/parent ids, no TLS context,
@@ -104,6 +113,16 @@ NAKED_RECV_ALLOWLIST = (
 # runs under ctest timeouts; tools/benches are interactive).
 NAKED_RECV_EXEMPT_ROOTS = ("tests", "bench", "examples", "tools")
 
+# Direct Communicator sends: a Send call whose receiver mentions "comm"
+# (req_comm_, resp_comm_, barrier_comm(), ...).  Receiver-name matching
+# keeps pipeline.Send-alikes and unrelated Send methods out of scope.
+DIRECT_SEND_RE = re.compile(
+    r"\b\w*[Cc]omm\w*\s*(?:\(\s*\))?\s*(?:\.|->)\s*Send\s*\(")
+
+# Only the KV core is constrained; the async pipeline and the net layer
+# are the two legitimate senders.
+DIRECT_SEND_SCOPE_PREFIX = os.path.join("src", "core") + os.sep
+
 # Direct TraceBuffer writes: an Add/AddEvent call whose receiver mentions
 # "trace" (trace_, trace(), tls_trace, CurrentTrace(), ...).  Receiver-name
 # matching keeps builder.Add / bloom.Add / gauge.Add out of scope.
@@ -167,6 +186,8 @@ def lint_file(path, relpath):
         or relpath.split(os.sep)[0] in NAKED_RECV_EXEMPT_ROOTS)
     trace_add_exempt = any(
         relpath.startswith(p) for p in TRACE_ADD_EXEMPT_PREFIXES)
+    direct_send_scoped = (relpath.startswith(DIRECT_SEND_SCOPE_PREFIX)
+                          or os.sep not in relpath)  # fixture files
 
     mutex_decls = {}       # member name -> line number
     annotated_names = set()  # identifiers referenced by any TSA annotation
@@ -194,6 +215,17 @@ def lint_file(path, relpath):
                 (relpath, i, "naked-recv",
                  "blocking Recv without a deadline — use RecvFor/"
                  "BarrierFor or RequestReply (src/net/comm.h)"))
+
+        # direct-send ----------------------------------------------------
+        if (direct_send_scoped
+                and "lint:allow-direct-send" not in comment
+                and not COMMENT_LINE_RE.match(line)
+                and DIRECT_SEND_RE.search(code)):
+            violations.append(
+                (relpath, i, "direct-send",
+                 "direct Communicator Send from core — route through the "
+                 "async pipeline (src/async/pipeline.h) or the runtime's "
+                 "SendRequest/SendResponse"))
 
         # trace-add ------------------------------------------------------
         if (not trace_add_exempt
@@ -279,6 +311,7 @@ def self_test(repo_root):
         ("bad_header.h", "include-guard"),
         ("bad_naked_recv.cc", "naked-recv"),
         ("bad_trace_add.cc", "trace-add"),
+        ("bad_direct_send.cc", "direct-send"),
     }
     got = set()
     escaped_files = set()
