@@ -90,6 +90,14 @@ AsyncPipeline::AsyncPipeline(core::KvRuntime& rt) : rt_(rt) {
   h_get_batch_ = &reg.GetHistogram("async.get_batch_size");
   c_op_errors_ = &reg.GetCounter("async.op_errors");
   c_frames_ = &reg.GetCounter("async.frames");
+  h_put_op_us_ = &reg.GetHistogram("async.put_op_us");
+  h_get_op_us_ = &reg.GetHistogram("async.get_op_us");
+}
+
+void AsyncPipeline::RecordOpLatency(const Submission& s) {
+  obs::Histogram* h =
+      s.kind == Submission::Kind::kPut ? h_put_op_us_ : h_get_op_us_;
+  h->Record(NowMicros() - s.submitted_at_us);
 }
 
 void AsyncPipeline::Start() {
@@ -133,6 +141,7 @@ OpHandle AsyncPipeline::SubmitPut(int dst, uint32_t dbid, const Slice& key,
   s.key = key.ToString();
   s.value = value.ToString();
   s.tombstone = tombstone;
+  s.submitted_at_us = NowMicros();
   s.handle = std::make_shared<OpState>();
   OpHandle h = s.handle;
   Enqueue(dst, std::move(s));
@@ -146,6 +155,7 @@ OpHandle AsyncPipeline::SubmitGet(int dst, uint32_t dbid, const Slice& key,
   s.dbid = dbid;
   s.key = key.ToString();
   s.full_search = full_search;
+  s.submitted_at_us = NowMicros();
   s.handle = std::make_shared<OpState>();
   OpHandle h = s.handle;
   Enqueue(dst, std::move(s));
@@ -200,6 +210,7 @@ void AsyncPipeline::ProcessCycle(std::map<int, std::deque<Submission>> work,
     for (auto& [dst, q] : work) {
       for (Submission& s : q) {
         c_op_errors_->Inc();
+        RecordOpLatency(s);
         s.handle->Complete(Status(PAPYRUSKV_ERR, "rank crashed (simulated)"));
       }
     }
@@ -220,7 +231,9 @@ void AsyncPipeline::ProcessCycle(std::map<int, std::deque<Submission>> work,
     std::vector<Submission> ops;
     std::unique_ptr<obs::OpSpan> rpc;  // open until the frame is acked
   };
-  std::vector<Frame> frames;
+  // Frames to one destination form an ordered chain, processed below under
+  // the SDCB rule: frame N+1 is not put on the wire until frame N is acked.
+  std::map<int, std::vector<Frame>> chains;
   for (auto& [dst, q] : work) {
     assert(dst != rt_.rank() && "pipeline never targets the local rank");
     size_t i = 0;
@@ -270,90 +283,116 @@ void AsyncPipeline::ProcessCycle(std::map<int, std::deque<Submission>> work,
         f.payload = EncodeGetMulti(dbid, static_cast<uint32_t>(f.tag),
                                    my_group, ops, f.rpc->context());
       }
-      frames.push_back(std::move(f));
+      chains[dst].push_back(std::move(f));
     }
   }
 
-  // Send every frame first, then collect acks: frames to distinct
-  // destinations overlap on the wire, amortizing the round trip across the
-  // whole cycle (same idiom as the migration dispatcher).
   obs::FlightRecorder& flight = rt_.flight();
-  for (const Frame& f : frames) {
+  auto send_frame = [&](const Frame& f) {
     c_frames_->Inc();
     flight.Record(obs::FlightKind::kOpBegin,
                   f.is_put ? "put_batch" : "get_multi", f.dst,
                   retry.max_attempts);
     rt_.SendRequest(f.dst, f.is_put ? core::kOpPutBatch : core::kOpGetMulti,
                     f.payload);
-  }
-  for (Frame& f : frames) {
-    const char* opname = f.is_put ? "put_batch" : "get_multi";
-    // Bounded re-send on a lost frame or ack (DESIGN.md §8): re-applying a
-    // put batch is idempotent, and frames to one destination were sent in
-    // submission order, so a retry cannot reorder committed data.
-    net::Message ack;
-    bool acked =
-        rt_.RecvResponseFor(f.dst, f.tag, retry.reply_timeout_us, &ack);
-    for (int attempt = 1; attempt < retry.max_attempts && !acked; ++attempt) {
-      rt_.metrics().GetCounter("net.req.retries").Inc();
-      flight.Record(obs::FlightKind::kRetry, opname, f.dst, attempt);
-      PreciseSleepMicros(retry.BackoffUs(attempt));
-      rt_.SendRequest(f.dst, f.is_put ? core::kOpPutBatch : core::kOpGetMulti,
-                      f.payload);
-      acked = rt_.RecvResponseFor(f.dst, f.tag, retry.reply_timeout_us, &ack);
+  };
+  // Completes every op of a failed frame with one shared status.
+  auto fail_frame = [&](Frame& f, const Status& s) {
+    for (Submission& sub : f.ops) {
+      c_op_errors_->Inc();
+      RecordOpLatency(sub);
+      sub.handle->Complete(s);
     }
-    f.rpc.reset();  // close the frame's RPC span at ack (or give-up) time
-    if (!acked) {
-      rt_.metrics().GetCounter("net.req.timeouts").Inc();
-      flight.Record(obs::FlightKind::kTimeout, opname, f.dst,
-                    retry.max_attempts);
-      rt_.MarkSuspect(f.dst);
-      PLOG_ERROR << opname << " to rank " << f.dst << " unacknowledged after "
-                 << retry.max_attempts << " attempts";
-      Status ds = flight.TriggerDump("request timeout");
-      if (!ds.ok()) {
-        PLOG_WARN << "flight dump failed: " << ds.ToString();
-      }
-      Status timeout = Status::Timeout(
-          "no reply from rank " + std::to_string(f.dst) + " for " + opname +
-          " after " + std::to_string(retry.max_attempts) + " attempts");
-      for (Submission& s : f.ops) {
-        c_op_errors_->Inc();
-        s.handle->Complete(timeout);
-      }
-      continue;
-    }
-    flight.Record(obs::FlightKind::kOpEnd, opname, f.dst);
-    if (f.is_put) {
-      std::vector<int32_t> statuses;
-      if (!core::DecodePutBatchAck(ack.payload, &statuses) ||
-          statuses.size() != f.ops.size()) {
-        Status bad = Status::Corrupted("bad put batch ack");
-        for (Submission& s : f.ops) {
-          c_op_errors_->Inc();
-          s.handle->Complete(bad);
-        }
+  };
+
+  // Only each chain's *head* frame goes on the wire up front: frames to
+  // distinct destinations overlap, amortizing the round trip across the
+  // cycle (same idiom as the migration dispatcher), but frame N+1 of a
+  // chain is released only by frame N's ack below.  This is what makes the
+  // bounded re-send safe (DESIGN.md §8): the one frame per destination
+  // that can be retried is always the newest one sent there, so a retry
+  // re-applies at worst its own data — never data an earlier frame
+  // committed after it (SDCB survives retries).
+  for (auto& [dst, chain] : chains) send_frame(chain.front());
+
+  for (auto& [dst, chain] : chains) {
+    bool dst_down = false;  // an earlier frame to dst exhausted its retries
+    for (size_t fi = 0; fi < chain.size(); ++fi) {
+      Frame& f = chain[fi];
+      const char* opname = f.is_put ? "put_batch" : "get_multi";
+      if (dst_down) {
+        // Never sent: the timed-out frame ahead of this one may still be
+        // sitting unapplied in the peer's mailbox, and sending past it
+        // could commit data out of submission order.
+        f.rpc.reset();
+        fail_frame(f, Status::Timeout(
+                          "rank " + std::to_string(dst) + " unresponsive; " +
+                          opname + " not sent (earlier frame unacked)"));
         continue;
       }
-      for (size_t i = 0; i < f.ops.size(); ++i) {
-        if (statuses[i] != PAPYRUSKV_SUCCESS) c_op_errors_->Inc();
-        f.ops[i].handle->Complete(Status(statuses[i]));
+      net::Message ack;
+      bool acked =
+          rt_.RecvResponseFor(f.dst, f.tag, retry.reply_timeout_us, &ack);
+      for (int attempt = 1; attempt < retry.max_attempts && !acked;
+           ++attempt) {
+        rt_.metrics().GetCounter("net.req.retries").Inc();
+        flight.Record(obs::FlightKind::kRetry, opname, f.dst, attempt);
+        PreciseSleepMicros(retry.BackoffUs(attempt));
+        rt_.SendRequest(f.dst,
+                        f.is_put ? core::kOpPutBatch : core::kOpGetMulti,
+                        f.payload);
+        acked =
+            rt_.RecvResponseFor(f.dst, f.tag, retry.reply_timeout_us, &ack);
       }
-    } else {
-      std::vector<GetMultiResult> results;
-      if (!core::DecodeGetMultiResp(ack.payload, &results) ||
-          results.size() != f.ops.size()) {
-        Status bad = Status::Corrupted("bad get multi response");
-        for (Submission& s : f.ops) {
-          c_op_errors_->Inc();
-          s.handle->Complete(bad);
+      f.rpc.reset();  // close the frame's RPC span at ack (or give-up) time
+      if (!acked) {
+        rt_.metrics().GetCounter("net.req.timeouts").Inc();
+        flight.Record(obs::FlightKind::kTimeout, opname, f.dst,
+                      retry.max_attempts);
+        rt_.MarkSuspect(f.dst);
+        PLOG_ERROR << opname << " to rank " << f.dst
+                   << " unacknowledged after " << retry.max_attempts
+                   << " attempts";
+        Status ds = flight.TriggerDump("request timeout");
+        if (!ds.ok()) {
+          PLOG_WARN << "flight dump failed: " << ds.ToString();
         }
+        fail_frame(f, Status::Timeout(
+                          "no reply from rank " + std::to_string(f.dst) +
+                          " for " + opname + " after " +
+                          std::to_string(retry.max_attempts) + " attempts"));
+        dst_down = true;  // the unsent rest of this chain fails above
         continue;
       }
-      for (size_t i = 0; i < f.ops.size(); ++i) {
-        if (results[i].status != PAPYRUSKV_SUCCESS) c_op_errors_->Inc();
-        f.ops[i].handle->CompleteResp(Status(results[i].status),
-                                      std::move(results[i].resp));
+      // The ack proves the handler applied this frame; the next frame in
+      // this destination's chain may now go on the wire.
+      if (fi + 1 < chain.size()) send_frame(chain[fi + 1]);
+      flight.Record(obs::FlightKind::kOpEnd, opname, f.dst);
+      if (f.is_put) {
+        std::vector<int32_t> statuses;
+        if (!core::DecodePutBatchAck(ack.payload, &statuses) ||
+            statuses.size() != f.ops.size()) {
+          fail_frame(f, Status::Corrupted("bad put batch ack"));
+          continue;
+        }
+        for (size_t i = 0; i < f.ops.size(); ++i) {
+          if (statuses[i] != PAPYRUSKV_SUCCESS) c_op_errors_->Inc();
+          RecordOpLatency(f.ops[i]);
+          f.ops[i].handle->Complete(Status(statuses[i]));
+        }
+      } else {
+        std::vector<GetMultiResult> results;
+        if (!core::DecodeGetMultiResp(ack.payload, &results) ||
+            results.size() != f.ops.size()) {
+          fail_frame(f, Status::Corrupted("bad get multi response"));
+          continue;
+        }
+        for (size_t i = 0; i < f.ops.size(); ++i) {
+          if (results[i].status != PAPYRUSKV_SUCCESS) c_op_errors_->Inc();
+          RecordOpLatency(f.ops[i]);
+          f.ops[i].handle->CompleteResp(Status(results[i].status),
+                                        std::move(results[i].resp));
+        }
       }
     }
   }

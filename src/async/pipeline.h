@@ -12,16 +12,25 @@
 // PAPYRUSKV_BATCH_WINDOW_US accumulation window exists for benchmarking).
 //
 // Ordering (SDCB): each destination's queue preserves submission order, and
-// frames to one destination are sent in queue order on the same (src, tag)-
-// FIFO request stream the handler services in arrival order — so per-key
-// ordering within a destination queue is exactly submission order.  Frames
-// never mix op kinds or databases; a kind/db change breaks the frame.
+// the frames it breaks into form an ordered *chain* — frame N+1 is not put
+// on the wire until frame N's ack arrives.  Chains to distinct destinations
+// overlap (every chain's head frame is sent up front), but within one
+// destination the only frame that can ever be retried is the newest one on
+// the wire, so a retry can never re-apply data that a later frame to the
+// same destination already committed: per-key ordering within a
+// destination queue is exactly submission order, even across retries.
+// Frames never mix op kinds or databases; a kind/db change breaks the
+// frame.
 //
-// Failure semantics: retry/timeout is per *frame* (re-sending a frame is
-// idempotent, like migration chunks); per-op errors travel back in the
-// batched ack, so a partially failed batch surfaces exactly which ops
-// failed.  A frame unacknowledged after retry().max_attempts completes all
-// of its ops with PAPYRUSKV_ERR_TIMEOUT and marks the peer suspect.
+// Failure semantics: retry/timeout is per *frame* (re-sending the chain's
+// in-flight frame is idempotent, like migration chunks); per-op errors
+// travel back in the batched ack, so a partially failed batch surfaces
+// exactly which ops failed.  A frame unacknowledged after
+// retry().max_attempts completes all of its ops with
+// PAPYRUSKV_ERR_TIMEOUT and marks the peer suspect; the unsent frames
+// behind it in the same chain fail the same way *without* being sent —
+// the stuck frame may still be sitting in the peer's mailbox, and sending
+// past it would reorder committed data.
 #pragma once
 
 #include <cstdint>
@@ -117,6 +126,7 @@ class AsyncPipeline {
     std::string value;
     bool tombstone = false;
     bool full_search = false;
+    uint64_t submitted_at_us = 0;  // stamped at Submit* for op latency
     OpHandle handle;
   };
 
@@ -124,6 +134,9 @@ class AsyncPipeline {
   // Builds, sends, and collects acks for one swap of the queues.
   void ProcessCycle(std::map<int, std::deque<Submission>> work, size_t count);
   void Enqueue(int dst, Submission s);
+  // Records submit→completion latency (async.put_op_us / async.get_op_us);
+  // call immediately before completing the handle.
+  void RecordOpLatency(const Submission& s);
 
   core::KvRuntime& rt_;
   size_t batch_max_ = 256;
@@ -146,6 +159,11 @@ class AsyncPipeline {
   obs::Histogram* h_get_batch_;    // async.get_batch_size
   obs::Counter* c_op_errors_;      // async.op_errors
   obs::Counter* c_frames_;         // async.frames
+  // True per-op latency, submit → completion (the batched ack landing).
+  // The kv.put_us/get_us histograms cover the synchronous submit+wait
+  // path; the async entry points record only kv.*_submit_us at enqueue.
+  obs::Histogram* h_put_op_us_;    // async.put_op_us
+  obs::Histogram* h_get_op_us_;    // async.get_op_us
 };
 
 }  // namespace papyrus::async

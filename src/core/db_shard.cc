@@ -97,6 +97,9 @@ DbShard::DbShard(KvRuntime& rt, uint32_t id, std::string name, Options opt)
   m_.delete_us = &reg.GetHistogram("kv.delete_us");
   m_.fence_us = &reg.GetHistogram("kv.fence_us");
   m_.barrier_us = &reg.GetHistogram("kv.barrier_us");
+  m_.put_submit_us = &reg.GetHistogram("kv.put_submit_us");
+  m_.get_submit_us = &reg.GetHistogram("kv.get_submit_us");
+  m_.delete_submit_us = &reg.GetHistogram("kv.delete_submit_us");
   cache_local_.BindCounters(m_.cache_local_hits, m_.cache_local_misses);
   cache_remote_.BindCounters(m_.cache_remote_hits, m_.cache_remote_misses);
 }
@@ -164,23 +167,33 @@ async::OpHandle DbShard::PutAsync(const Slice& key, const Slice& value,
   if (protection_.load() == PAPYRUSKV_RDONLY) {
     return async::CompletedOp(Status::Protected("db is read-only"));
   }
-  obs::ScopedLatency lat(tombstone ? m_.delete_us : m_.put_us);
-  obs::OpSpan op("kv", tombstone ? "delete" : "put");
   if (tombstone) m_.deletes->Inc();
   const int owner = OwnerOf(key);
   if (owner == rt_.rank()) {
+    // Inline resolution: the submission call is the whole operation, so
+    // the sync-path latency histograms stay accurate here.
+    obs::ScopedLatency lat(tombstone ? m_.delete_us : m_.put_us);
+    obs::OpSpan op("kv", tombstone ? "delete" : "put");
     if (!tombstone) m_.puts_local->Inc();
     return async::CompletedOp(LocalPut(key, value, tombstone));
   }
   if (consistency_.load() == PAPYRUSKV_SEQUENTIAL) {
     // The only genuinely asynchronous put path: the op rides the pipeline
-    // and completes when the owner's batched ack lands.
+    // and completes when the owner's batched ack lands.  Only the enqueue
+    // happens in this scope, so it records as a *submit* metric/span; the
+    // operation's real latency (submit → ack) lands in async.put_op_us at
+    // completion — kv.put_us must not be skewed low by enqueue timings.
+    obs::ScopedLatency lat(tombstone ? m_.delete_submit_us
+                                     : m_.put_submit_us);
+    obs::OpSpan op("kv", tombstone ? "delete.submit" : "put.submit");
     m_.puts_remote_sync->Inc();
     cache_remote_.Erase(key);
     return rt_.pipeline().SubmitPut(owner, id_, key, value, tombstone);
   }
   // Relaxed mode already is asynchronous: staging in the remote MemTable
   // completes immediately; delivery is governed by fence/barrier.
+  obs::ScopedLatency lat(tombstone ? m_.delete_us : m_.put_us);
+  obs::OpSpan op("kv", tombstone ? "delete" : "put");
   return async::CompletedOp(StageRemotePut(key, value, tombstone, owner));
 }
 
@@ -193,15 +206,21 @@ async::OpHandle DbShard::GetAsync(const Slice& key) {
   if (protection_.load() == PAPYRUSKV_WRONLY) {
     return async::CompletedValueOp(Status::Protected("db is write-only"), {});
   }
-  obs::ScopedLatency lat(m_.get_us);
-  obs::OpSpan op("kv", "get");
   const int owner = OwnerOf(key);
   if (owner == rt_.rank()) {
+    // Inline resolution: the submission call is the whole operation.
+    obs::ScopedLatency lat(m_.get_us);
+    obs::OpSpan op("kv", "get");
     m_.gets_local->Inc();
     std::string value;
     Status s = LocalGet(key, &value);
     return async::CompletedValueOp(std::move(s), std::move(value));
   }
+  // Remote path: this scope covers only the local-memory probe plus (on a
+  // miss) the enqueue, so it records as a *submit* metric/span; the wire
+  // leg's latency lands in async.get_op_us at completion.
+  obs::ScopedLatency lat(m_.get_submit_us);
+  obs::OpSpan op("kv", "get.submit");
   m_.gets_remote->Inc();
   std::string value;
   bool tombstone = false;
@@ -776,13 +795,23 @@ void DbShard::MigrationFinished(const store::MemTablePtr& mem) {
 
 Status DbShard::Fence() {
   obs::ScopedLatency lat(m_.fence_us);
-  // A crashed rank has no staged data left and must not emit traffic.
-  if (rt_.crashed()) return Status::OK();
+  // A crashed rank has no staged data left and must not emit traffic; the
+  // pipeline already completed every queued op with an error, so only the
+  // event-handle reap runs (crash semantics: the fence itself reports OK).
+  if (rt_.crashed()) {
+    rt_.ReapAsyncOps().IgnoreError();
+    return Status::OK();
+  }
   // Async completion fence: every papyruskv_*_async op submitted before
   // this fence has been applied (and acked) at its owner once Drain
   // returns — the batched acks are sent after application, exactly like
   // migration-chunk acks.
   rt_.pipeline().Drain();
+  // Retire evented put/delete submissions that were never waited
+  // individually (the quickstart's bulk-completion pattern) so async_ops_
+  // cannot grow without bound; the first failure among them becomes the
+  // fence's status, keeping those errors observable.
+  Status reap = rt_.ReapAsyncOps();
   {
     MutexLock rotate(&remote_rotate_mu_);
     remote_mu_.Lock();
@@ -793,7 +822,7 @@ Status DbShard::Fence() {
     }
   }
   WaitMigrationsDrained();
-  return Status::OK();
+  return reap;
 }
 
 Status DbShard::Barrier(int level) {

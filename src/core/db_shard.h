@@ -294,6 +294,13 @@ class DbShard : public std::enable_shared_from_this<DbShard> {
     obs::Histogram* delete_us;
     obs::Histogram* fence_us;
     obs::Histogram* barrier_us;
+    // Async submission cost only (enqueue / inline resolution) — the wire
+    // leg's submit→completion latency lands in async.put_op_us/get_op_us
+    // at ack time, so kv.put_us/get_us are never skewed by enqueue-only
+    // timings.
+    obs::Histogram* put_submit_us;
+    obs::Histogram* get_submit_us;
+    obs::Histogram* delete_submit_us;
   };
   Metrics m_;
 };

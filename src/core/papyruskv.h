@@ -116,6 +116,13 @@ typedef struct papyruskv_option_struct {
 //     papyruskv_put_async(db, key[i], keylen, val[i], vallen, &ev[i]);
 //   papyruskv_fence(db);                  // or: papyruskv_wait(db, ev[i])
 //
+// Wait and fence are alternatives, not a sequence: the fence *consumes*
+// every completed put/delete event (as if each had been waited — nothing
+// accumulates across a long run), returning the first failed op's status;
+// waiting such an event after the fence reports PAPYRUSKV_INVALID_EVENT.
+// Get events are not consumed by a fence — a get's value is delivered only
+// by its papyruskv_wait, which must eventually be called.
+//
 // Key and value are copied at submission time; the caller's buffers may be
 // reused as soon as the call returns.
 
@@ -145,6 +152,9 @@ typedef struct papyruskv_option_struct {
 
 // Migrates this rank's remote MemTable (and queued immutable remote
 // MemTables) to the owner ranks immediately; returns once applied there.
+// Also a completion fence for the async API: drains this rank's submission
+// pipeline and retires every completed put/delete event (see §b' above),
+// returning the first failed op's status.
 [[nodiscard]] int papyruskv_fence(papyruskv_db_t db);
 
 // Collective fence.  level PAPYRUSKV_MEMTABLE: all ranks see the same

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 
 #include "common/env.h"
 #include "common/logging.h"
@@ -770,9 +771,38 @@ Status KvRuntime::WaitEvent(int event) { return events_.WaitAndErase(event); }
 
 int KvRuntime::RegisterAsyncOp(AsyncOp op) {
   MutexLock lock(&async_mu_);
-  const int id = next_async_id_++;
-  async_ops_.emplace(id, std::move(op));
-  return id;
+  // The id sequence wraps within [kAsyncEventBase, INT_MAX) instead of
+  // overflowing (signed UB) into the EventRegistry's range below
+  // kAsyncEventBase; after a wrap, ids still outstanding are skipped.
+  for (;;) {
+    const int id = next_async_id_;
+    next_async_id_ = id >= std::numeric_limits<int>::max() - 1
+                         ? kAsyncEventBase
+                         : id + 1;
+    // try_emplace: `op` is moved only when the id was actually free.
+    if (async_ops_.try_emplace(id, std::move(op)).second) return id;
+  }
+}
+
+Status KvRuntime::ReapAsyncOps() {
+  std::vector<AsyncOp> reaped;
+  {
+    MutexLock lock(&async_mu_);
+    for (auto it = async_ops_.begin(); it != async_ops_.end();) {
+      if (!it->second.is_get && it->second.handle->done()) {
+        reaped.push_back(std::move(it->second));
+        it = async_ops_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  Status first = Status::OK();
+  for (const AsyncOp& op : reaped) {
+    Status s = op.handle->Wait();  // done: returns without blocking
+    if (!s.ok() && first.ok()) first = std::move(s);
+  }
+  return first;
 }
 
 Status KvRuntime::WaitAsyncOp(int id) {

@@ -160,6 +160,15 @@ class KvRuntime {
   // papyruskv_wait for an async-op handle: waits for completion, runs get
   // post-processing, fills the caller's output buffer, releases the handle.
   Status WaitAsyncOp(int id);
+  // Retires completed put/delete events that were never waited on — the
+  // documented bulk-completion pattern (submit N evented ops, then fence)
+  // must not leak one async_ops_ entry per op.  Called from DbShard::Fence
+  // after the pipeline drain; a retired event is consumed exactly as if it
+  // had been waited (a later papyruskv_wait returns PAPYRUSKV_INVALID_EVENT).
+  // Get events stay registered: their value delivery happens at wait time.
+  // Returns the first failed status among the reaped ops, so the fence
+  // surfaces errors that would otherwise vanish with the handles.
+  Status ReapAsyncOps();
 
   // Unique tag for a reply that may be retried (see wire.h: a retried
   // request must never match a previous attempt's late reply onto the next

@@ -127,6 +127,105 @@ TEST_F(AsyncApiTest, FenceIsACompletionFenceForFireAndForgetPuts) {
   });
 }
 
+TEST_F(AsyncApiTest, RetryCannotReorderSameDestinationFrames) {
+  // The SDCB-under-retry hazard: three frames to one destination in one
+  // cycle (put k=v1 / get k / put k=v2 — a kind change breaks the frame)
+  // with the first frame's message dropped by the fabric.  Frame N+1 must
+  // not reach the wire before frame N is acked, so the retry of frame 1
+  // cannot re-apply v1 after frame 3 committed v2 — and the get, sitting
+  // between the puts, must observe exactly v1.
+  setenv("PAPYRUSKV_BATCH_WINDOW_US", "50000", 1);
+  setenv("PAPYRUSKV_TIMEOUT_MS", "100", 1);
+  RunKv(2, tmp_.path(), [&](net::RankContext& ctx) {
+    papyruskv_option_t opt;
+    ASSERT_EQ(papyruskv_option_init(&opt), PAPYRUSKV_SUCCESS);
+    opt.consistency = PAPYRUSKV_SEQUENTIAL;
+    papyruskv_db_t db;
+    ASSERT_EQ(papyruskv_open("orderdb", PAPYRUSKV_CREATE, &opt, &db),
+              PAPYRUSKV_SUCCESS);
+    auto shard = papyrus::core::DbHandle(db);
+    ctx.comm.Barrier();
+
+    if (ctx.rank == 0) {
+      const std::string k = KeysOwnedBy(shard, 1, 1)[0];
+      // Drop exactly the next fabric message rank 0 sends: the head frame
+      // of the pipeline cycle, carrying put(k, v1).
+      Arm("net.msg.drop=rank0@op1");
+      papyruskv_event_t e1 = 0, e2 = 0, e3 = 0;
+      char* value = nullptr;
+      size_t vallen = 0;
+      ASSERT_EQ(PutAsyncStr(db, k, "v1", &e1), PAPYRUSKV_SUCCESS);
+      ASSERT_EQ(papyruskv_get_async(db, k.data(), k.size(), &value, &vallen,
+                                    &e2),
+                PAPYRUSKV_SUCCESS);
+      ASSERT_EQ(PutAsyncStr(db, k, "v2", &e3), PAPYRUSKV_SUCCESS);
+
+      ASSERT_EQ(papyruskv_wait(db, e1), PAPYRUSKV_SUCCESS);
+      ASSERT_EQ(papyruskv_wait(db, e2), PAPYRUSKV_SUCCESS);
+      EXPECT_EQ(std::string(value, vallen), "v1");
+      EXPECT_EQ(papyruskv_free(db, value), PAPYRUSKV_SUCCESS);
+      ASSERT_EQ(papyruskv_wait(db, e3), PAPYRUSKV_SUCCESS);
+      fault::Registry::Instance().DisableAll();
+
+      // The drop really forced a retry of frame 1...
+      EXPECT_GT(
+          fault::Registry::Instance().GetPoint("net.msg.drop").injected(),
+          0u);
+      // ...and the retried v1 did not clobber the later committed v2.
+      std::string out;
+      ASSERT_EQ(GetStr(db, k, &out), PAPYRUSKV_SUCCESS);
+      EXPECT_EQ(out, "v2");
+    }
+    ctx.comm.Barrier();
+    ASSERT_EQ(papyruskv_close(db), PAPYRUSKV_SUCCESS);
+  });
+  unsetenv("PAPYRUSKV_BATCH_WINDOW_US");
+  unsetenv("PAPYRUSKV_TIMEOUT_MS");
+}
+
+TEST_F(AsyncApiTest, FenceRetiresCompletedPutEventsButNotGets) {
+  RunKv(2, tmp_.path(), [&](net::RankContext& ctx) {
+    papyruskv_option_t opt;
+    ASSERT_EQ(papyruskv_option_init(&opt), PAPYRUSKV_SUCCESS);
+    opt.consistency = PAPYRUSKV_SEQUENTIAL;
+    papyruskv_db_t db;
+    ASSERT_EQ(papyruskv_open("reapdb", PAPYRUSKV_CREATE, &opt, &db),
+              PAPYRUSKV_SUCCESS);
+    auto shard = papyrus::core::DbHandle(db);
+    ctx.comm.Barrier();
+
+    if (ctx.rank == 0) {
+      // Evented puts completed in bulk by the fence (the quickstart
+      // pattern): their events are consumed as if each had been waited,
+      // so a long-running app leaks nothing.
+      const auto keys = KeysOwnedBy(shard, 1, 4);
+      std::vector<papyruskv_event_t> evs(keys.size());
+      for (size_t i = 0; i < keys.size(); ++i) {
+        ASSERT_EQ(PutAsyncStr(db, keys[i], "rv" + std::to_string(i),
+                              &evs[i]),
+                  PAPYRUSKV_SUCCESS);
+      }
+      // A get event must survive the fence — its value arrives at wait.
+      char* value = nullptr;
+      size_t vallen = 0;
+      papyruskv_event_t gev = 0;
+      ASSERT_EQ(papyruskv_get_async(db, keys[0].data(), keys[0].size(),
+                                    &value, &vallen, &gev),
+                PAPYRUSKV_SUCCESS);
+
+      ASSERT_EQ(papyruskv_fence(db), PAPYRUSKV_SUCCESS);
+      for (papyruskv_event_t ev : evs) {
+        EXPECT_EQ(papyruskv_wait(db, ev), PAPYRUSKV_INVALID_EVENT);
+      }
+      ASSERT_EQ(papyruskv_wait(db, gev), PAPYRUSKV_SUCCESS);
+      EXPECT_EQ(std::string(value, vallen), "rv0");
+      EXPECT_EQ(papyruskv_free(db, value), PAPYRUSKV_SUCCESS);
+    }
+    ctx.comm.Barrier();
+    ASSERT_EQ(papyruskv_close(db), PAPYRUSKV_SUCCESS);
+  });
+}
+
 TEST_F(AsyncApiTest, SameDestinationSubmissionsCoalesceIntoOneFrame) {
   // A batching window holds the pipeline open long enough for the app
   // thread's burst to land in one cycle; consecutive same-destination puts
