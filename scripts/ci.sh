@@ -2,19 +2,23 @@
 # The full correctness pipeline, in dependency order:
 #
 #   1. lint        tools/papyrus_lint.py self-test + repo-wide run
-#   2. build+test  default build, full ctest suite
-#   3. fault       fault matrix: the whole ctest suite re-run under a
+#   2. analyze     tools/analyzer/papyrus_analyze.py self-test + repo-wide
+#                  run (guarded-by, status-discard, codec-symmetry,
+#                  pipeline-blocking) + wire-version vs HEAD; runs on the
+#                  built-in text frontend, so it is never skipped
+#   3. build+test  default build, full ctest suite
+#   4. fault       fault matrix: the whole ctest suite re-run under a
 #                  canned correctness-neutral PAPYRUSKV_FAULTS profile
 #                  (message delay + duplication) — every suite must still
 #                  pass with the recovery paths doing real work
-#   4. tsa         Clang build with -Werror=thread-safety
+#   5. tsa         Clang build with -Werror=thread-safety
 #                  (skipped with a notice if clang++ is not installed)
-#   5. clang-tidy  concurrency/bugprone checks (skipped if not installed)
-#   6. sanitizers  TSan, ASan, UBSan builds re-running the
+#   6. clang-tidy  concurrency/bugprone checks (skipped if not installed)
+#   7. sanitizers  TSan, ASan, UBSan builds re-running the
 #                  concurrency-sensitive test subset (async_test and
 #                  fault_test included, so the submission pipeline and the
 #                  retry/recovery paths get the TSan treatment)
-#   7. bench       micro_kv + fig06_basic + micro_kv_async smoke runs with
+#   8. bench       micro_kv + fig06_basic + micro_kv_async smoke runs with
 #                  the metrics hook:
 #                  each writes an aggregate BENCH_<name>.json snapshot at
 #                  the repo root (committed, so metric drift shows in
@@ -22,8 +26,11 @@
 #                  traced path exercised end-to-end (overhead bound: E12b)
 #
 # Any stage failing fails the script (set -e); the summary line at the end
-# only prints on full success.  scripts/check.sh remains the shorter
-# developer loop (build + ctest + one sanitizer).
+# only prints on full success.  Stages skipped for missing toolchains are
+# listed in the summary, and under CI=1 any skip fails the run (a CI
+# builder without clang is a misconfigured builder, not a green one).
+# scripts/check.sh remains the shorter developer loop (build + ctest + one
+# sanitizer).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -36,20 +43,26 @@ SAN_TESTS=(obs_test store_test core_test net_test mutex_test async_test fault_te
 FAULT_PROFILE="net.msg.delay=0.05,net.msg.dup=0.05"
 SKIPPED=()
 
-echo "== [1/7] lint =="
+echo "== [1/8] lint =="
 python3 tools/papyrus_lint.py --self-test
 python3 tools/papyrus_lint.py
 
-echo "== [2/7] build + ctest =="
+echo "== [2/8] analyze (semantic checks) =="
+python3 tools/analyzer/papyrus_analyze.py --self-test
+# Tree-wide semantic run; wire-version discipline is diff-driven, so gate
+# the working tree's edits against HEAD (no-op on a clean tree).
+python3 tools/analyzer/papyrus_analyze.py --diff-base HEAD
+
+echo "== [3/8] build + ctest =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "${JOBS}"
 ctest --test-dir build --output-on-failure -j "${JOBS}"
 
-echo "== [3/7] fault matrix (PAPYRUSKV_FAULTS=${FAULT_PROFILE}) =="
+echo "== [4/8] fault matrix (PAPYRUSKV_FAULTS=${FAULT_PROFILE}) =="
 PAPYRUSKV_FAULTS="${FAULT_PROFILE}" PAPYRUSKV_FAULT_SEED=1234 \
   ctest --test-dir build --output-on-failure -j "${JOBS}"
 
-echo "== [4/7] clang thread-safety analysis =="
+echo "== [5/8] clang thread-safety analysis =="
 if command -v clang++ >/dev/null 2>&1; then
   cmake -B build-tsa -S . -DCMAKE_CXX_COMPILER=clang++ \
         -DPAPYRUS_THREAD_SAFETY=ON >/dev/null
@@ -60,7 +73,7 @@ else
   SKIPPED+=(thread-safety)
 fi
 
-echo "== [5/7] clang-tidy =="
+echo "== [6/8] clang-tidy =="
 if command -v clang-tidy >/dev/null 2>&1 && [ -f build-tsa/compile_commands.json ]; then
   find src tools -name '*.cc' -print0 |
     xargs -0 -n 8 -P "${JOBS}" clang-tidy -p build-tsa --quiet
@@ -69,7 +82,7 @@ else
   SKIPPED+=(clang-tidy)
 fi
 
-echo "== [6/7] sanitizers =="
+echo "== [7/8] sanitizers =="
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 export ASAN_OPTIONS="halt_on_error=1"
 export UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1"
@@ -83,7 +96,7 @@ for san in thread address undefined; do
   done
 done
 
-echo "== [7/7] bench snapshots (BENCH_*.json) =="
+echo "== [8/8] bench snapshots (BENCH_*.json) =="
 BENCH_TMP="$(mktemp -d)"
 trap 'rm -rf "${BENCH_TMP}"' EXIT
 # Traced micro_kv: the hot path plus the causal-tracing layer end-to-end.
@@ -102,6 +115,11 @@ ls -l BENCH_micro_kv.json BENCH_fig06_basic.json BENCH_micro_kv_async.json
 echo
 if [ "${#SKIPPED[@]}" -gt 0 ]; then
   echo "ci.sh: OK (skipped: ${SKIPPED[*]})"
+  if [ "${CI:-0}" = "1" ]; then
+    echo "ci.sh: FAIL — CI=1 forbids skipped stages; install the missing"
+    echo "clang/libclang toolchain so ${SKIPPED[*]} run(s) for real"
+    exit 1
+  fi
 else
   echo "ci.sh: OK"
 fi

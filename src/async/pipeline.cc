@@ -192,7 +192,7 @@ void AsyncPipeline::Loop() {
       queued_ = 0;
       g_depth_->Set(0);
     }
-    ProcessCycle(std::move(work), count);
+    ProcessCycle(std::move(work));
     {
       MutexLock lock(&mu_);
       inflight_ -= count;
@@ -201,9 +201,7 @@ void AsyncPipeline::Loop() {
   }
 }
 
-void AsyncPipeline::ProcessCycle(std::map<int, std::deque<Submission>> work,
-                                 size_t count) {
-  (void)count;
+void AsyncPipeline::ProcessCycle(std::map<int, std::deque<Submission>> work) {
   if (rt_.crashed()) {
     // A crashed rank emits no traffic (§4.2 failure model); every queued op
     // still completes so no waiter can hang.

@@ -132,7 +132,7 @@ class AsyncPipeline {
 
   void Loop();
   // Builds, sends, and collects acks for one swap of the queues.
-  void ProcessCycle(std::map<int, std::deque<Submission>> work, size_t count);
+  void ProcessCycle(std::map<int, std::deque<Submission>> work);
   void Enqueue(int dst, Submission s);
   // Records submit→completion latency (async.put_op_us / async.get_op_us);
   // call immediately before completing the handle.

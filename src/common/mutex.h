@@ -106,7 +106,7 @@ class CAPABILITY("mutex") Mutex {
 #if PAPYRUS_LOCK_ORDER_DEBUG
     if (got) lockorder::OnLocked(this, name_);
 #else
-    (void)name_;
+    (void)name_;  // read only by the lock-order debug build
 #endif
     return got;
   }

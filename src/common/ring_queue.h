@@ -130,7 +130,7 @@ class BlockingRingQueue {
     slots_.acquire();
     bool ok = ring_.TryPush(std::move(item));
     assert(ok);
-    (void)ok;
+    (void)ok;  // the acquired slot guarantees ring capacity
     items_.release();
   }
 
@@ -138,7 +138,7 @@ class BlockingRingQueue {
     if (!slots_.try_acquire()) return false;
     bool ok = ring_.TryPush(std::move(item));
     assert(ok);
-    (void)ok;
+    (void)ok;  // the acquired slot guarantees ring capacity
     items_.release();
     return true;
   }

@@ -250,9 +250,11 @@ Status DbShard::LocalPut(const Slice& key, const Slice& value,
   {
     MutexLock lock(&local_mu_);
     mutation_epoch_.fetch_add(1, std::memory_order_release);
-    const bool ok = local_->Put(key, value, tombstone, rt_.rank());
-    assert(ok && "mutable local MemTable must accept puts");
-    (void)ok;
+    if (!local_->Put(key, value, tombstone, rt_.rank())) {
+      // Rotation seals under local_mu_, which we hold — a sealed mutable
+      // MemTable here is a broken invariant, not a caller error.
+      return Status::Corrupted("mutable local MemTable rejected put");
+    }
     // §2.4: a stale cache entry with this key is evicted from the local
     // cache.
     cache_local_.Erase(key);
@@ -300,9 +302,11 @@ Status DbShard::StageRemotePut(const Slice& key, const Slice& value,
   bool need_rotate = false;
   {
     MutexLock lock(&remote_mu_);
-    const bool ok = remote_->Put(key, value, tombstone, owner);
-    assert(ok);
-    (void)ok;
+    if (!remote_->Put(key, value, tombstone, owner)) {
+      // Same invariant as LocalPut: sealing happens under remote_mu_,
+      // which we hold, so the staging MemTable can never be sealed here.
+      return Status::Corrupted("staging remote MemTable rejected put");
+    }
     m_.memtable_remote_bytes->Set(
         static_cast<int64_t>(remote_->ApproxBytes()));
     need_rotate = remote_->Full();
@@ -799,7 +803,14 @@ Status DbShard::Fence() {
   // pipeline already completed every queued op with an error, so only the
   // event-handle reap runs (crash semantics: the fence itself reports OK).
   if (rt_.crashed()) {
-    rt_.ReapAsyncOps().IgnoreError();
+    Status reap = rt_.ReapAsyncOps();
+    if (!reap.ok()) {
+      // Expected: the pipeline completed every queued op with "rank
+      // crashed"; those errors were observable per-event and must not turn
+      // the fence's crash semantics (report OK) into a failure.  Logged so
+      // a *different* reap failure is still visible.
+      PLOG_WARN << "crashed-rank fence: reap reported " << reap.ToString();
+    }
     return Status::OK();
   }
   // Async completion fence: every papyruskv_*_async op submitted before
@@ -829,10 +840,23 @@ Status DbShard::Barrier(int level) {
   obs::ScopedLatency lat(m_.barrier_us);
   if (rt_.crashed()) {
     // A crashed rank contributes no data, but it still pairs up with the
-    // survivors' collectives so their barriers complete (a timeout here is
-    // expected if the survivors have already given up).
-    rt_.CollectiveBarrier().IgnoreError();
-    if (level == PAPYRUSKV_SSTABLE) rt_.CollectiveBarrier().IgnoreError();
+    // survivors' collectives so their barriers complete: one for the
+    // MEMTABLE-level point, and a second matching the survivors'
+    // SSTABLE-level flush barrier.  A timeout here is expected if the
+    // survivors have already given up, so failures are logged, not
+    // returned (crash semantics: the barrier itself reports OK).
+    Status mb = rt_.CollectiveBarrier();
+    if (!mb.ok()) {
+      PLOG_WARN << "crashed-rank barrier (memtable point): "
+                << mb.ToString();
+    }
+    if (level == PAPYRUSKV_SSTABLE) {
+      Status sb = rt_.CollectiveBarrier();
+      if (!sb.ok()) {
+        PLOG_WARN << "crashed-rank barrier (sstable point): "
+                  << sb.ToString();
+      }
+    }
     return Status::OK();
   }
   Status s = Fence();

@@ -70,8 +70,9 @@ int papyruskv_option_init(papyruskv_option_t* opt) {
 }
 
 int papyruskv_init(int* argc, char*** argv, const char* repository) {
+  // MPI-style signature (Table 1); the simulated runtime takes no args.
   (void)argc;
-  (void)argv;
+  (void)argv;  // as above
   return Code(KvRuntime::Init(repository ? repository : ""));
 }
 
@@ -138,7 +139,7 @@ int papyruskv_delete(papyruskv_db_t db, const char* key, size_t keylen) {
 }
 
 int papyruskv_free(papyruskv_db_t db, char* val) {
-  (void)db;
+  (void)db;  // the value pool is rank-wide; db kept for API symmetry
   KvRuntime* rt = Rt();
   if (!rt) return PAPYRUSKV_CLOSED;
   return Code(rt->FreeValue(val));
@@ -274,7 +275,7 @@ int papyruskv_destroy(papyruskv_db_t db, papyruskv_event_t* event) {
 }
 
 int papyruskv_wait(papyruskv_db_t db, papyruskv_event_t event) {
-  (void)db;
+  (void)db;  // event ids are rank-wide; db kept for API symmetry
   KvRuntime* rt = Rt();
   if (!rt) return PAPYRUSKV_CLOSED;
   // The event space is partitioned: ids >= kAsyncEventBase are pipeline

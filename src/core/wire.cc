@@ -141,9 +141,13 @@ bool DecodeGetResp(const Slice& payload, GetResp* r,
   if (!GetFixed64(&in, &r->latest_ssid) || !GetFixed32(&in, &nssids)) {
     return false;
   }
-  r->ssids.resize(nssids);
+  // Cap the pre-allocation: nssids came off the wire, and a lying count
+  // must fail in the element loop below, not as a bad_alloc here.
+  r->ssids.reserve(ReserveBound(nssids, in, 8));
   for (uint32_t i = 0; i < nssids; ++i) {
-    if (!GetFixed64(&in, &r->ssids[i])) return false;
+    uint64_t ssid = 0;
+    if (!GetFixed64(&in, &ssid)) return false;
+    r->ssids.push_back(ssid);
   }
   Slice value;
   if (!GetLengthPrefixed(&in, &value)) return false;

@@ -239,7 +239,7 @@ void Communicator::Allgather(const Slice& mine,
       Slice part;
       bool ok = GetLengthPrefixed(&in, &part);
       assert(ok);
-      (void)ok;
+      (void)ok;  // root encoded exactly n parts into the bcast payload
       (*out)[static_cast<size_t>(i)] = part.ToString();
     }
   }

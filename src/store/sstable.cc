@@ -178,6 +178,9 @@ Status SSTableReader::EnsureIndexLoaded() {
     e.flags = static_cast<uint8_t>(in[0]);
     in.remove_prefix(1);
   }
+  // analyze:allow-guarded-by: publish-once — index_mu_ serializes only
+  // this load; after the release-store below index_ is immutable and read
+  // lock-free, so GUARDED_BY(index_mu_) would misdescribe the protocol.
   index_ = std::move(parsed);
   // Publish: readers that acquire-load index_ready_ == true see the fully
   // constructed vector; index_ is never written again.

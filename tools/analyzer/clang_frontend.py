@@ -1,0 +1,79 @@
+"""clang_frontend — optional clang.cindex refinement for papyrus_analyze.
+
+The analyzer's checks run on the structural text frontend (cxx_model).
+When python clang bindings and a CMake-exported compile_commands.json
+exist (set CMAKE_EXPORT_COMPILE_COMMANDS=ON, already on in the top-level
+CMakeLists), this module sharpens the one input that benefits from true
+type information: the set of function names whose return type is Status
+(used by the status-discard dropped-call subrule).  The text frontend
+derives that set from declarations it can see; libclang derives it from
+the type system, catching auto-returns, typedefs, and out-of-tree decls.
+
+Everything here is best-effort: `available()` gates the import, and
+`refine()` failures are caught by the caller — the analyzer never fails
+or skips because clang tooling is missing.
+"""
+
+import glob
+import os
+
+
+def _find_compdb(repo_root):
+    for cand in (os.path.join(repo_root, "build", "compile_commands.json"),
+                 os.path.join(repo_root, "compile_commands.json")):
+        if os.path.exists(cand):
+            return os.path.dirname(cand)
+    hits = glob.glob(os.path.join(repo_root, "build*",
+                                  "compile_commands.json"))
+    return os.path.dirname(hits[0]) if hits else None
+
+
+def available():
+    try:
+        import clang.cindex  # noqa: F401
+    except ImportError:
+        return False
+    try:
+        clang.cindex.Index.create()
+    except Exception:
+        return False
+    return True
+
+
+def refine(model, repo_root):
+    """Augments model.status_fn_names with functions libclang proves
+    return papyrus::Status.  Additive only — the text-frontend set stays."""
+    import clang.cindex as ci
+
+    compdb_dir = _find_compdb(repo_root)
+    if compdb_dir is None:
+        return
+    compdb = ci.CompilationDatabase.fromDirectory(compdb_dir)
+    index = ci.Index.create()
+    seen_files = set()
+    for relpath in sorted(model.files):
+        path = os.path.join(repo_root, relpath)
+        if not path.endswith((".cc", ".cpp")):
+            continue
+        cmds = compdb.getCompileCommands(path)
+        if not cmds:
+            continue
+        argv = [a for a in list(cmds[0].arguments)[1:]
+                if a not in ("-c", "-o") and not a.endswith(".o")]
+        if path in seen_files:
+            continue
+        seen_files.add(path)
+        try:
+            tu = index.parse(path, args=argv)
+        except ci.TranslationUnitLoadError:
+            continue
+        _walk(tu.cursor, model, repo_root)
+
+
+def _walk(cursor, model, repo_root):
+    import clang.cindex as ci
+    for c in cursor.walk_preorder():
+        if c.kind in (ci.CursorKind.FUNCTION_DECL, ci.CursorKind.CXX_METHOD):
+            rt = c.result_type.spelling
+            if rt.endswith("Status") and "StatusOr" not in rt:
+                model.status_fn_names.add(c.spelling)

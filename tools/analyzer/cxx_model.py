@@ -1,0 +1,629 @@
+"""cxx_model — the analyzer's built-in structural C++ frontend.
+
+Produces the micro-AST ("Model") that the semantic checks in checks.py
+consume: classes with their fields, thread-safety annotations and mutex
+members; function definitions (free, qualified out-of-line, and inline
+methods) with their body lines, brace-depth profile and call tokens; and a
+per-line comment side table (escape comments and why-comments live in
+comments, which the code view strips).
+
+This frontend is deliberately *structural*, not a full parser: it
+tokenizes accurately enough for the five papyrus_analyze checks (string/
+char/comment-safe brace matching, statement accumulation, one level of
+class nesting) and leans on the repo's own conventions (member fields end
+in `_`, locking goes through papyrus::Mutex + MutexLock).  When python
+clang bindings and a compile_commands.json are available,
+clang_frontend.py refines the type-sensitive facts (see papyrus_analyze
+--frontend); everything else runs on this model alone, so the gate works
+on toolchain-poor builders too.
+"""
+
+import os
+import re
+
+HEADER_EXTS = (".h", ".hpp")
+SOURCE_EXTS = (".h", ".hpp", ".cc", ".cpp")
+
+_KEYWORDS = {
+    "if", "for", "while", "switch", "return", "sizeof", "catch", "assert",
+    "alignof", "decltype", "throw", "new", "delete", "defined", "not",
+}
+
+CALL_RE = re.compile(r"\b([A-Za-z_]\w*)\s*\(")
+CALL_EX_RE = re.compile(r"(?:\b(\w+)\s*(\.|->|::)\s*)?\b([A-Za-z_]\w*)\s*\(")
+
+
+class FileModel:
+    """One sanitized source file: code lines + comment side table."""
+
+    def __init__(self, path, relpath):
+        self.path = path
+        self.relpath = relpath
+        self.code = []       # code with comments/strings blanked, 0-indexed
+        self.comments = {}   # lineno (1-based) -> comment text on that line
+
+    def comment(self, lineno):
+        return self.comments.get(lineno, "")
+
+    def has_comment(self, lineno):
+        """True if `lineno` carries a comment (same line) or the previous
+        line is a pure comment line — the two spellings the why-comment
+        mandate in core/papyruskv.h accepts."""
+        if self.comments.get(lineno, "").strip():
+            return True
+        prev = lineno - 1
+        if prev >= 1 and self.comments.get(prev, "").strip():
+            # Pure comment line: no code besides whitespace.
+            if prev - 1 < len(self.code) and not self.code[prev - 1].strip():
+                return True
+        return False
+
+    def escape(self, lineno, tag):
+        """True if `// analyze:allow-<tag>` appears on the line or in the
+        contiguous block of pure-comment lines immediately above it (a
+        multi-line justification counts as one escape)."""
+        needle = "analyze:allow-" + tag
+        if needle in self.comments.get(lineno, ""):
+            return True
+        prev = lineno - 1
+        while (prev >= 1 and prev - 1 < len(self.code)
+               and not self.code[prev - 1].strip()
+               and self.comments.get(prev, "").strip()):
+            if needle in self.comments[prev]:
+                return True
+            prev -= 1
+        return False
+
+
+class Field:
+    def __init__(self, name, decl_text, line):
+        self.name = name
+        self.decl_text = decl_text
+        self.line = line
+        self.guarded_by = None   # mutex name from GUARDED_BY/PT_GUARDED_BY
+        m = re.search(r"\b(?:PT_)?GUARDED_BY\s*\(\s*([\w.\->]+)\s*\)",
+                      decl_text)
+        if m:
+            self.guarded_by = m.group(1).split(".")[-1].split(">")[-1]
+
+    @property
+    def annotated(self):
+        return self.guarded_by is not None
+
+    @property
+    def is_atomic(self):
+        return "atomic" in self.decl_text
+
+
+class ClassModel:
+    def __init__(self, name, relpath, line):
+        self.name = name
+        self.relpath = relpath
+        self.line = line
+        self.fields = {}          # name -> Field
+        self.mutexes = set()      # names of Mutex/SharedMutex members
+        self.method_annots = {}   # method name -> {"requires": [...],
+        #                           "release": [...], "acquire": [...]}
+
+    def merge(self, other):
+        """Same class seen in another file (fwd decl / reopen): merge."""
+        self.fields.update(other.fields)
+        self.mutexes.update(other.mutexes)
+        for k, v in other.method_annots.items():
+            self.method_annots.setdefault(k, v)
+
+
+class FunctionModel:
+    def __init__(self, name, class_name, relpath, decl_text, start_line):
+        self.name = name                  # unqualified
+        self.class_name = class_name      # enclosing/qualifying class or None
+        self.relpath = relpath
+        self.decl_text = decl_text        # header text up to the opening {
+        self.start_line = start_line      # line of the opening {
+        self.end_line = start_line
+        self.body = []                    # [(lineno, code_text)]
+        self.depth = []                   # brace depth at start of each body line
+        self._calls = None
+
+    @property
+    def qualname(self):
+        return (self.class_name + "::" + self.name) if self.class_name \
+            else self.name
+
+    @property
+    def returns_status(self):
+        # Return type = decl text before the (qualified) function name.
+        idx = self.decl_text.find(self.name + "(")
+        if idx < 0:
+            idx = self.decl_text.find(self.name)
+        head = self.decl_text[:idx] if idx >= 0 else self.decl_text
+        return re.search(r"\bStatus\b", head) is not None
+
+    def calls(self):
+        """Ordered (lineno, callee_token) pairs, keyword-filtered."""
+        if self._calls is None:
+            self._calls = []
+            for lineno, text in self.body:
+                for m in CALL_RE.finditer(text):
+                    tok = m.group(1)
+                    if tok not in _KEYWORDS:
+                        self._calls.append((lineno, tok))
+        return self._calls
+
+    def calls_ex(self):
+        """Receiver-aware call sites: (lineno, name, kind, receiver).
+
+        kind is one of:
+          plain    unqualified call (`Foo(...)`, `this->Foo(...)`)
+          member   `recv.Foo(...)` / `recv->Foo(...)` with an identifier
+                   receiver (resolvable when recv is a typed member field)
+          scope    `Cls::Foo(...)`
+          unknown  call on a computed expression (`x.a().Foo(...)`)
+        """
+        out = []
+        for lineno, text in self.body:
+            for m in CALL_EX_RE.finditer(text):
+                name = m.group(3)
+                if name in _KEYWORDS:
+                    continue
+                recv, sep = m.group(1), m.group(2)
+                if sep == "::":
+                    kind = "scope"
+                elif sep in (".", "->"):
+                    if recv == "this":
+                        kind, recv = "plain", None
+                    else:
+                        kind = "member"
+                else:
+                    before = text[:m.start()].rstrip()
+                    if before.endswith((".", "->", "::", ")")):
+                        kind, recv = "unknown", None
+                    else:
+                        kind, recv = "plain", None
+                out.append((lineno, name, kind, recv))
+        return out
+
+
+class Model:
+    def __init__(self):
+        self.files = {}       # relpath -> FileModel
+        self.classes = {}     # class name -> ClassModel
+        self.functions = []   # [FunctionModel]
+        self.by_name = {}     # simple function name -> [FunctionModel]
+        # Function names whose every known declaration returns Status
+        # (refined to a precise set by clang_frontend when available).
+        self.status_fn_names = set()
+        self._status_yes = {}
+        self._status_no = set()
+
+    def add_function(self, fn):
+        self.functions.append(fn)
+        self.by_name.setdefault(fn.name, []).append(fn)
+
+    def note_return_type(self, name, returns_status):
+        if returns_status:
+            self._status_yes[name] = True
+        else:
+            self._status_no.add(name)
+
+    def finalize(self):
+        for fn in self.functions:
+            self.note_return_type(fn.name, fn.returns_status)
+        # Unambiguous only: every sighting of the name returns Status.
+        self.status_fn_names = {
+            n for n in self._status_yes if n not in self._status_no}
+
+
+# ---------------------------------------------------------------------------
+# Sanitizer: strip comments / strings / preprocessor, keep a comment table.
+# ---------------------------------------------------------------------------
+
+def sanitize(text):
+    """Returns (code_lines, comments) where code_lines have comments,
+    string/char literal contents and preprocessor lines blanked (line
+    structure preserved) and comments maps 1-based line -> comment text."""
+    code = []
+    comments = {}
+    i = 0
+    n = len(text)
+    line = []
+    comment_buf = []
+    lineno = 1
+    state = "code"  # code | line_comment | block_comment | string | char
+
+    def flush_line():
+        nonlocal line, comment_buf, lineno
+        code.append("".join(line))
+        if comment_buf:
+            comments[lineno] = comments.get(lineno, "") + "".join(comment_buf)
+        line = []
+        comment_buf = []
+        lineno += 1
+
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "\n":
+            if state == "line_comment":
+                state = "code"
+            flush_line()
+            i += 1
+            continue
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                line.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+                line.append('"')
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                line.append("'")
+                i += 1
+                continue
+            line.append(c)
+            i += 1
+        elif state == "line_comment":
+            comment_buf.append(c)
+            i += 1
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                line.append("  ")
+                i += 2
+            else:
+                comment_buf.append(c)
+                line.append(" ")
+                i += 1
+        elif state == "string":
+            if c == "\\":
+                line.append("  ")
+                i += 2
+            elif c == '"':
+                state = "code"
+                line.append('"')
+                i += 1
+            else:
+                line.append(" ")
+                i += 1
+        elif state == "char":
+            if c == "\\":
+                line.append("  ")
+                i += 2
+            elif c == "'":
+                state = "code"
+                line.append("'")
+                i += 1
+            else:
+                line.append(" ")
+                i += 1
+    if line or comment_buf:
+        flush_line()
+    # Blank preprocessor lines (a #define with an unbalanced brace would
+    # desynchronize the structural scan).
+    for idx, ln in enumerate(code):
+        if re.match(r"\s*#", ln):
+            code[idx] = ""
+    return code, comments
+
+
+# ---------------------------------------------------------------------------
+# Structural scan.
+# ---------------------------------------------------------------------------
+
+_MUTEX_MEMBER_RE = re.compile(
+    r"^\s*(?:mutable\s+)?(?:papyrus::)?(?:common::)?(?:Shared)?Mutex\s+(\w+)")
+_FIELD_RE = re.compile(r"\b(\w+_)\s*(?:GUARDED_BY|PT_GUARDED_BY|=|\{|;|$)")
+_METHOD_NAME_RE = re.compile(r"(~?\w+)\s*\($")
+_FN_HEAD_RE = re.compile(
+    r"(?:(\w+)\s*::\s*)?(~?\w+)\s*\(")
+
+
+_ANNOTATION_MACRO_RE = re.compile(
+    r"\b(?:(?:PT_)?GUARDED_BY|REQUIRES(?:_SHARED)?|ACQUIRE(?:_SHARED)?"
+    r"|RELEASE(?:_SHARED|_GENERIC)?|TRY_ACQUIRE(?:_SHARED)?|EXCLUDES"
+    r"|ASSERT_CAPABILITY|RETURN_CAPABILITY|LOCKABLE|SCOPED_LOCKABLE"
+    r"|NO_THREAD_SAFETY_ANALYSIS)\s*(?:\([^)]*\))?")
+
+
+def _strip_annotations(text):
+    """Removes thread-safety annotation macros so their parens don't make
+    a field declaration look like a method declaration."""
+    return _ANNOTATION_MACRO_RE.sub("", text)
+
+
+def _method_annotations(decl_text):
+    out = {"requires": [], "release": [], "acquire": []}
+    for kind, key in (("REQUIRES(?:_SHARED)?", "requires"),
+                      ("RELEASE(?:_SHARED|_GENERIC)?", "release"),
+                      ("ACQUIRE(?:_SHARED)?", "acquire")):
+        for m in re.finditer(r"\b%s\s*\(([^)]*)\)" % kind, decl_text):
+            for ident in re.findall(r"[\w.\->]+", m.group(1)):
+                out[key].append(ident.split(".")[-1].split(">")[-1])
+    return out
+
+
+class _Scanner:
+    """Single pass over sanitized lines, classifying every `{` it meets."""
+
+    def __init__(self, fm, model):
+        self.fm = fm
+        self.model = model
+        self.lines = fm.code
+        self.pos_line = 0   # 0-based
+        self.pos_col = 0
+
+    def _next_char(self):
+        """Yields (lineno0, col, char) over the code, or None at EOF.
+        Emits a synthetic space at each end-of-line so multi-line
+        statements don't glue adjacent tokens together."""
+        while self.pos_line < len(self.lines):
+            ln = self.lines[self.pos_line]
+            if self.pos_col < len(ln):
+                c = ln[self.pos_col]
+                pos = (self.pos_line, self.pos_col, c)
+                self.pos_col += 1
+                return pos
+            pos = (self.pos_line, self.pos_col, " ")
+            self.pos_line += 1
+            self.pos_col = 0
+            return pos
+        return None
+
+    def scan(self):
+        self._scan_region(class_ctx=None, stop_at_close=False)
+
+    def _skip_balanced(self, fn=None):
+        """Consumes chars until the brace opened just before balances.
+        If fn is given, records body lines/depths into it."""
+        depth = 1
+        start_line = self.pos_line
+        if fn is not None:
+            fn.depth_at = {}
+        while True:
+            nxt = self._next_char()
+            if nxt is None:
+                return
+            lnum, _, c = nxt
+            if fn is not None and lnum != start_line:
+                pass
+            if c == "{":
+                depth += 1
+            elif c == "}":
+                depth -= 1
+                if depth == 0:
+                    if fn is not None:
+                        fn.end_line = lnum + 1
+                    return
+
+    def _capture_function(self, fn, open_line0):
+        """Captures body lines with per-line brace depth (depth relative to
+        the function body; opening { is depth 0 -> 1)."""
+        depth = 1
+        cur_line = open_line0
+        fn.body = []
+        fn.depth = []
+        line_start_depth = depth
+        # Remainder of the opening line after '{' is part of the body.
+        buf = []
+        while True:
+            nxt = self._next_char()
+            if nxt is None:
+                break
+            lnum, _, c = nxt
+            if lnum != cur_line:
+                fn.body.append((cur_line + 1, "".join(buf)))
+                fn.depth.append(line_start_depth)
+                # Any skipped (empty) lines keep the model line-accurate.
+                for skipped in range(cur_line + 1, lnum):
+                    fn.body.append((skipped + 1, ""))
+                    fn.depth.append(depth)
+                cur_line = lnum
+                buf = []
+                line_start_depth = depth
+            if c == "{":
+                depth += 1
+            elif c == "}":
+                depth -= 1
+                if depth == 0:
+                    fn.body.append((cur_line + 1, "".join(buf)))
+                    fn.depth.append(line_start_depth)
+                    fn.end_line = cur_line + 1
+                    return
+            buf.append(c)
+
+    def _scan_region(self, class_ctx, stop_at_close):
+        """Scans a namespace/global or class body, dispatching on braces."""
+        stmt = []          # accumulated header text since last ; { }
+        stmt_line = None   # 1-based line where the accumulation started
+        while True:
+            nxt = self._next_char()
+            if nxt is None:
+                return
+            lnum, _, c = nxt
+            if c == ";":
+                if stmt:
+                    if class_ctx is not None:
+                        self._class_member(class_ctx, "".join(stmt),
+                                           stmt_line or lnum + 1)
+                    else:
+                        self._free_decl(" ".join("".join(stmt).split()))
+                stmt = []
+                stmt_line = None
+                continue
+            if c == "}":
+                if stop_at_close:
+                    return
+                stmt = []
+                stmt_line = None
+                continue
+            if c == "{":
+                text = " ".join("".join(stmt).split())
+                line1 = stmt_line or (lnum + 1)
+                stmt = []
+                stmt_line = None
+                self._dispatch_brace(text, line1, lnum, class_ctx)
+                continue
+            if not c.isspace() and stmt_line is None:
+                stmt_line = lnum + 1
+            stmt.append(c)
+
+    def _dispatch_brace(self, text, decl_line, open_line0, class_ctx):
+        # namespace / extern "C" -> recurse transparently
+        if re.match(r"(?:inline\s+)?namespace\b", text) or \
+                text.startswith("extern"):
+            self._scan_region(class_ctx, stop_at_close=True)
+            return
+        # enum: skip entirely
+        if re.match(r"(?:typedef\s+)?enum\b", text):
+            self._skip_balanced()
+            return
+        # class/struct/union definition (not a fn returning struct ptr):
+        m = re.match(
+            r"(?:template\s*<[^{]*>\s*)?(?:typedef\s+)?"
+            r"(?:class|struct|union)\s+(?:alignas\s*\([^)]*\)\s*)?(\w+)",
+            text)
+        if m and "(" not in text.split(":", 1)[0]:
+            cname = m.group(1)
+            cm = ClassModel(cname, self.fm.relpath, decl_line)
+            if cname in self.model.classes:
+                self.model.classes[cname].merge(cm)
+                cm = self.model.classes[cname]
+            else:
+                self.model.classes[cname] = cm
+            self._scan_region(cm, stop_at_close=True)
+            return
+        # Inside a class, a brace that is not a method body is a member's
+        # brace initializer (`Mutex mu_{"name"};`): consume it and record
+        # the member from the accumulated decl text.
+        if class_ctx is not None and "(" not in _strip_annotations(text):
+            self._skip_balanced()
+            if text:
+                self._class_member(class_ctx, text, decl_line)
+            return
+        # function definition: header text contains a parameter list
+        fh = self._parse_fn_head(text, class_ctx)
+        if fh is not None:
+            name, qual_class = fh
+            fn = FunctionModel(name, qual_class, self.fm.relpath, text,
+                               decl_line)
+            self._capture_function(fn, open_line0)
+            self.model.add_function(fn)
+            if class_ctx is not None:
+                class_ctx.method_annots.setdefault(
+                    name, _method_annotations(text))
+            return
+        # anything else (array init, lambda-ish, control at odd scope): skip
+        self._skip_balanced()
+
+    def _parse_fn_head(self, text, class_ctx):
+        if "(" not in text:
+            return None
+        if re.match(r"(?:if|for|while|switch|do)\b", text):
+            return None
+        # Strip trailing annotations/specifiers after the param list:
+        #   void F(int x) const noexcept REQUIRES(mu_) -> find name before (
+        # Take the identifier directly before the FIRST '(' that follows the
+        # (optionally qualified) name; constructor init lists follow ')'.
+        m = _FN_HEAD_RE.search(text)
+        if not m:
+            return None
+        qual, name = m.group(1), m.group(2)
+        if name in _KEYWORDS:
+            return None
+        # `= [](...)` lambdas or assignments are not definitions.
+        if "=" in text.split("(", 1)[0]:
+            return None
+        cls = qual if qual else (class_ctx.name if class_ctx else None)
+        return name, cls
+
+    def _free_decl(self, text):
+        """Namespace-scope statement ending in ';' — if it reads as a free
+        function declaration, record its return type so status_fn_names
+        covers declared-but-not-defined-here functions too."""
+        stripped = _strip_annotations(text)
+        if "(" not in stripped:
+            return
+        fh = self._parse_fn_head(stripped, None)
+        if fh is None:
+            return
+        name, _ = fh
+        head = stripped.split(name + "(", 1)[0] if name + "(" in stripped \
+            else stripped.split("(", 1)[0]
+        self.model.note_return_type(
+            name, re.search(r"\bStatus\b", head) is not None)
+
+    def _class_member(self, cm, text, line):
+        text = " ".join(text.split())
+        # Access labels are not statement separators; shed them.
+        text = re.sub(r"^(?:public|private|protected)\s*:\s*", "", text)
+        if not text or text.startswith(("public", "private", "protected",
+                                        "friend", "using", "typedef",
+                                        "static_assert", "template")):
+            return
+        mm = _MUTEX_MEMBER_RE.match(text)
+        if mm:
+            cm.mutexes.add(mm.group(1))
+            cm.fields[mm.group(1)] = Field(mm.group(1), text, line)
+            return
+        # Pure method declaration (no body in this file): record its
+        # annotations and return type.  Annotation macros carry parens of
+        # their own, so the method test runs on the stripped text.
+        if "(" in _strip_annotations(text):
+            fh = self._parse_fn_head(_strip_annotations(text), cm)
+            if fh is not None:
+                name, _ = fh
+                cm.method_annots.setdefault(name, _method_annotations(text))
+                head = text.split(name + "(", 1)[0] if name + "(" in text \
+                    else text.split("(", 1)[0]
+                self.model.note_return_type(
+                    name, re.search(r"\bStatus\b", head) is not None)
+            return
+        fm = _FIELD_RE.search(_strip_annotations(text) + " ")
+        if fm:
+            name = fm.group(1)
+            cm.fields[name] = Field(name, text, line)
+
+
+# ---------------------------------------------------------------------------
+# Public entry points.
+# ---------------------------------------------------------------------------
+
+def parse_file(path, relpath, model):
+    with open(path, encoding="utf-8", errors="replace") as f:
+        text = f.read()
+    fm = FileModel(path, relpath)
+    fm.code, fm.comments = sanitize(text)
+    model.files[relpath] = fm
+    _Scanner(fm, model).scan()
+    return fm
+
+
+def iter_sources(roots, skip_dirs=("build", ".git", "fixture",
+                                   "lint_fixture")):
+    for root in roots:
+        if os.path.isfile(root):
+            yield root
+            continue
+        for dirpath, dirnames, filenames in os.walk(root):
+            dirnames[:] = [d for d in dirnames
+                           if d not in skip_dirs and not d.startswith("build")]
+            for fn in sorted(filenames):
+                if fn.endswith(SOURCE_EXTS):
+                    yield os.path.join(dirpath, fn)
+
+
+def build_model(roots, repo_root):
+    model = Model()
+    for path in iter_sources(roots):
+        parse_file(path, os.path.relpath(path, repo_root), model)
+    model.finalize()
+    return model

@@ -1,0 +1,64 @@
+// Fixture: trips codec-symmetry — an Encode/Decode pair with flipped
+// field order, and an uncapped pre-allocation from a decoded count.
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fixture {
+
+struct Slice {
+  bool empty() const;
+  void remove_prefix(size_t n);
+};
+
+void PutFixed32(std::string* out, uint32_t v);
+void PutFixed64(std::string* out, uint64_t v);
+void PutLengthPrefixed(std::string* out, const std::string& s);
+bool GetFixed32(Slice* in, uint32_t* v);
+bool GetFixed64(Slice* in, uint64_t* v);
+bool GetLengthPrefixed(Slice* in, std::string* s);
+
+struct Req {
+  uint32_t dbid;
+  uint64_t seq;
+  std::string key;
+  std::vector<uint64_t> ids;
+};
+
+void EncodeReq(const Req& r, std::string* outp) {
+  std::string out;
+  PutFixed32(&out, r.dbid);
+  PutFixed64(&out, r.seq);
+  PutLengthPrefixed(&out, r.key);
+  outp->assign(out);
+}
+
+bool DecodeReq(Slice in, Req* r) {
+  // BAD: consumes seq before dbid — field order flipped vs EncodeReq.
+  if (!GetFixed64(&in, &r->seq)) return false;
+  if (!GetFixed32(&in, &r->dbid)) return false;
+  if (!GetLengthPrefixed(&in, &r->key)) return false;
+  return true;
+}
+
+void EncodeIds(const Req& r, std::string* outp) {
+  std::string out;
+  PutFixed32(&out, static_cast<uint32_t>(r.ids.size()));
+  for (uint64_t id : r.ids) PutFixed64(&out, id);
+  outp->assign(out);
+}
+
+bool DecodeIds(Slice in, Req* r) {
+  uint32_t n = 0;
+  if (!GetFixed32(&in, &n)) return false;
+  r->ids.resize(n);  // BAD: uncapped pre-allocation from a wire count
+  for (uint32_t i = 0; i < n; ++i) {
+    uint64_t v = 0;
+    if (!GetFixed64(&in, &v)) return false;
+    r->ids[i] = v;
+  }
+  return true;
+}
+
+}  // namespace fixture

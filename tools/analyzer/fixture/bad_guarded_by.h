@@ -1,0 +1,55 @@
+// Fixture: trips guarded-by — fields written under a held sibling mutex
+// without a GUARDED_BY annotation.  (Not compiled; parsed by
+// papyrus_analyze --self-test.)
+#pragma once
+
+#include <cstdint>
+
+#define GUARDED_BY(x)
+#define REQUIRES(x)
+
+namespace fixture {
+
+class Mutex {
+ public:
+  void Lock();
+  void Unlock();
+};
+
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu);
+};
+
+class Counter {
+ public:
+  void Bump() {
+    MutexLock lock(&mu_);
+    hits_ += 1;        // BAD: hits_ has no GUARDED_BY(mu_)
+    peak_ = hits_;     // BAD: peak_ has no GUARDED_BY(mu_)
+  }
+
+  void BumpManual() {
+    mu_.Lock();
+    hits_ = 0;         // BAD: manual lock region, still unannotated
+    mu_.Unlock();
+  }
+
+  void BumpLocked() REQUIRES(mu_) {
+    hits_++;           // BAD: REQUIRES proves mu_ held at entry
+  }
+
+  void Touch() {
+    // No lock held: writing an unannotated field here is NOT a finding.
+    cold_ = 7;
+  }
+
+ private:
+  Mutex mu_;
+  uint64_t hits_ = 0;
+  uint64_t peak_ = 0;
+  uint64_t good_ GUARDED_BY(mu_) = 0;
+  int cold_ = 0;
+};
+
+}  // namespace fixture

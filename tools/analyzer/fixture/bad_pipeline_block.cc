@@ -1,0 +1,29 @@
+// Fixture: trips pipeline-blocking — an unbounded Recv is reachable
+// from ProcessCycle through a helper one call-graph hop away.
+namespace fixture {
+
+class Mailbox {
+ public:
+  bool Recv(int* msg);
+  bool RecvFor(int* msg, long micros);
+};
+
+class AsyncPipeline {
+ public:
+  void ProcessCycle();
+
+ private:
+  void DrainCompletions();
+  Mailbox mail_;
+};
+
+void AsyncPipeline::ProcessCycle() {
+  DrainCompletions();
+}
+
+void AsyncPipeline::DrainCompletions() {
+  int msg = 0;
+  mail_.Recv(&msg);  // BAD: unbounded receive on the pipeline thread
+}
+
+}  // namespace fixture

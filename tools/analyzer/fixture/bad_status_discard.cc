@@ -1,0 +1,24 @@
+// Fixture: trips status-discard — uncommented (void) casts, bare
+// .IgnoreError(), and a silently dropped Status-returning call.
+#include <cstddef>
+
+namespace fixture {
+
+struct Status {
+  static Status OK();
+  bool ok() const;
+  void IgnoreError() const {}
+};
+
+Status Flush();
+Status Migrate(int rank);
+int Plain(int x);
+
+void Bad() {
+  (void)Flush();             // BAD: no why-comment anywhere nearby
+  Flush().IgnoreError();     // BAD: bare IgnoreError, no justification
+  Migrate(3);                // BAD: Status silently dropped
+  Plain(3);                  // fine: not a Status-returning function
+}
+
+}  // namespace fixture

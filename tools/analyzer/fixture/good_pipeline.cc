@@ -1,0 +1,28 @@
+// Fixture: must stay clean — the pipeline cycle reaches only bounded
+// waits (RecvFor), never the blocking call set.
+namespace fixture {
+
+class Mailbox {
+ public:
+  bool RecvFor(int* msg, long micros);
+};
+
+class AsyncPipeline {
+ public:
+  void ProcessCycle();
+
+ private:
+  void PollCompletions();
+  Mailbox mail_;
+};
+
+void AsyncPipeline::ProcessCycle() {
+  PollCompletions();
+}
+
+void AsyncPipeline::PollCompletions() {
+  int msg = 0;
+  mail_.RecvFor(&msg, 100);
+}
+
+}  // namespace fixture

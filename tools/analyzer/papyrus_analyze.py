@@ -1,0 +1,273 @@
+#!/usr/bin/env python3
+"""papyrus_analyze — semantic analyzer for the PapyrusKV tree.
+
+Five repo-specific checks the regex lint (tools/papyrus_lint.py) cannot
+express: guarded-by completeness, status-discard discipline, codec
+symmetry, pipeline-blocking reachability, and wire-version discipline.
+See tools/analyzer/checks.py for the rule catalog and DESIGN.md §10 for
+the workflow.
+
+Frontend seam: the analyzer always runs on the built-in structural C++
+frontend (cxx_model.py — a real tokenizer/scoper, not line regexes).
+When python clang bindings AND a compile_commands.json are available
+(`--frontend clang`, or `auto` when importable), clang.cindex refines the
+Status-returning-function set with true type information; everything
+else is frontend-independent.  The container gate therefore never skips
+this stage — clang only sharpens it.
+
+Usage:
+  papyrus_analyze.py [paths...]            analyze (default roots: src)
+  papyrus_analyze.py --self-test           run the fixture suite
+  papyrus_analyze.py --diff-base REF       also run wire-version vs git REF
+  papyrus_analyze.py --diff-file F         wire-version against a saved diff
+  papyrus_analyze.py --baseline FILE       suppress known findings
+  papyrus_analyze.py --write-baseline      rewrite baseline from findings
+  papyrus_analyze.py --frontend auto|text|clang
+
+Exit codes: 0 clean, 1 violations, 2 usage/environment error.
+
+Escapes: `// analyze:allow-<rule>[: reason]` on the violating line or the
+immediately preceding pure-comment line.
+"""
+
+import argparse
+import os
+import subprocess
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import checks
+import cxx_model
+
+REPO_ROOT = os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+FIXTURE_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           "fixture")
+DEFAULT_BASELINE = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                "baseline.txt")
+DEFAULT_ROOTS = ("src",)
+
+
+def load_baseline(path):
+    keys = set()
+    if not os.path.exists(path):
+        return keys
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if line and not line.startswith("#"):
+                keys.add(line)
+    return keys
+
+
+def write_baseline(path, violations):
+    with open(path, "w", encoding="utf-8") as f:
+        f.write("# papyrus_analyze baseline — one `rule|path|token` per "
+                "line.\n")
+        f.write("# Findings listed here are suppressed; burn this file "
+                "down, don't grow it.\n")
+        for v in sorted(violations, key=lambda v: v.key):
+            f.write(v.key + "\n")
+
+
+def resolve_frontend(requested):
+    """Returns (name, refine_fn or None).  clang refinement is optional
+    and additive; 'text' is always available."""
+    if requested == "text":
+        return "text", None
+    try:
+        import clang_frontend
+        if clang_frontend.available():
+            return "clang", clang_frontend.refine
+        if requested == "clang":
+            print("papyrus_analyze: --frontend clang requested but "
+                  "clang.cindex or compile_commands.json is unavailable",
+                  file=sys.stderr)
+            sys.exit(2)
+    except Exception as exc:  # pragma: no cover - defensive
+        if requested == "clang":
+            print("papyrus_analyze: clang frontend failed: %s" % exc,
+                  file=sys.stderr)
+            sys.exit(2)
+    return "text", None
+
+
+def git_diff(base):
+    try:
+        proc = subprocess.run(
+            ["git", "-C", REPO_ROOT, "diff", base, "--", "src", "tests"],
+            capture_output=True, text=True, timeout=60, check=False)
+    except (OSError, subprocess.TimeoutExpired) as exc:
+        print("papyrus_analyze: git diff %s failed: %s" % (base, exc),
+              file=sys.stderr)
+        sys.exit(2)
+    if proc.returncode != 0:
+        print("papyrus_analyze: git diff %s failed:\n%s"
+              % (base, proc.stderr.strip()), file=sys.stderr)
+        sys.exit(2)
+    return proc.stdout
+
+
+def analyze(paths, diff_text, refine):
+    model = cxx_model.build_model(paths, REPO_ROOT)
+    if refine is not None:
+        try:
+            refine(model, REPO_ROOT)
+        except Exception as exc:  # refinement must never break the run
+            print("papyrus_analyze: clang refinement failed (%s); "
+                  "continuing with text frontend" % exc, file=sys.stderr)
+    return checks.run_all(model, diff_text)
+
+
+# ---------------------------------------------------------------------------
+# Self-test: every rule trips on its bad_ fixture, good_ fixtures and
+# escapes stay clean — same contract as papyrus_lint.py --self-test.
+# ---------------------------------------------------------------------------
+
+def self_test():
+    if not os.path.isdir(FIXTURE_DIR):
+        print("papyrus_analyze: fixture dir missing: %s" % FIXTURE_DIR,
+              file=sys.stderr)
+        return 2
+
+    def run_one(name, diff_name=None):
+        path = os.path.join(FIXTURE_DIR, name)
+        diff_text = None
+        if diff_name:
+            with open(os.path.join(FIXTURE_DIR, diff_name),
+                      encoding="utf-8") as f:
+                diff_text = f.read()
+        model = cxx_model.build_model([path], FIXTURE_DIR)
+        return checks.run_all(model, diff_text)
+
+    failures = []
+
+    # (fixture, optional diff, rules that MUST trip in it)
+    bad_cases = [
+        ("bad_guarded_by.h", None, {"guarded-by"}),
+        ("bad_status_discard.cc", None, {"status-discard"}),
+        ("bad_codec_asym.cc", None, {"codec-symmetry"}),
+        ("bad_pipeline_block.cc", None, {"pipeline-blocking"}),
+        ("wire_fixture.cc", "bad_wire_version.diff", {"wire-version"}),
+    ]
+    # fixtures that must NOT produce any finding
+    good_cases = [
+        ("good_annotated.h", None),
+        ("good_escapes.cc", None),
+        ("good_codec.cc", None),
+        ("good_pipeline.cc", None),
+        ("wire_fixture.cc", "good_wire_version.diff"),
+    ]
+
+    for name, diff, want in bad_cases:
+        got = {v.rule for v in run_one(name, diff)}
+        missing = want - got
+        if missing:
+            failures.append("fixture %s: expected rule(s) %s did not trip "
+                            "(got: %s)" % (name, sorted(missing),
+                                           sorted(got) or "nothing"))
+    for name, diff in good_cases:
+        vs = run_one(name, diff)
+        if diff is None and name.startswith("wire_"):
+            continue
+        if vs:
+            failures.append("fixture %s: expected clean, got:\n  %s"
+                            % (name, "\n  ".join(str(v) for v in vs)))
+
+    # The escape fixture must actually contain escapes for >=3 rules, so a
+    # regression that stops honoring escapes cannot silently pass.
+    escape_path = os.path.join(FIXTURE_DIR, "good_escapes.cc")
+    with open(escape_path, encoding="utf-8") as f:
+        escape_text = f.read()
+    escape_rules = {r for r in checks.ALL_CHECKS
+                    if "analyze:allow-" + r in escape_text}
+    if len(escape_rules) < 3:
+        failures.append("good_escapes.cc must exercise escapes for >=3 "
+                        "rules, found %s" % sorted(escape_rules))
+
+    if failures:
+        print("papyrus_analyze --self-test FAILED:", file=sys.stderr)
+        for f in failures:
+            print("  " + f, file=sys.stderr)
+        return 1
+    n_rules = len(checks.ALL_CHECKS)
+    print("papyrus_analyze --self-test OK (%d rules, %d bad fixtures, "
+          "%d good fixtures)" % (n_rules, len(bad_cases), len(good_cases)))
+    return 0
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(prog="papyrus_analyze.py",
+                                 description=__doc__.splitlines()[0])
+    ap.add_argument("paths", nargs="*",
+                    help="files or directories (default: src)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the fixture suite and exit")
+    ap.add_argument("--baseline", default=DEFAULT_BASELINE,
+                    help="suppression file (default: %(default)s)")
+    ap.add_argument("--write-baseline", action="store_true",
+                    help="rewrite the baseline file from current findings")
+    ap.add_argument("--diff-base", metavar="REF",
+                    help="run wire-version against `git diff REF`")
+    ap.add_argument("--diff-file", metavar="FILE",
+                    help="run wire-version against a saved unified diff")
+    ap.add_argument("--frontend", choices=("auto", "text", "clang"),
+                    default="auto",
+                    help="C++ frontend (default: auto — clang refinement "
+                         "when available, text otherwise)")
+    args = ap.parse_args(argv)
+
+    if args.self_test:
+        return self_test()
+
+    roots = args.paths or [os.path.join(REPO_ROOT, r)
+                           for r in DEFAULT_ROOTS]
+    for r in roots:
+        if not os.path.exists(r):
+            print("papyrus_analyze: no such path: %s" % r, file=sys.stderr)
+            return 2
+
+    diff_text = None
+    if args.diff_file:
+        with open(args.diff_file, encoding="utf-8") as f:
+            diff_text = f.read()
+    elif args.diff_base:
+        diff_text = git_diff(args.diff_base)
+
+    frontend, refine = resolve_frontend(args.frontend)
+    violations = analyze(roots, diff_text, refine)
+
+    if args.write_baseline:
+        write_baseline(args.baseline, violations)
+        print("papyrus_analyze: wrote %d suppression(s) to %s"
+              % (len(violations), args.baseline))
+        return 0
+
+    baseline = load_baseline(args.baseline)
+    fresh = [v for v in violations if v.key not in baseline]
+    stale = baseline - {v.key for v in violations}
+
+    for v in fresh:
+        print(v)
+    if stale:
+        print("papyrus_analyze: %d stale baseline entr%s (fixed — remove "
+              "from %s):" % (len(stale), "y" if len(stale) == 1 else "ies",
+                             os.path.relpath(args.baseline, REPO_ROOT)),
+              file=sys.stderr)
+        for k in sorted(stale):
+            print("  " + k, file=sys.stderr)
+    if fresh:
+        print("papyrus_analyze: %d violation(s) [frontend: %s]"
+              % (len(fresh), frontend), file=sys.stderr)
+        return 1
+    print("papyrus_analyze: clean (%d file(s), frontend: %s, %d "
+          "baseline-suppressed)" % (
+              len({f for f in
+                   cxx_model.iter_sources(roots)}),
+              frontend, len(violations) - len(fresh)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
