@@ -2,10 +2,14 @@
 # The full correctness pipeline, in dependency order:
 #
 #   1. lint        tools/papyrus_lint.py self-test + repo-wide run
-#   2. analyze     tools/analyzer/papyrus_analyze.py self-test + repo-wide
-#                  run (guarded-by, status-discard, codec-symmetry,
-#                  pipeline-blocking) + wire-version vs HEAD; runs on the
-#                  built-in text frontend, so it is never skipped
+#   2. analyze     tools/analyzer/papyrus_analyze.py self-tests (intra-file
+#                  + protocol family) + repo-wide run (guarded-by,
+#                  status-discard, codec-symmetry, pipeline-blocking,
+#                  proto-handler, proto-resp-tag, proto-deadlock,
+#                  proto-spec-drift) + wire-version vs HEAD; findings are
+#                  archived as build/analyze_findings.json; runs on the
+#                  built-in text frontend, so it is never skipped — spec
+#                  drift (PROTOCOL.json vs src/core/wire.h) fails here
 #   3. build+test  default build, full ctest suite
 #   4. fault       fault matrix: the whole ctest suite re-run under a
 #                  canned correctness-neutral PAPYRUSKV_FAULTS profile
@@ -43,26 +47,48 @@ SAN_TESTS=(obs_test store_test core_test net_test mutex_test async_test fault_te
 FAULT_PROFILE="net.msg.delay=0.05,net.msg.dup=0.05"
 SKIPPED=()
 
-echo "== [1/8] lint =="
+# Per-stage wall-clock accounting: `stage <name> <header>` closes the
+# previous stage's timer and opens the next; the summary line at the end
+# carries one <name>=<seconds>s entry per stage.
+STAGE_SUMMARY=()
+CUR_STAGE=""
+CUR_T0=0
+stage() {
+  if [ -n "${CUR_STAGE}" ]; then
+    STAGE_SUMMARY+=("${CUR_STAGE}=$((SECONDS - CUR_T0))s")
+  fi
+  CUR_STAGE="$1"
+  CUR_T0=${SECONDS}
+  if [ -n "$1" ]; then
+    echo "== $2 =="
+  fi
+}
+
+stage lint "[1/8] lint"
 python3 tools/papyrus_lint.py --self-test
 python3 tools/papyrus_lint.py
 
-echo "== [2/8] analyze (semantic checks) =="
+stage analyze "[2/8] analyze (semantic + protocol checks)"
 python3 tools/analyzer/papyrus_analyze.py --self-test
+python3 tools/analyzer/papyrus_analyze.py --self-test-protocol
 # Tree-wide semantic run; wire-version discipline is diff-driven, so gate
-# the working tree's edits against HEAD (no-op on a clean tree).
-python3 tools/analyzer/papyrus_analyze.py --diff-base HEAD
+# the working tree's edits against HEAD (no-op on a clean tree).  The
+# machine-readable findings are archived even when the run fails, so a red
+# stage still leaves build/analyze_findings.json for tooling to pick up.
+mkdir -p build
+python3 tools/analyzer/papyrus_analyze.py --diff-base HEAD \
+  --json build/analyze_findings.json
 
-echo "== [3/8] build + ctest =="
+stage build-test "[3/8] build + ctest"
 cmake -B build -S . >/dev/null
 cmake --build build -j "${JOBS}"
 ctest --test-dir build --output-on-failure -j "${JOBS}"
 
-echo "== [4/8] fault matrix (PAPYRUSKV_FAULTS=${FAULT_PROFILE}) =="
+stage fault "[4/8] fault matrix (PAPYRUSKV_FAULTS=${FAULT_PROFILE})"
 PAPYRUSKV_FAULTS="${FAULT_PROFILE}" PAPYRUSKV_FAULT_SEED=1234 \
   ctest --test-dir build --output-on-failure -j "${JOBS}"
 
-echo "== [5/8] clang thread-safety analysis =="
+stage tsa "[5/8] clang thread-safety analysis"
 if command -v clang++ >/dev/null 2>&1; then
   cmake -B build-tsa -S . -DCMAKE_CXX_COMPILER=clang++ \
         -DPAPYRUS_THREAD_SAFETY=ON >/dev/null
@@ -73,7 +99,7 @@ else
   SKIPPED+=(thread-safety)
 fi
 
-echo "== [6/8] clang-tidy =="
+stage clang-tidy "[6/8] clang-tidy"
 if command -v clang-tidy >/dev/null 2>&1 && [ -f build-tsa/compile_commands.json ]; then
   find src tools -name '*.cc' -print0 |
     xargs -0 -n 8 -P "${JOBS}" clang-tidy -p build-tsa --quiet
@@ -82,7 +108,7 @@ else
   SKIPPED+=(clang-tidy)
 fi
 
-echo "== [7/8] sanitizers =="
+stage sanitizers "[7/8] sanitizers"
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 export ASAN_OPTIONS="halt_on_error=1"
 export UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1"
@@ -96,7 +122,7 @@ for san in thread address undefined; do
   done
 done
 
-echo "== [8/8] bench snapshots (BENCH_*.json) =="
+stage bench "[8/8] bench snapshots (BENCH_*.json)"
 BENCH_TMP="$(mktemp -d)"
 trap 'rm -rf "${BENCH_TMP}"' EXIT
 # Traced micro_kv: the hot path plus the causal-tracing layer end-to-end.
@@ -112,7 +138,9 @@ PAPYRUSKV_TRACE="${BENCH_TMP}/trace.json" \
   --repo="${BENCH_TMP}/mka"
 ls -l BENCH_micro_kv.json BENCH_fig06_basic.json BENCH_micro_kv_async.json
 
+stage "" ""
 echo
+echo "ci.sh: stage times: ${STAGE_SUMMARY[*]}"
 if [ "${#SKIPPED[@]}" -gt 0 ]; then
   echo "ci.sh: OK (skipped: ${SKIPPED[*]})"
   if [ "${CI:-0}" = "1" ]; then

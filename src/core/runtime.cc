@@ -399,16 +399,22 @@ void KvRuntime::HandlerLoop() {
     // The handler parks on the request stream by design: shutdown arrives
     // as a self-addressed kOpShutdown message (never dropped — loopback is
     // exempt from fault injection), not as a deadline.
-    net::Message m = req_comm_.Recv();  // lint:allow-blocking-recv
+    // analyze:allow-proto-deadlock: shutdown is delivered as a loopback
+    // kOpShutdown message that cannot be lost, so this wait always ends
+    net::Message m = req_comm_.Recv();
     // Service time only (the Recv wait above is idle time, not load).
     obs::ScopedLatency lat(h_handler_us_);
     switch (m.tag) {
       case kOpMigrateChunk:
         HandleMigrateChunk(m, /*sync_put=*/false);
         break;
+        // analyze:allow-proto-handler: legacy single-op kind — new code sends
+      // kOpPutBatch, but mixed-version peers may still send this
       case kOpPutSync:
         HandleMigrateChunk(m, /*sync_put=*/true);
         break;
+      // analyze:allow-proto-handler: legacy single-op kind — new code sends
+      // kOpGetMulti, but mixed-version peers may still send this
       case kOpGetReq:
         HandleGetReq(m);
         break;
@@ -547,7 +553,9 @@ net::Message KvRuntime::RecvResponse(int src, int tag) {
   // Fixed-tag reply paths (restart redistribution) run single-file with no
   // retry, so a lost reply here would wedge — which is why every path that
   // can see message loss uses RequestReply instead.
-  return resp_comm_.Recv(src, tag);  // lint:allow-blocking-recv
+  // analyze:allow-proto-deadlock: only the single-file restart task calls
+  // this, after fault injection is disabled — its reply cannot be lost
+  return resp_comm_.Recv(src, tag);
 }
 
 Status KvRuntime::RequestReply(int dst, int op, const Slice& payload,

@@ -85,16 +85,33 @@ inline constexpr int kOpMax = kOpGetMulti;
 // a unique tag from KvRuntime::AllocRespTag() (>= kDynamicRespTagBase);
 // stale replies to abandoned tags sit harmlessly in the mailbox.  The fixed
 // tags below remain for the restart task, which runs single-file.
+//
+// Fixed tags live strictly between the opcode space and the dynamic-tag
+// floor (kOpMax < tag < kDynamicRespTagBase), so a response tag can never
+// be mistaken for an opcode or collide with an AllocRespTag() value — the
+// static_asserts below pin the partition.
 enum RespTag : int {
-  kTagGetResp = 1,      // application thread gets
-  kTagPutAck = 2,       // application thread sequential puts
-  kTagMigrateAck = 3,   // dispatcher chunk acks
-  kTagRedistAck = 4,    // restart-with-redistribution task
+  kTagGetResp = 16,     // application thread gets
+  kTagPutAck = 17,      // application thread sequential puts
+  kTagMigrateAck = 18,  // dispatcher chunk acks
+  kTagRedistAck = 19,   // restart-with-redistribution task
 };
 
 // First tag handed out by KvRuntime::AllocRespTag(); fixed RespTag values
 // stay below it.
 inline constexpr int kDynamicRespTagBase = 100;
+
+// Tag-space partition: opcodes < fixed response tags < dynamic tags.
+static_assert(kOpMax < kTagGetResp && kOpMax < kTagPutAck &&
+                  kOpMax < kTagMigrateAck && kOpMax < kTagRedistAck,
+              "fixed RespTag values must sit above the opcode space");
+static_assert(kTagGetResp < kDynamicRespTagBase &&
+                  kTagPutAck < kDynamicRespTagBase &&
+                  kTagMigrateAck < kDynamicRespTagBase &&
+                  kTagRedistAck < kDynamicRespTagBase,
+              "fixed RespTag values must sit below the dynamic-tag floor");
+static_assert(kOpMax < kDynamicRespTagBase,
+              "opcode space must stay below the response-tag floor");
 
 struct KvRecord {
   std::string key;

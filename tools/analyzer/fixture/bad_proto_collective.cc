@@ -1,0 +1,32 @@
+// Fixture: proto-deadlock (collective-order) must trip — the two sides of
+// a rank-dependent branch issue collectives in different orders, so the
+// rank taking the `if` side meets Barrier while everyone else sits in
+// Allgather, and both sides wedge.
+namespace fixture {
+
+struct Slice {};
+
+class Comm {
+ public:
+  void Barrier();
+  void Allgather(const Slice& mine, Slice* all);
+};
+
+class Node {
+ public:
+  void Exchange(int rank) {
+    Slice mine, all;
+    if (rank == 0) {
+      comm_.Barrier();
+      comm_.Allgather(mine, &all);
+    } else {
+      comm_.Allgather(mine, &all);
+      comm_.Barrier();
+    }
+  }
+
+ private:
+  Comm comm_;
+};
+
+}  // namespace fixture

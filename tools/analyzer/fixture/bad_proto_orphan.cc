@@ -1,0 +1,73 @@
+// Fixture: proto-handler must trip — kOpPong is sent but has no dispatch
+// arm, kOpDead is declared but neither sent nor dispatched (orphan), and
+// the kOpStop arm's handler decodes a different frame than the sender
+// encodes (frame mismatch).
+#include <string>
+
+namespace fixture {
+
+enum WireOp : int {
+  kOpPing = 1,
+  kOpStop = 2,
+  kOpPong = 3,
+  kOpDead = 4,
+};
+
+struct Slice {};
+struct Message {
+  int tag = 0;
+  Slice payload;
+};
+
+class Comm {
+ public:
+  void Send(int dst, int tag, const Slice& payload);
+  bool RecvFor(int src, int tag, long timeout_us, Message* out);
+};
+
+std::string EncodePing(int seq, int resp_tag);
+bool DecodePing(const Slice& in, int* seq, int* resp_tag);
+std::string EncodeHalt(int seq, int resp_tag);
+bool DecodeStop(const Slice& in, int* resp_tag);
+
+class Node {
+ public:
+  void SendAll() {
+    int tag = AllocRespTag();
+    req_comm_.Send(1, kOpPing, Encoded(EncodePing(7, tag)));
+    req_comm_.Send(1, kOpStop, Encoded(EncodeHalt(0, tag)));
+    req_comm_.Send(1, kOpPong, Slice());
+  }
+
+  void HandlerLoop() {
+    Message m;
+    while (req_comm_.RecvFor(-1, -1, 1000, &m)) {
+      switch (m.tag) {
+        case kOpPing:
+          HandlePing(m);
+          break;
+        case kOpStop:
+          HandleStop(m);
+          break;
+        default:
+          break;
+      }
+    }
+  }
+
+ private:
+  void HandlePing(const Message& m) {
+    int seq = 0, resp_tag = 0;
+    DecodePing(m.payload, &seq, &resp_tag);
+  }
+  void HandleStop(const Message& m) {
+    int resp_tag = 0;
+    DecodeStop(m.payload, &resp_tag);
+  }
+  int AllocRespTag();
+  Slice Encoded(const std::string& s);
+
+  Comm req_comm_;
+};
+
+}  // namespace fixture

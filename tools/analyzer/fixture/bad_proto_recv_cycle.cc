@@ -1,0 +1,31 @@
+// Fixture: proto-deadlock (unbounded-recv) must trip — both ranks send a
+// request and then park in a blocking Recv for the peer's reply.  If
+// either message is lost (or the peer dies first), neither Recv has a
+// timeout-bounded edge out of the wait: the classic send->recv cycle.
+namespace fixture {
+
+struct Slice {};
+struct Message {
+  int tag = 0;
+  Slice payload;
+};
+
+class Comm {
+ public:
+  void Send(int dst, int tag, const Slice& payload);
+  Message Recv(int src, int tag);
+};
+
+class Node {
+ public:
+  Message ExchangeWithPeer(int peer, int tag) {
+    req_comm_.Send(peer, tag, Slice());
+    return resp_comm_.Recv(peer, tag);
+  }
+
+ private:
+  Comm req_comm_;
+  Comm resp_comm_;
+};
+
+}  // namespace fixture

@@ -32,7 +32,10 @@ Rules (each can be silenced per line with the named escape comment):
                      (RecvFor / BarrierFor) or the runtime's retry helpers
                      (RequestReply).  Tests, benches, examples and tools
                      are exempt — they run under a watchdog.
-                     Escape: // lint:allow-blocking-recv
+                     Escape: // lint:allow-blocking-recv, or the protocol
+                     analyzer's // analyze:allow-proto-deadlock (one escape
+                     vocabulary for both tools), on the flagged line or in
+                     the comment block directly above it.
 
   direct-send        A direct Communicator Send (receiver named *comm*) in
                      src/core/ outside the async pipeline.  Remote requests
@@ -137,6 +140,25 @@ TRACE_ADD_EXEMPT_PREFIXES = (
 
 COMMENT_LINE_RE = re.compile(r"^\s*(?://|\*)")
 
+# The lint and the protocol analyzer (tools/analyzer/protocol_checks.py)
+# share one escape vocabulary for blocking receives: either the lint's own
+# tag or the analyzer's deadlock escape silences naked-recv, on the flagged
+# line or in the contiguous pure-comment block directly above it.
+RECV_ESCAPE_TOKENS = ("lint:allow-blocking-recv",
+                      "analyze:allow-proto-deadlock")
+
+
+def recv_escaped(lines, i, comment):
+    """True when line i (1-based) carries a blocking-recv escape."""
+    if any(tok in comment for tok in RECV_ESCAPE_TOKENS):
+        return True
+    j = i - 1
+    while j >= 1 and COMMENT_LINE_RE.match(lines[j - 1]):
+        if any(tok in lines[j - 1] for tok in RECV_ESCAPE_TOKENS):
+            return True
+        j -= 1
+    return False
+
 
 def strip_block_comments(text):
     """Blanks /* ... */ spans (keeps line structure for line numbers)."""
@@ -208,9 +230,9 @@ def lint_file(path, relpath):
 
         # naked-recv -----------------------------------------------------
         if (not recv_exempt
-                and "lint:allow-blocking-recv" not in comment
                 and not COMMENT_LINE_RE.match(line)
-                and NAKED_RECV_RE.search(code)):
+                and NAKED_RECV_RE.search(code)
+                and not recv_escaped(lines, i, comment)):
             violations.append(
                 (relpath, i, "naked-recv",
                  "blocking Recv without a deadline — use RecvFor/"
