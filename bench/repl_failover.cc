@@ -1,0 +1,150 @@
+// repl_failover — put throughput across a kill-and-promote cycle
+// (DESIGN.md §12).
+//
+// Three ranks with k=2 intra-group replication stream puts over the whole
+// key space in fixed windows.  Midway, rank 2 is fail-stopped via the
+// rank.crash failpoint; the survivors keep writing.  The first post-crash
+// op against each dead hash slot pays the (tight) timeout ladder plus the
+// election that promotes rank 2's follower, after which the promoted-owner
+// cache routes at full speed — so the expected shape is a bounded one-
+// window dip, not a collapse.
+//
+// Rank 0's window throughputs and the before/dip/after aggregate land in
+// BENCH_repl_failover.json as bench.* gauges, so failover cost is part of
+// the committed results trajectory.
+//
+//   repl_failover [--ranks=N] [--iters=N(puts/rank/window)] [--vallen=N]
+//                 [--repo=PATH]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "benchlib/flags.h"
+#include "benchlib/report.h"
+#include "common/timer.h"
+#include "core/papyruskv.h"
+#include "core/runtime.h"
+#include "fault/failpoint.h"
+#include "net/runtime.h"
+#include "obs/metrics.h"
+
+using namespace papyrus;
+using namespace papyrus::bench;
+
+namespace {
+
+constexpr int kWindows = 6;
+constexpr int kCrashAfter = 2;  // windows completed before rank 2 dies
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags = Flags::Parse(argc, argv);
+  if (flags.ranks <= 0) flags.ranks = 3;
+  const int iters = flags.iters > 0 ? flags.iters : 500;
+  const size_t vallen = flags.vallen > 0 ? flags.vallen : 100;
+  const std::string repo = "nvme:" + flags.repo + "/repl_failover";
+  ApplyScale(flags, 0);  // software cost only, like micro_kv
+  const int victim = flags.ranks - 1;
+
+  // k=2 replication with a tight retry ladder: the bench measures the
+  // failover dip, and that dip is (timeouts x retries) + election, so the
+  // knobs are part of the experiment's definition, not tuning noise.
+  setenv("PAPYRUSKV_REPLICAS", "2", 1);
+  setenv("PAPYRUSKV_TIMEOUT_MS", "50", 1);
+  setenv("PAPYRUSKV_RETRY_MAX", "2", 1);
+
+  printf("repl_failover: %d ranks (k=2), %d windows x %d puts/rank, "
+         "rank %d dies after window %d\n",
+         flags.ranks, kWindows, iters, victim, kCrashAfter);
+
+  std::vector<double> window_s(kWindows, 0);  // slowest SURVIVOR per window
+  RunKvJob(flags.ranks, /*ranks_per_node=*/flags.ranks, repo,
+           [&](net::RankContext& ctx) {
+    papyruskv_option_t opt;
+    BenchCheck(papyruskv_option_init(&opt), "papyruskv_option_init");
+    opt.consistency = PAPYRUSKV_SEQUENTIAL;
+    opt.memtable_size = static_cast<size_t>(kWindows) *
+                        static_cast<size_t>(iters + 1024) * (vallen + 64);
+    papyruskv_db_t db;
+    BenchCheck(papyruskv_open("replbench", PAPYRUSKV_CREATE | PAPYRUSKV_RDWR,
+                              &opt, &db),
+               "papyruskv_open");
+    const std::string& value = ValueBlob(vallen);
+
+    bool dead = false;
+    for (int w = 0; w < kWindows; ++w) {
+      ctx.comm.Barrier();
+      if (w == kCrashAfter && ctx.rank == 0) {
+        const std::string spec =
+            "rank.crash=rank" + std::to_string(victim) + "@op1";
+        if (!fault::Registry::Instance().Configure(spec, 1234).ok()) {
+          throw std::runtime_error("failed to arm " + spec);
+        }
+      }
+      ctx.comm.Barrier();
+
+      Stopwatch sw;
+      if (!dead) {
+        for (int i = 0; i < iters; ++i) {
+          const std::string k = "w" + std::to_string(w) + "/r" +
+                                std::to_string(ctx.rank) + "." +
+                                std::to_string(i);
+          const int rc = papyruskv_put(db, k.data(), k.size(), value.data(),
+                                       value.size());
+          if (rc != PAPYRUSKV_SUCCESS) {
+            // Only the victim may fail, and only at its injected crash; a
+            // survivor's put rides detection -> promotion -> retry inside
+            // the call and must come back SUCCESS.
+            if (ctx.rank != victim) BenchCheck(rc, "papyruskv_put");
+            dead = true;
+            break;
+          }
+        }
+      }
+      const double mine = dead ? 0 : sw.ElapsedSeconds();
+      // The dead rank reports 0 and sits out; max = slowest survivor.
+      const RankStats t = GatherStats(ctx.comm, mine);
+      if (ctx.rank == 0) window_s[w] = t.max;
+    }
+
+    if (ctx.rank == 0) {
+      const uint64_t per_window =
+          static_cast<uint64_t>(iters) * flags.ranks;
+      const uint64_t survivors_window =
+          static_cast<uint64_t>(iters) * (flags.ranks - 1);
+      const double before = Krps(per_window, window_s[0]);
+      const double dip = Krps(survivors_window, window_s[kCrashAfter]);
+      const double after = Krps(survivors_window, window_s[kWindows - 1]);
+      auto& reg = papyrus::core::KvRuntime::Current()->metrics();
+      reg.GetGauge("bench.before_krps").Set(static_cast<int64_t>(before));
+      reg.GetGauge("bench.dip_krps").Set(static_cast<int64_t>(dip));
+      reg.GetGauge("bench.after_krps").Set(static_cast<int64_t>(after));
+      reg.GetGauge("bench.after_vs_before_x100")
+          .Set(static_cast<int64_t>(before > 0 ? after / before * 100 : 0));
+    }
+    WriteBenchMetrics(ctx.comm, "repl_failover");
+    BenchCheck(papyruskv_close(db), "papyruskv_close");
+  });
+
+  const uint64_t per_window = static_cast<uint64_t>(iters) * flags.ranks;
+  const uint64_t survivors_window =
+      static_cast<uint64_t>(iters) * (flags.ranks - 1);
+  Table t("repl_failover put throughput (k=2)",
+          {"window", "phase", "KRPS", "us/op (max rank)"});
+  for (int w = 0; w < kWindows; ++w) {
+    const bool post = w >= kCrashAfter;
+    const uint64_t ops = post ? survivors_window : per_window;
+    const char* phase = w < kCrashAfter    ? "healthy"
+                        : w == kCrashAfter ? "crash+promote"
+                                           : "promoted";
+    t.AddRow({std::to_string(w), phase,
+              Table::Num(Krps(ops, window_s[w]), 1),
+              Table::Num(window_s[w] / iters * 1e6, 3)});
+  }
+  t.Print();
+  CleanupRepo(repo);
+  return 0;
+}

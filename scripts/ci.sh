@@ -14,7 +14,12 @@
 #   4. fault       fault matrix: the whole ctest suite re-run under a
 #                  canned correctness-neutral PAPYRUSKV_FAULTS profile
 #                  (message delay + duplication) — every suite must still
-#                  pass with the recovery paths doing real work
+#                  pass with the recovery paths doing real work; a red run
+#                  prints the PAPYRUSKV_FAULT_SEED to reproduce it with.
+#                  Both ctest stages run with PAPYRUSKV_FLIGHT set, and a
+#                  failure archives any flight-recorder post-mortems as
+#                  build/flight_<stage>.tar.gz (next to
+#                  build/analyze_findings.json)
 #   5. tsa         Clang build with -Werror=thread-safety
 #                  (skipped with a notice if clang++ is not installed)
 #   6. clang-tidy  concurrency/bugprone checks (skipped if not installed)
@@ -22,8 +27,8 @@
 #                  concurrency-sensitive test subset (async_test and
 #                  fault_test included, so the submission pipeline and the
 #                  retry/recovery paths get the TSan treatment)
-#   8. bench       micro_kv + fig06_basic + micro_kv_async smoke runs with
-#                  the metrics hook:
+#   8. bench       micro_kv + fig06_basic + micro_kv_async + repl_failover
+#                  smoke runs with the metrics hook:
 #                  each writes an aggregate BENCH_<name>.json snapshot at
 #                  the repo root (committed, so metric drift shows in
 #                  review); micro_kv runs with tracing enabled to keep the
@@ -45,7 +50,23 @@ SAN_TESTS=(obs_test store_test core_test net_test mutex_test async_test fault_te
 # and crashes belong in tests/fault/, where the expected failures are
 # asserted — here every suite must still pass verbatim).
 FAULT_PROFILE="net.msg.delay=0.05,net.msg.dup=0.05"
+FAULT_SEED="${PAPYRUSKV_FAULT_SEED:-1234}"
 SKIPPED=()
+
+# Flight-recorder post-mortems (obs/flight.h): the ctest stages run with
+# PAPYRUSKV_FLIGHT pointed here so any rank that times out or crashes
+# leaves a dump; on a red stage the dumps are archived next to
+# build/analyze_findings.json for the same tooling to pick up.
+FLIGHT_DIR="build/flight"
+archive_flight() {
+  local tag="$1"
+  if compgen -G "${FLIGHT_DIR}/*" >/dev/null; then
+    tar -czf "build/flight_${tag}.tar.gz" -C "${FLIGHT_DIR}" .
+    echo "ci.sh: flight-recorder dumps archived -> build/flight_${tag}.tar.gz"
+  else
+    echo "ci.sh: no flight-recorder dumps were produced"
+  fi
+}
 
 # Per-stage wall-clock accounting: `stage <name> <header>` closes the
 # previous stage's timer and opens the next; the summary line at the end
@@ -82,11 +103,24 @@ python3 tools/analyzer/papyrus_analyze.py --diff-base HEAD \
 stage build-test "[3/8] build + ctest"
 cmake -B build -S . >/dev/null
 cmake --build build -j "${JOBS}"
-ctest --test-dir build --output-on-failure -j "${JOBS}"
+rm -rf "${FLIGHT_DIR}" && mkdir -p "${FLIGHT_DIR}"
+if ! PAPYRUSKV_FLIGHT="${FLIGHT_DIR}/ctest" \
+    ctest --test-dir build --output-on-failure -j "${JOBS}"; then
+  archive_flight build-test
+  exit 1
+fi
 
 stage fault "[4/8] fault matrix (PAPYRUSKV_FAULTS=${FAULT_PROFILE})"
-PAPYRUSKV_FAULTS="${FAULT_PROFILE}" PAPYRUSKV_FAULT_SEED=1234 \
-  ctest --test-dir build --output-on-failure -j "${JOBS}"
+rm -rf "${FLIGHT_DIR}" && mkdir -p "${FLIGHT_DIR}"
+if ! PAPYRUSKV_FAULTS="${FAULT_PROFILE}" PAPYRUSKV_FAULT_SEED="${FAULT_SEED}" \
+    PAPYRUSKV_FLIGHT="${FLIGHT_DIR}/fault" \
+    ctest --test-dir build --output-on-failure -j "${JOBS}"; then
+  echo "ci.sh: fault matrix FAILED under seed ${FAULT_SEED} — reproduce with:"
+  echo "  PAPYRUSKV_FAULTS=${FAULT_PROFILE} PAPYRUSKV_FAULT_SEED=${FAULT_SEED} \\"
+  echo "    ctest --test-dir build --output-on-failure"
+  archive_flight fault
+  exit 1
+fi
 
 stage tsa "[5/8] clang thread-safety analysis"
 if command -v clang++ >/dev/null 2>&1; then
@@ -136,7 +170,13 @@ PAPYRUSKV_TRACE="${BENCH_TMP}/trace.json" \
 # gauges so the batching speedup is part of the results trajectory.
 ./build/bench/micro_kv_async --ranks=8 --iters=1000 \
   --repo="${BENCH_TMP}/mka"
-ls -l BENCH_micro_kv.json BENCH_fig06_basic.json BENCH_micro_kv_async.json
+# Replication failover: throughput across a kill-and-promote cycle
+# (DESIGN.md §12); the snapshot carries the before/dip/after KRPS gauges
+# so the failover cost stays visible in the results trajectory.
+./build/bench/repl_failover --ranks=3 --iters=500 \
+  --repo="${BENCH_TMP}/rfo"
+ls -l BENCH_micro_kv.json BENCH_fig06_basic.json BENCH_micro_kv_async.json \
+  BENCH_repl_failover.json
 
 stage "" ""
 echo

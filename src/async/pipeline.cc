@@ -9,6 +9,7 @@
 #include "core/runtime.h"
 #include "obs/flight.h"
 #include "obs/trace.h"
+#include "repl/replicator.h"
 
 namespace papyrus::async {
 
@@ -88,6 +89,7 @@ AsyncPipeline::AsyncPipeline(core::KvRuntime& rt) : rt_(rt) {
   g_depth_ = &reg.GetGauge("async.queue_depth");
   h_put_batch_ = &reg.GetHistogram("async.batch_size");
   h_get_batch_ = &reg.GetHistogram("async.get_batch_size");
+  h_repl_batch_ = &reg.GetHistogram("async.repl_batch_size");
   c_op_errors_ = &reg.GetCounter("async.op_errors");
   c_frames_ = &reg.GetCounter("async.frames");
   h_put_op_us_ = &reg.GetHistogram("async.put_op_us");
@@ -95,6 +97,7 @@ AsyncPipeline::AsyncPipeline(core::KvRuntime& rt) : rt_(rt) {
 }
 
 void AsyncPipeline::RecordOpLatency(const Submission& s) {
+  if (s.kind == Submission::Kind::kRepl) return;  // no per-op waiter
   obs::Histogram* h =
       s.kind == Submission::Kind::kPut ? h_put_op_us_ : h_get_op_us_;
   h->Record(NowMicros() - s.submitted_at_us);
@@ -105,11 +108,16 @@ void AsyncPipeline::Start() {
   if (auto v = EnvInt("PAPYRUSKV_BATCH_MAX"); v && *v > 0) {
     batch_max_ = static_cast<size_t>(*v);
   }
+  ops_lane_.name = "async";
+  repl_lane_.name = "async_repl";
+  // The accumulation window is an ops-lane bench knob only: a windowed repl
+  // lane would add its delay to every quorum-deferred put ack.
   if (auto v = EnvInt("PAPYRUSKV_BATCH_WINDOW_US"); v && *v > 0) {
-    window_us_ = static_cast<uint64_t>(*v);
+    ops_lane_.window_us = static_cast<uint64_t>(*v);
   }
   started_ = true;
-  thread_ = std::thread([this] { Loop(); });
+  ops_lane_.thread = std::thread([this] { Loop(&ops_lane_); });
+  repl_lane_.thread = std::thread([this] { Loop(&repl_lane_); });
 }
 
 void AsyncPipeline::Stop() {
@@ -118,19 +126,23 @@ void AsyncPipeline::Stop() {
     MutexLock lock(&mu_);
     stop_ = true;
   }
-  cv_.NotifyAll();
-  thread_.join();
+  ops_lane_.cv.NotifyAll();
+  repl_lane_.cv.NotifyAll();
+  ops_lane_.thread.join();
+  repl_lane_.thread.join();
   started_ = false;
 }
 
 void AsyncPipeline::Enqueue(int dst, Submission s) {
+  Lane& lane =
+      s.kind == Submission::Kind::kRepl ? repl_lane_ : ops_lane_;
   {
     MutexLock lock(&mu_);
-    queues_[dst].push_back(std::move(s));
-    ++queued_;
-    g_depth_->Set(static_cast<int64_t>(queued_));
+    lane.queues[dst].push_back(std::move(s));
+    ++lane.queued;
+    g_depth_->Set(static_cast<int64_t>(ops_lane_.queued + repl_lane_.queued));
   }
-  cv_.NotifyOne();
+  lane.cv.NotifyOne();
 }
 
 OpHandle AsyncPipeline::SubmitPut(int dst, uint32_t dbid, const Slice& key,
@@ -162,40 +174,65 @@ OpHandle AsyncPipeline::SubmitGet(int dst, uint32_t dbid, const Slice& key,
   return h;
 }
 
-void AsyncPipeline::Drain() {
-  MutexLock lock(&mu_);
-  while (queued_ + inflight_ > 0) drain_cv_.Wait(&mu_);
+void AsyncPipeline::SubmitReplAppend(int dst, uint32_t dbid, uint32_t primary,
+                                     uint64_t epoch, uint64_t seq, bool reset,
+                                     uint64_t flushed_through,
+                                     const Slice& key, const Slice& value,
+                                     bool tombstone) {
+  Submission s;
+  s.kind = Submission::Kind::kRepl;
+  s.dbid = dbid;
+  s.key = key.ToString();
+  s.value = value.ToString();
+  s.tombstone = tombstone;
+  s.repl_primary = primary;
+  s.repl_epoch = epoch;
+  s.repl_seq = seq;
+  s.repl_reset = reset;
+  s.repl_flushed = flushed_through;
+  s.submitted_at_us = NowMicros();
+  Enqueue(dst, std::move(s));
 }
 
-void AsyncPipeline::Loop() {
-  rt_.AdoptObservability("async");
+void AsyncPipeline::Drain() {
+  MutexLock lock(&mu_);
+  while (ops_lane_.queued + ops_lane_.inflight + repl_lane_.queued +
+             repl_lane_.inflight >
+         0) {
+    drain_cv_.Wait(&mu_);
+  }
+}
+
+void AsyncPipeline::Loop(Lane* lane) {
+  rt_.AdoptObservability(lane->name);
   for (;;) {
     std::map<int, std::deque<Submission>> work;
     size_t count = 0;
     {
       MutexLock lock(&mu_);
-      while (!stop_ && queued_ == 0) cv_.Wait(&mu_);
-      if (queued_ == 0) return;  // stop_ set and nothing left to flush
+      while (!stop_ && lane->queued == 0) lane->cv.Wait(&mu_);
+      if (lane->queued == 0) return;  // stop_ set and nothing left to flush
       // Optional accumulation window: trade latency for larger batches
       // (benchmark knob; 0 = rely on natural batching under load).
-      if (window_us_ > 0) {
-        const uint64_t deadline = NowMicros() + window_us_;
+      if (lane->window_us > 0) {
+        const uint64_t deadline = NowMicros() + lane->window_us;
         while (!stop_) {
           const uint64_t now = NowMicros();
           if (now >= deadline) break;
-          cv_.WaitForMicros(&mu_, deadline - now);
+          lane->cv.WaitForMicros(&mu_, deadline - now);
         }
       }
-      work.swap(queues_);
-      count = queued_;
-      inflight_ += count;
-      queued_ = 0;
-      g_depth_->Set(0);
+      work.swap(lane->queues);
+      count = lane->queued;
+      lane->inflight += count;
+      lane->queued = 0;
+      g_depth_->Set(
+          static_cast<int64_t>(ops_lane_.queued + repl_lane_.queued));
     }
     ProcessCycle(std::move(work));
     {
       MutexLock lock(&mu_);
-      inflight_ -= count;
+      lane->inflight -= count;
     }
     drain_cv_.NotifyAll();
   }
@@ -208,6 +245,7 @@ void AsyncPipeline::ProcessCycle(std::map<int, std::deque<Submission>> work) {
     for (auto& [dst, q] : work) {
       for (Submission& s : q) {
         c_op_errors_->Inc();
+        if (!s.handle) continue;  // repl appends: no waiter, the stream dies
         RecordOpLatency(s);
         s.handle->Complete(Status(PAPYRUSKV_ERR, "rank crashed (simulated)"));
       }
@@ -221,13 +259,20 @@ void AsyncPipeline::ProcessCycle(std::map<int, std::deque<Submission>> work) {
 
   // One encoded wire frame: consecutive same-kind, same-db submissions for
   // one destination, capped at batch_max_.
+  using Kind = Submission::Kind;
   struct Frame {
     int dst = 0;
-    bool is_put = false;
+    Kind kind = Kind::kPut;
+    uint32_t dbid = 0;
     int tag = 0;
     std::string payload;
     std::vector<Submission> ops;
     std::unique_ptr<obs::OpSpan> rpc;  // open until the frame is acked
+  };
+  auto op_name = [](Kind k) {
+    return k == Kind::kPut    ? "put_batch"
+           : k == Kind::kGet  ? "get_multi"
+                              : "repl_append";
   };
   // Frames to one destination form an ordered chain, processed below under
   // the SDCB rule: frame N+1 is not put on the wire until frame N is acked.
@@ -238,12 +283,22 @@ void AsyncPipeline::ProcessCycle(std::map<int, std::deque<Submission>> work) {
     while (i < q.size()) {
       Frame f;
       f.dst = dst;
-      f.is_put = q[i].kind == Submission::Kind::kPut;
-      const uint32_t dbid = q[i].dbid;
+      f.kind = q[i].kind;
+      f.dbid = q[i].dbid;
       const size_t begin = i;
       while (i < q.size() && (i - begin) < batch_max_ &&
-             (q[i].kind == Submission::Kind::kPut) == f.is_put &&
-             q[i].dbid == dbid) {
+             q[i].kind == f.kind && q[i].dbid == f.dbid) {
+        if (f.kind == Kind::kRepl && i != begin) {
+          // A replication frame is one contiguous run of one stream
+          // incarnation: an epoch change, a sequence discontinuity, or a
+          // fresh resync marker starts a new frame (the follower acks each
+          // frame by its (epoch, first_seq..) coordinates).
+          const Submission& prev = f.ops.back();
+          if (q[i].repl_reset || q[i].repl_epoch != prev.repl_epoch ||
+              q[i].repl_seq != prev.repl_seq + 1) {
+            break;
+          }
+        }
         f.ops.push_back(std::move(q[i]));
         ++i;
       }
@@ -252,10 +307,13 @@ void AsyncPipeline::ProcessCycle(std::map<int, std::deque<Submission>> work) {
       // handler becomes a flow-linked child of this span, so the merged
       // timeline shows N coalesced ops sharing one wire round trip.
       f.rpc = std::make_unique<obs::OpSpan>(
-          "net", f.is_put ? "put_batch.rpc" : "get_multi.rpc",
+          "net",
+          f.kind == Kind::kPut   ? "put_batch.rpc"
+          : f.kind == Kind::kGet ? "get_multi.rpc"
+                                 : "repl_append.rpc",
           obs::OpSpan::kDetached);
       f.rpc->MarkFlowOut();
-      if (f.is_put) {
+      if (f.kind == Kind::kPut) {
         std::vector<KvRecord> records;
         records.reserve(f.ops.size());
         for (const Submission& s : f.ops) {
@@ -266,9 +324,9 @@ void AsyncPipeline::ProcessCycle(std::map<int, std::deque<Submission>> work) {
           records.push_back(std::move(r));
         }
         h_put_batch_->Record(static_cast<uint64_t>(records.size()));
-        f.payload = EncodePutBatch(dbid, static_cast<uint32_t>(f.tag),
+        f.payload = EncodePutBatch(f.dbid, static_cast<uint32_t>(f.tag),
                                    records, f.rpc->context());
-      } else {
+      } else if (f.kind == Kind::kGet) {
         std::vector<GetMultiOp> ops;
         ops.reserve(f.ops.size());
         for (const Submission& s : f.ops) {
@@ -278,8 +336,28 @@ void AsyncPipeline::ProcessCycle(std::map<int, std::deque<Submission>> work) {
           ops.push_back(std::move(op));
         }
         h_get_batch_->Record(static_cast<uint64_t>(ops.size()));
-        f.payload = EncodeGetMulti(dbid, static_cast<uint32_t>(f.tag),
+        f.payload = EncodeGetMulti(f.dbid, static_cast<uint32_t>(f.tag),
                                    my_group, ops, f.rpc->context());
+      } else {
+        std::vector<KvRecord> records;
+        records.reserve(f.ops.size());
+        for (const Submission& s : f.ops) {
+          KvRecord r;
+          r.key = s.key;
+          r.value = s.value;
+          r.tombstone = s.tombstone;
+          records.push_back(std::move(r));
+        }
+        core::ReplAppendMeta meta;
+        meta.primary = f.ops.front().repl_primary;
+        meta.epoch = f.ops.front().repl_epoch;
+        meta.first_seq = f.ops.front().repl_seq;
+        meta.flushed_through = f.ops.back().repl_flushed;
+        meta.reset = f.ops.front().repl_reset;
+        h_repl_batch_->Record(static_cast<uint64_t>(records.size()));
+        f.payload = core::EncodeReplAppend(f.dbid,
+                                           static_cast<uint32_t>(f.tag), meta,
+                                           records, f.rpc->context());
       }
       chains[dst].push_back(std::move(f));
     }
@@ -288,14 +366,25 @@ void AsyncPipeline::ProcessCycle(std::map<int, std::deque<Submission>> work) {
   obs::FlightRecorder& flight = rt_.flight();
   auto send_frame = [&](const Frame& f) {
     c_frames_->Inc();
-    flight.Record(obs::FlightKind::kOpBegin,
-                  f.is_put ? "put_batch" : "get_multi", f.dst,
+    flight.Record(obs::FlightKind::kOpBegin, op_name(f.kind), f.dst,
                   retry.max_attempts);
-    rt_.SendRequest(f.dst, f.is_put ? core::kOpPutBatch : core::kOpGetMulti,
+    rt_.SendRequest(f.dst,
+                    f.kind == Kind::kPut   ? core::kOpPutBatch
+                    : f.kind == Kind::kGet ? core::kOpGetMulti
+                                           : core::kOpReplAppend,
                     f.payload);
   };
-  // Completes every op of a failed frame with one shared status.
+  // Completes every op of a failed frame with one shared status; a failed
+  // replication frame instead fails the follower out of the shard's quorum
+  // accounting (no per-op waiters to complete).
   auto fail_frame = [&](Frame& f, const Status& s) {
+    if (f.kind == Kind::kRepl) {
+      c_op_errors_->Inc();
+      if (core::DbShardPtr db = rt_.Find(static_cast<int>(f.dbid))) {
+        if (repl::Replicator* r = db->replicator()) r->OnAppendFailed(f.dst);
+      }
+      return;
+    }
     for (Submission& sub : f.ops) {
       c_op_errors_->Inc();
       RecordOpLatency(sub);
@@ -317,7 +406,7 @@ void AsyncPipeline::ProcessCycle(std::map<int, std::deque<Submission>> work) {
     bool dst_down = false;  // an earlier frame to dst exhausted its retries
     for (size_t fi = 0; fi < chain.size(); ++fi) {
       Frame& f = chain[fi];
-      const char* opname = f.is_put ? "put_batch" : "get_multi";
+      const char* opname = op_name(f.kind);
       if (dst_down) {
         // Never sent: the timed-out frame ahead of this one may still be
         // sitting unapplied in the peer's mailbox, and sending past it
@@ -337,7 +426,9 @@ void AsyncPipeline::ProcessCycle(std::map<int, std::deque<Submission>> work) {
         flight.Record(obs::FlightKind::kRetry, opname, f.dst, attempt);
         PreciseSleepMicros(retry.BackoffUs(attempt));
         rt_.SendRequest(f.dst,
-                        f.is_put ? core::kOpPutBatch : core::kOpGetMulti,
+                        f.kind == Kind::kPut   ? core::kOpPutBatch
+                        : f.kind == Kind::kGet ? core::kOpGetMulti
+                                               : core::kOpReplAppend,
                         f.payload);
         acked =
             rt_.RecvResponseFor(f.dst, f.tag, retry.reply_timeout_us, &ack);
@@ -366,7 +457,26 @@ void AsyncPipeline::ProcessCycle(std::map<int, std::deque<Submission>> work) {
       // this destination's chain may now go on the wire.
       if (fi + 1 < chain.size()) send_frame(chain[fi + 1]);
       flight.Record(obs::FlightKind::kOpEnd, opname, f.dst);
-      if (f.is_put) {
+      if (f.kind == Kind::kRepl) {
+        uint64_t epoch = 0;
+        uint64_t acked_seq = 0;
+        bool ok = false;
+        if (!core::DecodeReplAppendAck(ack.payload, &epoch, &acked_seq,
+                                       &ok)) {
+          fail_frame(f, Status::Corrupted("bad repl append ack"));
+          continue;
+        }
+        // Hand the follower's (epoch, seq) progress — or its NACK — to the
+        // shard's replicator; a NACK triggers an inline resync pump, whose
+        // submissions land in the next cycle's queues.
+        if (core::DbShardPtr db = rt_.Find(static_cast<int>(f.dbid))) {
+          if (repl::Replicator* r = db->replicator()) {
+            r->OnAppendAck(f.dst, epoch, acked_seq, ok);
+          }
+        }
+        continue;
+      }
+      if (f.kind == Kind::kPut) {
         std::vector<int32_t> statuses;
         if (!core::DecodePutBatchAck(ack.payload, &statuses) ||
             statuses.size() != f.ops.size()) {

@@ -3,10 +3,13 @@
 //
 // KVell-style shared-nothing queues layered between the public API and the
 // wire: the application (or DbShard's synchronous paths, reimplemented as
-// submit+wait) enqueues operations per destination rank; one pipeline
-// thread per rank drains the queues, coalescing consecutive same-kind
-// operations for one destination into a single `put_batch` / `get_multi`
-// frame, so N remote operations share one wire round trip instead of N.
+// submit+wait) enqueues operations per destination rank; a pipeline worker
+// drains the queues, coalescing consecutive same-kind operations for one
+// destination into a single `put_batch` / `get_multi` frame, so N remote
+// operations share one wire round trip instead of N.  Replication-stream
+// appends run on their own lane (second worker thread) — see the Lane
+// comment below for why sharing the ops lane would deadlock under the
+// quorum commit rule.
 // While one cycle's frames are in flight, new submissions accumulate — the
 // pipeline batches *naturally* under load, no timer required (an optional
 // PAPYRUSKV_BATCH_WINDOW_US accumulation window exists for benchmarking).
@@ -113,50 +116,93 @@ class AsyncPipeline {
   OpHandle SubmitGet(int dst, uint32_t dbid, const Slice& key,
                      bool full_search);
 
+  // Enqueue one replication-stream append for follower `dst` (DESIGN.md
+  // §12).  Fire-and-forget at the submission layer — there is no OpHandle;
+  // the frame's ack (or give-up) is delivered to the shard's Replicator as
+  // OnAppendAck/OnAppendFailed from the pipeline thread.  Consecutive
+  // submissions with the same epoch and contiguous sequence numbers coalesce
+  // into one kOpReplAppend frame; `reset` starts a frame (resync marker).
+  void SubmitReplAppend(int dst, uint32_t dbid, uint32_t primary,
+                        uint64_t epoch, uint64_t seq, bool reset,
+                        uint64_t flushed_through, const Slice& key,
+                        const Slice& value, bool tombstone);
+
   // Blocks until every submitted op has completed (fence semantics for
   // async operations; see DbShard::Fence).
   void Drain();
 
  private:
   struct Submission {
-    enum class Kind { kPut, kGet };
+    enum class Kind { kPut, kGet, kRepl };
     Kind kind;
     uint32_t dbid = 0;
     std::string key;
     std::string value;
     bool tombstone = false;
     bool full_search = false;
+    // kRepl stream coordinates (see wire.h ReplAppendMeta).
+    uint32_t repl_primary = 0;
+    uint64_t repl_epoch = 0;
+    uint64_t repl_seq = 0;
+    uint64_t repl_flushed = 0;
+    bool repl_reset = false;
     uint64_t submitted_at_us = 0;  // stamped at Submit* for op latency
-    OpHandle handle;
+    OpHandle handle;               // null for kRepl (no per-op waiter)
   };
 
-  void Loop();
-  // Builds, sends, and collects acks for one swap of the queues.
+  // One worker lane: its own thread, per-destination queues and in-flight
+  // accounting (all guarded by mu_; a nested struct cannot name the outer
+  // mutex in an annotation).  The pipeline runs TWO lanes:
+  //
+  //   ops   put/get frames.  Their acks may be *deferred* by the remote
+  //         handler until the applied data reaches replication quorum
+  //         (DESIGN.md §12), i.e. until the remote's own repl_append frames
+  //         are acked.
+  //   repl  replication-stream frames.  Followers ack immediately after the
+  //         shadow apply — never deferred.
+  //
+  // The split is what makes the quorum commit rule deadlock-free: if repl
+  // frames shared the ops lane, rank A's lane could block awaiting a put
+  // ack that rank B defers until B's repl frames — queued behind B's
+  // equally blocked lane — reach rank C, closing a cross-rank wait cycle
+  // that only timeouts would break.  The repl lane never waits on anything
+  // that waits back on it.
+  struct Lane {
+    const char* name = "";  // AdoptObservability tag for the worker thread
+    uint64_t window_us = 0;
+    std::thread thread;
+    CondVar cv;  // submissions / stop
+    std::map<int, std::deque<Submission>> queues;
+    size_t queued = 0;
+    size_t inflight = 0;
+  };
+
+  void Loop(Lane* lane);
+  // Builds, sends, and collects acks for one swap of a lane's queues.
   void ProcessCycle(std::map<int, std::deque<Submission>> work);
-  void Enqueue(int dst, Submission s);
+  void Enqueue(int dst, Submission s);  // routes on s.kind
   // Records submit→completion latency (async.put_op_us / async.get_op_us);
   // call immediately before completing the handle.
   void RecordOpLatency(const Submission& s);
 
   core::KvRuntime& rt_;
   size_t batch_max_ = 256;
-  uint64_t window_us_ = 0;
 
-  std::thread thread_;
   bool started_ = false;  // Start/Stop called from the owning rank thread
 
   Mutex mu_{"async_pipe_mu"};
-  CondVar cv_;        // submissions / stop
-  CondVar drain_cv_;  // queued_ + inflight_ reached zero
+  CondVar drain_cv_;  // every lane's queued + inflight reached zero
   bool stop_ GUARDED_BY(mu_) = false;
-  std::map<int, std::deque<Submission>> queues_ GUARDED_BY(mu_);
-  size_t queued_ GUARDED_BY(mu_) = 0;
-  size_t inflight_ GUARDED_BY(mu_) = 0;
+  // Queue/counter fields guarded by mu_; name/window/thread are set before
+  // the worker starts and joined after it stops, so they need no lock.
+  Lane ops_lane_;
+  Lane repl_lane_;
 
   // Cached metrics (resolved once; see obs/metrics.h).
   obs::Gauge* g_depth_;            // async.queue_depth
   obs::Histogram* h_put_batch_;    // async.batch_size
   obs::Histogram* h_get_batch_;    // async.get_batch_size
+  obs::Histogram* h_repl_batch_;   // async.repl_batch_size
   obs::Counter* c_op_errors_;      // async.op_errors
   obs::Counter* c_frames_;         // async.frames
   // True per-op latency, submit → completion (the batched ack landing).

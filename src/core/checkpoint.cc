@@ -208,6 +208,11 @@ Status KvRuntime::Restart(const std::string& path, const std::string& name,
                           int flags, const Options& opt, int* db_out,
                           int* event_out) {
   if (!db_out) return Status::InvalidArg("restart");
+  // The restart collective is the §4.2 rejoin point: a rank that crashed
+  // (fail-stop) comes back through here, so its crashed flag lifts and every
+  // rank's stale suspicions reset — peers re-probe instead of permanently
+  // routing around a rank that has recovered.
+  ClearFaultState();
   sim::DeviceClass cls;
   std::string root;
   ParseRepositorySpec(path, &cls, &root);

@@ -5,7 +5,9 @@
 
 #include "common/env.h"
 #include "common/logging.h"
+#include "common/timer.h"
 #include "core/runtime.h"
+#include "repl/replicator.h"
 #include "store/compactor.h"
 
 namespace papyrus::core {
@@ -27,6 +29,12 @@ Options ApplyEnvOverrides(Options opt) {
   }
   if (auto v = EnvInt("PAPYRUSKV_MEMTABLE_SIZE"); v && *v > 0) {
     opt.memtable_bytes = static_cast<size_t>(*v);
+  }
+  if (auto v = EnvInt("PAPYRUSKV_REPLICAS"); v && *v >= 1) {
+    opt.replicas = static_cast<int>(*v);
+  }
+  if (auto v = EnvBool("PAPYRUSKV_READ_REPLICAS")) {
+    opt.read_from_replica = *v;
   }
   return opt;
 }
@@ -86,6 +94,9 @@ DbShard::DbShard(KvRuntime& rt, uint32_t id, std::string name, Options opt)
   m_.flushes = counter("flushes");
   m_.migrations = counter("migrations");
   m_.compactions = counter("compactions");
+  // Rank-wide replication counters (not db-scoped, never reset here).
+  m_.replica_read_hits = &reg.GetCounter("repl.replica_read_hits");
+  m_.promotions = &reg.GetCounter("repl.promotions");
   m_.memtable_local_bytes = &reg.GetGauge(p + "memtable_local_bytes");
   m_.memtable_local_bytes->Reset();
   m_.memtable_remote_bytes = &reg.GetGauge(p + "memtable_remote_bytes");
@@ -102,7 +113,17 @@ DbShard::DbShard(KvRuntime& rt, uint32_t id, std::string name, Options opt)
   m_.delete_submit_us = &reg.GetHistogram("kv.delete_submit_us");
   cache_local_.BindCounters(m_.cache_local_hits, m_.cache_local_misses);
   cache_remote_.BindCounters(m_.cache_remote_hits, m_.cache_remote_misses);
+  // Intra-group replication (DESIGN.md §12): stream this rank's partition to
+  // the next replicas−1 ranks of its storage group.  Null (off) when the
+  // effective replica set is just this rank.
+  const std::vector<int> followers = repl::FollowersOf(
+      rt_.rank(), rt_.size(), rt_.layout().group_size(), opt_.replicas);
+  if (!followers.empty()) {
+    repl_ = std::make_unique<repl::Replicator>(&rt_, id_, followers);
+  }
 }
+
+DbShard::~DbShard() = default;
 
 Status DbShard::Open() { return manifest_.Open(); }
 
@@ -127,13 +148,28 @@ Status DbShard::Put(const Slice& key, const Slice& value) {
   // Trace root: this put (and everything it triggers, up to the remote
   // handler on the owner rank) is one causal chain.
   obs::OpSpan op("kv", "put");
-  const int owner = OwnerOf(key);
+  const int hash_owner = OwnerOf(key);
+  const int owner = RouteOwner(hash_owner);
   if (owner == rt_.rank()) {
     m_.puts_local->Inc();
     return LocalPut(key, value, /*tombstone=*/false);
   }
   if (consistency_.load() == PAPYRUSKV_SEQUENTIAL) {
-    return SyncRemotePut(key, value, false, owner);
+    Status s = SyncRemotePut(key, value, false, owner);
+    if (s.code() == PAPYRUSKV_ERR_TIMEOUT && repl_ && owner == hash_owner &&
+        rt_.IsSuspect(hash_owner)) {
+      // The owner died under this put: re-route once through failover
+      // promotion and retry against whichever replica took over.
+      const int routed = RouteOwner(hash_owner);
+      if (routed != hash_owner) {
+        if (routed == rt_.rank()) {
+          m_.puts_local->Inc();
+          return LocalPut(key, value, /*tombstone=*/false);
+        }
+        return SyncRemotePut(key, value, false, routed);
+      }
+    }
+    return s;
   }
   return StageRemotePut(key, value, false, owner);
 }
@@ -149,10 +185,20 @@ Status DbShard::Delete(const Slice& key) {
   obs::ScopedLatency lat(m_.delete_us);
   obs::OpSpan op("kv", "delete");
   m_.deletes->Inc();
-  const int owner = OwnerOf(key);
+  const int hash_owner = OwnerOf(key);
+  const int owner = RouteOwner(hash_owner);
   if (owner == rt_.rank()) return LocalPut(key, Slice(), true);
   if (consistency_.load() == PAPYRUSKV_SEQUENTIAL) {
-    return SyncRemotePut(key, Slice(), true, owner);
+    Status s = SyncRemotePut(key, Slice(), true, owner);
+    if (s.code() == PAPYRUSKV_ERR_TIMEOUT && repl_ && owner == hash_owner &&
+        rt_.IsSuspect(hash_owner)) {
+      const int routed = RouteOwner(hash_owner);
+      if (routed != hash_owner) {
+        if (routed == rt_.rank()) return LocalPut(key, Slice(), true);
+        return SyncRemotePut(key, Slice(), true, routed);
+      }
+    }
+    return s;
   }
   return StageRemotePut(key, Slice(), true, owner);
 }
@@ -168,7 +214,7 @@ async::OpHandle DbShard::PutAsync(const Slice& key, const Slice& value,
     return async::CompletedOp(Status::Protected("db is read-only"));
   }
   if (tombstone) m_.deletes->Inc();
-  const int owner = OwnerOf(key);
+  const int owner = RouteOwner(OwnerOf(key));
   if (owner == rt_.rank()) {
     // Inline resolution: the submission call is the whole operation, so
     // the sync-path latency histograms stay accurate here.
@@ -206,7 +252,7 @@ async::OpHandle DbShard::GetAsync(const Slice& key) {
   if (protection_.load() == PAPYRUSKV_WRONLY) {
     return async::CompletedValueOp(Status::Protected("db is write-only"), {});
   }
-  const int owner = OwnerOf(key);
+  const int owner = RouteOwner(OwnerOf(key));
   if (owner == rt_.rank()) {
     // Inline resolution: the submission call is the whole operation.
     obs::ScopedLatency lat(m_.get_us);
@@ -258,6 +304,9 @@ Status DbShard::LocalPut(const Slice& key, const Slice& value,
     // §2.4: a stale cache entry with this key is evicted from the local
     // cache.
     cache_local_.Erase(key);
+    // Replication (DESIGN.md §12): the op gets its sequence number under
+    // local_mu_, so the stream order matches MemTable apply order exactly.
+    if (repl_) repl_->Append(key, value, tombstone);
     m_.memtable_local_bytes->Set(
         static_cast<int64_t>(local_->ApproxBytes()));
     need_rotate = local_->Full();
@@ -280,6 +329,9 @@ void DbShard::RotateLocalLocked() {
   store::MemTablePtr sealed = local_;
   sealed->Seal();
   imm_local_.push_front(sealed);
+  // Mark the seal point in the replication stream (still under local_mu_,
+  // so no append can land between the seal and the mark).
+  if (repl_) repl_->NoteSeal(sealed.get());
   local_ = std::make_shared<store::MemTable>(store::MemTable::Kind::kLocal,
                                              opt_.memtable_bytes);
   m_.memtable_local_bytes->Set(0);
@@ -367,13 +419,34 @@ Status DbShard::Get(const Slice& key, std::string* value) {
   }
   obs::ScopedLatency lat(m_.get_us);
   obs::OpSpan op("kv", "get");
-  const int owner = OwnerOf(key);
+  const int hash_owner = OwnerOf(key);
+  const int owner = RouteOwner(hash_owner);
   if (owner == rt_.rank()) {
     m_.gets_local->Inc();
     return LocalGet(key, value);
   }
   m_.gets_remote->Inc();
-  return RemoteGet(key, value);
+  if (opt_.read_from_replica && repl_ && owner == hash_owner) {
+    // Read scaling: round-robin this get over the owner's replica set; a
+    // shadow miss falls through to the authoritative owner query below.
+    Status rs;
+    if (TryReplicaRead(key, hash_owner, value, &rs)) return rs;
+  }
+  Status s = RemoteGet(key, value);
+  if (s.code() == PAPYRUSKV_ERR_TIMEOUT && repl_ && owner == hash_owner &&
+      rt_.IsSuspect(hash_owner)) {
+    // The owner died under this get: re-route once through failover
+    // promotion and retry against whichever replica took over.
+    const int routed = RouteOwner(hash_owner);
+    if (routed != hash_owner) {
+      if (routed == rt_.rank()) {
+        m_.gets_local->Inc();
+        return LocalGet(key, value);
+      }
+      return RemoteGet(key, value);
+    }
+  }
+  return s;
 }
 
 Status DbShard::LocalGet(const Slice& key, std::string* value) {
@@ -384,8 +457,16 @@ Status DbShard::LocalGet(const Slice& key, std::string* value) {
   bool found = false;
   Status s = SearchOwnSSTables(key, value, &tombstone, &found);
   if (!s.ok()) return s;
-  if (!found || tombstone) return Status::NotFound();
-  return Status::OK();
+  if (found) return tombstone ? Status::NotFound() : Status::OK();
+  if (promoted_any_.load(std::memory_order_acquire)) {
+    // This rank took over a dead primary's hash slot: its volatile tail was
+    // replayed into our MemTable (searched above); its flushed data lives
+    // in the adopted SSTables on shared NVM.
+    s = SearchPromotedSSTables(key, value, &tombstone, &found);
+    if (!s.ok()) return s;
+    if (found) return tombstone ? Status::NotFound() : Status::OK();
+  }
+  return Status::NotFound();
 }
 
 bool DbShard::SearchLocalMemory(const Slice& key, std::string* value,
@@ -497,9 +578,11 @@ Status DbShard::RemoteGet(const Slice& key, std::string* value) {
     return tombstone ? Status::NotFound() : Status::OK();
   }
   // Network leg through the pipeline (coalesced with any other outstanding
-  // gets for the same owner into one get_multi round trip).
-  async::OpHandle h =
-      rt_.pipeline().SubmitGet(OwnerOf(key), id_, key, /*full_search=*/false);
+  // gets for the same owner into one get_multi round trip).  Routed through
+  // failover promotion: deterministic here and in FinishRemoteGet because
+  // the promoted-owner cache pins the election result.
+  async::OpHandle h = rt_.pipeline().SubmitGet(RouteOwner(OwnerOf(key)), id_,
+                                               key, /*full_search=*/false);
   Status s = h->Wait();
   if (!s.ok()) return s;  // PAPYRUSKV_ERR_TIMEOUT: owner unresponsive
   return FinishRemoteGet(key, h->TakeResp(), value);
@@ -520,7 +603,7 @@ Status DbShard::FinishRemoteGet(const Slice& key, GetResp resp,
   }
 
   if (resp.same_group && !resp.ssids.empty()) {
-    const int owner = OwnerOf(key);
+    const int owner = RouteOwner(OwnerOf(key));
     // §2.7: the pair is not in the owner's memory, but may be in its
     // SSTables on the shared NVM — read them directly, no value transfer.
     bool found = false;
@@ -580,7 +663,14 @@ Status DbShard::SearchForeignSSTables(int owner,
     }
     if (!reader) {
       Status s = store::Manifest::OpenForeign(dir, ssid, &reader);
-      if (s.IsNotFound()) continue;  // gap: compacted or never existed
+      // Every advertised SSID was live at response time, so a missing file
+      // means the owner compacted while this read was in flight — and the
+      // compaction may have purged a tombstone (or newer version) that this
+      // very table held.  Skipping the gap and reading on could then find a
+      // *stale* version in an older table that is still readable (e.g. via
+      // a cached reader), resurrecting deleted keys.  The whole snapshot is
+      // broken: abort so FinishRemoteGet re-queries the owner.
+      if (s.IsNotFound()) return s;
       if (!s.ok()) return s;
       MutexLock lock(&foreign_mu_);
       foreign_readers_[{owner, ssid}] = reader;
@@ -600,6 +690,194 @@ Status DbShard::SearchForeignSSTables(int owner,
     }
   }
   return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Replication / failover (DESIGN.md §12)
+// ---------------------------------------------------------------------------
+
+int DbShard::RouteOwner(int owner) {
+  if (!repl_ || owner == rt_.rank()) return owner;
+  if (!rt_.IsSuspect(owner)) return owner;
+  MutexLock lock(&promo_mu_);
+  const int promoted = PromotedOwnerLocked(owner);
+  return promoted < 0 ? owner : promoted;
+}
+
+int DbShard::PromotedOwnerLocked(int dead) {
+  auto cached = promoted_owner_.find(dead);
+  if (cached != promoted_owner_.end()) return cached->second;
+  // repl.promote.race widens the election window under test: two ranks
+  // electing concurrently must still converge, which the deterministic
+  // scoring below guarantees (same probes -> same winner).
+  if (fault::Enabled() &&
+      fault::Registry::Instance().GetPoint("repl.promote.race").Fire()) {
+    PreciseSleepMicros(2000);
+  }
+  const std::vector<int> candidates = repl::FollowersOf(
+      dead, rt_.size(), rt_.layout().group_size(), opt_.replicas);
+  // Most-caught-up wins: in-sync beats stale, then highest epoch, then
+  // highest applied sequence, then lowest rank as the deterministic
+  // tie-break every elector computes identically.
+  int best = -1;
+  uint64_t best_epoch = 0, best_seq = 0;
+  bool best_in_sync = false;
+  for (int c : candidates) {
+    uint64_t epoch = 0, seq = 0;
+    bool in_sync = false;
+    if (c == rt_.rank()) {
+      repl_->QueryShadow(dead, &epoch, &seq, &in_sync);
+    } else {
+      if (rt_.IsSuspect(c)) continue;
+      const uint32_t tag = rt_.AllocRespTag();
+      std::string req =
+          EncodeReplQuery(id_, tag, static_cast<uint32_t>(dead),
+                          /*promote=*/false);
+      net::Message reply;
+      Status s =
+          rt_.RequestReply(c, kOpReplQuery, req, static_cast<int>(tag),
+                           &reply);
+      if (!s.ok()) continue;
+      if (!DecodeReplQueryResp(reply.payload, &epoch, &seq, &in_sync)) {
+        continue;
+      }
+    }
+    const bool better = best < 0 || (in_sync != best_in_sync ? in_sync
+                                     : epoch != best_epoch   ? epoch > best_epoch
+                                     : seq != best_seq       ? seq > best_seq
+                                                             : c < best);
+    if (better) {
+      best = c;
+      best_epoch = epoch;
+      best_seq = seq;
+      best_in_sync = in_sync;
+    }
+  }
+  if (best < 0) return -1;  // nobody answered; not cached, re-elect later
+  if (best == rt_.rank()) {
+    if (!PromoteSelfLocked(dead).ok()) return -1;
+  } else {
+    const uint32_t tag = rt_.AllocRespTag();
+    std::string req = EncodeReplQuery(id_, tag, static_cast<uint32_t>(dead),
+                                      /*promote=*/true);
+    net::Message reply;
+    Status s = rt_.RequestReply(best, kOpReplQuery, req,
+                                static_cast<int>(tag), &reply);
+    if (!s.ok()) return -1;
+    uint64_t e = 0, q = 0;
+    bool promoted_ok = false;
+    if (!DecodeReplQueryResp(reply.payload, &e, &q, &promoted_ok) ||
+        !promoted_ok) {
+      return -1;
+    }
+  }
+  promoted_owner_[dead] = best;
+  PLOG_WARN << "failover: rank " << best << " promoted for dead rank "
+            << dead << " (epoch " << best_epoch << ", seq " << best_seq
+            << ")";
+  return best;
+}
+
+Status DbShard::PromoteSelf(int primary) {
+  MutexLock lock(&promo_mu_);
+  return PromoteSelfLocked(primary);
+}
+
+bool DbShard::HasPromoted(int primary) {
+  MutexLock lock(&promo_mu_);
+  return promoted_sources_.count(primary) > 0;
+}
+
+Status DbShard::PromoteSelfLocked(int primary) {
+  if (!repl_) return Status::InvalidArg("replication is off");
+  if (promoted_sources_.count(primary) > 0) return Status::OK();
+  // Zero-data-loss takeover: replay the shadow log tail (the dead primary's
+  // volatile ops above its flush watermark) into our own partition — these
+  // re-replicate through our own stream — then adopt its SSTables from
+  // shared NVM (§2.7 makes them directly readable; a dead rank can no
+  // longer compact them away).
+  uint64_t shadow_seq = 0;
+  const std::vector<KvRecord> tail =
+      repl_->TakeShadowLog(primary, &shadow_seq);
+  for (const KvRecord& r : tail) {
+    Status s = LocalPut(r.key, r.value, r.tombstone);
+    if (!s.ok()) return s;
+  }
+  std::vector<uint64_t> ssids;
+  Status s =
+      store::Manifest::ListSsids(rt_.layout().RankDir(name_, primary), &ssids);
+  if (!s.ok()) return s;
+  promoted_sstables_[primary] = std::move(ssids);
+  promoted_sources_.insert(primary);
+  // Routing shortcut + convergence: this rank now serves the partition, so
+  // its own elections resolve here without probing, and HasPromoted lets
+  // remote electors' probes converge on this rank even after TakeShadowLog
+  // emptied the shadow they would otherwise score.
+  promoted_owner_[primary] = rt_.rank();
+  promoted_any_.store(true, std::memory_order_release);
+  m_.promotions->Inc();
+  rt_.flight().Record(obs::FlightKind::kPromote, "takeover", primary,
+                      static_cast<int64_t>(shadow_seq));
+  PLOG_WARN << "promoted: serving rank " << primary << "'s partition ("
+            << tail.size() << " volatile ops replayed, shadow seq "
+            << shadow_seq << ")";
+  return Status::OK();
+}
+
+Status DbShard::SearchPromotedSSTables(const Slice& key, std::string* value,
+                                       bool* tombstone, bool* found) {
+  *found = false;
+  std::map<int, std::vector<uint64_t>> adopted;
+  {
+    MutexLock lock(&promo_mu_);
+    adopted = promoted_sstables_;
+  }
+  for (const auto& [dead, ssids] : adopted) {
+    Status s = SearchForeignSSTables(dead, ssids, key, value, tombstone,
+                                     found);
+    // Unlike live §2.7 shared reads, the dead rank cannot compact these
+    // tables concurrently, so a vanished table is not a consistency hazard
+    // for the remaining ones — keep searching the other adopted sets.
+    if (!s.ok() && !s.IsNotFound()) return s;
+    if (*found) return Status::OK();
+  }
+  return Status::OK();
+}
+
+bool DbShard::TryReplicaRead(const Slice& key, int owner, std::string* value,
+                             Status* out) {
+  const std::vector<int> followers = repl::FollowersOf(
+      owner, rt_.size(), rt_.layout().group_size(), opt_.replicas);
+  if (followers.empty()) return false;
+  // Round-robin over {owner} ∪ followers; slot 0 falls through so the
+  // owner keeps taking its share of the reads.
+  const size_t n = followers.size() + 1;
+  const size_t pick =
+      replica_rr_.fetch_add(1, std::memory_order_relaxed) % n;
+  if (pick == 0) return false;
+  const int replica = followers[pick - 1];
+  bool ok = false, found = false, tombstone = false;
+  if (replica == rt_.rank()) {
+    // This rank backs the owner itself: serve straight from its own shadow.
+    if (!repl_->ShadowGet(owner, key, value, &tombstone)) return false;
+    found = true;
+  } else {
+    if (rt_.IsSuspect(replica)) return false;
+    const uint32_t tag = rt_.AllocRespTag();
+    std::string req =
+        EncodeReplRead(id_, tag, static_cast<uint32_t>(owner), key);
+    net::Message reply;
+    Status s = rt_.RequestReply(replica, kOpReplRead, req,
+                                static_cast<int>(tag), &reply);
+    if (!s.ok()) return false;
+    if (!DecodeReplReadResp(reply.payload, &ok, &found, &tombstone, value)) {
+      return false;
+    }
+    if (!ok) return false;  // shadow miss: not authoritative, use the owner
+  }
+  m_.replica_read_hits->Inc();
+  *out = (!found || tombstone) ? Status::NotFound() : Status::OK();
+  return true;
 }
 
 // ---------------------------------------------------------------------------
@@ -632,8 +910,13 @@ std::vector<int32_t> DbShard::ApplyBatch(const std::vector<KvRecord>& records) {
 
 GetResp DbShard::HandleRemoteGet(const Slice& key, uint32_t caller_group) {
   GetResp resp;
+  // A promoted rank serves data the advertised SSID list cannot cover (the
+  // adopted dead-rank tables), so §2.7 shared reads are disabled and every
+  // same-group caller takes the authoritative full-search path here.
   resp.same_group =
-      caller_group == static_cast<uint32_t>(rt_.layout().GroupOf(rt_.rank()));
+      caller_group ==
+          static_cast<uint32_t>(rt_.layout().GroupOf(rt_.rank())) &&
+      !promoted_any_.load(std::memory_order_acquire);
 
   std::string value;
   bool tombstone = false;
@@ -666,6 +949,10 @@ GetResp DbShard::HandleRemoteGet(const Slice& key, uint32_t caller_group) {
   {
     obs::TraceSpan sp("store", "search.sstable");
     s = SearchOwnSSTables(key, &value, &tombstone, &found);
+  }
+  if (s.ok() && !found && promoted_any_.load(std::memory_order_acquire)) {
+    obs::TraceSpan sp("store", "search.promoted");
+    s = SearchPromotedSSTables(key, &value, &tombstone, &found);
   }
   if (s.ok() && found) {
     resp.found = true;
@@ -724,6 +1011,9 @@ Status DbShard::FlushImmutable(const store::MemTablePtr& mem) {
                << "); keeping " << mem->Count()
                << " records searchable in memory";
   }
+  // Replication watermark: this MemTable's ops are on shared NVM now, so
+  // followers may trim their shadow logs (a failed flush keeps the log).
+  if (repl_ && s.ok()) repl_->NoteFlushed(mem.get());
   if (s.ok()) {
     store::CompactionStats cstats;
     const size_t before = manifest_.TableCount();
@@ -777,6 +1067,9 @@ void DbShard::DropVolatile() {
   }
   cache_local_.Clear();
   cache_remote_.Clear();
+  // Fail-stop: the crashed rank's replication stream dies with its volatile
+  // state; followers NACK the gap on any later restart and resync.
+  if (repl_) repl_->Reset();
 }
 
 void DbShard::MigrationFinished(const store::MemTablePtr& mem) {
@@ -833,6 +1126,11 @@ Status DbShard::Fence() {
     }
   }
   WaitMigrationsDrained();
+  // Replication commit rule (DESIGN.md §12): a fenced put is durable on
+  // ⌊k/2⌋+1 replicas before the fence completes.  Remote puts already gated
+  // through the owners' deferred batch/migration acks; this waits out the
+  // quorum for this rank's *own* local puts.
+  if (repl_) repl_->WaitLocalDurable();
   return reap;
 }
 

@@ -28,6 +28,7 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -42,6 +43,10 @@
 #include "store/cache.h"
 #include "store/manifest.h"
 #include "store/memtable.h"
+
+namespace papyrus::repl {
+class Replicator;
+}  // namespace papyrus::repl
 
 namespace papyrus::core {
 
@@ -72,6 +77,7 @@ struct DbStats {
 class DbShard : public std::enable_shared_from_this<DbShard> {
  public:
   DbShard(KvRuntime& rt, uint32_t id, std::string name, Options opt);
+  ~DbShard();  // out-of-line: repl::Replicator is incomplete here
 
   // Recovers/creates on-NVM state.  Zero-copy reopen (§4.1): any SSTables
   // already present in this rank's directory are adopted as-is.
@@ -150,6 +156,19 @@ class DbShard : public std::enable_shared_from_this<DbShard> {
   // Owner rank of a key: hash % nranks.
   int OwnerOf(const Slice& key) const;
 
+  // ---- Replication / failover (DESIGN.md §12) ----
+  // Null when the effective replica count is 1.
+  repl::Replicator* replicator() { return repl_.get(); }
+  // Handler-side promotion entry point (kOpReplQuery promote=1): this rank
+  // takes over serving `primary`'s hash slot — replays the shadow log tail
+  // into its own local MemTable and adopts the dead rank's SSTables.
+  // Idempotent per primary.
+  Status PromoteSelf(int primary);
+  // True once PromoteSelf succeeded for `primary`.  Election probes use it
+  // to report an already-promoted rank as maximally caught-up (its shadow
+  // was consumed by the takeover), so every elector converges on it.
+  bool HasPromoted(int primary);
+
   // Simulated power loss (rank.crash failpoint): discards all volatile
   // state — mutable and sealed MemTables, both caches.  The NVM image
   // (SSTables + manifest) survives, exactly like the §4.2 failure model.
@@ -212,6 +231,26 @@ class DbShard : public std::enable_shared_from_this<DbShard> {
   void WaitFlushesDrained();
   void WaitMigrationsDrained();
 
+  // ---- Failover routing (DESIGN.md §12) ----
+  // Resolves the rank that currently serves `owner`'s hash slot: `owner`
+  // itself while it is healthy, else the promoted replica elected by
+  // PromotedOwnerLocked.  Returns `owner` unchanged when replication is off
+  // or no replica could be promoted.
+  int RouteOwner(int owner);
+  // Elects and (if needed) triggers promotion of the most-caught-up in-sync
+  // follower for dead rank `dead`; caches the winner.  -1 when no candidate
+  // answered.
+  int PromotedOwnerLocked(int dead) REQUIRES(promo_mu_);
+  Status PromoteSelfLocked(int primary) REQUIRES(promo_mu_);
+  // Searches the SSTables adopted from promoted-away primaries.
+  Status SearchPromotedSSTables(const Slice& key, std::string* value,
+                                bool* tombstone, bool* found);
+  // Read-from-replica (PAPYRUSKV_READ_REPLICAS): round-robins the get over
+  // the owner's replica set.  True when the replica answered
+  // authoritatively (*out filled); false = fall through to the owner path.
+  bool TryReplicaRead(const Slice& key, int owner, std::string* value,
+                      Status* out);
+
   KvRuntime& rt_;
   const uint32_t id_;
   const std::string name_;
@@ -255,6 +294,19 @@ class DbShard : public std::enable_shared_from_this<DbShard> {
   std::map<std::pair<int, uint64_t>, store::SSTablePtr> foreign_readers_
       GUARDED_BY(foreign_mu_);
 
+  // Intra-group replication engine (null when the effective replica count
+  // is 1).  Lock order: promo_mu_ -> local_mu_ -> the replicator's mu_;
+  // promo_mu_ additionally serializes elections so one rank never promotes
+  // two different replicas for the same dead primary.
+  std::unique_ptr<repl::Replicator> repl_;
+  Mutex promo_mu_{"db_promo_mu"};
+  std::map<int, int> promoted_owner_ GUARDED_BY(promo_mu_);   // dead -> serving
+  std::set<int> promoted_sources_ GUARDED_BY(promo_mu_);      // primaries taken over
+  std::map<int, std::vector<uint64_t>> promoted_sstables_
+      GUARDED_BY(promo_mu_);  // dead rank -> adopted SSIDs (descending)
+  std::atomic<bool> promoted_any_{false};
+  std::atomic<uint64_t> replica_rr_{0};  // read-from-replica round robin
+
   // Outstanding background work counters.  drain_mu_ is last in the
   // canonical order: it is taken while no other shard lock is held.
   Mutex drain_mu_{"db_drain_mu"};
@@ -286,6 +338,8 @@ class DbShard : public std::enable_shared_from_this<DbShard> {
     obs::Counter* flushes;
     obs::Counter* migrations;
     obs::Counter* compactions;
+    obs::Counter* replica_read_hits;  // repl.replica_read_hits (rank-wide)
+    obs::Counter* promotions;         // repl.promotions (rank-wide)
     obs::Gauge* memtable_local_bytes;
     obs::Gauge* memtable_remote_bytes;
     // Rank-wide operation latencies (shared across this rank's databases).

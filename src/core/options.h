@@ -59,6 +59,15 @@ struct Options {
   // Storage-group size in ranks; -1 = derive from topology (ranks/node) or
   // PAPYRUSKV_GROUP_SIZE.
   int group_size = -1;
+
+  // --- intra-group replication (DESIGN.md §12) ---
+  // Copies of each rank's partition inside its storage group, counting the
+  // primary: 1 = no replication (today's behavior).  Clamped to the group
+  // size; PAPYRUSKV_REPLICAS overrides.
+  int replicas = 1;
+  // Allow gets on a replicated slot to be served from an in-sync follower's
+  // shadow MemTable (round-robin); PAPYRUSKV_READ_REPLICAS=1 overrides.
+  bool read_from_replica = false;
 };
 
 }  // namespace papyrus::core

@@ -43,6 +43,8 @@ Options ToOptions(const papyruskv_option_t* opt) {
   }
   o.sstable_binary_search = opt->bin_search != 0;
   o.group_size = opt->group_size;
+  if (opt->replicas >= 1) o.replicas = opt->replicas;
+  o.read_from_replica = opt->read_from_replica != 0;
   return o;
 }
 
@@ -66,6 +68,8 @@ int papyruskv_option_init(papyruskv_option_t* opt) {
   opt->bloom_bits_per_key = d.bloom_bits_per_key;
   opt->bin_search = d.sstable_binary_search ? 1 : 0;
   opt->group_size = d.group_size;
+  opt->replicas = d.replicas;
+  opt->read_from_replica = d.read_from_replica ? 1 : 0;
   return PAPYRUSKV_SUCCESS;
 }
 
@@ -202,6 +206,62 @@ int papyruskv_delete_async(papyruskv_db_t db, const char* key, size_t keylen,
   op.handle = std::move(h);
   *event = rt->RegisterAsyncOp(std::move(op));
   return PAPYRUSKV_SUCCESS;
+}
+
+int papyruskv_get_multi(papyruskv_db_t db, int nkeys, const char* const* keys,
+                        const size_t* keylens, char** values, size_t* vallens,
+                        int* statuses) {
+  KvRuntime* rt = Rt();
+  if (!rt) return PAPYRUSKV_CLOSED;
+  if (nkeys < 0 || !keys || !keylens || !values || !vallens || !statuses) {
+    return PAPYRUSKV_INVALID_ARG;
+  }
+  DbShardPtr shard = rt->Find(db);
+  if (!shard) return PAPYRUSKV_INVALID_DB;
+  // Submit everything first: outstanding gets for one owner coalesce into a
+  // single get_multi frame when the pipeline thread drains the queues.
+  std::vector<papyrus::async::OpHandle> handles;
+  handles.reserve(static_cast<size_t>(nkeys));
+  for (int i = 0; i < nkeys; ++i) {
+    if (!keys[i]) {
+      handles.push_back(
+          papyrus::async::CompletedOp(Status::InvalidArg("null key")));
+      continue;
+    }
+    handles.push_back(shard->GetAsync(papyrus::Slice(keys[i], keylens[i])));
+  }
+  int rc = PAPYRUSKV_SUCCESS;
+  for (int i = 0; i < nkeys; ++i) {
+    std::string out;
+    const papyrus::Slice key(keys[i] ? keys[i] : "",
+                             keys[i] ? keylens[i] : 0);
+    Status s = shard->FinishGet(key, handles[static_cast<size_t>(i)], &out);
+    int code = s.code();
+    if (s.ok()) {
+      // Per-key delivery under the papyruskv_get buffer contract.
+      if (values[i] == nullptr) {
+        char* buf = rt->AllocValue(out.size());
+        if (!buf) {
+          code = PAPYRUSKV_OUT_OF_MEMORY;
+        } else {
+          memcpy(buf, out.data(), out.size());
+          values[i] = buf;
+          vallens[i] = out.size();
+        }
+      } else if (vallens[i] < out.size()) {
+        code = PAPYRUSKV_INVALID_ARG;
+      } else {
+        memcpy(values[i], out.data(), out.size());
+        vallens[i] = out.size();
+      }
+    }
+    statuses[i] = code;
+    if (code != PAPYRUSKV_SUCCESS && code != PAPYRUSKV_NOT_FOUND &&
+        rc == PAPYRUSKV_SUCCESS) {
+      rc = code;
+    }
+  }
+  return rc;
 }
 
 int papyruskv_signal_notify(int signum, int* ranks, int count) {

@@ -54,6 +54,11 @@ typedef struct papyruskv_option_struct {
   int bloom_bits_per_key;
   int bin_search;             // 1 = SSData binary search, 0 = linear scan
   int group_size;             // storage-group size in ranks (-1 = derive)
+  // Intra-group replication (DESIGN.md §12).  New fields append at the end:
+  // existing callers that memset+init the struct keep working unchanged.
+  int replicas;               // copies of each pair inside the storage
+                              // group, primary included (1 = off)
+  int read_from_replica;      // 1 = round-robin gets over in-sync replicas
 } papyruskv_option_t;
 
 // Fills *opt with the library defaults.
@@ -143,6 +148,20 @@ typedef struct papyruskv_option_struct {
 [[nodiscard]] int papyruskv_delete_async(papyruskv_db_t db, const char* key,
                                          size_t keylen,
                                          papyruskv_event_t* event);
+
+// Batched get: looks up nkeys keys in one call.  Submits every key through
+// the pipeline first and only then completes them, so keys owned by the
+// same remote rank coalesce into one get_multi wire round trip (the same
+// frames N separate get_asyncs would produce, without the event
+// bookkeeping).  values[i]/vallens[i] follow the papyruskv_get buffer
+// contract per key.  statuses is required and receives one PAPYRUSKV_*
+// code per key (PAPYRUSKV_NOT_FOUND is a per-key result, not a call
+// failure).  Returns PAPYRUSKV_SUCCESS when every status is SUCCESS or
+// NOT_FOUND, else the first other per-key failure.
+[[nodiscard]] int papyruskv_get_multi(papyruskv_db_t db, int nkeys,
+                                      const char* const* keys,
+                                      const size_t* keylens, char** values,
+                                      size_t* vallens, int* statuses);
 
 // ---- (c) Consistency -------------------------------------------------------
 

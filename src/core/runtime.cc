@@ -10,6 +10,7 @@
 #include "common/logging.h"
 #include "common/timer.h"
 #include "obs/export.h"
+#include "repl/replicator.h"
 
 namespace papyrus::core {
 
@@ -26,6 +27,9 @@ const char* OpName(int op) {
     case kOpShutdown: return "shutdown";
     case kOpPutBatch: return "put_batch";
     case kOpGetMulti: return "get_multi";
+    case kOpReplAppend: return "repl_append";
+    case kOpReplQuery: return "repl_query";
+    case kOpReplRead: return "repl_read";
   }
   return "other";
 }
@@ -128,7 +132,9 @@ KvRuntime::KvRuntime(net::RankContext& ctx, const std::string& repository)
       flush_queue_(kDefaultQueueDepth),
       migration_queue_(kDefaultQueueDepth),
       retry_(fault::RetryPolicy::FromEnv()),
-      crash_point_(&fault::Registry::Instance().GetPoint("rank.crash")) {
+      crash_point_(&fault::Registry::Instance().GetPoint("rank.crash")),
+      repl_drop_point_(
+          &fault::Registry::Instance().GetPoint("repl.append.drop")) {
   // Resolve the runtime's hot-path metrics once; updates are then lock-free.
   g_flush_q_ = &metrics_.GetGauge("net.flush_queue_depth");
   g_mig_q_ = &metrics_.GetGauge("net.migration_queue_depth");
@@ -402,6 +408,11 @@ void KvRuntime::HandlerLoop() {
     // analyze:allow-proto-deadlock: shutdown is delivered as a loopback
     // kOpShutdown message that cannot be lost, so this wait always ends
     net::Message m = req_comm_.Recv();
+    // Fail-stop (§4.2): a crashed rank must not answer requests — a reply
+    // served from its emptied store would read as an authoritative miss and
+    // mask the failover path.  Only the loopback shutdown is still honored;
+    // peers see silence and drive their own retry/suspect/promotion logic.
+    if (crashed() && m.tag != kOpShutdown) continue;
     // Service time only (the Recv wait above is idle time, not load).
     obs::ScopedLatency lat(h_handler_us_);
     switch (m.tag) {
@@ -423,6 +434,15 @@ void KvRuntime::HandlerLoop() {
         break;
       case kOpGetMulti:
         HandleGetMulti(m);
+        break;
+      case kOpReplAppend:
+        HandleReplAppend(m);
+        break;
+      case kOpReplQuery:
+        HandleReplQuery(m);
+        break;
+      case kOpReplRead:
+        HandleReplRead(m);
         break;
       case kOpShutdown:
         return;
@@ -456,7 +476,19 @@ void KvRuntime::HandleMigrateChunk(const net::Message& m, bool sync_put) {
     PLOG_WARN << "handler: " << (sync_put ? "put" : "migration")
               << " for unknown db " << dbid;
   }
-  // Ack after application — fences rely on this ordering.
+  // Ack after application — fences rely on this ordering.  Under
+  // replication the ack additionally waits for the applied ops to reach
+  // quorum (DESIGN.md §12); the deferred closure fires from the pipeline
+  // thread when the append acks land, so the handler never blocks here.
+  if (db) {
+    if (repl::Replicator* r = db->replicator()) {
+      const int src = m.src;
+      const int tag = static_cast<int>(resp_tag);
+      r->AckWhenDurable(r->last_seq(),
+                        [this, src, tag] { SendResponse(src, tag, Slice()); });
+      return;
+    }
+  }
   SendResponse(m.src, static_cast<int>(resp_tag), Slice());
 }
 
@@ -500,9 +532,23 @@ void KvRuntime::HandlePutBatch(const net::Message& m) {
     PLOG_WARN << "handler: put batch for unknown db " << dbid;
   }
   // One batched ack, sent after application (fences rely on this ordering),
-  // carrying one status per op so partial failures surface per op.
-  SendResponse(m.src, static_cast<int>(resp_tag),
-               EncodePutBatchAck(statuses, span.context()));
+  // carrying one status per op so partial failures surface per op.  Under
+  // replication the ack is deferred until every op of the batch reached
+  // quorum (DESIGN.md §12): the writer's fenced event completes only once
+  // the data survives this rank's death.
+  std::string ack = EncodePutBatchAck(statuses, span.context());
+  if (db) {
+    if (repl::Replicator* r = db->replicator()) {
+      const int src = m.src;
+      const int tag = static_cast<int>(resp_tag);
+      r->AckWhenDurable(r->last_seq(),
+                        [this, src, tag, ack = std::move(ack)] {
+                          SendResponse(src, tag, ack);
+                        });
+      return;
+    }
+  }
+  SendResponse(m.src, static_cast<int>(resp_tag), ack);
 }
 
 void KvRuntime::HandleGetMulti(const net::Message& m) {
@@ -530,6 +576,104 @@ void KvRuntime::HandleGetMulti(const net::Message& m) {
   }
   SendResponse(m.src, static_cast<int>(resp_tag),
                EncodeGetMultiResp(results, span.context()));
+}
+
+void KvRuntime::HandleReplAppend(const net::Message& m) {
+  uint32_t dbid = 0, resp_tag = 0;
+  ReplAppendMeta meta;
+  std::vector<KvRecord> records;
+  obs::TraceContext ctx;
+  if (!DecodeReplAppend(m.payload, &dbid, &resp_tag, &meta, &records, &ctx)) {
+    PLOG_ERROR << "handler: malformed repl append from rank " << m.src;
+    return;
+  }
+  obs::OpSpan span("net", "handle.repl_append", ctx);
+  RecordQueueWait(m);
+  if (fault::Enabled() && repl_drop_point_->Fire()) {
+    // Injected stream loss: no ack, so the primary's frame retry redelivers
+    // and the follower's sequence check deduplicates the replay.
+    flight_.Record(obs::FlightKind::kFailpoint, "repl.append.drop", m.src);
+    return;
+  }
+  repl::Replicator::ApplyResult r;
+  DbShardPtr db = Find(static_cast<int>(dbid));
+  if (db && db->replicator()) {
+    r = db->replicator()->ApplyReplAppend(meta, records);
+  } else {
+    // Replication not configured on this rank (mixed options).  NACK with
+    // epoch 0 — never a live stream epoch, so the primary ignores it rather
+    // than entering a resync loop; this follower simply never acks.
+    r.ok = false;
+    r.epoch = 0;
+    r.acked_seq = 0;
+  }
+  SendResponse(m.src, static_cast<int>(resp_tag),
+               EncodeReplAppendAck(r.epoch, r.acked_seq, r.ok,
+                                   span.context()));
+}
+
+void KvRuntime::HandleReplQuery(const net::Message& m) {
+  uint32_t dbid = 0, resp_tag = 0, primary = 0;
+  bool promote = false;
+  obs::TraceContext ctx;
+  if (!DecodeReplQuery(m.payload, &dbid, &resp_tag, &primary, &promote,
+                       &ctx)) {
+    PLOG_ERROR << "handler: malformed repl query from rank " << m.src;
+    return;
+  }
+  obs::OpSpan span("net", "handle.repl_query", ctx);
+  RecordQueueWait(m);
+  uint64_t epoch = 0, last_seq = 0;
+  bool in_sync = false;
+  DbShardPtr db = Find(static_cast<int>(dbid));
+  if (db && db->replicator()) {
+    // Report the shadow's pre-promotion progress: promotion consumes the
+    // shadow log, so the probe result must be captured first.
+    db->replicator()->QueryShadow(static_cast<int>(primary), &epoch,
+                                  &last_seq, &in_sync);
+    if (db->HasPromoted(static_cast<int>(primary))) {
+      // Already serving this partition (the takeover emptied the shadow the
+      // probe just scored).  Report maximal progress so every later elector
+      // converges here instead of promoting a second, diverging replica.
+      epoch = UINT64_MAX;
+      in_sync = true;
+    }
+    if (promote) {
+      Status s = db->PromoteSelf(static_cast<int>(primary));
+      if (!s.ok()) {
+        PLOG_ERROR << "promotion for dead rank " << primary
+                   << " failed: " << s.ToString();
+        in_sync = false;  // the elector treats the reply as a refusal
+      }
+    }
+  }
+  SendResponse(m.src, static_cast<int>(resp_tag),
+               EncodeReplQueryResp(epoch, last_seq, in_sync, span.context()));
+}
+
+void KvRuntime::HandleReplRead(const net::Message& m) {
+  uint32_t dbid = 0, resp_tag = 0, primary = 0;
+  std::string key;
+  obs::TraceContext ctx;
+  if (!DecodeReplRead(m.payload, &dbid, &resp_tag, &primary, &key, &ctx)) {
+    PLOG_ERROR << "handler: malformed repl read from rank " << m.src;
+    return;
+  }
+  obs::OpSpan span("net", "handle.repl_read", ctx);
+  RecordQueueWait(m);
+  // A shadow hit (including a tombstone) is authoritative for the volatile
+  // tail; a miss is NOT a not-found — the shadow only covers the stream
+  // since the last reset — so ok=0 sends the caller back to the owner.
+  bool ok = false, tombstone = false;
+  std::string value;
+  DbShardPtr db = Find(static_cast<int>(dbid));
+  if (db && db->replicator()) {
+    ok = db->replicator()->ShadowGet(static_cast<int>(primary), key, &value,
+                                     &tombstone);
+  }
+  SendResponse(m.src, static_cast<int>(resp_tag),
+               EncodeReplReadResp(ok, /*found=*/ok, tombstone, value,
+                                  span.context()));
 }
 
 // ---------------------------------------------------------------------------
@@ -642,6 +786,12 @@ void KvRuntime::MarkSuspect(int rank) {
 bool KvRuntime::IsSuspect(int rank) {
   MutexLock lock(&suspect_mu_);
   return suspects_.count(rank) > 0;
+}
+
+void KvRuntime::ClearFaultState() {
+  crashed_.store(false, std::memory_order_release);
+  MutexLock lock(&suspect_mu_);
+  suspects_.clear();
 }
 
 // ---------------------------------------------------------------------------

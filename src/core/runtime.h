@@ -198,6 +198,10 @@ class KvRuntime {
   // Peer-health bookkeeping: a peer that exhausted its retries is suspect.
   void MarkSuspect(int rank);
   bool IsSuspect(int rank);
+  // Restart (§4.2): the rank rejoins service — clear the simulated-crash
+  // flag and forget suspects.  Called from the collective restart path, so
+  // every rank's view resets together.
+  void ClearFaultState();
 
   // Collective barrier for application-thread collectives (papyruskv
   // barrier/consistency/protect/open/close).  PAPYRUSKV_ERR_TIMEOUT when a
@@ -237,6 +241,9 @@ class KvRuntime {
   void HandleGetReq(const net::Message& m);
   void HandlePutBatch(const net::Message& m);
   void HandleGetMulti(const net::Message& m);
+  void HandleReplAppend(const net::Message& m);
+  void HandleReplQuery(const net::Message& m);
+  void HandleReplRead(const net::Message& m);
 
   // Flips crashed_ (once) and discards all shards' volatile state — the
   // simulated power loss of §4.2's failure model.
@@ -285,7 +292,8 @@ class KvRuntime {
   fault::RetryPolicy retry_;
   std::atomic<bool> crashed_{false};
   std::atomic<int> resp_tag_seq_{kDynamicRespTagBase};
-  fault::Point* crash_point_;  // cached rank.crash failpoint
+  fault::Point* crash_point_;      // cached rank.crash failpoint
+  fault::Point* repl_drop_point_;  // cached repl.append.drop failpoint
 
   Mutex suspect_mu_{"rt_suspect_mu"};
   std::set<int> suspects_ GUARDED_BY(suspect_mu_);

@@ -321,4 +321,199 @@ bool DecodeGetMultiResp(const Slice& payload,
   return in.empty();
 }
 
+std::string EncodeReplAppend(uint32_t dbid, uint32_t resp_tag,
+                             const ReplAppendMeta& meta,
+                             const std::vector<KvRecord>& records,
+                             const obs::TraceContext& trace_ctx) {
+  std::string out;
+  PutTraceCtx(&out, trace_ctx);
+  out.push_back(static_cast<char>(kBatchVersion));
+  PutFixed32(&out, dbid);
+  PutFixed32(&out, resp_tag);
+  PutFixed32(&out, meta.primary);
+  PutFixed64(&out, meta.epoch);
+  PutFixed64(&out, meta.first_seq);
+  PutFixed64(&out, meta.flushed_through);
+  out.push_back(meta.reset ? 1 : 0);
+  PutFixed32(&out, static_cast<uint32_t>(records.size()));
+  for (const KvRecord& r : records) {
+    PutLengthPrefixed(&out, r.key);
+    PutLengthPrefixed(&out, r.value);
+    out.push_back(r.tombstone ? 1 : 0);
+  }
+  return out;
+}
+
+bool DecodeReplAppend(const Slice& payload, uint32_t* dbid,
+                      uint32_t* resp_tag, ReplAppendMeta* meta,
+                      std::vector<KvRecord>* records,
+                      obs::TraceContext* trace_ctx) {
+  Slice in = payload;
+  if (!GetTraceCtx(&in, trace_ctx)) return false;
+  if (!GetBatchVersion(&in)) return false;
+  if (!GetFixed32(&in, dbid) || !GetFixed32(&in, resp_tag) ||
+      !GetFixed32(&in, &meta->primary) || !GetFixed64(&in, &meta->epoch) ||
+      !GetFixed64(&in, &meta->first_seq) ||
+      !GetFixed64(&in, &meta->flushed_through) || in.empty()) {
+    return false;
+  }
+  meta->reset = in[0] != 0;
+  in.remove_prefix(1);
+  uint32_t count = 0;
+  if (!GetFixed32(&in, &count)) return false;
+  records->clear();
+  records->reserve(ReserveBound(count, in, 3));
+  for (uint32_t i = 0; i < count; ++i) {
+    Slice key, value;
+    if (!GetLengthPrefixed(&in, &key) || !GetLengthPrefixed(&in, &value) ||
+        in.empty()) {
+      return false;
+    }
+    KvRecord r;
+    r.key = key.ToString();
+    r.value = value.ToString();
+    r.tombstone = in[0] != 0;
+    in.remove_prefix(1);
+    records->push_back(std::move(r));
+  }
+  return in.empty();
+}
+
+std::string EncodeReplAppendAck(uint64_t epoch, uint64_t acked_seq, bool ok,
+                                const obs::TraceContext& trace_ctx) {
+  std::string out;
+  PutTraceCtx(&out, trace_ctx);
+  out.push_back(static_cast<char>(kBatchVersion));
+  PutFixed64(&out, epoch);
+  PutFixed64(&out, acked_seq);
+  out.push_back(ok ? 1 : 0);
+  return out;
+}
+
+bool DecodeReplAppendAck(const Slice& payload, uint64_t* epoch,
+                         uint64_t* acked_seq, bool* ok,
+                         obs::TraceContext* trace_ctx) {
+  Slice in = payload;
+  if (!GetTraceCtx(&in, trace_ctx)) return false;
+  if (!GetBatchVersion(&in)) return false;
+  if (!GetFixed64(&in, epoch) || !GetFixed64(&in, acked_seq) || in.empty()) {
+    return false;
+  }
+  *ok = in[0] != 0;
+  in.remove_prefix(1);
+  return in.empty();
+}
+
+std::string EncodeReplQuery(uint32_t dbid, uint32_t resp_tag,
+                            uint32_t primary, bool promote,
+                            const obs::TraceContext& trace_ctx) {
+  std::string out;
+  PutTraceCtx(&out, trace_ctx);
+  out.push_back(static_cast<char>(kBatchVersion));
+  PutFixed32(&out, dbid);
+  PutFixed32(&out, resp_tag);
+  PutFixed32(&out, primary);
+  out.push_back(promote ? 1 : 0);
+  return out;
+}
+
+bool DecodeReplQuery(const Slice& payload, uint32_t* dbid,
+                     uint32_t* resp_tag, uint32_t* primary, bool* promote,
+                     obs::TraceContext* trace_ctx) {
+  Slice in = payload;
+  if (!GetTraceCtx(&in, trace_ctx)) return false;
+  if (!GetBatchVersion(&in)) return false;
+  if (!GetFixed32(&in, dbid) || !GetFixed32(&in, resp_tag) ||
+      !GetFixed32(&in, primary) || in.empty()) {
+    return false;
+  }
+  *promote = in[0] != 0;
+  in.remove_prefix(1);
+  return in.empty();
+}
+
+std::string EncodeReplQueryResp(uint64_t epoch, uint64_t last_seq,
+                                bool in_sync,
+                                const obs::TraceContext& trace_ctx) {
+  std::string out;
+  PutTraceCtx(&out, trace_ctx);
+  out.push_back(static_cast<char>(kBatchVersion));
+  PutFixed64(&out, epoch);
+  PutFixed64(&out, last_seq);
+  out.push_back(in_sync ? 1 : 0);
+  return out;
+}
+
+bool DecodeReplQueryResp(const Slice& payload, uint64_t* epoch,
+                         uint64_t* last_seq, bool* in_sync,
+                         obs::TraceContext* trace_ctx) {
+  Slice in = payload;
+  if (!GetTraceCtx(&in, trace_ctx)) return false;
+  if (!GetBatchVersion(&in)) return false;
+  if (!GetFixed64(&in, epoch) || !GetFixed64(&in, last_seq) || in.empty()) {
+    return false;
+  }
+  *in_sync = in[0] != 0;
+  in.remove_prefix(1);
+  return in.empty();
+}
+
+std::string EncodeReplRead(uint32_t dbid, uint32_t resp_tag,
+                           uint32_t primary, const Slice& key,
+                           const obs::TraceContext& trace_ctx) {
+  std::string out;
+  PutTraceCtx(&out, trace_ctx);
+  out.push_back(static_cast<char>(kBatchVersion));
+  PutFixed32(&out, dbid);
+  PutFixed32(&out, resp_tag);
+  PutFixed32(&out, primary);
+  PutLengthPrefixed(&out, key);
+  return out;
+}
+
+bool DecodeReplRead(const Slice& payload, uint32_t* dbid, uint32_t* resp_tag,
+                    uint32_t* primary, std::string* key,
+                    obs::TraceContext* trace_ctx) {
+  Slice in = payload;
+  Slice k;
+  if (!GetTraceCtx(&in, trace_ctx)) return false;
+  if (!GetBatchVersion(&in)) return false;
+  if (!GetFixed32(&in, dbid) || !GetFixed32(&in, resp_tag) ||
+      !GetFixed32(&in, primary) || !GetLengthPrefixed(&in, &k)) {
+    return false;
+  }
+  *key = k.ToString();
+  return in.empty();
+}
+
+std::string EncodeReplReadResp(bool ok, bool found, bool tombstone,
+                               const Slice& value,
+                               const obs::TraceContext& trace_ctx) {
+  std::string out;
+  PutTraceCtx(&out, trace_ctx);
+  out.push_back(static_cast<char>(kBatchVersion));
+  out.push_back(ok ? 1 : 0);
+  out.push_back(found ? 1 : 0);
+  out.push_back(tombstone ? 1 : 0);
+  PutLengthPrefixed(&out, value);
+  return out;
+}
+
+bool DecodeReplReadResp(const Slice& payload, bool* ok, bool* found,
+                        bool* tombstone, std::string* value,
+                        obs::TraceContext* trace_ctx) {
+  Slice in = payload;
+  if (!GetTraceCtx(&in, trace_ctx)) return false;
+  if (!GetBatchVersion(&in)) return false;
+  if (in.size() < 3) return false;
+  *ok = in[0] != 0;
+  *found = in[1] != 0;
+  *tombstone = in[2] != 0;
+  in.remove_prefix(3);
+  Slice v;
+  if (!GetLengthPrefixed(&in, &v)) return false;
+  *value = v.ToString();
+  return in.empty();
+}
+
 }  // namespace papyrus::core

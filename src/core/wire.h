@@ -71,10 +71,24 @@ enum WireOp : int {
   // remains serviceable) so mixed-version traffic degrades gracefully.
   kOpPutBatch = 5,
   kOpGetMulti = 6,
+  // Intra-group k-way replication (src/repl/, DESIGN.md §12):
+  //   kOpReplAppend — a primary streams a run of committed ops (epoch +
+  //       contiguous sequence numbers) to one follower, which applies them
+  //       to its shadow MemTable and acks by (epoch, seq);
+  //   kOpReplQuery — failover election: ask a follower how caught-up its
+  //       shadow log is; with the promote flag set, tell the winning
+  //       follower to replay its shadow tail and take over the primary's
+  //       hash slots;
+  //   kOpReplRead — read-from-replica: serve a get from the follower's
+  //       shadow MemTable (PAPYRUSKV_READ_REPLICAS=1), falling back to the
+  //       owner on a shadow miss.
+  kOpReplAppend = 7,
+  kOpReplQuery = 8,
+  kOpReplRead = 9,
 };
 
 // Highest opcode value — sizing bound for per-opcode metric arrays.
-inline constexpr int kOpMax = kOpGetMulti;
+inline constexpr int kOpMax = kOpReplRead;
 
 // Response-communicator tags, one per requester role within a rank.
 //
@@ -224,6 +238,99 @@ std::string EncodeGetMultiResp(const std::vector<GetMultiResult>& results,
                                const obs::TraceContext& trace_ctx = {});
 bool DecodeGetMultiResp(const Slice& payload,
                         std::vector<GetMultiResult>* results,
+                        obs::TraceContext* trace_ctx = nullptr);
+
+// ---- ReplAppend ------------------------------------------------------------
+// [trace hdr?][u8 ver][u32 dbid][u32 resp_tag][u32 primary][u64 epoch]
+// [u64 first_seq][u64 flushed_through][u8 reset][u32 count]
+//   count × ([lp key][lp value][u8 tomb])
+//
+// A primary's replication stream to one follower: `count` committed ops with
+// contiguous sequence numbers first_seq..first_seq+count-1 under `epoch`.
+// `reset` marks the first frame of a (re)synchronization: the follower
+// discards its shadow state for (dbid, primary), adopts the frame's epoch,
+// and applies from first_seq.  `flushed_through` is the primary's flush
+// watermark — everything at or below it is on shared NVM, so the follower
+// may trim its shadow log to entries above it.
+struct ReplAppendMeta {
+  uint32_t primary = 0;
+  uint64_t epoch = 0;
+  uint64_t first_seq = 0;
+  uint64_t flushed_through = 0;
+  bool reset = false;
+};
+std::string EncodeReplAppend(uint32_t dbid, uint32_t resp_tag,
+                             const ReplAppendMeta& meta,
+                             const std::vector<KvRecord>& records,
+                             const obs::TraceContext& trace_ctx = {});
+bool DecodeReplAppend(const Slice& payload, uint32_t* dbid,
+                      uint32_t* resp_tag, ReplAppendMeta* meta,
+                      std::vector<KvRecord>* records,
+                      obs::TraceContext* trace_ctx = nullptr);
+
+// ---- ReplAppendAck ---------------------------------------------------------
+// [trace hdr?][u8 ver][u64 epoch][u64 acked_seq][u8 ok]
+//
+// ok=1: the follower has applied every op up to and including acked_seq
+// under `epoch`.  ok=0 is a NACK — epoch mismatch or sequence gap; `epoch`
+// then reports the follower's current epoch and acked_seq its applied
+// high-water mark, and the primary must resynchronize with a reset frame
+// under a bumped epoch.
+std::string EncodeReplAppendAck(uint64_t epoch, uint64_t acked_seq, bool ok,
+                                const obs::TraceContext& trace_ctx = {});
+bool DecodeReplAppendAck(const Slice& payload, uint64_t* epoch,
+                         uint64_t* acked_seq, bool* ok,
+                         obs::TraceContext* trace_ctx = nullptr);
+
+// ---- ReplQuery -------------------------------------------------------------
+// [trace hdr?][u8 ver][u32 dbid][u32 resp_tag][u32 primary][u8 promote]
+//
+// Failover election probe for `primary`'s partition.  promote=0 asks the
+// follower to report its shadow progress; promote=1 tells the elected
+// follower to replay its shadow log tail into its own store and start
+// serving the dead primary's hash slots (idempotent).
+std::string EncodeReplQuery(uint32_t dbid, uint32_t resp_tag,
+                            uint32_t primary, bool promote,
+                            const obs::TraceContext& trace_ctx = {});
+bool DecodeReplQuery(const Slice& payload, uint32_t* dbid,
+                     uint32_t* resp_tag, uint32_t* primary, bool* promote,
+                     obs::TraceContext* trace_ctx = nullptr);
+
+// ---- ReplQueryResp ---------------------------------------------------------
+// [trace hdr?][u8 ver][u64 epoch][u64 last_seq][u8 in_sync]
+//
+// The follower's shadow progress for the queried primary: highest applied
+// (epoch, seq) and whether it believes its shadow is a gap-free copy of the
+// primary's stream (it has never NACKed without a later reset).
+std::string EncodeReplQueryResp(uint64_t epoch, uint64_t last_seq,
+                                bool in_sync,
+                                const obs::TraceContext& trace_ctx = {});
+bool DecodeReplQueryResp(const Slice& payload, uint64_t* epoch,
+                         uint64_t* last_seq, bool* in_sync,
+                         obs::TraceContext* trace_ctx = nullptr);
+
+// ---- ReplRead --------------------------------------------------------------
+// [trace hdr?][u8 ver][u32 dbid][u32 resp_tag][u32 primary][lp key]
+//
+// Read-from-replica: look `key` up in the follower's shadow MemTable for
+// `primary`'s partition.  A shadow miss is not NOT_FOUND — the shadow only
+// covers the stream since the last reset — so the response distinguishes
+// "not served here" (ok=0, caller falls back to the owner) from an
+// authoritative hit (ok=1, found/tombstone as usual).
+std::string EncodeReplRead(uint32_t dbid, uint32_t resp_tag,
+                           uint32_t primary, const Slice& key,
+                           const obs::TraceContext& trace_ctx = {});
+bool DecodeReplRead(const Slice& payload, uint32_t* dbid, uint32_t* resp_tag,
+                    uint32_t* primary, std::string* key,
+                    obs::TraceContext* trace_ctx = nullptr);
+
+// ---- ReplReadResp ----------------------------------------------------------
+// [trace hdr?][u8 ver][u8 ok][u8 found][u8 tombstone][lp value]
+std::string EncodeReplReadResp(bool ok, bool found, bool tombstone,
+                               const Slice& value,
+                               const obs::TraceContext& trace_ctx = {});
+bool DecodeReplReadResp(const Slice& payload, bool* ok, bool* found,
+                        bool* tombstone, std::string* value,
                         obs::TraceContext* trace_ctx = nullptr);
 
 }  // namespace papyrus::core

@@ -31,6 +31,15 @@
 //                           side; the rest of the batch still applies and
 //                           the per-op status travels back in the batch
 //                           ack (core/db_shard.cc ApplyBatch)
+//   repl.append.drop        swallow a replication append frame on the
+//                           follower side before it is applied — no ack is
+//                           sent, so the pipeline's frame retry redelivers
+//                           and the follower's sequence check dedups
+//                           (core/runtime.cc HandleReplAppend)
+//   repl.promote.race       stretch the failover election window by 2ms so
+//                           concurrent electors overlap; the deterministic
+//                           scoring must still converge on one winner
+//                           (core/db_shard.cc PromotedOwnerLocked)
 //
 // Determinism: every point draws from its own generator seeded with
 // PAPYRUSKV_FAULT_SEED mixed with the point name, so a fixed seed and spec

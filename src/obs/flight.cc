@@ -24,6 +24,9 @@ const char* FlightKindName(FlightKind kind) {
     case FlightKind::kCompaction: return "compaction";
     case FlightKind::kCrash: return "crash";
     case FlightKind::kQuarantine: return "quarantine";
+    case FlightKind::kReplResync: return "repl_resync";
+    case FlightKind::kDegraded: return "degraded";
+    case FlightKind::kPromote: return "promote";
   }
   return "unknown";
 }

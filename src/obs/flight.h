@@ -43,6 +43,9 @@ enum class FlightKind : uint8_t {
   kCompaction,     // merge compaction ran: a=db id, b=tables merged away
   kCrash,          // simulated rank crash (volatile state dropped)
   kQuarantine,     // SSTable quarantined after unrepairable corruption: a=ssid
+  kReplResync,     // replication stream resynchronized: a=follower, b=epoch
+  kDegraded,       // replication below quorum, acks proceed: a=db id, b=live
+  kPromote,        // follower promoted for a dead primary: a=primary, b=seq
 };
 
 const char* FlightKindName(FlightKind kind);

@@ -35,6 +35,25 @@ Status Manifest::Open() {
   return Status::OK();
 }
 
+Status Manifest::ListSsids(const std::string& dir,
+                           std::vector<uint64_t>* out) {
+  out->clear();
+  std::vector<std::string> entries;
+  Status s = sim::Storage::ListDir(dir, &entries);
+  if (!s.ok()) return s;
+  for (const auto& name : entries) {
+    if (name.rfind("sst_", 0) == 0 && name.size() > 9 &&
+        name.compare(name.size() - 5, 5, ".data") == 0) {
+      const std::string num = name.substr(4, name.size() - 9);
+      char* end = nullptr;
+      const uint64_t ssid = strtoull(num.c_str(), &end, 10);
+      if (end && *end == '\0' && ssid > 0) out->push_back(ssid);
+    }
+  }
+  std::sort(out->rbegin(), out->rend());
+  return Status::OK();
+}
+
 uint64_t Manifest::NextSsid() {
   WriterMutexLock lock(&mu_);
   return next_ssid_++;

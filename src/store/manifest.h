@@ -79,6 +79,12 @@ class Manifest {
   static Status OpenForeign(const std::string& dir, uint64_t ssid,
                             SSTablePtr* out);
 
+  // Lists the SSIDs present in another rank's directory, descending (newest
+  // first), without opening or registering anything.  Used by failover
+  // promotion to adopt a dead rank's on-NVM image (§2.7 shared storage
+  // makes the files directly readable).
+  static Status ListSsids(const std::string& dir, std::vector<uint64_t>* out);
+
  private:
   std::string dir_;
   // Leaf lock: guards the catalog; file deletion in ReplaceTables happens

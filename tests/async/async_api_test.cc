@@ -316,6 +316,79 @@ TEST_F(AsyncApiTest, PartialBatchFailureSurfacesPerOpStatuses) {
   });
 }
 
+TEST_F(AsyncApiTest, GetMultiMixesHitsMissesAndBothBufferModes) {
+  // papyruskv_get_multi submits every key before finishing any, so the
+  // remote lookups share get_multi frames; per-key results follow the
+  // papyruskv_get buffer contract, and NOT_FOUND is a per-key status, not
+  // a call failure.
+  RunKv(2, tmp_.path(), [&](net::RankContext& ctx) {
+    papyruskv_option_t opt;
+    ASSERT_EQ(papyruskv_option_init(&opt), PAPYRUSKV_SUCCESS);
+    opt.consistency = PAPYRUSKV_SEQUENTIAL;
+    papyruskv_db_t db;
+    ASSERT_EQ(papyruskv_open("multidb", PAPYRUSKV_CREATE, &opt, &db),
+              PAPYRUSKV_SUCCESS);
+    auto shard = papyrus::core::DbHandle(db);
+    ctx.comm.Barrier();
+
+    if (ctx.rank == 0) {
+      const auto remote = KeysOwnedBy(shard, 1, 2);
+      const auto local = KeysOwnedBy(shard, 0, 1);
+      ASSERT_EQ(papyruskv_put(db, remote[0].data(), remote[0].size(),
+                              "far", 3),
+                PAPYRUSKV_SUCCESS);
+      ASSERT_EQ(papyruskv_put(db, local[0].data(), local[0].size(),
+                              "near", 4),
+                PAPYRUSKV_SUCCESS);
+
+      // remote hit (pool buffer), local hit (caller buffer), remote miss.
+      const std::string missing = "never-written";
+      const char* keys[3] = {remote[0].data(), local[0].data(),
+                             missing.data()};
+      const size_t keylens[3] = {remote[0].size(), local[0].size(),
+                                 missing.size()};
+      char stack[16];
+      char* values[3] = {nullptr, stack, nullptr};
+      size_t vallens[3] = {0, sizeof(stack), 0};
+      int statuses[3] = {-1, -1, -1};
+      ASSERT_EQ(papyruskv_get_multi(db, 3, keys, keylens, values, vallens,
+                                    statuses),
+                PAPYRUSKV_SUCCESS);
+      EXPECT_EQ(statuses[0], PAPYRUSKV_SUCCESS);
+      ASSERT_NE(values[0], nullptr);
+      EXPECT_EQ(std::string(values[0], vallens[0]), "far");
+      ASSERT_EQ(papyruskv_free(db, values[0]), PAPYRUSKV_SUCCESS);
+      EXPECT_EQ(statuses[1], PAPYRUSKV_SUCCESS);
+      EXPECT_EQ(std::string(stack, vallens[1]), "near");
+      EXPECT_EQ(statuses[2], PAPYRUSKV_NOT_FOUND);
+
+      // A too-small caller buffer fails that key alone — and its code
+      // becomes the call's return (first non-SUCCESS/NOT_FOUND status).
+      char tiny[2];
+      char* small_values[2] = {tiny, nullptr};
+      size_t small_vallens[2] = {sizeof(tiny), 0};
+      int small_statuses[2] = {-1, -1};
+      const char* small_keys[2] = {remote[0].data(), local[0].data()};
+      const size_t small_keylens[2] = {remote[0].size(), local[0].size()};
+      EXPECT_EQ(papyruskv_get_multi(db, 2, small_keys, small_keylens,
+                                    small_values, small_vallens,
+                                    small_statuses),
+                PAPYRUSKV_INVALID_ARG);
+      EXPECT_EQ(small_statuses[0], PAPYRUSKV_INVALID_ARG);
+      EXPECT_EQ(small_statuses[1], PAPYRUSKV_SUCCESS);
+      ASSERT_NE(small_values[1], nullptr);
+      EXPECT_EQ(std::string(small_values[1], small_vallens[1]), "near");
+      ASSERT_EQ(papyruskv_free(db, small_values[1]), PAPYRUSKV_SUCCESS);
+
+      EXPECT_EQ(papyruskv_get_multi(db, 1, nullptr, keylens, values,
+                                    vallens, statuses),
+                PAPYRUSKV_INVALID_ARG);
+    }
+    ctx.comm.Barrier();
+    ASSERT_EQ(papyruskv_close(db), PAPYRUSKV_SUCCESS);
+  });
+}
+
 TEST_F(AsyncApiTest, WaitRejectsUnknownAndNullArguments) {
   RunKv(1, tmp_.path(), [&](net::RankContext&) {
     papyruskv_db_t db;

@@ -12,6 +12,7 @@
 #include "core/db_shard.h"
 #include "core/runtime.h"
 #include "fault_test_util.h"
+#include "obs/metrics.h"
 
 namespace papyrus::testutil {
 namespace {
@@ -31,6 +32,11 @@ std::string AValue(int rank, int i) {
 }
 
 TEST_F(CrashRecoveryTest, RankCrashMidWorkloadRestoresCommittedKeys) {
+  // Tight retries: a crashed rank answers nothing (fail-stop, §4.2), so
+  // survivors' ops to it run the full timeout ladder — with the default
+  // 10s × 4 attempts this test would take minutes of wall clock.
+  setenv("PAPYRUSKV_TIMEOUT_MS", "50", 1);
+  setenv("PAPYRUSKV_RETRY_MAX", "2", 1);
   TempDir snap{"crash_snap"};
 
   // ---- Run 1: 3 ranks; rank 2 crashes after the checkpoint ----
@@ -192,6 +198,76 @@ TEST_F(CrashRecoveryTest, BatchStraddlingACrashLosesNoFencedKeys) {
     }
     ASSERT_EQ(papyruskv_close(db), PAPYRUSKV_SUCCESS);
   });
+}
+
+TEST_F(CrashRecoveryTest, ReplicationRestoresCommittedKeysWithoutCheckpoint) {
+  // The zero-data-loss failover story (DESIGN.md §12): with k=2 intra-group
+  // replication every fenced put is quorum-durable on the primary AND its
+  // follower before the fence returns, so a rank crash loses nothing even
+  // though no checkpoint was ever taken and nothing reached an SSTable.
+  // Survivors detect the dead rank on their first timed-out request, elect
+  // and promote its most-caught-up follower (which replays its shadow log),
+  // and retry against the new serving rank — all inside the same get, so
+  // the reads below assert plain SUCCESS.
+  setenv("PAPYRUSKV_REPLICAS", "2", 1);
+  setenv("PAPYRUSKV_TIMEOUT_MS", "50", 1);
+  setenv("PAPYRUSKV_RETRY_MAX", "2", 1);
+  constexpr int kFenced = 32;  // committed keys per rank
+
+  RunKv(kRanksBefore, tmp_.path(), [&](net::RankContext& ctx) {
+    papyruskv_option_t opt;
+    ASSERT_EQ(papyruskv_option_init(&opt), PAPYRUSKV_SUCCESS);
+    opt.consistency = PAPYRUSKV_SEQUENTIAL;
+    papyruskv_db_t db;
+    ASSERT_EQ(papyruskv_open("repldb", PAPYRUSKV_CREATE, &opt, &db),
+              PAPYRUSKV_SUCCESS);
+
+    // The committed key space.  The MEMTABLE barrier is the commit point:
+    // it drains replication acks (quorum = both copies at k=2) but flushes
+    // nothing — every record is still volatile on every rank.
+    for (int i = 0; i < kFenced; ++i) {
+      ASSERT_EQ(PutStr(db, AKey(ctx.rank, i), AValue(ctx.rank, i)),
+                PAPYRUSKV_SUCCESS);
+    }
+    ASSERT_EQ(papyruskv_barrier(db, PAPYRUSKV_MEMTABLE), PAPYRUSKV_SUCCESS);
+
+    ctx.comm.Barrier();
+    if (ctx.rank == 0) Arm("rank.crash=rank2@op2");
+    ctx.comm.Barrier();
+
+    // Rank 2 trips the crash on unverified traffic; the raw communicator
+    // barrier below still pairs (it bypasses the KV runtime), so the
+    // survivors only start reading once rank 2 is really dead.
+    if (ctx.rank == 2) {
+      std::string out;
+      EXPECT_EQ(GetStr(db, AKey(2, 0), &out), PAPYRUSKV_SUCCESS);
+      EXPECT_EQ(GetStr(db, AKey(2, 1), &out), PAPYRUSKV_ERR);  // the crash
+      EXPECT_TRUE(papyrus::core::KvRuntime::Current()->crashed());
+    }
+    ctx.comm.Barrier();
+
+    // Survivors read back 100% of the committed key space — including every
+    // key whose hash owner is the dead rank, served by the promoted
+    // follower's replayed shadow log.  ZERO lost keys, no checkpoint.
+    if (ctx.rank != 2) {
+      for (int rank = 0; rank < kRanksBefore; ++rank) {
+        for (int i = 0; i < kFenced; ++i) {
+          std::string out;
+          ASSERT_EQ(GetStr(db, AKey(rank, i), &out), PAPYRUSKV_SUCCESS)
+              << AKey(rank, i);
+          EXPECT_EQ(out, AValue(rank, i)) << AKey(rank, i);
+        }
+      }
+    }
+    // Rank 0 is rank 2's only follower at k=2, so it is the rank that
+    // promoted (whether it won its own election or rank 1's).
+    if (ctx.rank == 0) {
+      EXPECT_GT(obs::Current().GetCounter("repl.promotions").Value(), 0u)
+          << "dead rank's keys were served without a promotion";
+    }
+    ASSERT_EQ(papyruskv_close(db), PAPYRUSKV_SUCCESS);
+  });
+  fault::Registry::Instance().DisableAll();
 }
 
 TEST_F(CrashRecoveryTest, CrashedRankDropsVolatileButKeepsNvm) {

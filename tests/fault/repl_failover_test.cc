@@ -1,0 +1,247 @@
+// Replication failover beyond the basic zero-loss story (DESIGN.md §12):
+// degraded-mode writes when a follower dies (quorum proceeds on the
+// survivors), rejoin via restart with the replication stream catching the
+// returned rank back up, a second failover where the promoted follower
+// serves volatile keys from its replayed shadow log AND checkpointed keys
+// from the dead rank's group-shared SSTables, and read-from-replica
+// scaling on a healthy cluster.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "core/db_shard.h"
+#include "core/runtime.h"
+#include "fault_test_util.h"
+#include "obs/metrics.h"
+
+namespace papyrus::testutil {
+namespace {
+
+class ReplFailoverTest : public FaultTest {};
+
+constexpr int kRanks = 4;
+constexpr int kPerRank = 24;  // phase-A (checkpointed) keys per rank
+
+std::string AKey(int rank, int i) {
+  return "a." + std::to_string(rank) + "." + std::to_string(i);
+}
+std::string AValue(int rank, int i) {
+  return PatternValue(910 + rank * 1000 + i, 40);
+}
+
+// Keys from `tag`'s namespace whose hash owner is `owner` — degraded-mode
+// phases must steer writes at specific primaries, and the hash doesn't
+// cooperate on its own.
+std::vector<std::string> KeysOwnedBy(papyruskv_db_t db, const char* tag,
+                                     int owner, int count) {
+  std::vector<std::string> out;
+  for (int n = 0; static_cast<int>(out.size()) < count; ++n) {
+    const std::string k =
+        std::string(tag) + "." + std::to_string(owner) + "." +
+        std::to_string(n);
+    int rank = -1;
+    EXPECT_EQ(papyruskv_hash(db, k.data(), k.size(), &rank),
+              PAPYRUSKV_SUCCESS);
+    if (rank == owner) out.push_back(k);
+    if (n > 100 * count) break;  // hash pathologically skewed; fail loud
+  }
+  EXPECT_EQ(static_cast<int>(out.size()), count);
+  return out;
+}
+
+TEST_F(ReplFailoverTest, DegradedFollowerThenRejoinThenPrimaryFailover) {
+  // k=2 inside a 4-rank group: every rank streams to one follower and a
+  // quorum needs both copies, so a dead follower puts its primary in
+  // degraded mode (acks proceed on the survivors, counted and logged)
+  // rather than blocking writes forever.
+  setenv("PAPYRUSKV_REPLICAS", "2", 1);
+  setenv("PAPYRUSKV_TIMEOUT_MS", "50", 1);
+  setenv("PAPYRUSKV_RETRY_MAX", "2", 1);
+  constexpr int kDegradedWrites = 8;  // phase-B keys per surviving primary
+  constexpr int kRejoinWrites = 8;    // phase-C keys per rank after restart
+  TempDir snap{"repl_snap"};
+
+  // ---- Run 1: rank 3 (rank 2's follower) dies; writes keep flowing ----
+  RunKv(kRanks, tmp_.path(), [&](net::RankContext& ctx) {
+    papyruskv_option_t opt;
+    ASSERT_EQ(papyruskv_option_init(&opt), PAPYRUSKV_SUCCESS);
+    opt.consistency = PAPYRUSKV_SEQUENTIAL;
+    papyruskv_db_t db;
+    ASSERT_EQ(papyruskv_open("degradeddb", PAPYRUSKV_CREATE, &opt, &db),
+              PAPYRUSKV_SUCCESS);
+
+    // Phase A: the checkpointed key space (replicated AND snapshotted).
+    for (int i = 0; i < kPerRank; ++i) {
+      ASSERT_EQ(PutStr(db, AKey(ctx.rank, i), AValue(ctx.rank, i)),
+                PAPYRUSKV_SUCCESS);
+    }
+    ASSERT_EQ(papyruskv_checkpoint(db, snap.path().c_str(), nullptr),
+              PAPYRUSKV_SUCCESS);
+
+    ctx.comm.Barrier();
+    if (ctx.rank == 0) Arm("rank.crash=rank3@op2");
+    ctx.comm.Barrier();
+    if (ctx.rank == 3) {
+      std::string out;
+      EXPECT_EQ(GetStr(db, AKey(3, 0), &out), PAPYRUSKV_SUCCESS);
+      EXPECT_EQ(GetStr(db, AKey(3, 1), &out), PAPYRUSKV_ERR);  // the crash
+      EXPECT_TRUE(papyrus::core::KvRuntime::Current()->crashed());
+    }
+    ctx.comm.Barrier();
+
+    // Phase B: each surviving primary writes to its own partition.  Rank
+    // 2's follower is the dead rank 3, so its first append gives up, marks
+    // the follower down, and writes from then on are quorum-of-survivors —
+    // still plain SUCCESS at the API.  No collective KV barrier here: rank
+    // 3 cannot participate, so the raw communicator barrier (which a
+    // crashed rank still reaches) orders writers before readers instead.
+    if (ctx.rank != 3) {
+      const auto keys = KeysOwnedBy(db, "b", ctx.rank, kDegradedWrites);
+      for (const std::string& k : keys) {
+        ASSERT_EQ(PutStr(db, k, "degraded." + k), PAPYRUSKV_SUCCESS) << k;
+      }
+      // The per-rank fence is the durability point: it waits out the
+      // replication quorum for the writes above, which on rank 2 means
+      // riding out the doomed append to rank 3 and settling into
+      // degraded mode.
+      ASSERT_EQ(papyruskv_fence(db), PAPYRUSKV_SUCCESS);
+    }
+    ctx.comm.Barrier();
+    if (ctx.rank != 3) {
+      // Cross-check every survivor's degraded-phase writes remotely (a
+      // SEQUENTIAL put lands in the owner's MemTable before returning).
+      for (int owner = 0; owner < kRanks - 1; ++owner) {
+        for (const std::string& k :
+             KeysOwnedBy(db, "b", owner, kDegradedWrites)) {
+          std::string out;
+          ASSERT_EQ(GetStr(db, k, &out), PAPYRUSKV_SUCCESS) << k;
+          EXPECT_EQ(out, "degraded." + k) << k;
+        }
+      }
+    }
+    if (ctx.rank == 2) {
+      EXPECT_GT(obs::Current().GetCounter("repl.degraded").Value(), 0u)
+          << "rank 2 never noticed its follower died";
+    }
+    if (ctx.rank == 0 || ctx.rank == 1) {
+      EXPECT_EQ(obs::Current().GetCounter("repl.degraded").Value(), 0u)
+          << "a rank with a live follower reported degraded quorum";
+    }
+    ASSERT_EQ(papyruskv_close(db), PAPYRUSKV_SUCCESS);
+  });
+  fault::Registry::Instance().DisableAll();
+
+  // ---- Run 2: rank 3 rejoins via restart; then the roles flip and a
+  // PRIMARY (rank 0) dies with volatile writes in flight ----
+  RunKv(kRanks, tmp_.path(), [&](net::RankContext& ctx) {
+    papyruskv_option_t opt;
+    ASSERT_EQ(papyruskv_option_init(&opt), PAPYRUSKV_SUCCESS);
+    opt.consistency = PAPYRUSKV_SEQUENTIAL;
+    papyruskv_db_t db;
+    ASSERT_EQ(papyruskv_restart(snap.path().c_str(), "degradeddb",
+                                PAPYRUSKV_RDWR, &opt, &db, nullptr),
+              PAPYRUSKV_SUCCESS);
+
+    // Phase C: volatile writes on every rank, including the rejoined rank
+    // 3.  The MEMTABLE fence drains replication acks, so afterwards each
+    // primary's stream — rank 2's to the rejoined rank 3 among them — is
+    // caught up.
+    const auto mine = KeysOwnedBy(db, "c", ctx.rank, kRejoinWrites);
+    for (const std::string& k : mine) {
+      ASSERT_EQ(PutStr(db, k, "rejoined." + k), PAPYRUSKV_SUCCESS) << k;
+    }
+    ASSERT_EQ(papyruskv_barrier(db, PAPYRUSKV_MEMTABLE), PAPYRUSKV_SUCCESS);
+    if (ctx.rank == 3) {
+      EXPECT_GT(obs::Current().GetCounter("repl.shadow_applies").Value(),
+                0u)
+          << "rejoined follower received no replication stream";
+    }
+
+    ctx.comm.Barrier();
+    if (ctx.rank == 1) Arm("rank.crash=rank0@op2");
+    ctx.comm.Barrier();
+    if (ctx.rank == 0) {
+      std::string out;
+      EXPECT_EQ(GetStr(db, AKey(0, 0), &out), PAPYRUSKV_SUCCESS);
+      EXPECT_EQ(GetStr(db, AKey(0, 1), &out), PAPYRUSKV_ERR);  // the crash
+    }
+    ctx.comm.Barrier();
+
+    // Survivors read EVERYTHING.  Rank 0's phase-C keys only ever lived in
+    // MemTables — the promoted follower (rank 1) serves them from its
+    // replayed shadow log; rank 0's phase-A keys come from the dead rank's
+    // restored SSTables on the group-shared store.  Zero loss either way.
+    if (ctx.rank != 0) {
+      for (int owner = 0; owner < kRanks; ++owner) {
+        for (int i = 0; i < kPerRank; ++i) {
+          std::string out;
+          ASSERT_EQ(GetStr(db, AKey(owner, i), &out), PAPYRUSKV_SUCCESS)
+              << AKey(owner, i);
+          EXPECT_EQ(out, AValue(owner, i)) << AKey(owner, i);
+        }
+        for (const std::string& k :
+             KeysOwnedBy(db, "c", owner, kRejoinWrites)) {
+          std::string out;
+          ASSERT_EQ(GetStr(db, k, &out), PAPYRUSKV_SUCCESS) << k;
+          EXPECT_EQ(out, "rejoined." + k) << k;
+        }
+      }
+    }
+    if (ctx.rank == 1) {
+      EXPECT_GT(obs::Current().GetCounter("repl.promotions").Value(), 0u)
+          << "rank 0's partition was served without a promotion";
+    }
+    ASSERT_EQ(papyruskv_close(db), PAPYRUSKV_SUCCESS);
+  });
+  fault::Registry::Instance().DisableAll();
+}
+
+TEST_F(ReplFailoverTest, ReadFromReplicaServesHealthyGets) {
+  // PAPYRUSKV_READ_REPLICAS=1 round-robins remote gets across the owner
+  // and its in-sync follower.  On a healthy cluster the follower's shadow
+  // MemTable answers directly — same values, counted hits, no failover
+  // machinery involved.
+  setenv("PAPYRUSKV_REPLICAS", "2", 1);
+  setenv("PAPYRUSKV_READ_REPLICAS", "1", 1);
+  constexpr int kReplRanks = 3;
+  constexpr int kKeys = 16;
+
+  RunKv(kReplRanks, tmp_.path(), [&](net::RankContext& ctx) {
+    papyruskv_option_t opt;
+    ASSERT_EQ(papyruskv_option_init(&opt), PAPYRUSKV_SUCCESS);
+    opt.consistency = PAPYRUSKV_SEQUENTIAL;
+    papyruskv_db_t db;
+    ASSERT_EQ(papyruskv_open("rreaddb", PAPYRUSKV_CREATE, &opt, &db),
+              PAPYRUSKV_SUCCESS);
+    for (int i = 0; i < kKeys; ++i) {
+      ASSERT_EQ(PutStr(db, AKey(ctx.rank, i), AValue(ctx.rank, i)),
+                PAPYRUSKV_SUCCESS);
+    }
+    // The fence makes every follower's shadow current before any read.
+    ASSERT_EQ(papyruskv_barrier(db, PAPYRUSKV_MEMTABLE), PAPYRUSKV_SUCCESS);
+    ctx.comm.Barrier();
+
+    // Two passes so the round-robin lands on the replica slot at least
+    // once for every remote key, whatever phase it starts in.
+    for (int pass = 0; pass < 2; ++pass) {
+      for (int writer = 0; writer < kReplRanks; ++writer) {
+        for (int i = 0; i < kKeys; ++i) {
+          std::string out;
+          ASSERT_EQ(GetStr(db, AKey(writer, i), &out), PAPYRUSKV_SUCCESS)
+              << AKey(writer, i);
+          EXPECT_EQ(out, AValue(writer, i)) << AKey(writer, i);
+        }
+      }
+    }
+    EXPECT_GT(obs::Current().GetCounter("repl.replica_read_hits").Value(),
+              0u)
+        << "round-robin reads never hit a replica";
+    ctx.comm.Barrier();
+    ASSERT_EQ(papyruskv_close(db), PAPYRUSKV_SUCCESS);
+  });
+}
+
+}  // namespace
+}  // namespace papyrus::testutil

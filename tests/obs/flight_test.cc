@@ -197,6 +197,10 @@ TEST_F(FlightE2eTest, RequestTimeoutDumpsFailingOpAndPeer) {
 TEST_F(FlightE2eTest, SimulatedCrashDumpsBeforeTheRankGoesDark) {
   const std::string base = tmp_.path() + "/flight.json";
   setenv("PAPYRUSKV_FLIGHT", base.c_str(), 1);
+  // A crashed rank is fail-stop silent, so rank 0's puts to it run the
+  // timeout ladder; keep it short or this test takes real minutes.
+  setenv("PAPYRUSKV_TIMEOUT_MS", "50", 1);
+  setenv("PAPYRUSKV_RETRY_MAX", "2", 1);
   const std::string repo = tmp_.path() + "/repo";
   RunKv(2, repo, [&](net::RankContext& ctx) {
     papyruskv_db_t db;

@@ -38,12 +38,14 @@ Rules (each can be silenced per line with the named escape comment):
                      the comment block directly above it.
 
   direct-send        A direct Communicator Send (receiver named *comm*) in
-                     src/core/ outside the async pipeline.  Remote requests
-                     from the KV layer must go through the submission/
-                     completion pipeline (src/async/) or the runtime's
-                     SendRequest/SendResponse helpers so they get batching,
-                     per-op metrics, flight-recorder events and bounded
-                     retries; a raw Send gets none of those.
+                     src/core/ or src/repl/ outside the async pipeline.
+                     Remote requests from the KV layer must go through the
+                     submission/completion pipeline (src/async/) or the
+                     runtime's SendRequest/SendResponse helpers so they get
+                     batching, per-op metrics, flight-recorder events and
+                     bounded retries; a raw Send gets none of those — and a
+                     replication frame sent raw would race the pipeline's
+                     per-destination ordering.
                      Escape: // lint:allow-direct-send
 
   trace-add          A direct TraceBuffer Add/AddEvent call (receiver named
@@ -122,9 +124,14 @@ NAKED_RECV_EXEMPT_ROOTS = ("tests", "bench", "examples", "tools")
 DIRECT_SEND_RE = re.compile(
     r"\b\w*[Cc]omm\w*\s*(?:\(\s*\))?\s*(?:\.|->)\s*Send\s*\(")
 
-# Only the KV core is constrained; the async pipeline and the net layer
-# are the two legitimate senders.
-DIRECT_SEND_SCOPE_PREFIX = os.path.join("src", "core") + os.sep
+# Only the KV core and the replication layer are constrained; the async
+# pipeline and the net layer are the two legitimate senders.  src/repl/ is
+# in scope because a replication frame that skips the pipeline loses the
+# per-destination ordering its epoch/seq protocol depends on.
+DIRECT_SEND_SCOPE_PREFIXES = (
+    os.path.join("src", "core") + os.sep,
+    os.path.join("src", "repl") + os.sep,
+)
 
 # Direct TraceBuffer writes: an Add/AddEvent call whose receiver mentions
 # "trace" (trace_, trace(), tls_trace, CurrentTrace(), ...).  Receiver-name
@@ -208,7 +215,7 @@ def lint_file(path, relpath):
         or relpath.split(os.sep)[0] in NAKED_RECV_EXEMPT_ROOTS)
     trace_add_exempt = any(
         relpath.startswith(p) for p in TRACE_ADD_EXEMPT_PREFIXES)
-    direct_send_scoped = (relpath.startswith(DIRECT_SEND_SCOPE_PREFIX)
+    direct_send_scoped = (relpath.startswith(DIRECT_SEND_SCOPE_PREFIXES)
                           or os.sep not in relpath)  # fixture files
 
     mutex_decls = {}       # member name -> line number
