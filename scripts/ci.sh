@@ -16,8 +16,10 @@
 #                  (message delay + duplication) — every suite must still
 #                  pass with the recovery paths doing real work; a red run
 #                  prints the PAPYRUSKV_FAULT_SEED to reproduce it with.
-#                  Both ctest stages run with PAPYRUSKV_FLIGHT set, and a
-#                  failure archives any flight-recorder post-mortems as
+#                  Both ctest stages run with PAPYRUSKV_FLIGHT set and the
+#                  timeline sampler on (PAPYRUSKV_TIMELINE_MS=50, dumps
+#                  next to the flight files), and a failure archives the
+#                  flight-recorder post-mortems AND timeline series as
 #                  build/flight_<stage>.tar.gz (next to
 #                  build/analyze_findings.json)
 #   5. tsa         Clang build with -Werror=thread-safety
@@ -31,8 +33,12 @@
 #                  smoke runs with the metrics hook:
 #                  each writes an aggregate BENCH_<name>.json snapshot at
 #                  the repo root (committed, so metric drift shows in
-#                  review); micro_kv runs with tracing enabled to keep the
-#                  traced path exercised end-to-end (overhead bound: E12b)
+#                  review); micro_kv runs once with the timeline sampler
+#                  on (overhead bound: E12c) and once traced (E12b, the
+#                  committed snapshot); repl_failover runs 4 ranks with
+#                  the sampler as its measurement and the merged series is
+#                  re-rendered through papyrus_inspect --timeline, so the
+#                  whole observe-merge-render path gates CI
 #
 # Any stage failing fails the script (set -e); the summary line at the end
 # only prints on full success.  Stages skipped for missing toolchains are
@@ -105,6 +111,8 @@ cmake -B build -S . >/dev/null
 cmake --build build -j "${JOBS}"
 rm -rf "${FLIGHT_DIR}" && mkdir -p "${FLIGHT_DIR}"
 if ! PAPYRUSKV_FLIGHT="${FLIGHT_DIR}/ctest" \
+    PAPYRUSKV_TIMELINE_MS=50 \
+    PAPYRUSKV_TIMELINE="${FLIGHT_DIR}/timeline.json" \
     ctest --test-dir build --output-on-failure -j "${JOBS}"; then
   archive_flight build-test
   exit 1
@@ -114,6 +122,8 @@ stage fault "[4/8] fault matrix (PAPYRUSKV_FAULTS=${FAULT_PROFILE})"
 rm -rf "${FLIGHT_DIR}" && mkdir -p "${FLIGHT_DIR}"
 if ! PAPYRUSKV_FAULTS="${FAULT_PROFILE}" PAPYRUSKV_FAULT_SEED="${FAULT_SEED}" \
     PAPYRUSKV_FLIGHT="${FLIGHT_DIR}/fault" \
+    PAPYRUSKV_TIMELINE_MS=50 \
+    PAPYRUSKV_TIMELINE="${FLIGHT_DIR}/timeline.json" \
     ctest --test-dir build --output-on-failure -j "${JOBS}"; then
   echo "ci.sh: fault matrix FAILED under seed ${FAULT_SEED} — reproduce with:"
   echo "  PAPYRUSKV_FAULTS=${FAULT_PROFILE} PAPYRUSKV_FAULT_SEED=${FAULT_SEED} \\"
@@ -159,6 +169,13 @@ done
 stage bench "[8/8] bench snapshots (BENCH_*.json)"
 BENCH_TMP="$(mktemp -d)"
 trap 'rm -rf "${BENCH_TMP}"' EXIT
+# Sampler-on micro_kv: the fast path with the 20ms timeline tick live —
+# the E12c overhead guard's configuration (bound: <5%, EXPERIMENTS.md).
+# Runs before the traced pass so the committed snapshot stays the traced
+# one (last WriteBenchMetrics wins).
+PAPYRUSKV_TIMELINE_MS=20 PAPYRUSKV_TIMELINE="${BENCH_TMP}/mkv_tl.json" \
+  ./build/bench/micro_kv --ranks=2 --iters=20000 \
+  --repo="${BENCH_TMP}/mkv_tl"
 # Traced micro_kv: the hot path plus the causal-tracing layer end-to-end.
 PAPYRUSKV_TRACE="${BENCH_TMP}/trace.json" \
   ./build/bench/micro_kv --ranks=2 --iters=20000 --repo="${BENCH_TMP}/mkv"
@@ -170,11 +187,22 @@ PAPYRUSKV_TRACE="${BENCH_TMP}/trace.json" \
 # gauges so the batching speedup is part of the results trajectory.
 ./build/bench/micro_kv_async --ranks=8 --iters=1000 \
   --repo="${BENCH_TMP}/mka"
-# Replication failover: throughput across a kill-and-promote cycle
-# (DESIGN.md §12); the snapshot carries the before/dip/after KRPS gauges
-# so the failover cost stays visible in the results trajectory.
-./build/bench/repl_failover --ranks=3 --iters=500 \
+# Replication failover at 4 ranks, measured by the timeline sampler
+# (DESIGN.md §12+§13); the snapshot carries before/dip/after KRPS plus
+# the merged per-window series (bench.tl.*).  The per-rank dumps are then
+# merged and rendered through papyrus_inspect --timeline so the full
+# observe-merge-render path gates CI.  PAPYRUSKV_TIMEOUT_MS=250: on this
+# single-core builder the promoted rank serves two partitions and the
+# default 50ms ladder sits below its loaded service time (retry livelock).
+PAPYRUSKV_TIMEOUT_MS=250 \
+  PAPYRUSKV_TIMELINE="${BENCH_TMP}/rfo_tl.json" \
+  PAPYRUSKV_FLIGHT="${BENCH_TMP}/rfo_flight.json" \
+  ./build/bench/repl_failover --ranks=4 --iters=200 \
   --repo="${BENCH_TMP}/rfo"
+./build/tools/papyrus_inspect --timeline "${BENCH_TMP}/rfo_tl.json" \
+  --flight="${BENCH_TMP}/rfo_flight.json" > "${BENCH_TMP}/rfo_merged.txt"
+head -12 "${BENCH_TMP}/rfo_merged.txt"
+grep -q "crash" "${BENCH_TMP}/rfo_merged.txt"  # overlay reached the render
 ls -l BENCH_micro_kv.json BENCH_fig06_basic.json BENCH_micro_kv_async.json \
   BENCH_repl_failover.json
 

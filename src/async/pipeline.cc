@@ -87,6 +87,7 @@ OpHandle CompletedValueOp(Status s, std::string value) {
 AsyncPipeline::AsyncPipeline(core::KvRuntime& rt) : rt_(rt) {
   obs::Registry& reg = rt_.metrics();
   g_depth_ = &reg.GetGauge("async.queue_depth");
+  g_inflight_ = &reg.GetGauge("async.inflight");
   h_put_batch_ = &reg.GetHistogram("async.batch_size");
   h_get_batch_ = &reg.GetHistogram("async.get_batch_size");
   h_repl_batch_ = &reg.GetHistogram("async.repl_batch_size");
@@ -228,11 +229,15 @@ void AsyncPipeline::Loop(Lane* lane) {
       lane->queued = 0;
       g_depth_->Set(
           static_cast<int64_t>(ops_lane_.queued + repl_lane_.queued));
+      g_inflight_->Set(
+          static_cast<int64_t>(ops_lane_.inflight + repl_lane_.inflight));
     }
     ProcessCycle(std::move(work));
     {
       MutexLock lock(&mu_);
       lane->inflight -= count;
+      g_inflight_->Set(
+          static_cast<int64_t>(ops_lane_.inflight + repl_lane_.inflight));
     }
     drain_cv_.NotifyAll();
   }

@@ -200,6 +200,7 @@ class AsyncPipeline {
 
   // Cached metrics (resolved once; see obs/metrics.h).
   obs::Gauge* g_depth_;            // async.queue_depth
+  obs::Gauge* g_inflight_;         // async.inflight (dispatched, unacked)
   obs::Histogram* h_put_batch_;    // async.batch_size
   obs::Histogram* h_get_batch_;    // async.get_batch_size
   obs::Histogram* h_repl_batch_;   // async.repl_batch_size

@@ -372,6 +372,32 @@ int papyruskv_stats_reset() {
   return PAPYRUSKV_SUCCESS;
 }
 
+int papyruskv_health(papyruskv_health_t* health) {
+  KvRuntime* rt = Rt();
+  if (!rt) return PAPYRUSKV_CLOSED;
+  if (!health) return PAPYRUSKV_INVALID_ARG;
+  // Deliberately no CheckAlive: a crashed rank still reports (that is the
+  // point of a health probe).
+  const papyrus::core::HealthSnapshot h = rt->Health();
+  health->rank = h.rank;
+  health->nranks = h.nranks;
+  health->crashed = h.crashed ? 1 : 0;
+  health->degraded = h.degraded ? 1 : 0;
+  health->suspect_peers = h.suspect_peers;
+  health->pipeline_queue_depth = h.pipeline_queue_depth;
+  health->flush_queue_depth = h.flush_queue_depth;
+  health->migration_queue_depth = h.migration_queue_depth;
+  health->repl_lag_ops = h.repl_lag_ops;
+  health->uptime_us = h.uptime_us;
+  health->window_us = h.window_us;
+  health->timeline_samples = h.timeline_samples;
+  health->put_rate = h.put_rate;
+  health->get_rate = h.get_rate;
+  health->put_p99_us = h.put_p99_us;
+  health->get_p99_us = h.get_p99_us;
+  return PAPYRUSKV_SUCCESS;
+}
+
 int papyruskv_hash(papyruskv_db_t db, const char* key, size_t keylen,
                    int* rank) {
   KvRuntime* rt = Rt();

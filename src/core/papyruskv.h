@@ -236,6 +236,34 @@ typedef struct papyruskv_option_struct {
 // Zeroes every metric of the calling rank's registry.
 [[nodiscard]] int papyruskv_stats_reset();
 
+// Live per-rank health snapshot, filled without stopping the store (atomic
+// reads plus two brief leaf-lock peeks; no collectives, no I/O).  Works on
+// a crashed rank — health is exactly what you ask a sick rank for.
+//
+// put/get rates and p99s cover the last PAPYRUSKV_TIMELINE_MS sampler
+// window when the timeline sampler is on (timeline_samples > 0), else the
+// whole run; window_us reports which interval the rates describe.
+typedef struct papyruskv_health_struct {
+  int rank;
+  int nranks;
+  int crashed;            /* 1 = simulated fail-stop fired              */
+  int degraded;           /* 1 = replication below quorum on any db     */
+  int suspect_peers;      /* peers that exhausted their retry budgets   */
+  long long pipeline_queue_depth;   /* async submission backlog         */
+  long long flush_queue_depth;      /* MemTables awaiting compaction    */
+  long long migration_queue_depth;  /* MemTables awaiting dispatch      */
+  long long repl_lag_ops;           /* primary-to-follower append lag   */
+  unsigned long long uptime_us;
+  unsigned long long window_us;        /* interval the rates cover      */
+  unsigned long long timeline_samples; /* 0 = sampler off               */
+  double put_rate;        /* puts/s over window_us                      */
+  double get_rate;
+  double put_p99_us;
+  double get_p99_us;
+} papyruskv_health_t;
+
+[[nodiscard]] int papyruskv_health(papyruskv_health_t* health);
+
 }  // extern "C"
 
 namespace papyrus::core {

@@ -150,6 +150,19 @@ KvRuntime::KvRuntime(net::RankContext& ctx, const std::string& repository)
   c_req_retries_ = &metrics_.GetCounter("net.req.retries");
   c_req_timeouts_ = &metrics_.GetCounter("net.req.timeouts");
   c_suspects_ = &metrics_.GetCounter("net.peer.suspects");
+  g_async_depth_ = &metrics_.GetGauge("async.queue_depth");
+  g_repl_lag_ = &metrics_.GetGauge("repl.lag_ops");
+  h_kv_put_us_ = &metrics_.GetHistogram("kv.put_us");
+  h_kv_get_us_ = &metrics_.GetHistogram("kv.get_us");
+  // Timeline sampler (DESIGN.md §13): PAPYRUSKV_TIMELINE_MS sets the
+  // window; 0/unset leaves it off.  Configure resolves the tracked-series
+  // pointers now so the sampling tick itself never touches the registry
+  // lock (enforced by papyrus_analyze's sampler-path walk).
+  const int64_t timeline_ms = EnvInt("PAPYRUSKV_TIMELINE_MS").value_or(0);
+  if (timeline_ms > 0) {
+    timeline_.Configure(obs::TimelineSchema::Default(),
+                        static_cast<uint64_t>(timeline_ms) * 1000);
+  }
   if (EnvString("PAPYRUSKV_TRACE")) trace_.set_enabled(true);
   trace_.SetRank(ctx.rank);
   // Local kv root spans are sampled (default 1 in 64) so always-on tracing
@@ -184,9 +197,15 @@ void KvRuntime::StartThreads() {
   dispatcher_thread_ = std::thread([this] { DispatcherLoop(); });
   handler_thread_ = std::thread([this] { HandlerLoop(); });
   pipeline_.Start();
+  // No-op unless PAPYRUSKV_TIMELINE_MS configured it; the sampler only
+  // reads metrics, so it starts last and stops first.
+  timeline_.Start([this] { AdoptObservability("sampler"); });
 }
 
 void KvRuntime::StopThreads() {
+  // The sampler goes first (it only observes); Stop takes the tail-window
+  // sample so short runs still export a series.
+  timeline_.Stop();
   // Auxiliary (restart) tasks may still need the dispatcher/handler/
   // compaction threads; join them before tearing those down.
   std::vector<std::thread> aux;
@@ -242,6 +261,65 @@ std::string KvRuntime::StatsJson() const {
   return obs::SnapshotToJson(metrics_.TakeSnapshot(), meta);
 }
 
+std::string KvRuntime::TimelineJson() const {
+  return obs::TimelineDocToJson(timeline_.Doc(ctx_.rank, ctx_.size()));
+}
+
+HealthSnapshot KvRuntime::Health() {
+  HealthSnapshot h;
+  h.rank = ctx_.rank;
+  h.nranks = ctx_.size();
+  h.crashed = crashed();
+  {
+    MutexLock lock(&suspect_mu_);
+    h.suspect_peers = static_cast<int>(suspects_.size());
+  }
+  {
+    MutexLock lock(&dbs_mu_);
+    for (const auto& [id, db] : dbs_) {
+      repl::Replicator* r = db->replicator();
+      if (r && r->Degraded()) h.degraded = true;
+    }
+  }
+  h.pipeline_queue_depth = g_async_depth_->Value();
+  h.flush_queue_depth = g_flush_q_->Value();
+  h.migration_queue_depth = g_mig_q_->Value();
+  h.repl_lag_ops = g_repl_lag_->Value();
+  const uint64_t now = NowMicros();
+  h.uptime_us = now >= start_us_ ? now - start_us_ : 0;
+  h.timeline_samples = timeline_.samples_taken();
+
+  obs::TimelineSample last;
+  if (timeline_.enabled() && timeline_.Latest(&last) && last.dt_us > 0) {
+    // Live rates over the sampler's last window.
+    h.window_us = last.dt_us;
+    const auto& hists = timeline_.schema().histograms;
+    const int pi = obs::SeriesIndex(hists, "kv.put_us");
+    const int gi = obs::SeriesIndex(hists, "kv.get_us");
+    const double secs = static_cast<double>(last.dt_us) / 1e6;
+    if (pi >= 0) {
+      h.put_rate = static_cast<double>(last.hists[pi].count) / secs;
+      h.put_p99_us = static_cast<double>(last.hists[pi].p99);
+    }
+    if (gi >= 0) {
+      h.get_rate = static_cast<double>(last.hists[gi].count) / secs;
+      h.get_p99_us = static_cast<double>(last.hists[gi].p99);
+    }
+  } else {
+    // Sampler off: whole-run averages from the cumulative histograms.
+    h.window_us = h.uptime_us;
+    const double secs =
+        h.uptime_us ? static_cast<double>(h.uptime_us) / 1e6 : 1;
+    const obs::HistogramData put = h_kv_put_us_->Snapshot();
+    const obs::HistogramData get = h_kv_get_us_->Snapshot();
+    h.put_rate = static_cast<double>(put.count) / secs;
+    h.get_rate = static_cast<double>(get.count) / secs;
+    h.put_p99_us = put.Percentile(99);
+    h.get_p99_us = get.Percentile(99);
+  }
+  return h;
+}
+
 void KvRuntime::ExportObservability() {
   const auto stats_path = EnvString("PAPYRUSKV_STATS");
   if (stats_path && !stats_path->empty()) {
@@ -283,6 +361,26 @@ void KvRuntime::ExportObservability() {
   if (flight_path && !flight_path->empty()) {
     Status s = flight_.TriggerDump("finalize");
     if (!s.ok()) PLOG_WARN << "flight dump failed: " << s.ToString();
+  }
+  // Timeline series (DESIGN.md §13): PAPYRUSKV_TIMELINE wins; otherwise
+  // timeline.rank<k>.json next to the PAPYRUSKV_STATS file.  Only written
+  // when the sampler actually ran (PAPYRUSKV_TIMELINE_MS > 0).
+  if (timeline_.enabled()) {
+    std::string base;
+    const auto tl_path = EnvString("PAPYRUSKV_TIMELINE");
+    if (tl_path && !tl_path->empty()) {
+      base = *tl_path;
+    } else if (stats_path && !stats_path->empty()) {
+      const auto slash = stats_path->find_last_of('/');
+      const std::string dir =
+          slash == std::string::npos ? "" : stats_path->substr(0, slash + 1);
+      base = dir + "timeline.json";
+    }
+    if (!base.empty()) {
+      Status s = obs::WriteTextFile(obs::StatsPathForRank(base, ctx_.rank),
+                                    TimelineJson());
+      if (!s.ok()) PLOG_WARN << "timeline dump failed: " << s.ToString();
+    }
   }
 }
 

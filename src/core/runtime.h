@@ -33,6 +33,7 @@
 #include "common/mutex.h"
 #include "common/ring_queue.h"
 #include "common/status.h"
+#include "common/timer.h"
 #include "core/db_shard.h"
 #include "core/events.h"
 #include "core/layout.h"
@@ -43,6 +44,7 @@
 #include "net/runtime.h"
 #include "obs/flight.h"
 #include "obs/metrics.h"
+#include "obs/timeline.h"
 #include "obs/trace.h"
 
 namespace papyrus::core {
@@ -62,6 +64,30 @@ struct MigrationJob {
   DbShardPtr db;
   store::MemTablePtr mem;
   bool shutdown = false;
+};
+
+// Live per-rank health snapshot (papyruskv_health): read from the running
+// store without stopping it — atomics, two leaf-mutex peeks, no
+// collectives.  Rates/percentiles come from the timeline sampler's last
+// window when PAPYRUSKV_TIMELINE_MS is on, else from the whole-run
+// cumulative histograms (window_us tells the caller which).
+struct HealthSnapshot {
+  int rank = 0;
+  int nranks = 0;
+  bool crashed = false;   // simulated fail-stop (rank.crash fired)
+  bool degraded = false;  // any open db's replication below quorum
+  int suspect_peers = 0;
+  int64_t pipeline_queue_depth = 0;   // async.queue_depth
+  int64_t flush_queue_depth = 0;      // net.flush_queue_depth
+  int64_t migration_queue_depth = 0;  // net.migration_queue_depth
+  int64_t repl_lag_ops = 0;           // repl.lag_ops
+  uint64_t uptime_us = 0;
+  uint64_t window_us = 0;         // the window the rates cover
+  uint64_t timeline_samples = 0;  // 0 = sampler off
+  double put_rate = 0;            // puts/s over window_us
+  double get_rate = 0;
+  double put_p99_us = 0;
+  double get_p99_us = 0;
 };
 
 // First handle value for papyruskv_*_async events.  Async-op handles and
@@ -104,9 +130,18 @@ class KvRuntime {
   obs::Registry& metrics() { return metrics_; }
   obs::TraceBuffer& trace() { return trace_; }
   obs::FlightRecorder& flight() { return flight_; }
+  // The continuous time-series sampler (DESIGN.md §13), enabled by
+  // PAPYRUSKV_TIMELINE_MS; its thread starts/stops with the runtime's.
+  obs::TimelineSampler& timeline() { return timeline_; }
   // Renders this rank's metrics as a stats-v1 JSON document
   // (papyruskv_stats).
   std::string StatsJson() const;
+  // Renders this rank's timeline ring as a timeline-v1 JSON document; safe
+  // while the sampler is running (benches gather it mid-run).
+  std::string TimelineJson() const;
+  // Fills a live health snapshot (papyruskv_health); works on a crashed
+  // rank (health is exactly what you ask a sick rank for).
+  HealthSnapshot Health();
   // Installs this runtime's registry/trace/flight recorder on the calling
   // thread (every thread that executes on behalf of this rank must call it
   // once); `thread_name` labels the thread's lane in exported traces.
@@ -316,6 +351,17 @@ class KvRuntime {
   obs::Counter* c_req_retries_;      // net.req.retries
   obs::Counter* c_req_timeouts_;     // net.req.timeouts
   obs::Counter* c_suspects_;         // net.peer.suspects
+  // Resolved for Health(): the gauges/histograms other layers own.
+  obs::Gauge* g_async_depth_;        // async.queue_depth
+  obs::Gauge* g_repl_lag_;           // repl.lag_ops
+  obs::Histogram* h_kv_put_us_;      // kv.put_us
+  obs::Histogram* h_kv_get_us_;      // kv.get_us
+
+  // Timeline sampler (DESIGN.md §13): configured from PAPYRUSKV_TIMELINE_MS
+  // in the constructor, started/stopped with the runtime threads.  Declared
+  // after metrics_ (it resolves tracked metrics from it).
+  obs::TimelineSampler timeline_{&metrics_};
+  const uint64_t start_us_ = NowMicros();
 
   // Declared last: its constructor resolves metrics from metrics_ above,
   // and Start/Stop bracket the other runtime threads (StartThreads/

@@ -45,6 +45,7 @@ Replicator::Replicator(core::KvRuntime* rt, uint32_t dbid,
   c_degraded_ = &reg.GetCounter("repl.degraded");
   c_shadow_applies_ = &reg.GetCounter("repl.shadow_applies");
   g_lag_ = &reg.GetGauge("repl.lag_ops");
+  g_degraded_now_ = &reg.GetGauge("repl.degraded_now");
 
   MutexLock lock(&mu_);
   followers_.reserve(follower_ranks_.size());
@@ -165,6 +166,7 @@ uint64_t Replicator::QuorumSeqLocked() {
     if (!degraded_) {
       degraded_ = true;
       c_degraded_->Inc();
+      g_degraded_now_->Set(1);
       if (obs::FlightRecorder* fl = obs::CurrentFlight()) {
         fl->Record(obs::FlightKind::kDegraded, "repl_quorum",
                    static_cast<int64_t>(dbid_),
@@ -384,6 +386,7 @@ void Replicator::Reset() {
     last_seq_ = 0;
     flushed_through_ = 0;
     degraded_ = false;
+    g_degraded_now_->Set(0);
     for (FollowerState& f : followers_) {
       ++f.epoch;
       f.next_seq = 1;

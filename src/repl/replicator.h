@@ -208,6 +208,9 @@ class Replicator {
   obs::Counter* c_degraded_ = nullptr;
   obs::Counter* c_shadow_applies_ = nullptr;
   obs::Gauge* g_lag_ = nullptr;
+  // 0/1 level mirror of degraded_, so the timeline sampler (obs/timeline.h)
+  // can window the degraded interval without taking mu_.
+  obs::Gauge* g_degraded_now_ = nullptr;
 };
 
 }  // namespace papyrus::repl

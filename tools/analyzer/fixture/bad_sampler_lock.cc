@@ -1,0 +1,49 @@
+// Fixture: trips pipeline-blocking twice on the sampler walk — an RAII
+// lock guard in a helper reached from SampleOnce, and a registry lookup
+// (GetCounter takes the registry mutex) one more hop away.
+namespace fixture {
+
+#define GUARDED_BY(x)
+
+class Mutex {};
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu);
+};
+
+class Counter {
+ public:
+  unsigned long long Value() const;
+};
+
+class Registry {
+ public:
+  Counter& GetCounter(const char* name);
+};
+
+class TimelineSampler {
+ public:
+  void SampleOnce();
+
+ private:
+  unsigned long long ReadCounters();
+  unsigned long long LookupFresh();
+  Registry* reg_;
+  Mutex mu_;
+  unsigned long long ticks_ GUARDED_BY(mu_) = 0;
+};
+
+void TimelineSampler::SampleOnce() {
+  ReadCounters();
+}
+
+unsigned long long TimelineSampler::ReadCounters() {
+  MutexLock lock(&mu_);  // BAD: tick stalls behind any writer holding mu_
+  return LookupFresh();
+}
+
+unsigned long long TimelineSampler::LookupFresh() {
+  return reg_->GetCounter("kv.puts").Value();  // BAD: registry mutex
+}
+
+}  // namespace fixture

@@ -1,0 +1,38 @@
+// Fixture: must stay clean — metric pointers are resolved once in
+// Configure (which may take the registry mutex; it is not on the tick
+// path), and SampleOnce only reads the cached lock-free atomics.
+namespace fixture {
+
+class Counter {
+ public:
+  unsigned long long Value() const;
+};
+
+class Registry {
+ public:
+  Counter& GetCounter(const char* name);
+};
+
+class TimelineSampler {
+ public:
+  void Configure(Registry* reg);
+  void SampleOnce();
+
+ private:
+  unsigned long long ReadCounters();
+  Counter* c_puts_ = nullptr;
+};
+
+void TimelineSampler::Configure(Registry* reg) {
+  c_puts_ = &reg->GetCounter("kv.puts");  // lookup off the tick path: fine
+}
+
+void TimelineSampler::SampleOnce() {
+  ReadCounters();
+}
+
+unsigned long long TimelineSampler::ReadCounters() {
+  return c_puts_->Value();
+}
+
+}  // namespace fixture

@@ -213,6 +213,7 @@ INTRA_BAD_CASES = [
     ("bad_status_discard.cc", None, None, {"status-discard"}),
     ("bad_codec_asym.cc", None, None, {"codec-symmetry"}),
     ("bad_pipeline_block.cc", None, None, {"pipeline-blocking"}),
+    ("bad_sampler_lock.cc", None, None, {"pipeline-blocking"}),
     ("wire_fixture.cc", "bad_wire_version.diff", None, {"wire-version"}),
 ]
 PROTO_BAD_CASES = [
@@ -228,6 +229,7 @@ INTRA_GOOD_CASES = [
     ("good_escapes.cc", None, None),
     ("good_codec.cc", None, None),
     ("good_pipeline.cc", None, None),
+    ("good_sampler.cc", None, None),
     ("wire_fixture.cc", "good_wire_version.diff", None),
 ]
 PROTO_GOOD_CASES = [

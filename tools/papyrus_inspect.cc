@@ -6,6 +6,8 @@
 //   papyrus_inspect --stats <stats.json>     # render a PAPYRUSKV_STATS dump
 //   papyrus_inspect --trace-merge <trace.json> [out.json]
 //                                            # merge per-rank traces
+//   papyrus_inspect --timeline <timeline.json> [--flight=..] [--out=..]
+//                                            # merge per-rank time series
 //
 // Works on any directory produced by the library (a repository's
 // <group>/<db>/rank<k>, or a checkpoint's rank<k> snapshot directory) —
@@ -23,6 +25,7 @@
 #include <vector>
 
 #include "obs/export.h"
+#include "obs/timeline.h"
 #include "sim/storage.h"
 #include "store/format.h"
 #include "store/manifest.h"
@@ -163,12 +166,16 @@ int ShowStats(const std::string& path) {
     printf("stats for rank %d of %d\n", meta.rank, meta.nranks);
   }
   if (!snap.histograms.empty()) {
-    printf("\n%-34s %10s %10s %10s %10s %10s\n", "histogram (us)", "count",
-           "mean", "p50", "p95", "p99");
+    // Percentiles re-derived from the parsed log2 buckets (not the dump's
+    // precomputed fields), so aggregated dumps get the same treatment; the
+    // p99.9/max tail columns are where transients hide.
+    printf("\n%-34s %10s %10s %10s %10s %10s %10s %12s\n", "histogram (us)",
+           "count", "mean", "p50", "p95", "p99", "p99.9", "max");
     for (const auto& [name, h] : snap.histograms) {
-      printf("%-34s %10llu %10.1f %10.1f %10.1f %10.1f\n", name.c_str(),
-             static_cast<unsigned long long>(h.count), h.Mean(),
-             h.Percentile(50), h.Percentile(95), h.Percentile(99));
+      printf("%-34s %10llu %10.1f %10.1f %10.1f %10.1f %10.1f %12llu\n",
+             name.c_str(), static_cast<unsigned long long>(h.count), h.Mean(),
+             h.Percentile(50), h.Percentile(95), h.Percentile(99),
+             h.Percentile(99.9), static_cast<unsigned long long>(h.max));
     }
   }
   if (!snap.counters.empty()) {
@@ -362,11 +369,118 @@ int TraceMerge(const std::string& base, const std::string& out_path) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// --timeline
+// ---------------------------------------------------------------------------
+
+// Flight-recorder kinds worth drawing on a throughput timeline: the state
+// transitions (crash/promote/degraded/quarantine/suspect/resync) and the
+// timeouts that explain a dip — not the per-op begin/end chatter.
+bool OverlayKind(const std::string& kind) {
+  return kind == "crash" || kind == "promote" || kind == "degraded" ||
+         kind == "quarantine" || kind == "suspect" || kind == "timeout" ||
+         kind == "repl_resync";
+}
+
+int TimelineMode(const std::string& base, const std::string& flight_base,
+                 const std::string& out_path) {
+  // Collect every per-rank timeline the run produced (rank files are dense
+  // from 0, so the first gap ends the scan).
+  std::vector<obs::TimelineDoc> docs;
+  for (int r = 0;; ++r) {
+    const std::string path = obs::StatsPathForRank(base, r);
+    if (!sim::Storage::FileExists(path)) break;
+    std::string text;
+    Status s = sim::Storage::ReadFileToString(path, &text);
+    if (!s.ok()) {
+      fprintf(stderr, "cannot read %s: %s\n", path.c_str(),
+              s.ToString().c_str());
+      return 1;
+    }
+    obs::TimelineDoc doc;
+    if (!obs::ParseTimelineJson(text, &doc)) {
+      fprintf(stderr, "%s is not a PapyrusKV timeline-v1 dump\n",
+              path.c_str());
+      return 1;
+    }
+    docs.push_back(std::move(doc));
+  }
+  if (docs.empty()) {
+    fprintf(stderr,
+            "no per-rank timelines found for %s (expected %s, ...)\n"
+            "was the run started with PAPYRUSKV_TIMELINE_MS set?\n",
+            base.c_str(), obs::StatsPathForRank(base, 0).c_str());
+    return 1;
+  }
+
+  // Flight-event overlay: --flight=<base> wins, else flight.json next to
+  // the timeline base (the runtime's default dump location).  Absence is
+  // fine — the lanes render without annotations.
+  std::string fbase = flight_base;
+  if (fbase.empty()) {
+    const size_t slash = base.find_last_of('/');
+    fbase = (slash == std::string::npos ? std::string()
+                                        : base.substr(0, slash + 1)) +
+            "flight.json";
+  }
+  std::vector<obs::TimelineEvent> events;
+  int flight_files = 0;
+  for (int r = 0;; ++r) {
+    const std::string path = obs::StatsPathForRank(fbase, r);
+    if (!sim::Storage::FileExists(path)) break;
+    std::string text;
+    if (!sim::Storage::ReadFileToString(path, &text).ok()) break;
+    std::vector<obs::TimelineEvent> evs;
+    if (obs::ParseFlightEvents(text, &evs)) {
+      ++flight_files;
+      for (obs::TimelineEvent& e : evs) {
+        if (OverlayKind(e.kind)) events.push_back(std::move(e));
+      }
+    }
+  }
+
+  const obs::MergedTimeline merged =
+      obs::MergeTimelines(docs, std::move(events));
+  const std::string json = obs::MergedTimelineToJson(merged);
+  FILE* f = fopen(out_path.c_str(), "w");
+  if (!f) {
+    fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  const size_t n = fwrite(json.data(), 1, json.size(), f);
+  fclose(f);
+  if (n != json.size()) {
+    fprintf(stderr, "short write to %s\n", out_path.c_str());
+    return 1;
+  }
+
+  printf("merged %zu rank timeline(s), %d flight dump(s) -> %s\n",
+         docs.size(), flight_files, out_path.c_str());
+  fputs(obs::RenderTimelineTables(merged).c_str(), stdout);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc == 3 && strcmp(argv[1], "--stats") == 0) {
     return ShowStats(argv[2]);
+  }
+  if (argc >= 3 && strcmp(argv[1], "--timeline") == 0) {
+    const std::string base = argv[2];
+    std::string flight_base, out_path;
+    for (int i = 3; i < argc; ++i) {
+      if (strncmp(argv[i], "--flight=", 9) == 0) {
+        flight_base = argv[i] + 9;
+      } else if (strncmp(argv[i], "--out=", 6) == 0) {
+        out_path = argv[i] + 6;
+      } else {
+        fprintf(stderr, "unknown --timeline flag: %s\n", argv[i]);
+        return 2;
+      }
+    }
+    if (out_path.empty()) out_path = DefaultMergedPath(base);
+    return TimelineMode(base, flight_base, out_path);
   }
   if ((argc == 3 || argc == 4) && strcmp(argv[1], "--trace-merge") == 0) {
     const std::string base = argv[2];
@@ -377,10 +491,14 @@ int main(int argc, char** argv) {
             "usage: %s <rank dir> [--ssid=N | --verify]\n"
             "       %s --stats <stats.json>\n"
             "       %s --trace-merge <trace.json> [out.json]\n"
+            "       %s --timeline <timeline.json> [--flight=<flight.json>]"
+            " [--out=<merged.json>]\n"
             "  inspects the SSTables of one rank of a PapyrusKV database,\n"
-            "  renders a PAPYRUSKV_STATS metrics dump, or merges the\n"
-            "  per-rank PAPYRUSKV_TRACE files into one Perfetto timeline\n",
-            argv[0], argv[0], argv[0]);
+            "  renders a PAPYRUSKV_STATS metrics dump, merges the per-rank\n"
+            "  PAPYRUSKV_TRACE files into one Perfetto timeline, or merges\n"
+            "  the per-rank PAPYRUSKV_TIMELINE series into aligned lanes\n"
+            "  with flight-recorder event overlays\n",
+            argv[0], argv[0], argv[0], argv[0]);
     return 2;
   }
   const std::string dir = argv[1];
